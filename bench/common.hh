@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses. Every bench binary
+ * regenerates one table or figure of the paper; these helpers keep
+ * the measurements and the output format uniform.
+ */
+
+#ifndef GS_BENCH_COMMON_HH
+#define GS_BENCH_COMMON_HH
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "workload/pointer_chase.hh"
+#include "workload/stream.hh"
+
+namespace gs::bench
+{
+
+/**
+ * End-to-end dependent-load latency (ns) of CPU @p from chasing a
+ * cold chain in CPU @p to's region: total time / loads, the
+ * load-to-use number the paper's lmbench plots report.
+ */
+inline double
+dependentLoadNs(sys::Machine &m, int from, int to,
+                std::uint64_t dataset = 16ULL << 20,
+                std::uint64_t stride = 64, std::uint64_t loads = 8000,
+                std::uint64_t offset = 0)
+{
+    // Offset each probe so repeated measurements stay cold.
+    wl::PointerChase chase(m.cpuAddr(to, offset), dataset, stride,
+                           loads);
+    std::vector<cpu::TrafficSource *> sources(
+        static_cast<std::size_t>(from) + 1, nullptr);
+    sources[static_cast<std::size_t>(from)] = &chase;
+    bool ok = m.run(sources);
+    gs_assert(ok, "dependent-load probe timed out");
+    return m.core(from).stats().elapsedNs() /
+           static_cast<double>(loads);
+}
+
+/** STREAM Triad GB/s for CPUs [0, n) on machine @p m. */
+inline double
+streamTriadGBs(sys::Machine &m, int n,
+               std::uint64_t array_bytes = 8ULL << 20)
+{
+    std::vector<std::unique_ptr<wl::StreamTriad>> kernels;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < n; ++c) {
+        kernels.push_back(std::make_unique<wl::StreamTriad>(
+            m.cpuAddr(c, 0), array_bytes));
+        sources.push_back(kernels.back().get());
+    }
+    Tick start = m.ctx().now();
+    bool ok = m.run(sources, 2000 * tickMs);
+    gs_assert(ok, "STREAM run timed out");
+    double ns = ticksToNs(m.ctx().now() - start);
+
+    double lines = 0;
+    for (const auto &k : kernels)
+        lines += static_cast<double>(k->linesProcessed());
+    return lines * wl::StreamTriad::bytesPerLine / ns;
+}
+
+} // namespace gs::bench
+
+#endif // GS_BENCH_COMMON_HH

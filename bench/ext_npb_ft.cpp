@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: NAS FT (3-D FFT with a global transpose) across the
+ * three machines. The paper's Section 5.2 names FFT among the
+ * memory-stressing NPB kernels but plots only SP; FT's all-to-all
+ * transpose adds bisection load, so it sits between SP and GUPS in
+ * interconnect stress — a natural extra point on the paper's
+ * application spectrum.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "sim/args.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "workload/nas_ft.hh"
+
+namespace
+{
+
+using namespace gs;
+
+double
+mops(sys::Machine &m, int cpus)
+{
+    std::vector<std::unique_ptr<wl::NasFT>> ranks;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        ranks.push_back(std::make_unique<wl::NasFT>(c, cpus));
+        sources.push_back(ranks.back().get());
+    }
+    Tick start = m.ctx().now();
+    if (!m.run(sources, 30000 * tickMs))
+        return 0;
+    double seconds = ticksToNs(m.ctx().now() - start) * 1e-9;
+    double points = 0;
+    for (auto &r : ranks)
+        points += static_cast<double>(r->pointsDone());
+    return points * 45.0 / seconds / 1e6;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout,
+                "Extension: NAS FT (MOPS) vs CPUs - all-to-all "
+                "transpose");
+
+    Table t({"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz",
+             "ES45-class/1.25GHz"});
+    for (int cpus : {1, 4, 8, 16, 32}) {
+        auto gs1280 = sys::Machine::buildGS1280(cpus);
+        double a = mops(*gs1280, cpus);
+
+        std::string b = "-";
+        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+            auto gs320 = sys::Machine::buildGS320(cpus);
+            b = Table::num(mops(*gs320, cpus), 0);
+        }
+        std::string c = "-";
+        if (cpus <= 4) {
+            auto es45 = sys::Machine::buildES45(cpus);
+            c = Table::num(mops(*es45, cpus), 0);
+        }
+        t.addRow({Table::num(cpus), Table::num(a, 0), b, c});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nexpectation (no paper figure): GS1280 advantage "
+                 "between SP's (memory) and GUPS's (bisection); the "
+                 "transpose makes GS320 scaling worse than in SP\n";
+    return 0;
+}

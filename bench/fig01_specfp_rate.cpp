@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 1: SPECfp_rate2000 vs CPU count — GS1280 vs SC45 (ES45
+ * cluster) vs GS320.
+ *
+ * Paper shape: GS1280 scales steeply and nearly linearly (private
+ * memory per CPU), SC45 linearly at a lower slope, GS320 flattest;
+ * GS1280 holds ~2x the GS320 at 16P (Figure 28's rate row).
+ */
+
+#include <iostream>
+
+#include "sim/args.hh"
+#include "sim/table.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/spec_rate.hh"
+
+int
+main(int, char **)
+{
+    using namespace gs;
+
+    printBanner(std::cout,
+                "Figure 1: SPECfp_rate2000 (model) vs CPU count");
+
+    Table t({"#CPUs", "GS1280/1.15GHz", "SC45/1.25GHz",
+             "GS320/1.2GHz"});
+    const auto &suite = wl::specFp2000();
+    for (int cpus : {1, 2, 4, 8, 16, 32}) {
+        auto row = [&](wl::RateSystem sys) {
+            return Table::num(wl::specRate(suite, sys, cpus), 0);
+        };
+        t.addRow({Table::num(cpus), row(wl::RateSystem::GS1280),
+                  row(wl::RateSystem::SC45),
+                  row(wl::RateSystem::GS320)});
+    }
+    t.print(std::cout);
+
+    double r16 = wl::specRate(suite, wl::RateSystem::GS1280, 16) /
+                 wl::specRate(suite, wl::RateSystem::GS320, 16);
+    std::cout << "\nGS1280/GS320 at 16P: " << Table::num(r16, 2)
+              << "x   (paper Figure 28 row: ~2x)\n"
+              << "paper anchors: GS1280 16P ~290, 32P ~540 "
+                 "(published/estimated)\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 7: STREAM Triad, 1 CPU vs 4 CPUs, for GS1280, ES45 and
+ * GS320 — the linear-vs-contended scaling bar chart.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "sim/args.hh"
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout,
+                "Figure 7: STREAM Triad 1P vs 4P (GB/s)");
+
+    auto point = [&](auto builder, int cpus) {
+        auto m = builder(cpus);
+        return bench::streamTriadGBs(*m, cpus, 4ULL << 20);
+    };
+
+    Table t({"system", "1 CPU", "4 CPUs", "scaling"});
+    auto addRow = [&](const char *name, double one, double four) {
+        t.addRow({name, Table::num(one, 2), Table::num(four, 2),
+                  Table::num(four / one, 2)});
+    };
+
+    double g1 = point([](int n) { return sys::Machine::buildGS1280(n); }, 1);
+    double g4 = point([](int n) { return sys::Machine::buildGS1280(n); }, 4);
+    addRow("GS1280/1.15GHz", g1, g4);
+
+    double e1 = point([](int n) { return sys::Machine::buildES45(4); }, 1);
+    double e4 = point([](int n) { return sys::Machine::buildES45(4); }, 4);
+    addRow("ES45/1.25GHz", e1, e4);
+
+    double q1 = point([](int n) { return sys::Machine::buildGS320(4); }, 1);
+    double q4 = point([](int n) { return sys::Machine::buildGS320(4); }, 4);
+    addRow("GS320/1.2GHz", q1, q4);
+
+    t.print(std::cout);
+    std::cout << "\npaper shape: GS1280 ~4.2 -> ~16.8 (4.0x); "
+                 "ES45 ~1.8 -> ~3.4; GS320 ~1.1 -> ~2.3\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 9: SPECint2000 IPC per benchmark — comparable across
+ * machines (cache-resident) except mcf, which follows latency.
+ */
+
+#include <iostream>
+
+#include "cpu/analytic_core.hh"
+#include "sim/table.hh"
+#include "workload/spec_profiles.hh"
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout, "Figure 9: IPC comparison, SPECint2000");
+
+    auto gs1280 = cpu::MachineTiming::gs1280();
+    auto es45 = cpu::MachineTiming::es45();
+    auto gs320 = cpu::MachineTiming::gs320();
+
+    Table t({"benchmark", "GS1280/1.15GHz", "ES45/1.25GHz",
+             "GS320/1.22GHz"});
+    for (const auto &p : wl::specInt2000()) {
+        t.addRow({p.name,
+                  Table::num(cpu::evaluateIpc(p, gs1280).ipc, 2),
+                  Table::num(cpu::evaluateIpc(p, es45).ipc, 2),
+                  Table::num(cpu::evaluateIpc(p, gs320).ipc, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper shape: comparable IPC everywhere (the "
+                 "integer suite fits MB-size caches); mcf favors the "
+                 "GS1280's 83 ns memory\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 14: average load-to-use latency vs CPU count (4-64),
+ * GS1280 vs GS320 — simulated per-destination probes averaged over
+ * all pairs via topology symmetry, cross-checked against the
+ * closed-form model.
+ */
+
+#include <iostream>
+
+#include "analytic/latency_model.hh"
+#include "common.hh"
+#include "sim/args.hh"
+#include "topology/torus.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gs;
+    Args args(argc, argv, {{"loads", "loads per probe (default 3000)"}});
+    auto loads = static_cast<std::uint64_t>(args.getInt("loads", 3000));
+
+    printBanner(std::cout,
+                "Figure 14: average load-to-use latency (ns) vs CPUs");
+
+    Table t({"#CPUs", "GS1280 (sim)", "GS1280 (model)",
+             "GS320 (sim)", "GS320 (model)"});
+
+    for (int cpus : {4, 8, 16, 32, 64}) {
+        // GS1280: node 0's average over all destinations equals the
+        // machine average (vertex-transitive torus).
+        auto m = sys::Machine::buildGS1280(cpus);
+        double sum = 0;
+        for (int dst = 0; dst < cpus; ++dst)
+            sum += bench::dependentLoadNs(*m, 0, dst, 16 << 20, 64,
+                                          loads);
+        double sim1280 = sum / cpus;
+
+        auto [w, h] = sys::torusShape(cpus);
+        topo::Torus2D torus(w, h);
+        double model1280 =
+            analytic::avgIdleLatencyNs(torus, 83.0, 44.0);
+
+        std::string sim320 = "-", model320 = "-";
+        if (cpus <= 32) {
+            auto g = sys::Machine::buildGS320(cpus);
+            double local = bench::dependentLoadNs(*g, 0, 0, 64 << 20,
+                                                  64, loads / 2);
+            double remote =
+                cpus > 4 ? bench::dependentLoadNs(
+                               *g, 0, cpus - 1, 64 << 20, 64,
+                               loads / 2)
+                         : local;
+            int perQbb = std::min(cpus, 4);
+            double avg = (perQbb * local + (cpus - perQbb) * remote) /
+                         cpus;
+            sim320 = Table::num(avg, 0);
+            model320 = Table::num(
+                analytic::gs320AvgLatencyNs(cpus, 4, local, remote),
+                0);
+        }
+
+        t.addRow({Table::num(cpus), Table::num(sim1280, 0),
+                  Table::num(model1280, 0), sim320, model320});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper shape: GS1280 grows gently (~180 ns at 16P, "
+                 "~280 ns at 64P); GS320 sits at ~700-850 ns beyond "
+                 "one QBB\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 19: Fluent (CFD, fl5l1-class) rating vs CPU count.
+ *
+ * Paper: the blocked solver stresses neither memory nor IP links, so
+ * GS1280 and ES45/SC45 run comparably (the 16 MB cache even helps);
+ * scaling is near-linear on both, GS320 trails on clock+cache path.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "sim/args.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "workload/fluent.hh"
+
+namespace
+{
+
+using namespace gs;
+
+double
+rating(sys::Machine &m, int cpus)
+{
+    std::vector<std::unique_ptr<wl::FluentCfd>> ranks;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        ranks.push_back(std::make_unique<wl::FluentCfd>(c, cpus));
+        sources.push_back(ranks.back().get());
+    }
+    Tick start = m.ctx().now();
+    if (!m.run(sources, 20000 * tickMs))
+        return 0;
+    double seconds = ticksToNs(m.ctx().now() - start) * 1e-9;
+    double cells = 0;
+    for (auto &r : ranks)
+        cells += static_cast<double>(r->cellsDone());
+    // "Rating" ~ jobs/day; scale cells/s into the paper's ballpark.
+    return cells / seconds / 5.0e5;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout, "Figure 19: Fluent rating vs CPU count");
+
+    Table t({"#CPUs", "GS1280/1.15GHz", "ES45-class/1.25GHz",
+             "GS320/1.2GHz"});
+    for (int cpus : {1, 2, 4, 8, 16, 32}) {
+        auto gs1280 = sys::Machine::buildGS1280(cpus);
+        double a = rating(*gs1280, cpus);
+
+        // SC45 = clusters of 4-CPU ES45 boxes; throughput adds per
+        // box for this blocked, low-communication solver.
+        std::string b = "-";
+        {
+            int perBox = std::min(cpus, 4);
+            auto es45 = sys::Machine::buildES45(perBox);
+            double boxRating = rating(*es45, perBox);
+            b = Table::num(boxRating *
+                               (static_cast<double>(cpus) / perBox),
+                           1);
+        }
+
+        std::string c = "-";
+        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+            auto gs320 = sys::Machine::buildGS320(cpus);
+            c = Table::num(rating(*gs320, cpus), 1);
+        }
+        t.addRow({Table::num(cpus), Table::num(a, 1), b, c});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper shape: GS1280 comparable to SC45 (the "
+                 "application is CPU-bound); both scale near-"
+                 "linearly\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 21: NAS Parallel SP performance (MOPS) vs CPU count.
+ *
+ * Paper: SP streams memory hard (26% MC utilization, Figure 22), so
+ * the GS1280's per-CPU bandwidth gives a large advantage over the
+ * shared-memory SC45/ES45 and a bigger one over the GS320.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "sim/args.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "workload/nas_sp.hh"
+
+namespace
+{
+
+using namespace gs;
+
+double
+mops(sys::Machine &m, int cpus)
+{
+    std::vector<std::unique_ptr<wl::NasSP>> ranks;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        ranks.push_back(std::make_unique<wl::NasSP>(c, cpus));
+        sources.push_back(ranks.back().get());
+    }
+    Tick start = m.ctx().now();
+    if (!m.run(sources, 30000 * tickMs))
+        return 0;
+    double seconds = ticksToNs(m.ctx().now() - start) * 1e-9;
+    double points = 0;
+    for (auto &r : ranks)
+        points += static_cast<double>(r->pointsDone());
+    // ~45 flop per processed grid point puts 16P in the paper's
+    // thousands-of-MOPS range.
+    return points * 45.0 / seconds / 1e6;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout, "Figure 21: NAS Parallel SP (MOPS) vs CPUs");
+
+    Table t({"#CPUs", "GS1280/1.15GHz", "SC45/1.25GHz",
+             "GS320/1.2GHz"});
+    for (int cpus : {1, 4, 8, 16, 32}) {
+        auto gs1280 = sys::Machine::buildGS1280(cpus);
+        double a = mops(*gs1280, cpus);
+
+        // SC45: 4-CPU boxes; SP's modest exchanges cost ~10% across
+        // the cluster interconnect.
+        int perBox = std::min(cpus, 4);
+        auto es45 = sys::Machine::buildES45(perBox);
+        double box = mops(*es45, perBox);
+        double sc45 = box * (static_cast<double>(cpus) / perBox) *
+                      (cpus > 4 ? 0.9 : 1.0);
+
+        std::string c = "-";
+        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+            auto gs320 = sys::Machine::buildGS320(cpus);
+            c = Table::num(mops(*gs320, cpus), 0);
+        }
+        t.addRow({Table::num(cpus), Table::num(a, 0),
+                  Table::num(sc45, 0), c});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper shape: GS1280 well above SC45, which is "
+                 "above GS320; near-linear GS1280 scaling\n";
+    return 0;
+}

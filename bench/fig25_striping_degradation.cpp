@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 25: throughput degradation from memory striping across
+ * SPECfp_rate2000 (paper: 10-30%, from the extra inter-processor
+ * traffic and remote-half latency).
+ */
+
+#include <iostream>
+
+#include "sim/table.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/spec_rate.hh"
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout,
+                "Figure 25: degradation from striping, "
+                "SPECfp_rate2000 (16 copies)");
+
+    Table t({"benchmark", "degradation %"});
+    double worst = 0;
+    for (const auto &p : wl::specFp2000()) {
+        double d = wl::stripingDegradationPct(p, 16);
+        worst = std::max(worst, d);
+        t.addRow({p.name, Table::num(d, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nworst degradation: " << Table::num(worst, 1)
+              << "%   (paper: 10-30% typical, up to 70% extreme "
+                 "cases)\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulator-performance microbenchmarks (google-benchmark): how fast
+ * the substrate itself runs. Useful when sizing experiments — e.g.
+ * a 64P GUPS run executes millions of events and these numbers say
+ * what that costs on the host.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "coherence/node.hh"
+#include "mem/cache.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "topology/torus.hh"
+
+namespace
+{
+
+using namespace gs;
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        eq.schedule(1, [&] { fired += 1; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= rng.next();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams::ev7L2());
+    for (mem::Addr a = 0; a < 1024 * 64; a += 64)
+        cache.fill(a, mem::LineState::Shared);
+    mem::Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a, false).hit);
+        a = (a + 64) % (1024 * 64);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_TorusRouteCompute(benchmark::State &state)
+{
+    topo::Torus2D torus(8, 8);
+    Rng rng(7);
+    for (auto _ : state) {
+        auto src = static_cast<NodeId>(rng.below(64));
+        auto dst = static_cast<NodeId>(rng.below(64));
+        benchmark::DoNotOptimize(torus.adaptivePorts(src, dst, 0));
+        benchmark::DoNotOptimize(torus.escapeRoute(src, dst, 0));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TorusRouteCompute);
+
+void
+BM_NetworkPacketDelivery(benchmark::State &state)
+{
+    // End-to-end cost of simulating one 4-hop packet on a 4x4 torus.
+    SimContext ctx;
+    topo::Torus2D torus(4, 4);
+    net::Network network(ctx, torus, net::NetworkParams::gs1280());
+    network.setHandler(10, [](const net::Packet &) {});
+    for (auto _ : state) {
+        net::Packet pkt;
+        pkt.src = 0;
+        pkt.dst = 10;
+        pkt.cls = net::MsgClass::BlockResponse;
+        pkt.flits = net::dataFlits;
+        network.inject(pkt);
+        ctx.queue().runUntil();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkPacketDelivery);
+
+void
+BM_CoherentLocalMiss(benchmark::State &state)
+{
+    // One local read miss through MAF + directory + Zbox and back.
+    SimContext ctx;
+    topo::Torus2D torus(2, 1);
+    net::Network network(ctx, torus, net::NetworkParams::gs1280());
+    mem::NodeOwnedMap map;
+    coher::NodeConfig cfg;
+    coher::CoherentNode node(ctx, network, 0, map, cfg);
+    coher::CoherentNode other(ctx, network, 1, map, cfg);
+
+    mem::Addr a = 0;
+    for (auto _ : state) {
+        bool done = false;
+        node.memAccess(a, false, [&] { done = true; });
+        ctx.queue().runUntil();
+        benchmark::DoNotOptimize(done);
+        a += 64; // fresh line every time: always a miss
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoherentLocalMiss);
+
+} // namespace
+
+BENCHMARK_MAIN();

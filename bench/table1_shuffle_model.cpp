@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 1: performance gains from the shuffle rewiring — average
+ * latency, worst-case latency and bisection width vs the torus.
+ *
+ * Prints both the paper's published model values and this library's
+ * graph-derived values for its reconstructed wiring (exact for the
+ * 4x2 machine that was physically rewired and measured in Figure 18,
+ * and for the worst-case/bisection columns of nearly every row; see
+ * EXPERIMENTS.md for the 16x16 deviation discussion).
+ */
+
+#include <iostream>
+
+#include "analytic/shuffle_model.hh"
+#include "sim/table.hh"
+
+int
+main(int, char **)
+{
+    using namespace gs;
+    printBanner(std::cout, "Table 1: performance gains from shuffle");
+
+    struct PaperRow
+    {
+        const char *size;
+        double avg, worst, bisect;
+    };
+    const PaperRow paper[] = {
+        {"4x2", 1.200, 1.500, 2.000},  {"4x4", 1.067, 1.333, 1.000},
+        {"8x4", 1.171, 1.500, 2.000},  {"8x8", 1.185, 1.333, 1.000},
+        {"16x8", 1.371, 1.500, 2.000}, {"16x16", 1.454, 1.778, 1.000},
+    };
+
+    Table t({"size", "aver. latency", "(paper)", "worst latency",
+             "(paper)", "bisection width", "(paper)"});
+    auto rows = analytic::table1();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        const auto &p = paper[i];
+        t.addRow({p.size, Table::num(r.avgLatencyGain, 3),
+                  Table::num(p.avg, 3),
+                  Table::num(r.worstLatencyGain, 3),
+                  Table::num(p.worst, 3),
+                  Table::num(r.bisectionGain, 3),
+                  Table::num(p.bisect, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nabsolute values (this library's wiring):\n";
+    Table abs({"size", "torus avg", "shuffle avg", "torus worst",
+               "shuffle worst", "torus bisect", "shuffle bisect"});
+    for (const auto &r : rows) {
+        abs.addRow({std::to_string(r.width) + "x" +
+                        std::to_string(r.height),
+                    Table::num(r.torusAvg, 3),
+                    Table::num(r.shuffleAvg, 3),
+                    Table::num(r.torusWorst),
+                    Table::num(r.shuffleWorst),
+                    Table::num(r.torusBisection),
+                    Table::num(r.shuffleBisection)});
+    }
+    abs.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: build a 16-CPU GS1280, measure what the paper
+ * measures, and audit coherence.
+ *
+ *  1. Local dependent-load latency (the 83 ns of Figure 13's
+ *     corner square).
+ *  2. Remote dependent-load latency, one hop away.
+ *  3. STREAM Triad bandwidth on one CPU.
+ *  4. A short all-CPUs GUPS burst with the network involved.
+ *  5. A whole-machine coherence audit at the end.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "coherence/checker.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+#include "workload/pointer_chase.hh"
+#include "workload/stream.hh"
+
+int
+main()
+{
+    using namespace gs;
+
+    auto machine = sys::Machine::buildGS1280(16);
+    std::cout << "Built " << machine->topology().name() << " with "
+              << machine->cpuCount() << " CPUs\n";
+
+    // 1. Local dependent loads: CPU0 chases a 32 MB chain at home.
+    {
+        wl::PointerChase chase(machine->cpuAddr(0, 0), 32 << 20, 64,
+                               20000);
+        bool ok = machine->run({&chase});
+        double ns = machine->node(0).stats().missLatencyNs.mean();
+        std::cout << "local dependent-load latency:  " << Table::num(ns, 1)
+                  << " ns" << (ok ? "" : "  [TIMEOUT]") << '\n';
+    }
+
+    // 2. Remote dependent loads: CPU0 chases CPU1's memory.
+    {
+        machine->clearStats();
+        wl::PointerChase chase(machine->cpuAddr(1, 1ULL << 30),
+                               32 << 20, 64, 20000);
+        bool ok = machine->run({&chase});
+        double ns = machine->node(0).stats().missLatencyNs.mean();
+        std::cout << "1-hop dependent-load latency:  " << Table::num(ns, 1)
+                  << " ns" << (ok ? "" : "  [TIMEOUT]") << '\n';
+    }
+
+    // 3. STREAM Triad on one CPU.
+    {
+        machine->clearStats();
+        wl::StreamTriad triad(machine->cpuAddr(0, 2ULL << 30),
+                              8 << 20);
+        bool ok = machine->run({&triad});
+        const auto &cs = machine->core(0).stats();
+        double gbs = static_cast<double>(triad.linesProcessed()) *
+                     wl::StreamTriad::bytesPerLine / cs.elapsedNs();
+        std::cout << "1-CPU STREAM Triad:            " << Table::num(gbs, 2)
+                  << " GB/s" << (ok ? "" : "  [TIMEOUT]") << '\n';
+    }
+
+    // 4. GUPS across all 16 CPUs.
+    {
+        machine->clearStats();
+        std::vector<std::unique_ptr<wl::Gups>> gups;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < machine->cpuCount(); ++c) {
+            gups.push_back(std::make_unique<wl::Gups>(
+                machine->cpuCount(), 256 << 20, 4000,
+                1000 + static_cast<std::uint64_t>(c)));
+            sources.push_back(gups.back().get());
+        }
+        Tick start = machine->ctx().now();
+        bool ok = machine->run(sources);
+        double seconds =
+            ticksToNs(machine->ctx().now() - start) * 1e-9;
+        double updates = 4000.0 * machine->cpuCount();
+        std::cout << "16-CPU GUPS:                   "
+                  << Table::num(updates / seconds / 1e6, 1)
+                  << " Mupdates/s" << (ok ? "" : "  [TIMEOUT]") << '\n';
+    }
+
+    // 5. Coherence audit.
+    {
+        std::vector<coher::CoherentNode *> nodes;
+        for (NodeId n = 0; n < machine->nodeCount(); ++n)
+            if (machine->hasNode(n))
+                nodes.push_back(&machine->node(n));
+        auto check = coher::verifyCoherence(nodes);
+        std::cout << "coherence audit:               "
+                  << (check.ok ? "clean" : check.firstViolation)
+                  << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Example: explore interconnect topologies and the shuffle rewiring.
+ *
+ * Prints graph metrics (average/worst hop distance, bisection width)
+ * for a torus and its shuffled variant at a user-chosen size, plus
+ * the paper's full Table 1, and a hop-distance map from node 0 like
+ * the layout of Figure 13.
+ *
+ * Usage: topology_explorer [--width=8] [--height=4]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analytic/shuffle_model.hh"
+#include "sim/args.hh"
+#include "sim/table.hh"
+#include "topology/shuffle.hh"
+#include "topology/torus.hh"
+
+int
+main(int argc, char **argv)
+{
+    gs::Args args(argc, argv,
+                  {{"width", "torus columns (default 8)"},
+                   {"height", "torus rows (default 4)"}});
+    int w = static_cast<int>(args.getInt("width", 8));
+    int h = static_cast<int>(args.getInt("height", 4));
+
+    gs::topo::Torus2D torus(w, h);
+    gs::topo::ShuffleTorus shuffle(w, h, gs::topo::ShufflePolicy::Free);
+
+    gs::printBanner(std::cout, "Topology metrics: " + torus.name() +
+                                   " vs " + shuffle.name());
+    gs::Table metrics({"metric", "torus", "shuffle", "gain"});
+    auto g = gs::analytic::evaluateShuffle(w, h);
+    metrics.addRow({"average hops", gs::Table::num(g.torusAvg, 3),
+                    gs::Table::num(g.shuffleAvg, 3),
+                    gs::Table::num(g.avgLatencyGain, 3)});
+    metrics.addRow({"worst hops", gs::Table::num(g.torusWorst),
+                    gs::Table::num(g.shuffleWorst),
+                    gs::Table::num(g.worstLatencyGain, 3)});
+    metrics.addRow({"bisection links", gs::Table::num(g.torusBisection),
+                    gs::Table::num(g.shuffleBisection),
+                    gs::Table::num(g.bisectionGain, 3)});
+    metrics.print(std::cout);
+
+    gs::printBanner(std::cout, "Paper Table 1: gains from shuffle");
+    gs::Table t1({"size", "aver. latency", "worst latency",
+                  "bisection width"});
+    for (const auto &row : gs::analytic::table1()) {
+        t1.addRow({std::to_string(row.width) + "x" +
+                       std::to_string(row.height),
+                   gs::Table::num(row.avgLatencyGain, 3),
+                   gs::Table::num(row.worstLatencyGain, 3),
+                   gs::Table::num(row.bisectionGain, 3)});
+    }
+    t1.print(std::cout);
+
+    gs::printBanner(std::cout,
+                    "Hop distance from node 0 (" + torus.name() + ")");
+    auto dist = torus.distancesFrom(0);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            std::printf("%4d", dist[static_cast<std::size_t>(
+                                  torus.nodeAt(x, y))]);
+        std::printf("\n");
+    }
+    return 0;
+}

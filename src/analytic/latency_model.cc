@@ -1,0 +1,51 @@
+#include "analytic/latency_model.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+#include "topology/topology.hh"
+
+namespace gs::analytic
+{
+
+double
+meanHopsWithSelf(const topo::Topology &topo)
+{
+    const int cpus = topo.numCpuNodes();
+    gs_assert(cpus > 0);
+    double sum = 0;
+    for (NodeId src = 0; src < cpus; ++src) {
+        auto dist = topo.distancesFrom(src);
+        for (NodeId dst = 0; dst < cpus; ++dst)
+            sum += dist[static_cast<std::size_t>(dst)];
+    }
+    return sum / (static_cast<double>(cpus) * static_cast<double>(cpus));
+}
+
+double
+avgIdleLatencyNs(const topo::Topology &topo, double local_ns,
+                 double per_hop_ns)
+{
+    return local_ns + per_hop_ns * meanHopsWithSelf(topo);
+}
+
+double
+gs320AvgLatencyNs(int cpus, int per_qbb, double local_ns,
+                  double remote_ns)
+{
+    gs_assert(cpus >= 1 && per_qbb >= 1);
+    if (cpus <= per_qbb)
+        return local_ns;
+    double local_frac = static_cast<double>(per_qbb) / cpus;
+    return local_frac * local_ns + (1.0 - local_frac) * remote_ns;
+}
+
+double
+mm1LatencyNs(double service_ns, double rho)
+{
+    if (rho >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return service_ns / (1.0 - rho);
+}
+
+} // namespace gs::analytic

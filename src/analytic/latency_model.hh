@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Closed-form latency models used to sanity-check the simulator and
+ * to extend Figure 14 (average load-to-use latency vs CPU count)
+ * beyond the sizes we simulate flit-by-flit.
+ *
+ * GS1280: latency(src, dst) = local + perHop * hops(src, dst); the
+ * average is taken over all ordered (src, dst) pairs including the
+ * local case, matching the "average" row of Figure 12.
+ *
+ * GS320: two-level model — a fixed local (within-QBB) latency for
+ * the requester's own QBB and a fixed remote latency elsewhere.
+ *
+ * The module also provides an M/M/1-style latency-under-offered-load
+ * curve used as a qualitative cross-check of the Figure 15 load test.
+ */
+
+#ifndef GS_ANALYTIC_LATENCY_MODEL_HH
+#define GS_ANALYTIC_LATENCY_MODEL_HH
+
+namespace gs::topo
+{
+class Topology;
+}
+
+namespace gs::analytic
+{
+
+/** Mean hop count over all ordered CPU pairs, self pairs included. */
+double meanHopsWithSelf(const topo::Topology &topo);
+
+/**
+ * Average load-to-use latency (ns) on an idle hop-based machine.
+ *
+ * @param topo the interconnect
+ * @param local_ns latency of a local access (83 ns on the GS1280)
+ * @param per_hop_ns added round-trip cost of one extra hop
+ */
+double avgIdleLatencyNs(const topo::Topology &topo, double local_ns,
+                        double per_hop_ns);
+
+/**
+ * Average load-to-use latency (ns) of the two-level GS320 model.
+ *
+ * @param cpus total CPUs
+ * @param per_qbb CPUs per QBB (4)
+ * @param local_ns within-QBB latency
+ * @param remote_ns cross-QBB latency
+ */
+double gs320AvgLatencyNs(int cpus, int per_qbb, double local_ns,
+                         double remote_ns);
+
+/**
+ * Open-queue (M/M/1) response time at offered utilization @p rho of
+ * a server with service time @p service_ns: service / (1 - rho).
+ * Returns +inf at or past saturation.
+ */
+double mm1LatencyNs(double service_ns, double rho);
+
+} // namespace gs::analytic
+
+#endif // GS_ANALYTIC_LATENCY_MODEL_HH

@@ -1,0 +1,38 @@
+#include "analytic/loadtest_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gs::analytic
+{
+
+LoadModelPoint
+evaluateLoadPoint(const LoadModelParams &p, double per_cpu_outstanding)
+{
+    gs_assert(p.cpus > 0 && p.unloadedLatencyNs > 0 &&
+              p.saturationGBs > 0 && per_cpu_outstanding > 0);
+
+    const double k = p.cpus * per_cpu_outstanding; // population
+    // Asymptotic bounds: latency-limited below the knee,
+    // bandwidth-limited above it.
+    const double latencyLimited =
+        k * p.bytesPerRequest / p.unloadedLatencyNs; // GB/s
+    LoadModelPoint out;
+    out.outstanding = per_cpu_outstanding;
+    out.bandwidthGBs = std::min(latencyLimited, p.saturationGBs);
+    // Little's law gives the observed latency at the achieved rate.
+    out.latencyNs = k * p.bytesPerRequest / out.bandwidthGBs;
+    return out;
+}
+
+double
+saturationOutstanding(const LoadModelParams &p)
+{
+    // k* where latency-limited throughput meets the ceiling.
+    double kStar = p.saturationGBs * p.unloadedLatencyNs /
+                   p.bytesPerRequest;
+    return kStar / p.cpus;
+}
+
+} // namespace gs::analytic

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Closed-form cross-check for the Figure 15 load test: a
+ * closed-network (machine-repairman style) model of N CPUs, each
+ * keeping up to W reads outstanding against a fabric whose
+ * saturation bandwidth is B bytes/ns with unloaded latency L ns.
+ *
+ * With total outstanding K = N*W, Little's law bounds throughput by
+ * both the latency path and the saturation bandwidth:
+ *
+ *     X = min(K * bytes / (L + q), B)
+ *
+ * where q is the queueing delay that builds once X approaches B.
+ * The fixed point (asymptotic bounds analysis) gives the familiar
+ * two-regime curve: linear in K below saturation, flat at B above
+ * it, with latency = K * bytes / X once saturated.
+ *
+ * The simulator's Figure 15 curves should straddle this model below
+ * saturation and approach its asymptotes above it.
+ */
+
+#ifndef GS_ANALYTIC_LOADTEST_MODEL_HH
+#define GS_ANALYTIC_LOADTEST_MODEL_HH
+
+namespace gs::analytic
+{
+
+/** Model inputs. */
+struct LoadModelParams
+{
+    int cpus = 16;
+    double unloadedLatencyNs = 200; ///< Figure 14's idle average
+    double bytesPerRequest = 64;
+    double saturationGBs = 50; ///< fabric + memory ceiling
+};
+
+/** Model outputs for one outstanding-count point. */
+struct LoadModelPoint
+{
+    double outstanding = 0;  ///< per CPU
+    double bandwidthGBs = 0; ///< delivered
+    double latencyNs = 0;    ///< observed per request
+};
+
+/**
+ * Evaluate the asymptotic-bounds point at @p per_cpu_outstanding.
+ */
+LoadModelPoint evaluateLoadPoint(const LoadModelParams &p,
+                                 double per_cpu_outstanding);
+
+/** The saturation knee: outstanding per CPU where the bounds meet. */
+double saturationOutstanding(const LoadModelParams &p);
+
+} // namespace gs::analytic
+
+#endif // GS_ANALYTIC_LOADTEST_MODEL_HH

@@ -1,0 +1,71 @@
+#include "analytic/shuffle_model.hh"
+
+#include "sim/logging.hh"
+#include "topology/shuffle.hh"
+#include "topology/torus.hh"
+
+namespace gs::analytic
+{
+
+int
+torusBisection(int w, int h)
+{
+    // Cutting the larger dimension in half severs two links per ring
+    // (the direct edge at the cut and the wraparound), i.e. 2 links
+    // per row/column. A dimension of size 2 contributes its two
+    // parallel links, so the formula holds there as well.
+    int xCut = 2 * h; // cut through the X dimension
+    int yCut = 2 * w;
+    return std::min(xCut, yCut);
+}
+
+int
+shuffleBisection(int w, int h)
+{
+    // The X cut gains every shuffle link: endpoints sit exactly W/2
+    // columns apart, so each of the W rewired links crosses any
+    // balanced column cut. The Y cut is unchanged: per column, one
+    // direct link at the cut plus one (now shuffled) top-to-bottom
+    // link still cross.
+    int xCut = 2 * h + w;
+    int yCut = 2 * w;
+    return std::min(xCut, yCut);
+}
+
+ShuffleGains
+evaluateShuffle(int w, int h)
+{
+    topo::Torus2D torus(w, h);
+    topo::ShuffleTorus shuffle(w, h, topo::ShufflePolicy::Free);
+
+    ShuffleGains g;
+    g.width = w;
+    g.height = h;
+    g.torusAvg = torus.averageDistance();
+    g.shuffleAvg = shuffle.averageDistance();
+    g.torusWorst = torus.worstDistance();
+    g.shuffleWorst = shuffle.worstDistance();
+    g.torusBisection = torusBisection(w, h);
+    g.shuffleBisection = shuffleBisection(w, h);
+
+    gs_assert(g.shuffleAvg > 0 && g.shuffleWorst > 0);
+    g.avgLatencyGain = g.torusAvg / g.shuffleAvg;
+    g.worstLatencyGain =
+        static_cast<double>(g.torusWorst) / g.shuffleWorst;
+    g.bisectionGain =
+        static_cast<double>(g.shuffleBisection) / g.torusBisection;
+    return g;
+}
+
+std::vector<ShuffleGains>
+table1()
+{
+    std::vector<ShuffleGains> rows;
+    for (auto [w, h] : {std::pair{4, 2}, {4, 4}, {8, 4}, {8, 8},
+                        {16, 8}, {16, 16}}) {
+        rows.push_back(evaluateShuffle(w, h));
+    }
+    return rows;
+}
+
+} // namespace gs::analytic

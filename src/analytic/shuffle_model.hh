@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The "simple analytical model" behind Table 1 of the paper:
+ * performance gains of the shuffle rewiring over the plain torus in
+ * average latency, worst-case latency and bisection width, for
+ * interconnects from 4x2 up to 16x16.
+ *
+ * Latency gains are hop-count ratios over all source/destination
+ * pairs (computed from the topology graphs); bisection width is the
+ * minimum of the two balanced dimension cuts, counting every
+ * bidirectional link crossing the cut.
+ */
+
+#ifndef GS_ANALYTIC_SHUFFLE_MODEL_HH
+#define GS_ANALYTIC_SHUFFLE_MODEL_HH
+
+#include <vector>
+
+namespace gs::analytic
+{
+
+/** One row of Table 1. */
+struct ShuffleGains
+{
+    int width = 0;
+    int height = 0;
+    double avgLatencyGain = 0;   ///< torus avg hops / shuffle avg hops
+    double worstLatencyGain = 0; ///< torus diameter / shuffle diameter
+    double bisectionGain = 0;    ///< shuffle bisection / torus bisection
+
+    // Underlying absolute values, for inspection.
+    double torusAvg = 0, shuffleAvg = 0;
+    int torusWorst = 0, shuffleWorst = 0;
+    int torusBisection = 0, shuffleBisection = 0;
+};
+
+/** Bisection width (links crossing the best balanced cut) of a
+ *  W x H torus. */
+int torusBisection(int w, int h);
+
+/** Bisection width of the shuffled W x H torus. */
+int shuffleBisection(int w, int h);
+
+/** Evaluate the model for one interconnect size. */
+ShuffleGains evaluateShuffle(int w, int h);
+
+/** The six sizes of Table 1: 4x2, 4x4, 8x4, 8x8, 16x8, 16x16. */
+std::vector<ShuffleGains> table1();
+
+} // namespace gs::analytic
+
+#endif // GS_ANALYTIC_SHUFFLE_MODEL_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Whole-machine coherence invariant checker for tests.
+ *
+ * At quiescence (no outstanding misses, victims or busy directory
+ * lines) the protocol must satisfy, for every line any directory has
+ * seen:
+ *   - Exclusive: exactly the recorded owner caches the line, in
+ *     state Exclusive or Modified; nobody else holds any copy.
+ *   - Shared: every cached copy is in state Shared and belongs to a
+ *     node in the sharer vector (sharers may be stale supersets
+ *     because of silent evictions).
+ *   - Invalid: no node caches the line in an owned state.
+ * Additionally at most one node system-wide may own any line.
+ */
+
+#ifndef GS_COHERENCE_CHECKER_HH
+#define GS_COHERENCE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "coherence/node.hh"
+
+namespace gs::coher
+{
+
+/** Result of a coherence audit. */
+struct CheckResult
+{
+    bool ok = true;
+    std::string firstViolation; ///< empty when ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Audit every directory line across @p nodes. All nodes must be
+ * quiesced first; violations report the earliest offending line.
+ */
+CheckResult verifyCoherence(const std::vector<CoherentNode *> &nodes);
+
+} // namespace gs::coher
+
+#endif // GS_COHERENCE_CHECKER_HH

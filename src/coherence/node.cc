@@ -1,0 +1,688 @@
+#include "coherence/node.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gs::coher
+{
+
+namespace
+{
+
+/** Sharer bitmask helpers (up to 64 nodes, the GS1280 maximum). */
+constexpr std::uint64_t
+bitOf(NodeId n)
+{
+    return 1ULL << static_cast<unsigned>(n);
+}
+
+} // namespace
+
+CoherentNode::CoherentNode(SimContext &context, net::Network &network,
+                           NodeId node, const mem::AddressMap &addr_map,
+                           NodeConfig config)
+    : ctx(context), net_(network), self(node), map(addr_map),
+      cfg(config)
+{
+    if (cfg.hasCache)
+        cache = std::make_unique<mem::Cache>(cfg.l2);
+    if (cfg.hasMemory) {
+        for (int i = 0; i < cfg.zboxCount; ++i)
+            zboxes.push_back(std::make_unique<mem::Zbox>(ctx, cfg.zbox));
+    }
+    net_.setHandler(self,
+                    [this](const net::Packet &pkt) { onPacket(pkt); });
+}
+
+void
+CoherentNode::clearStats()
+{
+    st = NodeStats{};
+    if (cache)
+        cache->clearStats();
+    for (auto &z : zboxes)
+        z->clearStats();
+}
+
+double
+CoherentNode::memUtilization(Tick window_start, Tick now) const
+{
+    if (zboxes.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &z : zboxes)
+        sum += z->utilization(window_start, now);
+    return sum / static_cast<double>(zboxes.size());
+}
+
+bool
+CoherentNode::quiesced() const
+{
+    if (!maf.empty() || !vb.empty() || !pendingCore.empty())
+        return false;
+    for (const auto &[line, entry] : dir) {
+        if (entry.state == DirState::Busy || !entry.pending.empty())
+            return false;
+    }
+    return true;
+}
+
+DirState
+CoherentNode::dirState(mem::Addr line) const
+{
+    auto it = dir.find(mem::lineOf(line));
+    return it == dir.end() ? DirState::Invalid : it->second.state;
+}
+
+std::uint64_t
+CoherentNode::dirSharers(mem::Addr line) const
+{
+    auto it = dir.find(mem::lineOf(line));
+    return it == dir.end() ? 0 : it->second.sharers;
+}
+
+NodeId
+CoherentNode::dirOwner(mem::Addr line) const
+{
+    auto it = dir.find(mem::lineOf(line));
+    return it == dir.end() ? invalidNode : it->second.owner;
+}
+
+std::vector<mem::Addr>
+CoherentNode::dirLines() const
+{
+    std::vector<mem::Addr> lines;
+    for (const auto &[line, entry] : dir)
+        if (entry.state != DirState::Invalid)
+            lines.push_back(line);
+    return lines;
+}
+
+// ---------------------------------------------------------------------
+// Network plumbing
+// ---------------------------------------------------------------------
+
+void
+CoherentNode::send(MsgType type, NodeId dst, mem::Addr line,
+                   NodeId requester, std::uint32_t aux)
+{
+    Msg m;
+    m.type = type;
+    m.line = line;
+    m.requester = requester;
+    m.aux = aux;
+    net::Packet pkt = encode(m, self, dst);
+    if (observer)
+        observer(pkt, /*incoming=*/false);
+    net_.inject(pkt);
+}
+
+void
+CoherentNode::sendAfter(double delay_ns, MsgType type, NodeId dst,
+                        mem::Addr line, NodeId requester,
+                        std::uint32_t aux)
+{
+    ctx.queue().schedule(nsToTicks(delay_ns),
+                         [this, type, dst, line, requester, aux] {
+        send(type, dst, line, requester, aux);
+    });
+}
+
+void
+CoherentNode::onPacket(const net::Packet &pkt)
+{
+    if (pkt.cls == net::MsgClass::IO) {
+        ioReceived += 1;
+        if (ioSink)
+            ioSink(pkt);
+        return;
+    }
+
+    if (observer)
+        observer(pkt, /*incoming=*/true);
+
+    Msg m = decode(pkt);
+    switch (m.type) {
+      case MsgType::RdReq:
+      case MsgType::RdModReq:
+      case MsgType::VictimWB:
+      case MsgType::VictimClean:
+        gs_assert(cfg.hasMemory, "home request at memory-less node ",
+                  self);
+        st.homeRequests += 1;
+        homeDispatch(m);
+        break;
+      case MsgType::FwdRd:
+      case MsgType::FwdRdMod:
+      case MsgType::Inval:
+        handleForward(pkt);
+        break;
+      case MsgType::BlkShared:
+      case MsgType::BlkExclusive:
+      case MsgType::BlkDirty:
+        handleResponse(m);
+        break;
+      case MsgType::WBShared:
+      case MsgType::FwdAckClean:
+      case MsgType::FwdAckTransfer:
+        homeOwnerReply(m, senderOf(pkt));
+        break;
+      case MsgType::InvalAck:
+        handleInvalAck(m);
+        break;
+      case MsgType::VictimAck:
+        handleVictimAck(m);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache side
+// ---------------------------------------------------------------------
+
+void
+CoherentNode::memAccess(mem::Addr a, bool write,
+                        std::function<void()> done)
+{
+    gs_assert(cfg.hasCache, "memAccess on cache-less node ", self);
+    mem::Addr line = mem::lineOf(a);
+    st.accesses += 1;
+
+    auto access = cache->lookup(line, write);
+    bool upgradeNeeded =
+        write && access.hit && access.state == mem::LineState::Shared;
+
+    if (access.hit && !upgradeNeeded) {
+        if (write)
+            cache->setState(line, mem::LineState::Modified);
+        st.l2Hits += 1;
+        if (done)
+            ctx.queue().schedule(nsToTicks(cfg.l2.loadToUseNs),
+                                 std::move(done));
+        return;
+    }
+
+    st.misses += 1;
+
+    auto it = maf.find(line);
+    if (it != maf.end()) {
+        MafEntry &entry = it->second;
+        if (write && !entry.write) {
+            // A write cannot merge into a read miss whose request is
+            // already on the wire; retry once the read fill lands.
+            entry.retries.emplace_back(true, std::move(done));
+        } else {
+            st.mafMerges += 1;
+            if (done)
+                entry.waiters.push_back(std::move(done));
+        }
+        return;
+    }
+
+    if (static_cast<int>(maf.size()) >= cfg.mafEntries) {
+        pendingCore.emplace_back(line, write, std::move(done));
+        return;
+    }
+    startMiss(line, write, std::move(done));
+}
+
+void
+CoherentNode::startMiss(mem::Addr line, bool write,
+                        std::function<void()> done)
+{
+    MafEntry entry;
+    entry.write = write;
+    entry.issued = ctx.now();
+    if (done)
+        entry.waiters.push_back(std::move(done));
+    maf.emplace(line, std::move(entry));
+
+    NodeId home = map.home(line).node;
+    // The miss is detected after the L2 tag lookup.
+    sendAfter(cfg.l2.loadToUseNs,
+              write ? MsgType::RdModReq : MsgType::RdReq, home, line,
+              self);
+}
+
+void
+CoherentNode::handleResponse(const Msg &m)
+{
+    auto it = maf.find(m.line);
+    gs_assert(it != maf.end(), "response without MAF entry, node ",
+              self);
+    MafEntry &entry = it->second;
+
+    switch (m.type) {
+      case MsgType::BlkShared:
+        gs_assert(!entry.write, "shared fill for a write miss");
+        entry.fillState = mem::LineState::Shared;
+        break;
+      case MsgType::BlkExclusive:
+        entry.fillState = entry.write ? mem::LineState::Modified
+                                      : mem::LineState::Exclusive;
+        break;
+      case MsgType::BlkDirty:
+        entry.fillState = entry.write ? mem::LineState::Modified
+                                      : mem::LineState::Shared;
+        break;
+      default:
+        gs_panic("bad response type");
+    }
+    entry.acksNeeded = static_cast<int>(m.aux);
+    entry.dataArrived = true;
+    tryComplete(m.line);
+}
+
+void
+CoherentNode::handleInvalAck(const Msg &m)
+{
+    auto it = maf.find(m.line);
+    gs_assert(it != maf.end(), "InvalAck without MAF entry");
+    it->second.acksGot += 1;
+    tryComplete(m.line);
+}
+
+void
+CoherentNode::tryComplete(mem::Addr line)
+{
+    auto it = maf.find(line);
+    gs_assert(it != maf.end());
+    MafEntry &entry = it->second;
+    if (!entry.dataArrived || entry.acksNeeded < 0 ||
+        entry.acksGot < entry.acksNeeded)
+        return;
+
+    finishFill(line);
+}
+
+void
+CoherentNode::finishFill(mem::Addr line)
+{
+    auto it = maf.find(line);
+    gs_assert(it != maf.end());
+    MafEntry entry = std::move(it->second);
+    maf.erase(it);
+
+    st.missLatencyNs.sample(ticksToNs(ctx.now() - entry.issued));
+
+    if (entry.invalWhilePending && !entry.write) {
+        // The line was invalidated under us (response/forward class
+        // reordering). Complete the waiting accesses with the data
+        // but do not retain the line.
+    } else if (cache->contains(line)) {
+        // Write upgrade: the Shared copy is still resident.
+        cache->setState(line, entry.fillState);
+    } else {
+        mem::Victim victim = cache->fill(line, entry.fillState);
+        evictIfNeeded(victim);
+    }
+
+    if (!entry.waiters.empty()) {
+        ctx.queue().schedule(
+            nsToTicks(cfg.fillOverheadNs),
+            [waiters = std::move(entry.waiters)] {
+            for (const auto &w : waiters)
+                w();
+        });
+    }
+
+    // Forwards that raced with the miss can be serviced now.
+    for (const auto &pkt : entry.deferredFwds)
+        handleForward(pkt);
+
+    for (auto &[write, done] : entry.retries)
+        memAccess(line, write, std::move(done));
+
+    pumpPendingCore();
+}
+
+void
+CoherentNode::evictIfNeeded(const mem::Victim &victim)
+{
+    if (!victim.valid())
+        return;
+    if (backInval)
+        backInval(victim.line);
+    if (victim.state == mem::LineState::Shared)
+        return; // silent eviction; the directory may keep a stale bit
+
+    st.victimsSent += 1;
+    vb.emplace(victim.line, VictimEntry{victim.dirty()});
+    st.vbHighWater = std::max(st.vbHighWater,
+                              static_cast<std::uint64_t>(vb.size()));
+    NodeId home = map.home(victim.line).node;
+    send(victim.dirty() ? MsgType::VictimWB : MsgType::VictimClean,
+         home, victim.line, self);
+}
+
+void
+CoherentNode::handleForward(const net::Packet &pkt)
+{
+    Msg m = decode(pkt);
+    mem::Addr line = m.line;
+
+    if (auto it = maf.find(line); it != maf.end()) {
+        if (m.type == MsgType::Inval) {
+            it->second.invalWhilePending = true;
+            if (cache->state(line) == mem::LineState::Shared) {
+                cache->invalidate(line);
+                if (backInval)
+                    backInval(line);
+            }
+            st.invalsReceived += 1;
+            sendAfter(cfg.fwdServiceNs, MsgType::InvalAck, m.requester,
+                      line, m.requester);
+            return;
+        }
+        // A data forward with a victim buffer entry alongside the
+        // MAF targets our *old* ownership (we evicted and are
+        // re-acquiring; our new request is queued behind this very
+        // transaction at the home). It must be served from the
+        // victim buffer now — deferring it behind the MAF would
+        // deadlock the home against our queued request. Without a
+        // VB entry the forward targets the fill still in flight to
+        // us, so it waits for that fill.
+        if (!vb.count(line)) {
+            it->second.deferredFwds.push_back(pkt);
+            return;
+        }
+    }
+
+    NodeId home = map.home(line).node;
+    auto cacheState =
+        cache ? cache->state(line) : mem::LineState::Invalid;
+
+    switch (m.type) {
+      case MsgType::Inval:
+        st.invalsReceived += 1;
+        if (cacheState == mem::LineState::Shared) {
+            cache->invalidate(line);
+            if (backInval)
+                backInval(line);
+        }
+        // An Inval reaching a current owner is necessarily stale
+        // (our ownership was granted after it was sent): ignore it.
+        sendAfter(cfg.fwdServiceNs, MsgType::InvalAck, m.requester,
+                  line, m.requester);
+        break;
+
+      case MsgType::FwdRd:
+        st.forwardsServed += 1;
+        if (cacheState == mem::LineState::Modified) {
+            cache->setState(line, mem::LineState::Shared);
+            sendAfter(cfg.fwdServiceNs, MsgType::BlkDirty, m.requester,
+                      line, m.requester);
+            sendAfter(cfg.fwdServiceNs, MsgType::WBShared, home, line,
+                      m.requester, /*retains=*/1);
+        } else if (cacheState == mem::LineState::Exclusive) {
+            cache->setState(line, mem::LineState::Shared);
+            sendAfter(cfg.fwdServiceNs, MsgType::BlkDirty, m.requester,
+                      line, m.requester);
+            sendAfter(cfg.fwdServiceNs, MsgType::FwdAckClean, home,
+                      line, m.requester, /*retains=*/1);
+        } else if (auto vit = vb.find(line); vit != vb.end()) {
+            // Serve from the victim buffer; the entry stays until
+            // VictimAck but we no longer cache the line.
+            sendAfter(cfg.fwdServiceNs, MsgType::BlkDirty, m.requester,
+                      line, m.requester);
+            sendAfter(cfg.fwdServiceNs,
+                      vit->second.dirty ? MsgType::WBShared
+                                        : MsgType::FwdAckClean,
+                      home, line, m.requester, /*retains=*/0);
+        } else {
+            gs_panic("FwdRd found no data at node ", self, " line ",
+                     line);
+        }
+        break;
+
+      case MsgType::FwdRdMod:
+        st.forwardsServed += 1;
+        if (cacheState == mem::LineState::Modified ||
+            cacheState == mem::LineState::Exclusive) {
+            cache->invalidate(line);
+            if (backInval)
+                backInval(line);
+            sendAfter(cfg.fwdServiceNs, MsgType::BlkDirty, m.requester,
+                      line, m.requester);
+            sendAfter(cfg.fwdServiceNs, MsgType::FwdAckTransfer, home,
+                      line, m.requester);
+        } else if (vb.count(line)) {
+            sendAfter(cfg.fwdServiceNs, MsgType::BlkDirty, m.requester,
+                      line, m.requester);
+            sendAfter(cfg.fwdServiceNs, MsgType::FwdAckTransfer, home,
+                      line, m.requester);
+        } else {
+            gs_panic("FwdRdMod found no data at node ", self, " line ",
+                     line);
+        }
+        break;
+
+      default:
+        gs_panic("bad forward type");
+    }
+}
+
+void
+CoherentNode::handleVictimAck(const Msg &m)
+{
+    auto it = vb.find(m.line);
+    gs_assert(it != vb.end(), "VictimAck without victim buffer");
+    vb.erase(it);
+}
+
+void
+CoherentNode::pumpPendingCore()
+{
+    while (!pendingCore.empty() &&
+           static_cast<int>(maf.size()) < cfg.mafEntries) {
+        auto [line, write, done] = std::move(pendingCore.front());
+        pendingCore.pop_front();
+        memAccess(line, write, std::move(done));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Home side
+// ---------------------------------------------------------------------
+
+mem::Zbox &
+CoherentNode::zboxFor(mem::Addr line)
+{
+    mem::MemTarget target = map.home(line);
+    gs_assert(target.node == self, "wrong home: line ", line,
+              " maps to ", target.node, ", processed at ", self);
+    return *zboxes[static_cast<std::size_t>(target.mc) %
+                   zboxes.size()];
+}
+
+void
+CoherentNode::homeDispatch(const Msg &m)
+{
+    DirEntry &entry = dir[m.line];
+
+    if (entry.state == DirState::Busy) {
+        entry.pending.push_back(m);
+        return;
+    }
+    // An owner re-requesting its own line means its victim message
+    // is still in flight; hold the request until the victim lands.
+    if ((m.type == MsgType::RdReq || m.type == MsgType::RdModReq) &&
+        entry.state == DirState::Exclusive &&
+        entry.owner == m.requester) {
+        entry.pending.push_back(m);
+        return;
+    }
+    homeProcess(m);
+}
+
+void
+CoherentNode::homeProcess(const Msg &m)
+{
+    DirEntry &entry = dir[m.line];
+    const mem::Addr line = m.line;
+    const NodeId req = m.requester;
+
+    switch (m.type) {
+      case MsgType::RdReq:
+      case MsgType::RdModReq:
+        if (entry.state == DirState::Invalid) {
+            entry.state = DirState::Busy;
+            zboxFor(line).read(line, [this, line, req] {
+                ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
+                                     [this, line, req] {
+                    DirEntry &e = dir[line];
+                    e.state = DirState::Exclusive;
+                    e.owner = req;
+                    e.sharers = 0;
+                    send(MsgType::BlkExclusive, req, line, req, 0);
+                    finishTxn(line);
+                });
+            });
+        } else if (entry.state == DirState::Shared) {
+            entry.state = DirState::Busy;
+            bool mod = m.type == MsgType::RdModReq;
+            zboxFor(line).read(line, [this, line, req, mod] {
+                ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
+                                     [this, line, req, mod] {
+                    DirEntry &e = dir[line];
+                    if (!mod) {
+                        e.sharers |= bitOf(req);
+                        e.state = DirState::Shared;
+                        send(MsgType::BlkShared, req, line, req, 0);
+                    } else {
+                        std::uint64_t others =
+                            e.sharers & ~bitOf(req);
+                        int count = 0;
+                        for (NodeId n = 0; others; ++n, others >>= 1) {
+                            if (others & 1) {
+                                send(MsgType::Inval, n, line, req);
+                                count += 1;
+                            }
+                        }
+                        e.sharers = 0;
+                        e.owner = req;
+                        e.state = DirState::Exclusive;
+                        send(MsgType::BlkExclusive, req, line, req,
+                             static_cast<std::uint32_t>(count));
+                    }
+                    finishTxn(line);
+                });
+            });
+        } else { // Exclusive at a third party: forward.
+            gs_assert(entry.owner != req, "owner re-request reached "
+                                          "homeProcess");
+            entry.txnRequester = req;
+            entry.txnType = m.type;
+            NodeId owner = entry.owner;
+            entry.state = DirState::Busy;
+            sendAfter(cfg.homeOverheadNs,
+                      m.type == MsgType::RdReq ? MsgType::FwdRd
+                                               : MsgType::FwdRdMod,
+                      owner, line, req);
+        }
+        break;
+
+      case MsgType::VictimWB:
+      case MsgType::VictimClean:
+        if (entry.state == DirState::Exclusive && entry.owner == req) {
+            entry.state = DirState::Busy;
+            bool dirty = m.type == MsgType::VictimWB;
+            if (dirty)
+                zboxFor(line).write(line);
+            ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
+                                 [this, line, req] {
+                DirEntry &e = dir[line];
+                e.state = DirState::Invalid;
+                e.owner = invalidNode;
+                e.sharers = 0;
+                send(MsgType::VictimAck, req, line, req);
+                finishTxn(line);
+            });
+        } else {
+            // Stale victim: its line was already forwarded away from
+            // the sender's victim buffer. Ack and drop the data.
+            sendAfter(cfg.homeOverheadNs, MsgType::VictimAck, req,
+                      line, req);
+        }
+        break;
+
+      default:
+        gs_panic("bad home request type");
+    }
+}
+
+void
+CoherentNode::homeOwnerReply(const Msg &m, NodeId from)
+{
+    auto it = dir.find(m.line);
+    gs_assert(it != dir.end() && it->second.state == DirState::Busy,
+              "owner reply without busy transaction");
+    DirEntry &entry = it->second;
+    const mem::Addr line = m.line;
+    const NodeId req = entry.txnRequester;
+
+    switch (m.type) {
+      case MsgType::WBShared:
+      case MsgType::FwdAckClean: {
+        gs_assert(entry.txnType == MsgType::RdReq,
+                  "downgrade reply for a non-read transaction");
+        if (m.type == MsgType::WBShared)
+            zboxFor(line).write(line);
+        bool retains = m.aux != 0;
+        std::uint64_t sharers = bitOf(req);
+        if (retains)
+            sharers |= bitOf(from);
+        ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
+                             [this, line, sharers] {
+            DirEntry &e = dir[line];
+            e.state = DirState::Shared;
+            e.sharers = sharers;
+            e.owner = invalidNode;
+            finishTxn(line);
+        });
+        break;
+      }
+      case MsgType::FwdAckTransfer:
+        gs_assert(entry.txnType == MsgType::RdModReq,
+                  "transfer reply for a non-write transaction");
+        ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
+                             [this, line, req] {
+            DirEntry &e = dir[line];
+            e.state = DirState::Exclusive;
+            e.owner = req;
+            e.sharers = 0;
+            finishTxn(line);
+        });
+        break;
+      default:
+        gs_panic("bad owner reply type");
+    }
+}
+
+void
+CoherentNode::finishTxn(mem::Addr line)
+{
+    gs_assert(dir[line].state != DirState::Busy,
+              "finishTxn before the final state was applied");
+
+    // Re-dispatch each queued message at most once: a message may
+    // defer itself again (owner re-request waiting for its victim),
+    // in which case it lands back in the entry's pending queue and
+    // must not spin here.
+    std::deque<Msg> work = std::move(dir[line].pending);
+    dir[line].pending.clear();
+    while (!work.empty()) {
+        Msg m = work.front();
+        work.pop_front();
+        homeDispatch(m);
+        if (dir[line].state == DirState::Busy)
+            break;
+    }
+    // Anything not processed keeps its order ahead of new deferrals.
+    DirEntry &entry = dir[line];
+    for (auto it = work.rbegin(); it != work.rend(); ++it)
+        entry.pending.push_front(*it);
+}
+
+} // namespace gs::coher

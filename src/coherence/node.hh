@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Per-node coherence engine: the cache-side controller (MAF + victim
+ * buffers + L2) and the home-side blocking directory, sharing the
+ * node's network handler.
+ *
+ * Cache side. Misses allocate a Miss Address File entry (16 on the
+ * 21364) and send RdReq/RdModReq to the line's home. Evictions of
+ * owned lines allocate one of the 16 victim buffers, which hold the
+ * line until the home's VictimAck — this is what lets a forward that
+ * races with a victim still find the data at the old owner, exactly
+ * the EV7 arrangement the paper credits for its fast Read-Dirty.
+ *
+ * Home side. The directory (resident in DRAM beside the data, so a
+ * lookup rides the Zbox access) serializes transactions per line:
+ * while a forward/inval transaction is outstanding the line is Busy
+ * and later requests queue. Sharers may evict silently; exclusive
+ * owners never do (VictimClean), so a forward always finds its data.
+ *
+ * Known benign race: a response and a later invalidation to the same
+ * line may arrive out of order (different packet classes). The MAF
+ * notes an invalidation seen while the miss was pending and the fill
+ * then completes its waiting accesses but does not retain the line.
+ */
+
+#ifndef GS_COHERENCE_NODE_HH
+#define GS_COHERENCE_NODE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/messages.hh"
+#include "mem/address.hh"
+#include "mem/cache.hh"
+#include "mem/zbox.hh"
+#include "net/network.hh"
+
+namespace gs::coher
+{
+
+/** Directory entry states. */
+enum class DirState : std::uint8_t
+{
+    Invalid,   ///< memory owns the line
+    Shared,    ///< one or more read-only copies
+    Exclusive, ///< a single owner (clean or dirty)
+    Busy,      ///< transaction in flight; requests queue
+};
+
+/** Per-node configuration. */
+struct NodeConfig
+{
+    bool hasCache = true;  ///< CPU nodes have an L2 + controller
+    bool hasMemory = true; ///< home nodes have Zboxes + directory
+
+    mem::CacheParams l2 = mem::CacheParams::ev7L2();
+    mem::ZboxParams zbox = mem::ZboxParams::ev7();
+    int zboxCount = 2;
+
+    int mafEntries = 16;
+
+    /**
+     * Victim buffers on the real 21364 (16). The model's buffer is
+     * unbounded for deadlock-structural reasons (see node.cc); the
+     * high-water stat reports how many a run actually needed.
+     */
+    int victimBuffers = 16;
+
+    double homeOverheadNs = 12.0; ///< directory pipeline per txn
+    double fwdServiceNs = 10.0;   ///< owner cache/VB lookup on a fwd
+    double fillOverheadNs = 12.0; ///< response-to-use at requester
+};
+
+/** Cumulative per-node protocol statistics. */
+struct NodeStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t mafMerges = 0;
+    std::uint64_t homeRequests = 0;
+    std::uint64_t forwardsServed = 0;
+    std::uint64_t invalsReceived = 0;
+    std::uint64_t victimsSent = 0;
+    std::uint64_t vbHighWater = 0; ///< peak victim-buffer occupancy
+    stats::Average missLatencyNs; ///< miss issue to fill
+};
+
+/**
+ * The coherence engine of one node. Registers itself as the node's
+ * network handler.
+ */
+class CoherentNode
+{
+  public:
+    CoherentNode(SimContext &ctx, net::Network &net, NodeId id,
+                 const mem::AddressMap &map, NodeConfig cfg);
+
+    /**
+     * Issue one memory access from the local core. @p done fires
+     * when the access is architecturally complete (cache hit time or
+     * miss fill). Never refuses; throttling is the core's job.
+     */
+    void memAccess(mem::Addr a, bool write, std::function<void()> done);
+
+    /** @name Introspection (tests, stats, Xmesh) */
+    /// @{
+    NodeId id() const { return self; }
+    bool hasCache() const { return cache != nullptr; }
+    bool hasMemory() const { return !zboxes.empty(); }
+    mem::Cache &l2() { return *cache; }
+    const mem::Cache &l2() const { return *cache; }
+    mem::Zbox &zbox(int i) { return *zboxes[std::size_t(i)]; }
+    int zboxCount() const { return static_cast<int>(zboxes.size()); }
+    const NodeStats &stats() const { return st; }
+    void clearStats();
+
+    /** Mean utilization over this node's memory controllers. */
+    double memUtilization(Tick window_start, Tick now) const;
+
+    int outstandingMisses() const { return static_cast<int>(maf.size()); }
+    int victimBufferFill() const { return static_cast<int>(vb.size()); }
+    bool quiesced() const;
+
+    DirState dirState(mem::Addr line) const;
+    std::uint64_t dirSharers(mem::Addr line) const;
+    NodeId dirOwner(mem::Addr line) const;
+
+    /** Lines with a non-Invalid directory entry at this home. */
+    std::vector<mem::Addr> dirLines() const;
+    /// @}
+
+    /** Hook invoked when a line must leave the core's L1 too. */
+    void setBackInvalidate(std::function<void(mem::Addr)> fn)
+    {
+        backInval = std::move(fn);
+    }
+
+    /**
+     * Sink for IO-class packets (DMA payloads addressed to this
+     * node's IO7). Without a sink they are counted and dropped.
+     */
+    void setIoSink(std::function<void(const net::Packet &)> fn)
+    {
+        ioSink = std::move(fn);
+    }
+
+    std::uint64_t ioPacketsReceived() const { return ioReceived; }
+
+    /**
+     * Observer for every coherence message this node sends or
+     * receives (IO packets excluded). The tracer in tracer.hh is
+     * the standard consumer.
+     */
+    using MsgObserver =
+        std::function<void(const net::Packet &, bool incoming)>;
+    void setMsgObserver(MsgObserver fn) { observer = std::move(fn); }
+
+  private:
+    /** One outstanding miss. */
+    struct MafEntry
+    {
+        bool write = false;
+        bool dataArrived = false;
+        bool invalWhilePending = false;
+        mem::LineState fillState = mem::LineState::Shared;
+        int acksNeeded = -1; ///< unknown until the data response
+        int acksGot = 0;
+        Tick issued = 0;
+        std::vector<std::function<void()>> waiters;
+        std::deque<net::Packet> deferredFwds;
+        std::vector<std::pair<bool, std::function<void()>>> retries;
+    };
+
+    /** A line held between eviction and VictimAck. */
+    struct VictimEntry
+    {
+        bool dirty = false;
+    };
+
+    /** Home-side directory entry. */
+    struct DirEntry
+    {
+        DirState state = DirState::Invalid;
+        std::uint64_t sharers = 0;
+        NodeId owner = invalidNode;
+
+        // Busy-transaction bookkeeping.
+        NodeId txnRequester = invalidNode;
+        MsgType txnType = MsgType::RdReq;
+        std::deque<Msg> pending;
+    };
+
+    // -- network plumbing ------------------------------------------
+    void onPacket(const net::Packet &pkt);
+    void send(MsgType type, NodeId dst, mem::Addr line, NodeId requester,
+              std::uint32_t aux = 0);
+    void sendAfter(double delay_ns, MsgType type, NodeId dst,
+                   mem::Addr line, NodeId requester,
+                   std::uint32_t aux = 0);
+
+    // -- cache side -------------------------------------------------
+    void startMiss(mem::Addr line, bool write,
+                   std::function<void()> done);
+    void handleResponse(const Msg &m);
+    void handleInvalAck(const Msg &m);
+    void tryComplete(mem::Addr line);
+    void finishFill(mem::Addr line);
+    void evictIfNeeded(const mem::Victim &victim);
+    void handleForward(const net::Packet &pkt);
+    void handleVictimAck(const Msg &m);
+    void pumpPendingCore();
+
+    // -- home side ---------------------------------------------------
+    void homeDispatch(const Msg &m);
+    void homeProcess(const Msg &m);
+    void homeOwnerReply(const Msg &m, NodeId from);
+    void finishTxn(mem::Addr line);
+    mem::Zbox &zboxFor(mem::Addr line);
+
+    SimContext &ctx;
+    net::Network &net_;
+    NodeId self;
+    const mem::AddressMap &map;
+    NodeConfig cfg;
+    NodeStats st;
+
+    std::unique_ptr<mem::Cache> cache;
+    std::vector<std::unique_ptr<mem::Zbox>> zboxes;
+
+    std::unordered_map<mem::Addr, MafEntry> maf;
+    std::unordered_map<mem::Addr, VictimEntry> vb;
+    std::unordered_map<mem::Addr, DirEntry> dir;
+
+    /** Core accesses waiting for a free MAF slot. */
+    std::deque<std::tuple<mem::Addr, bool, std::function<void()>>>
+        pendingCore;
+
+    std::function<void(mem::Addr)> backInval;
+    std::function<void(const net::Packet &)> ioSink;
+    std::uint64_t ioReceived = 0;
+    MsgObserver observer;
+};
+
+} // namespace gs::coher
+
+#endif // GS_COHERENCE_NODE_HH

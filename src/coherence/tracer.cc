@@ -1,0 +1,99 @@
+#include "coherence/tracer.hh"
+
+#include <sstream>
+
+namespace gs::coher
+{
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::RdReq:
+        return "RdReq";
+      case MsgType::RdModReq:
+        return "RdModReq";
+      case MsgType::VictimWB:
+        return "VictimWB";
+      case MsgType::VictimClean:
+        return "VictimClean";
+      case MsgType::FwdRd:
+        return "FwdRd";
+      case MsgType::FwdRdMod:
+        return "FwdRdMod";
+      case MsgType::Inval:
+        return "Inval";
+      case MsgType::BlkShared:
+        return "BlkShared";
+      case MsgType::BlkExclusive:
+        return "BlkExclusive";
+      case MsgType::BlkDirty:
+        return "BlkDirty";
+      case MsgType::WBShared:
+        return "WBShared";
+      case MsgType::FwdAckClean:
+        return "FwdAckClean";
+      case MsgType::FwdAckTransfer:
+        return "FwdAckTransfer";
+      case MsgType::InvalAck:
+        return "InvalAck";
+      case MsgType::VictimAck:
+        return "VictimAck";
+    }
+    return "?";
+}
+
+void
+ProtocolTracer::observe(CoherentNode &node)
+{
+    NodeId at = node.id();
+    node.setMsgObserver([this, at, &node](const net::Packet &pkt,
+                                          bool incoming) {
+        Msg m = decode(pkt);
+        ProtocolEvent ev;
+        ev.when = pkt.injected; // filled for incoming; 0 when sent
+        ev.at = at;
+        ev.incoming = incoming;
+        ev.type = m.type;
+        ev.line = m.line;
+        ev.requester = m.requester;
+        ev.peer = incoming ? senderOf(pkt) : pkt.dst;
+        log.push_back(ev);
+        (void)node;
+    });
+}
+
+std::vector<ProtocolEvent>
+ProtocolTracer::forLine(mem::Addr line) const
+{
+    std::vector<ProtocolEvent> out;
+    for (const auto &ev : log)
+        if (ev.line == mem::lineOf(line))
+            out.push_back(ev);
+    return out;
+}
+
+std::vector<MsgType>
+ProtocolTracer::flowOf(mem::Addr line) const
+{
+    std::vector<MsgType> out;
+    for (const auto &ev : forLine(line))
+        if (ev.incoming)
+            out.push_back(ev.type);
+    return out;
+}
+
+std::string
+ProtocolTracer::describe(mem::Addr line) const
+{
+    std::ostringstream os;
+    for (const auto &ev : forLine(line)) {
+        if (!ev.incoming)
+            continue;
+        os << msgTypeName(ev.type) << "@" << ev.at << " (from "
+           << ev.peer << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace gs::coher

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Protocol event tracing: observe every coherence message a node
+ * sends or receives, with a recorder that reconstructs per-line
+ * transaction flows.
+ *
+ * This is the debugging story for the protocol layer — the tests
+ * assert whole message sequences (e.g. a read-dirty is
+ * RdReq -> FwdRd -> BlkDirty + WBShared -> ...) and users get the
+ * same visibility when extending the protocol.
+ */
+
+#ifndef GS_COHERENCE_TRACER_HH
+#define GS_COHERENCE_TRACER_HH
+
+#include <string>
+#include <vector>
+
+#include "coherence/node.hh"
+
+namespace gs::coher
+{
+
+/** One traced protocol message. */
+struct ProtocolEvent
+{
+    Tick when = 0;
+    NodeId at = invalidNode; ///< node observing the event
+    bool incoming = false;   ///< received (vs sent)
+    MsgType type = MsgType::RdReq;
+    mem::Addr line = 0;
+    NodeId requester = invalidNode;
+    NodeId peer = invalidNode; ///< sender (incoming) / dest (outgoing)
+};
+
+/** Short name of a message type ("RdReq", "BlkDirty", ...). */
+const char *msgTypeName(MsgType type);
+
+/**
+ * Collects events from any number of nodes. Attach with observe();
+ * interrogate by line.
+ */
+class ProtocolTracer
+{
+  public:
+    /** Subscribe to @p node's message stream. */
+    void observe(CoherentNode &node);
+
+    const std::vector<ProtocolEvent> &events() const { return log; }
+
+    /** Events touching @p line, in time order. */
+    std::vector<ProtocolEvent> forLine(mem::Addr line) const;
+
+    /**
+     * The message-type sequence for @p line, counting each message
+     * once (at its receiver) — the transaction flow a protocol
+     * diagram would show.
+     */
+    std::vector<MsgType> flowOf(mem::Addr line) const;
+
+    /** Human-readable rendering of a line's flow. */
+    std::string describe(mem::Addr line) const;
+
+    void clear() { log.clear(); }
+    std::size_t size() const { return log.size(); }
+
+  private:
+    std::vector<ProtocolEvent> log;
+};
+
+} // namespace gs::coher
+
+#endif // GS_COHERENCE_TRACER_HH

@@ -1,0 +1,113 @@
+#include "cpu/analytic_core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gs::cpu
+{
+
+MachineTiming
+MachineTiming::gs1280()
+{
+    MachineTiming m;
+    m.name = "GS1280/1.15GHz";
+    m.clockGHz = 1.15;
+    m.l2SizeMB = 1.75;
+    m.l2LatencyNs = 10.4; // 12 cycles, on-chip
+    m.memLatencyNs = 83.0;
+    m.memBandwidthGBs = 4.6; // per-CPU sustained (local RDRAM)
+    return m;
+}
+
+MachineTiming
+MachineTiming::gs320()
+{
+    MachineTiming m;
+    m.name = "GS320/1.22GHz";
+    m.clockGHz = 1.22;
+    m.l2SizeMB = 16.0;
+    m.l2LatencyNs = 25.0; // off-chip SRAM
+    m.memLatencyNs = 330.0;
+    m.memBandwidthGBs = 0.75; // shared QBB memory, per-CPU share
+    return m;
+}
+
+MachineTiming
+MachineTiming::es45()
+{
+    MachineTiming m;
+    m.name = "ES45/1.25GHz";
+    m.clockGHz = 1.25;
+    m.l2SizeMB = 16.0;
+    m.l2LatencyNs = 24.0;
+    m.memLatencyNs = 195.0;
+    m.memBandwidthGBs = 1.35; // shared crossbar, per-CPU share
+    return m;
+}
+
+CpiBreakdown
+evaluateIpc(const BenchProfile &profile, const MachineTiming &machine)
+{
+    gs_assert(machine.clockGHz > 0 && machine.memBandwidthGBs > 0);
+
+    CpiBreakdown out;
+    for (const auto &ws : profile.workingSet) {
+        if (ws.sizeMB <= machine.l2SizeMB)
+            out.l2Mpki += ws.missPer1k;
+        else
+            out.memMpki += ws.missPer1k;
+    }
+
+    double tCore = profile.cpiBase / machine.clockGHz;
+    double tL2 = out.l2Mpki / 1000.0 * machine.l2LatencyNs *
+                 machine.l2Overlap;
+    double tMemLat =
+        out.memMpki / 1000.0 * machine.memLatencyNs / profile.mlp;
+    double tMemBw =
+        out.memMpki / 1000.0 * 64.0 / machine.memBandwidthGBs;
+
+    out.bandwidthBound = tMemBw > tMemLat;
+    out.nsPerInstr = tCore + tL2 + std::max(tMemLat, tMemBw);
+    out.ipc = 1.0 / (out.nsPerInstr * machine.clockGHz);
+
+    double demandGBs =
+        out.memMpki / 1000.0 * 64.0 / out.nsPerInstr;
+    out.memUtilization =
+        std::min(demandGBs / machine.memBandwidthGBs, 1.0);
+    return out;
+}
+
+std::vector<double>
+utilizationSeries(const BenchProfile &profile,
+                  const MachineTiming &machine, int samples)
+{
+    gs_assert(samples > 0);
+    CpiBreakdown base = evaluateIpc(profile, machine);
+
+    std::vector<double> series;
+    series.reserve(static_cast<std::size_t>(samples));
+    const auto &phases =
+        profile.phases.empty() ? std::vector<double>{1.0}
+                               : profile.phases;
+    // Normalize phases so their mean activity matches the model's
+    // average utilization.
+    double mean = 0;
+    for (double p : phases)
+        mean += p;
+    mean /= static_cast<double>(phases.size());
+    double scale = mean > 0 ? base.memUtilization / mean : 0.0;
+
+    for (int s = 0; s < samples; ++s) {
+        double pos = static_cast<double>(s) /
+                     static_cast<double>(samples) *
+                     static_cast<double>(phases.size());
+        auto idx = std::min(static_cast<std::size_t>(pos),
+                            phases.size() - 1);
+        series.push_back(std::min(phases[idx] * scale, 1.0));
+    }
+    return series;
+}
+
+} // namespace gs::cpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Analytic CPI model for the SPEC CPU2000 comparisons (Figures 8-11
+ * of the paper).
+ *
+ * We cannot run SPEC binaries; what the paper's IPC comparison
+ * actually measures is where each benchmark's working set lands in
+ * each machine's cache/memory hierarchy (its own explanation for
+ * facerec). The model therefore takes a benchmark profile — base
+ * CPI plus a small set of working-set components, each with a size
+ * and a miss density — and a machine's cache size, latencies and
+ * bandwidth, and composes per-instruction time:
+ *
+ *   t = cpiBase/clock + l2mpki/1000 * l2Lat * overlap
+ *       + max(memMpki/1000 * memLat / mlp,
+ *             memMpki/1000 * 64 B / memBW)
+ *
+ * Every component that does not fit in the L2 spills to memory;
+ * everything else that misses the L1 hits the L2.
+ */
+
+#ifndef GS_CPU_ANALYTIC_CORE_HH
+#define GS_CPU_ANALYTIC_CORE_HH
+
+#include <string>
+#include <vector>
+
+namespace gs::cpu
+{
+
+/** One lump of a benchmark's reuse-distance profile. */
+struct WorkingSetComponent
+{
+    double sizeMB = 0;     ///< footprint of this component
+    double missPer1k = 0;  ///< L1 misses/1000 instr touching it
+};
+
+/** Synthetic profile of one SPEC CPU2000 benchmark. */
+struct BenchProfile
+{
+    std::string name;
+    bool fp = false;
+    double cpiBase = 0.7;  ///< core-bound CPI (covers L1 hits)
+    double mlp = 2.0;      ///< average memory-level parallelism
+    std::vector<WorkingSetComponent> workingSet;
+
+    /**
+     * Relative activity by execution phase, used to shape the
+     * memory-controller utilization time series (Figures 10/11).
+     * Values scale the benchmark's mean utilization.
+     */
+    std::vector<double> phases{1.0};
+};
+
+/** Cache/memory character of one machine, for the CPI model. */
+struct MachineTiming
+{
+    std::string name;
+    double clockGHz = 1.15;
+    double l2SizeMB = 1.75;
+    double l2LatencyNs = 10.4;
+    double memLatencyNs = 83.0;
+    double memBandwidthGBs = 12.3; ///< per-CPU sustainable
+    double l2Overlap = 0.55; ///< fraction of L2 hit latency exposed
+
+    /** GS1280 (1.15 GHz 21364). */
+    static MachineTiming gs1280();
+    /** AlphaServer GS320 (1.22 GHz 21264, 16 MB off-chip L2). */
+    static MachineTiming gs320();
+    /** ES45 (1.25 GHz 21264, 16 MB off-chip L2, faster memory). */
+    static MachineTiming es45();
+};
+
+/** Result of evaluating a profile on a machine. */
+struct CpiBreakdown
+{
+    double ipc = 0;
+    double nsPerInstr = 0;
+    double l2Mpki = 0;    ///< L1 misses served by the L2
+    double memMpki = 0;   ///< L1 misses spilling to memory
+    double memUtilization = 0; ///< of the machine's per-CPU mem BW
+    bool bandwidthBound = false;
+};
+
+/** Evaluate @p profile on @p machine. */
+CpiBreakdown evaluateIpc(const BenchProfile &profile,
+                         const MachineTiming &machine);
+
+/**
+ * Memory-controller utilization over @p profile's phases on
+ * @p machine, as plotted in Figures 10/11 (one value per sample).
+ */
+std::vector<double> utilizationSeries(const BenchProfile &profile,
+                                      const MachineTiming &machine,
+                                      int samples);
+
+} // namespace gs::cpu
+
+#endif // GS_CPU_ANALYTIC_CORE_HH

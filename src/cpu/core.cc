@@ -1,0 +1,122 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::cpu
+{
+
+TimingCore::TimingCore(SimContext &context, coher::CoherentNode &n,
+                       CoreParams params)
+    : ctx(context), node(n), prm(params)
+{
+    if (prm.useL1) {
+        l1 = std::make_unique<mem::Cache>(prm.l1);
+        node.setBackInvalidate(
+            [this](mem::Addr line) { l1->invalidate(line); });
+    }
+}
+
+void
+TimingCore::run(TrafficSource &source, std::function<void()> on_done)
+{
+    gs_assert(finished, "core is already running a stream");
+    src = &source;
+    onDone = std::move(on_done);
+    staged.reset();
+    thinking = false;
+    blocked = false;
+    exhausted = false;
+    finished = false;
+    inFlight = 0;
+    st = CoreStats{};
+    st.startTick = ctx.now();
+    pump();
+}
+
+void
+TimingCore::pump()
+{
+    if (finished)
+        return;
+    while (!thinking && !blocked && inFlight < prm.mlp) {
+        if (!staged) {
+            auto op = src->next();
+            if (!op) {
+                exhausted = true;
+                maybeFinish();
+                return;
+            }
+            staged = *op;
+            if (staged->thinkNs > 0) {
+                // Compute serializes in front of the issue stage.
+                thinking = true;
+                ctx.queue().schedule(nsToTicks(staged->thinkNs),
+                                     [this] {
+                    thinking = false;
+                    MemOp op2 = *staged;
+                    staged.reset();
+                    issue(op2);
+                    pump();
+                });
+                return;
+            }
+        }
+        MemOp op = *staged;
+        staged.reset();
+        issue(op);
+    }
+}
+
+void
+TimingCore::issue(const MemOp &op)
+{
+    st.opsIssued += 1;
+    inFlight += 1;
+    if (op.dependent)
+        blocked = true;
+
+    // Read hits in the L1 complete without touching the L2. Writes
+    // always visit the coherent L2 so upgrades are never skipped.
+    if (l1 && !op.write && l1->lookup(op.addr, false).hit) {
+        st.l1Hits += 1;
+        ctx.queue().schedule(nsToTicks(prm.l1.loadToUseNs),
+                             [this, op] { complete(op); });
+        return;
+    }
+
+    node.memAccess(op.addr, op.write, [this, op] {
+        if (l1 && !l1->contains(op.addr)) {
+            mem::Victim victim =
+                l1->fill(op.addr, mem::LineState::Shared);
+            (void)victim; // L1 is write-through here; drop silently
+        }
+        complete(op);
+    });
+}
+
+void
+TimingCore::complete(const MemOp &op)
+{
+    st.opsDone += 1;
+    inFlight -= 1;
+    if (op.dependent)
+        blocked = false;
+    maybeFinish();
+    pump();
+}
+
+void
+TimingCore::maybeFinish()
+{
+    if (finished || !exhausted || inFlight != 0 || staged || thinking)
+        return;
+    finished = true;
+    st.endTick = ctx.now();
+    if (onDone) {
+        auto done = std::move(onDone);
+        onDone = nullptr;
+        done();
+    }
+}
+
+} // namespace gs::cpu

@@ -1,0 +1,87 @@
+#include "cpu/trace.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gs::cpu
+{
+
+TraceSource::TraceSource(std::vector<MemOp> operations)
+    : ops(std::move(operations))
+{
+}
+
+TraceSource
+TraceSource::parse(std::istream &is)
+{
+    std::vector<MemOp> ops;
+    std::string line;
+    double pendingThinkNs = 0;
+    int lineNo = 0;
+
+    while (std::getline(is, line)) {
+        lineNo += 1;
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag[0] == '#')
+            continue;
+
+        if (tag == "T") {
+            double ns = 0;
+            if (!(ls >> ns) || ns < 0)
+                gs_fatal("trace line ", lineNo, ": bad think time");
+            pendingThinkNs += ns;
+            continue;
+        }
+
+        if (tag != "R" && tag != "W" && tag != "D")
+            gs_fatal("trace line ", lineNo, ": unknown tag '", tag,
+                     "'");
+
+        std::string hex;
+        if (!(ls >> hex))
+            gs_fatal("trace line ", lineNo, ": missing address");
+        MemOp op;
+        op.addr = std::strtoull(hex.c_str(), nullptr, 16);
+        op.write = tag == "W";
+        op.dependent = tag == "D";
+        op.thinkNs = pendingThinkNs;
+        pendingThinkNs = 0;
+        ops.push_back(op);
+    }
+    return TraceSource(std::move(ops));
+}
+
+TraceSource
+TraceSource::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        gs_fatal("cannot open trace file: ", path);
+    return parse(is);
+}
+
+void
+TraceSource::dump(std::ostream &os) const
+{
+    for (const auto &op : ops) {
+        if (op.thinkNs > 0)
+            os << "T " << op.thinkNs << '\n';
+        os << (op.write ? 'W' : op.dependent ? 'D' : 'R') << " 0x"
+           << std::hex << op.addr << std::dec << '\n';
+    }
+}
+
+std::optional<MemOp>
+TraceSource::next()
+{
+    if (cursor >= ops.size())
+        return std::nullopt;
+    return ops[cursor++];
+}
+
+} // namespace gs::cpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Address-trace replay: run a recorded (or hand-written) memory
+ * trace through the timing core, the way trace-driven simulators
+ * consume SPEC traces. The text format is one operation per line:
+ *
+ *     R <hex-addr>            read
+ *     W <hex-addr>            write
+ *     D <hex-addr>            dependent read (serializes issue)
+ *     T <ns>                  think time before the next op
+ *     # comment / blank lines ignored
+ *
+ * A TraceSource can also be built programmatically and recorded
+ * back out, which the tests use for round-tripping.
+ */
+
+#ifndef GS_CPU_TRACE_HH
+#define GS_CPU_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/traffic.hh"
+
+namespace gs::cpu
+{
+
+/** A replayable memory trace. */
+class TraceSource : public TrafficSource
+{
+  public:
+    TraceSource() = default;
+
+    /** Build from parsed operations. */
+    explicit TraceSource(std::vector<MemOp> ops);
+
+    /**
+     * Parse the text format from @p is. Malformed lines are fatal
+     * (traces are inputs; fail loudly).
+     */
+    static TraceSource parse(std::istream &is);
+
+    /** Parse a file on disk. */
+    static TraceSource load(const std::string &path);
+
+    /** Write the trace back in the text format. */
+    void dump(std::ostream &os) const;
+
+    /** Append one operation (builder-style use). */
+    void append(MemOp op) { ops.push_back(op); }
+
+    std::size_t size() const { return ops.size(); }
+
+    /** Rewind to the beginning for another replay. */
+    void rewind() { cursor = 0; }
+
+    std::optional<MemOp> next() override;
+
+  private:
+    std::vector<MemOp> ops;
+    std::size_t cursor = 0;
+};
+
+} // namespace gs::cpu
+
+#endif // GS_CPU_TRACE_HH

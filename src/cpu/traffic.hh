@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Traffic-source interface between workloads and the timing core.
+ *
+ * A TrafficSource yields a per-CPU stream of memory operations, each
+ * optionally preceded by compute ("think") time. Workloads implement
+ * this to express the access patterns of the paper's benchmarks:
+ * dependent-load chains, streaming kernels, random table updates,
+ * BSP phase programs, and so on.
+ */
+
+#ifndef GS_CPU_TRAFFIC_HH
+#define GS_CPU_TRAFFIC_HH
+
+#include <optional>
+
+#include "mem/address.hh"
+
+namespace gs::cpu
+{
+
+/** One memory operation from a core's instruction stream. */
+struct MemOp
+{
+    mem::Addr addr = 0;
+    bool write = false;
+
+    /**
+     * Compute time that must elapse (serially) before this op may
+     * issue. Models both ALU work and issue-width limits.
+     */
+    double thinkNs = 0.0;
+
+    /**
+     * When false, the op does not block the pipeline: the core may
+     * issue past it up to its MLP limit (independent loads/stores).
+     * When true, issue stalls until this op completes (a dependent
+     * load — the lmbench lat_mem_rd pattern).
+     */
+    bool dependent = false;
+};
+
+/** A per-CPU stream of memory operations. */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Next operation, or nullopt when the stream is exhausted. */
+    virtual std::optional<MemOp> next() = 0;
+};
+
+} // namespace gs::cpu
+
+#endif // GS_CPU_TRAFFIC_HH

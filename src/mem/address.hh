@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Physical addresses, home-node mapping and memory striping.
+ *
+ * The machine's global physical address space is partitioned by
+ * home node: bits [36..] select the owning node, giving every node
+ * a 64 GB region — far more than any workload here touches, so the
+ * partition never constrains placement.
+ *
+ * Memory striping (Section 6 of the paper) interleaves groups of
+ * four cache lines across a *pair* of neighbouring CPUs, rotating
+ * CPU0/controller0, CPU0/controller1, CPU1/controller0,
+ * CPU1/controller1. Striping spreads hot-spot traffic over two
+ * nodes at the cost of extra nearest-neighbour link traffic.
+ */
+
+#ifndef GS_MEM_ADDRESS_HH
+#define GS_MEM_ADDRESS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gs::mem
+{
+
+/** Physical address. */
+using Addr = std::uint64_t;
+
+/** Cache line size used throughout (64 B on all systems modelled). */
+constexpr Addr lineBytes = 64;
+
+/** Bits per node region (64 GB). */
+constexpr int nodeShift = 36;
+
+/** Align an address down to its cache line. */
+constexpr Addr
+lineOf(Addr a)
+{
+    return a & ~(lineBytes - 1);
+}
+
+/** Line index of an address. */
+constexpr std::uint64_t
+lineIndex(Addr a)
+{
+    return a / lineBytes;
+}
+
+/** First address of @p node's local region. */
+constexpr Addr
+regionBase(NodeId node)
+{
+    return static_cast<Addr>(node) << nodeShift;
+}
+
+/** Node whose region contains @p a (before striping). */
+constexpr NodeId
+regionNode(Addr a)
+{
+    return static_cast<NodeId>(a >> nodeShift);
+}
+
+/** Where a line lives: owning node and memory controller. */
+struct MemTarget
+{
+    NodeId node = invalidNode;
+    int mc = 0; ///< Zbox index within the node (0 or 1)
+
+    bool operator==(const MemTarget &) const = default;
+};
+
+/**
+ * Maps a physical address to its home node and memory controller.
+ */
+class AddressMap
+{
+  public:
+    virtual ~AddressMap() = default;
+
+    /** Home of the line containing @p a. */
+    virtual MemTarget home(Addr a) const = 0;
+
+    /** Number of memory controllers per node. */
+    virtual int controllersPerNode() const { return 2; }
+};
+
+/**
+ * Default GS1280 map: every line is local to its region's node;
+ * consecutive lines alternate between the node's two Zboxes.
+ */
+class NodeOwnedMap : public AddressMap
+{
+  public:
+    MemTarget
+    home(Addr a) const override
+    {
+        return MemTarget{regionNode(a),
+                         static_cast<int>(lineIndex(a) & 1)};
+    }
+};
+
+/**
+ * Striped map (Section 6): lines rotate across the region node and
+ * its module buddy — line k goes to
+ * {buddy? k%4 >= 2 : k%4 < 2, controller (k%4) & 1}.
+ */
+class StripedMap : public AddressMap
+{
+  public:
+    /** @param buddy maps a node to its on-module neighbour. */
+    explicit StripedMap(std::function<NodeId(NodeId)> buddy)
+        : buddyOf(std::move(buddy))
+    {
+        gs_assert(buddyOf != nullptr);
+    }
+
+    MemTarget
+    home(Addr a) const override
+    {
+        NodeId base = regionNode(a);
+        auto sel = static_cast<int>(lineIndex(a) & 3);
+        NodeId node = sel < 2 ? base : buddyOf(base);
+        return MemTarget{node, sel & 1};
+    }
+
+  private:
+    std::function<NodeId(NodeId)> buddyOf;
+};
+
+/**
+ * Single-home map for bus/QBB machines: everything in a QBB's
+ * region homes on that QBB's switch node (shared memory).
+ */
+class SharedHomeMap : public AddressMap
+{
+  public:
+    /** @param home_of maps the region node to the memory node. */
+    explicit SharedHomeMap(std::function<NodeId(NodeId)> home_of)
+        : homeOf(std::move(home_of))
+    {
+        gs_assert(homeOf != nullptr);
+    }
+
+    MemTarget
+    home(Addr a) const override
+    {
+        return MemTarget{homeOf(regionNode(a)),
+                         static_cast<int>(lineIndex(a) & 1)};
+    }
+
+  private:
+    std::function<NodeId(NodeId)> homeOf;
+};
+
+} // namespace gs::mem
+
+#endif // GS_MEM_ADDRESS_HH

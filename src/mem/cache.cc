@@ -1,0 +1,113 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::mem
+{
+
+Cache::Cache(CacheParams params) : prm(params)
+{
+    gs_assert(prm.ways >= 1);
+    gs_assert(prm.sizeBytes % (lineBytes * static_cast<Addr>(prm.ways))
+                  == 0,
+              "cache size not divisible into ways of whole lines");
+    nSets = static_cast<int>(prm.sizeBytes /
+                             (lineBytes * static_cast<Addr>(prm.ways)));
+    gs_assert(nSets >= 1);
+    tags.resize(static_cast<std::size_t>(nSets) *
+                static_cast<std::size_t>(prm.ways));
+}
+
+Cache::Line *
+Cache::find(Addr a)
+{
+    Addr line = lineOf(a);
+    auto *set = &tags[setOf(a) * static_cast<std::size_t>(prm.ways)];
+    for (int w = 0; w < prm.ways; ++w) {
+        if (set[w].state != LineState::Invalid && set[w].tag == line)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr a) const
+{
+    return const_cast<Cache *>(this)->find(a);
+}
+
+CacheAccess
+Cache::lookup(Addr a, bool)
+{
+    if (Line *line = find(a)) {
+        line->lastUse = ++useClock;
+        nHits += 1;
+        return CacheAccess{true, line->state};
+    }
+    nMisses += 1;
+    return CacheAccess{false, LineState::Invalid};
+}
+
+LineState
+Cache::state(Addr a) const
+{
+    const Line *line = find(a);
+    return line ? line->state : LineState::Invalid;
+}
+
+void
+Cache::setState(Addr a, LineState s)
+{
+    Line *line = find(a);
+    gs_assert(line, "setState on non-resident line");
+    line->state = s;
+    if (s == LineState::Invalid)
+        line->tag = 0;
+}
+
+Victim
+Cache::fill(Addr a, LineState s)
+{
+    gs_assert(s != LineState::Invalid, "filling an Invalid line");
+    gs_assert(!find(a), "fill of already-resident line");
+
+    auto *set = &tags[setOf(a) * static_cast<std::size_t>(prm.ways)];
+    Line *slot = &set[0];
+    for (int w = 0; w < prm.ways; ++w) {
+        if (set[w].state == LineState::Invalid) {
+            slot = &set[w];
+            break;
+        }
+        if (set[w].lastUse < slot->lastUse)
+            slot = &set[w];
+    }
+
+    Victim victim;
+    if (slot->state != LineState::Invalid) {
+        victim.line = slot->tag;
+        victim.state = slot->state;
+    }
+    slot->tag = lineOf(a);
+    slot->state = s;
+    slot->lastUse = ++useClock;
+    return victim;
+}
+
+void
+Cache::invalidate(Addr a)
+{
+    if (Line *line = find(a)) {
+        line->state = LineState::Invalid;
+        line->tag = 0;
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : tags)
+        line = Line{};
+    useClock = 0;
+}
+
+} // namespace gs::mem

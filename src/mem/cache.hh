@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Set-associative cache model with coherence states and LRU
+ * replacement.
+ *
+ * Models the two cache organizations the paper compares:
+ *  - GS1280 (21364): 1.75 MB, 7-way, on-chip, 12-cycle load-to-use;
+ *  - GS320/ES45 (21264): 16 MB, direct-mapped, off-chip, slower.
+ *
+ * The model is address-only (no data payload); the coherence layer
+ * keeps per-line MESI-style state in the tag array.
+ */
+
+#ifndef GS_MEM_CACHE_HH
+#define GS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/address.hh"
+#include "sim/types.hh"
+
+namespace gs::mem
+{
+
+/** Per-line coherence state (MESI without the data). */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive, ///< sole owner, clean
+    Modified,  ///< sole owner, dirty
+};
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 1792 * 1024; ///< 1.75 MB (21364 L2)
+    int ways = 7;
+    double loadToUseNs = 10.4; ///< 12 cycles at 1.15 GHz
+
+    /** 21364 on-chip L2. */
+    static CacheParams
+    ev7L2()
+    {
+        return CacheParams{};
+    }
+
+    /** 21264 off-chip 16 MB direct-mapped L2 (GS320/ES45). */
+    static CacheParams
+    ev68L2()
+    {
+        CacheParams p;
+        p.sizeBytes = 16ULL * 1024 * 1024;
+        p.ways = 1;
+        p.loadToUseNs = 25.0; // ~30 CPU cycles off-chip
+        return p;
+    }
+
+    /** 21264/21364 64 KB 2-way L1 data cache. */
+    static CacheParams
+    l1d()
+    {
+        CacheParams p;
+        p.sizeBytes = 64 * 1024;
+        p.ways = 2;
+        p.loadToUseNs = 2.6; // 3 cycles at 1.15 GHz
+        return p;
+    }
+};
+
+/** Result of a cache lookup. */
+struct CacheAccess
+{
+    bool hit = false;
+    LineState state = LineState::Invalid;
+};
+
+/** What a fill displaced. */
+struct Victim
+{
+    Addr line = 0;
+    LineState state = LineState::Invalid;
+
+    bool valid() const { return state != LineState::Invalid; }
+    bool dirty() const { return state == LineState::Modified; }
+};
+
+/**
+ * A single cache level. All addresses are rounded to lines
+ * internally; callers may pass byte addresses.
+ */
+class Cache
+{
+  public:
+    explicit Cache(CacheParams params);
+
+    /**
+     * Look up @p a. A write hit on Shared does NOT upgrade the line
+     * (that is a coherence transaction); it reports the hit and the
+     * current state so the controller can decide.
+     * Updates LRU on hit.
+     */
+    CacheAccess lookup(Addr a, bool write);
+
+    /** State of the line holding @p a (Invalid when absent). */
+    LineState state(Addr a) const;
+
+    /** Change the state of a resident line. */
+    void setState(Addr a, LineState s);
+
+    /**
+     * Insert the line of @p a with state @p s, evicting the LRU way.
+     * @return the victim (invalid when the set had a free way).
+     */
+    Victim fill(Addr a, LineState s);
+
+    /** Drop the line of @p a if present (invalidation). */
+    void invalidate(Addr a);
+
+    /** True if the line of @p a is resident in any valid state. */
+    bool contains(Addr a) const { return state(a) != LineState::Invalid; }
+
+    /** @name Geometry */
+    /// @{
+    const CacheParams &params() const { return prm; }
+    int sets() const { return nSets; }
+    std::uint64_t lines() const
+    {
+        return static_cast<std::uint64_t>(nSets) *
+               static_cast<std::uint64_t>(prm.ways);
+    }
+    /// @}
+
+    /** @name Statistics */
+    /// @{
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    double
+    missRatio() const
+    {
+        auto total = nHits + nMisses;
+        return total ? static_cast<double>(nMisses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    void clearStats() { nHits = nMisses = 0; }
+    /// @}
+
+    /** Drop every line (between experiment phases). */
+    void reset();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *find(Addr a);
+    const Line *find(Addr a) const;
+
+    std::size_t setOf(Addr a) const
+    {
+        return static_cast<std::size_t>(lineIndex(a) %
+                                        static_cast<std::uint64_t>(nSets));
+    }
+
+    CacheParams prm;
+    int nSets;
+    std::vector<Line> tags; ///< nSets x ways
+    std::uint64_t useClock = 0;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+};
+
+} // namespace gs::mem
+
+#endif // GS_MEM_CACHE_HH

@@ -1,0 +1,95 @@
+#include "mem/zbox.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gs::mem
+{
+
+Zbox::Zbox(SimContext &context, ZboxParams params)
+    : ctx(context), prm(params)
+{
+    gs_assert(prm.channels >= 1 && prm.banksPerChannel >= 1);
+    channelFree.assign(static_cast<std::size_t>(prm.channels), 0);
+    banks.assign(static_cast<std::size_t>(prm.channels) *
+                     static_cast<std::size_t>(prm.banksPerChannel),
+                 Bank{});
+}
+
+Tick
+Zbox::access(Addr a, bool is_write)
+{
+    // Drop the controller-interleave bits, then interleave lines
+    // across channels (bandwidth) and pages across banks (RDRAM
+    // pages are contiguous 2 KB per bank): sequential lines walk an
+    // open row; page-sized strides hop banks and, once the banks
+    // wrap, conflict on every access (the closed-page regime of the
+    // paper's Figure 5).
+    const std::uint64_t eff = lineIndex(a) >> prm.interleaveShift;
+    const auto channel =
+        static_cast<std::size_t>(eff % static_cast<std::uint64_t>(
+                                           prm.channels));
+    const std::uint64_t perChannel =
+        eff / static_cast<std::uint64_t>(prm.channels);
+    const std::uint64_t rowLines = prm.pageBytes / lineBytes;
+    const std::uint64_t localPage = perChannel / rowLines;
+    const auto bankIdx =
+        channel * static_cast<std::size_t>(prm.banksPerChannel) +
+        static_cast<std::size_t>(localPage %
+                                 static_cast<std::uint64_t>(
+                                     prm.banksPerChannel));
+    const Addr page = static_cast<Addr>(
+        localPage / static_cast<std::uint64_t>(prm.banksPerChannel));
+
+    Bank &bank = banks[bankIdx];
+    double accessNs;
+    if (bank.open && bank.page == page) {
+        accessNs = prm.rowHitNs;
+        st.rowHits += 1;
+    } else if (!bank.open) {
+        accessNs = prm.rowEmptyNs;
+        st.rowEmpties += 1;
+    } else {
+        accessNs = prm.rowConflictNs;
+        st.rowConflicts += 1;
+    }
+    bank.open = true;
+    bank.page = page;
+
+    Tick start = std::max(ctx.now(), channelFree[channel]);
+    Tick burst = nsToTicks(prm.burstNs);
+    channelFree[channel] = start + burst;
+    st.busyTicks += burst;
+    (is_write ? st.writes : st.reads) += 1;
+
+    return start + nsToTicks(accessNs);
+}
+
+void
+Zbox::read(Addr a, std::function<void()> done)
+{
+    Tick when = access(a, false);
+    gs_assert(done != nullptr);
+    ctx.queue().scheduleAt(when, std::move(done));
+}
+
+void
+Zbox::write(Addr a, std::function<void()> done)
+{
+    Tick when = access(a, true);
+    if (done)
+        ctx.queue().scheduleAt(when, std::move(done));
+}
+
+double
+Zbox::utilization(Tick window_start, Tick now) const
+{
+    if (now <= window_start)
+        return 0.0;
+    double denom = static_cast<double>(now - window_start) *
+                   static_cast<double>(prm.channels);
+    return std::min(static_cast<double>(st.busyTicks) / denom, 1.0);
+}
+
+} // namespace gs::mem

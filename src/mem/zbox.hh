@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Zbox: the 21364's integrated Direct Rambus (RDRAM) memory
+ * controller (Section 2 of the paper).
+ *
+ * Each EV7 node carries two Zboxes; together they drive 8 RDRAM
+ * channels of 2 bytes each at 767 MHz for 12.3 GB/s of peak local
+ * bandwidth. The model tracks per-channel occupancy (FCFS) and
+ * per-bank open pages, so dependent-load latency rises from the
+ * ~80 ns open-page case to ~130 ns for large-stride, closed-page
+ * access exactly as in the paper's Figure 5.
+ *
+ * The home directory lives in DRAM (ECC bits) on the real machine,
+ * so a directory lookup is simply part of the data access here.
+ */
+
+#ifndef GS_MEM_ZBOX_HH
+#define GS_MEM_ZBOX_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.hh"
+#include "sim/context.hh"
+#include "sim/stats.hh"
+
+namespace gs::mem
+{
+
+/** Timing/geometry of one Zbox (half a node's memory system). */
+struct ZboxParams
+{
+    int channels = 4;        ///< RDRAM channels on this controller
+    int banksPerChannel = 32;
+    Addr pageBytes = 2048;
+
+    /**
+     * log2 of the number of controllers interleaving on line index
+     * (2 Zboxes per node -> shift of 1): the controller drops the
+     * interleave bits before decomposing channel/bank/row, so
+     * sequential lines cycle its channels and stay in open rows.
+     */
+    int interleaveShift = 1;
+
+    double rowHitNs = 38.0;      ///< open page, column access only
+    double rowEmptyNs = 58.0;    ///< bank idle: activate + access
+    double rowConflictNs = 83.0; ///< precharge + activate + access
+
+    /** Channel occupancy of one 64 B transfer (41.7 ns/channel at
+     *  1.534 GB/s per channel = 12.3 GB/s over 8 channels). */
+    double burstNs = 41.7;
+
+    /** GS1280 RDRAM defaults (see file comment). */
+    static ZboxParams ev7() { return ZboxParams{}; }
+
+    /**
+     * GS320/ES45 shared SDRAM behind the QBB switch: fewer effective
+     * channels per memory port and slower array access. Calibrated
+     * against Figures 4 (local latency) and 7 (Triad bandwidth).
+     */
+    static ZboxParams
+    qbbMemory(double port_gbps, double access_ns)
+    {
+        ZboxParams p;
+        p.channels = 2;
+        p.rowHitNs = access_ns;
+        p.rowEmptyNs = access_ns + 15.0;
+        p.rowConflictNs = access_ns + 35.0;
+        p.burstNs = 2.0 * lineBytes / port_gbps; // per-channel share
+        return p;
+    }
+};
+
+/** Cumulative Zbox statistics. */
+struct ZboxStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowEmpties = 0;
+    std::uint64_t rowConflicts = 0;
+    Tick busyTicks = 0; ///< summed channel occupancy
+};
+
+/** One memory controller instance. */
+class Zbox
+{
+  public:
+    Zbox(SimContext &ctx, ZboxParams params);
+
+    /**
+     * Issue a 64 B read. @p done fires when the line (and its
+     * directory word) is available.
+     */
+    void read(Addr a, std::function<void()> done);
+
+    /** Issue a 64 B write (victim/dirty data). @p done optional. */
+    void write(Addr a, std::function<void()> done = nullptr);
+
+    const ZboxParams &params() const { return prm; }
+    const ZboxStats &stats() const { return st; }
+
+    /**
+     * Mean channel utilization in [0,1] accumulated since the last
+     * clearStats(), over a window ending at @p now.
+     */
+    double utilization(Tick window_start, Tick now) const;
+
+    void clearStats() { st = ZboxStats{}; }
+
+    /** Peak bandwidth of this controller in GB/s. */
+    double
+    peakGBs() const
+    {
+        return static_cast<double>(prm.channels) * lineBytes /
+               prm.burstNs;
+    }
+
+  private:
+    /** Schedule one access; returns its completion tick. */
+    Tick access(Addr a, bool is_write);
+
+    struct Bank
+    {
+        bool open = false;
+        Addr page = 0;
+    };
+
+    SimContext &ctx;
+    ZboxParams prm;
+    ZboxStats st;
+
+    std::vector<Tick> channelFree;
+    std::vector<Bank> banks; ///< channels x banksPerChannel
+};
+
+} // namespace gs::mem
+
+#endif // GS_MEM_ZBOX_HH

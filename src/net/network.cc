@@ -1,0 +1,145 @@
+#include "net/network.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::net
+{
+
+Network::Network(SimContext &context, const topo::Topology &topo,
+                 NetworkParams params)
+    : ctx(context), topo_(topo), prm(params),
+      tickPeriod(params.period())
+{
+    const int n = topo.numNodes();
+    routers.reserve(static_cast<std::size_t>(n));
+    handlers.resize(static_cast<std::size_t>(n));
+    linkFlits.resize(static_cast<std::size_t>(n));
+    for (NodeId node = 0; node < n; ++node) {
+        routers.push_back(std::make_unique<Router>(*this, node));
+        linkFlits[static_cast<std::size_t>(node)].assign(
+            static_cast<std::size_t>(topo.numPorts(node)), 0);
+    }
+}
+
+void
+Network::setHandler(NodeId node, Handler handler)
+{
+    handlers[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+void
+Network::inject(Packet pkt)
+{
+    gs_assert(pkt.src >= 0 && pkt.src < topo_.numNodes());
+    gs_assert(pkt.dst >= 0 && pkt.dst < topo_.numNodes());
+
+    pkt.injected = ctx.now();
+    st.injectedPackets += 1;
+    flying += 1;
+
+    if (pkt.src == pkt.dst) {
+        // Local traffic does not enter the fabric; it still pays the
+        // agent-to-router-to-agent handoff.
+        Tick delay = static_cast<Tick>(prm.injectionCycles +
+                                       prm.ejectionCycles) * tickPeriod;
+        NodeId node = pkt.dst;
+        ctx.queue().schedule(delay, [this, node, pkt] {
+            deliverNow(node, pkt);
+        });
+        return;
+    }
+
+    Tick delay = static_cast<Tick>(prm.injectionCycles) * tickPeriod;
+    NodeId node = pkt.src;
+    ctx.queue().schedule(delay, [this, node, pkt] {
+        routers[static_cast<std::size_t>(node)]->inject(pkt);
+    });
+}
+
+void
+Network::scheduleArrival(NodeId to, int in_port, int vc, Packet pkt,
+                         int delay_cycles)
+{
+    ctx.queue().schedule(static_cast<Tick>(delay_cycles) * tickPeriod,
+                         [this, to, in_port, vc, pkt] {
+        routers[static_cast<std::size_t>(to)]->receive(in_port, vc, pkt);
+    });
+}
+
+void
+Network::scheduleCredit(NodeId at_node, int in_port, int vc, int flits)
+{
+    topo::Port link = topo_.port(at_node, in_port);
+    gs_assert(link.connected(), "credit for unconnected port");
+    NodeId peer = link.peer;
+    int peerPort = link.peerPort;
+    ctx.queue().schedule(static_cast<Tick>(prm.creditCycles) * tickPeriod,
+                         [this, peer, peerPort, vc, flits] {
+        routers[static_cast<std::size_t>(peer)]->creditReturn(peerPort, vc,
+                                                              flits);
+    });
+}
+
+void
+Network::deliverLocal(NodeId node, Packet pkt)
+{
+    // Ejection waits for the packet tail (cut-through streamed the
+    // header ahead; the body pays its serialization exactly once,
+    // here at the sink). Store-and-forward packets arrive whole.
+    int tail = prm.cutThrough && pkt.flits > headerFlits
+                   ? pkt.flits - headerFlits
+                   : 0;
+    Tick delay =
+        static_cast<Tick>(prm.ejectionCycles + tail) * tickPeriod;
+    ctx.queue().schedule(delay,
+                         [this, node, pkt] { deliverNow(node, pkt); });
+}
+
+void
+Network::deliverNow(NodeId node, const Packet &pkt)
+{
+    st.deliveredPackets += 1;
+    st.deliveredFlits += static_cast<std::uint64_t>(pkt.flits);
+    st.latencyNs.sample(ticksToNs(ctx.now() - pkt.injected));
+    st.hopsPerPacket.sample(static_cast<double>(pkt.hops));
+    flying -= 1;
+    auto &handler = handlers[static_cast<std::size_t>(node)];
+    if (handler)
+        handler(pkt);
+}
+
+void
+Network::clearStats()
+{
+    st = NetworkStats{};
+    for (auto &ports : linkFlits)
+        for (auto &flits : ports)
+            flits = 0;
+}
+
+void
+Network::activate()
+{
+    if (ticking)
+        return;
+    ticking = true;
+    Tick edge = Clock(tickPeriod).nextEdge(ctx.now() + 1);
+    ctx.queue().scheduleAt(edge, [this] { tick(); });
+}
+
+void
+Network::tick()
+{
+    bool any = false;
+    for (auto &router : routers) {
+        router->tick(ctx.now());
+        any = any || !router->idle();
+    }
+    if (any) {
+        ctx.queue().schedule(tickPeriod, [this] { tick(); });
+    } else {
+        ticking = false;
+    }
+}
+
+} // namespace gs::net

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The interconnect fabric: routers wired per a Topology, a cycle
+ * ticker, the injection/delivery API used by the layers above, and
+ * the per-link utilization counters behind the Xmesh profiles.
+ */
+
+#ifndef GS_NET_NETWORK_HH
+#define GS_NET_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hh"
+#include "net/params.hh"
+#include "net/router.hh"
+#include "sim/context.hh"
+#include "sim/stats.hh"
+#include "topology/topology.hh"
+
+namespace gs::net
+{
+
+/** Cumulative per-network traffic statistics. */
+struct NetworkStats
+{
+    std::uint64_t injectedPackets = 0;
+    std::uint64_t deliveredPackets = 0;
+    std::uint64_t deliveredFlits = 0;
+    stats::Average latencyNs;      ///< inject-to-deliver, all classes
+    stats::Average hopsPerPacket;
+};
+
+/**
+ * A complete interconnect instance.
+ *
+ * The Network owns one Router per topology node and a self-scheduling
+ * cycle tick that runs only while packets are in flight. Agents
+ * (coherence controllers, traffic generators) attach one delivery
+ * handler per node and inject packets; loopback (src == dst) packets
+ * bypass the fabric with just the injection/ejection latency.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(const Packet &)>;
+
+    Network(SimContext &ctx, const topo::Topology &topo,
+            NetworkParams params);
+
+    /** Register the delivery callback for @p node. */
+    void setHandler(NodeId node, Handler handler);
+
+    /** Hand a packet to @p pkt.src's router. Never refuses. */
+    void inject(Packet pkt);
+
+    /** @name Component access */
+    /// @{
+    const topo::Topology &topology() const { return topo_; }
+    const NetworkParams &params() const { return prm; }
+    SimContext &context() { return ctx; }
+    Tick period() const { return tickPeriod; }
+    Router &router(NodeId node) { return *routers[std::size_t(node)]; }
+    /// @}
+
+    /** @name Statistics */
+    /// @{
+    const NetworkStats &stats() const { return st; }
+
+    /** Cumulative busy flits on the link out of (node, port). */
+    std::uint64_t linkBusyFlits(NodeId node, int port) const
+    {
+        return linkFlits[std::size_t(node)][std::size_t(port)];
+    }
+
+    /** Packets currently in flight (injected, not yet delivered). */
+    int inFlight() const { return flying; }
+
+    /** Reset cumulative statistics (not the fabric state). */
+    void clearStats();
+    /// @}
+
+    /** @name Router-internal plumbing (used by Router) */
+    /// @{
+    void scheduleArrival(NodeId to, int in_port, int vc, Packet pkt,
+                         int delay_cycles);
+    void scheduleCredit(NodeId at_node, int in_port, int vc, int flits);
+    void deliverLocal(NodeId node, Packet pkt);
+    void countLinkFlits(NodeId node, int port, int flits)
+    {
+        linkFlits[std::size_t(node)][std::size_t(port)] +=
+            static_cast<std::uint64_t>(flits);
+    }
+    void activate();
+    /// @}
+
+  private:
+    void tick();
+    void deliverNow(NodeId node, const Packet &pkt);
+
+    SimContext &ctx;
+    const topo::Topology &topo_;
+    NetworkParams prm;
+    Tick tickPeriod;
+
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<Handler> handlers;
+    std::vector<std::vector<std::uint64_t>> linkFlits;
+
+    NetworkStats st;
+    int flying = 0;
+    bool ticking = false;
+};
+
+} // namespace gs::net
+
+#endif // GS_NET_NETWORK_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Network packets and the EV7 message classes.
+ *
+ * Section 2 of the paper: the global directory protocol exchanges
+ * Requests, Forwards and Responses; the router additionally carries
+ * I/O traffic. Each class owns its virtual channels so that "a
+ * Response packet can never block behind a Request packet". Block
+ * responses carry a 64-byte cache line and are long packets; all
+ * other messages are short header-only packets.
+ */
+
+#ifndef GS_NET_PACKET_HH
+#define GS_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gs::net
+{
+
+/** EV7 packet classes (each with its own virtual channels). */
+enum class MsgClass : std::uint8_t
+{
+    Request,       ///< coherence requests toward a directory
+    Forward,       ///< directory-to-owner forwards / invalidates
+    BlockResponse, ///< data-carrying responses (64 B line)
+    Ack,           ///< non-block responses (completion/inval acks)
+    IO,            ///< I/O traffic (no adaptive channel)
+};
+
+/** Number of message classes. */
+constexpr int numClasses = 5;
+
+/** Sub-channels within a class. */
+enum VcSub : int
+{
+    vcEscape0 = 0, ///< deadlock-free channel, pre-dateline
+    vcEscape1 = 1, ///< deadlock-free channel, post-dateline
+    vcAdaptive = 2, ///< minimal-adaptive channel (not for IO)
+    vcSubCount = 3,
+};
+
+/** Total virtual channels per input port. */
+constexpr int numVcs = numClasses * vcSubCount;
+
+/** Virtual-channel index for (class, sub-channel). */
+constexpr int
+vcIndex(MsgClass cls, int sub)
+{
+    return static_cast<int>(cls) * vcSubCount + sub;
+}
+
+/** Class owning VC @p vc. */
+constexpr MsgClass
+vcClass(int vc)
+{
+    return static_cast<MsgClass>(vc / vcSubCount);
+}
+
+/** True when @p cls may use the adaptive channel (everything but IO). */
+constexpr bool
+mayAdapt(MsgClass cls)
+{
+    return cls != MsgClass::IO;
+}
+
+/**
+ * A packet in flight. Packets move whole (virtual cut-through);
+ * their length in flits determines link occupancy.
+ */
+struct Packet
+{
+    std::uint64_t id = 0; ///< unique per network, for tracing
+    MsgClass cls = MsgClass::Request;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    int flits = 2; ///< length; headers 2 flits, +16 for a 64 B line
+
+    Tick injected = 0; ///< when handed to the source router
+    int hops = 0;      ///< network links traversed so far
+
+    /**
+     * Opaque payload for the layer above the network (the coherence
+     * protocol encodes its message here). The network never
+     * interprets it.
+     */
+    std::array<std::uint64_t, 3> user{};
+};
+
+/** Header-only packet length in flits (4 B flits: 8 B header). */
+constexpr int headerFlits = 2;
+
+/** Data packet length: header + 64-byte cache line. */
+constexpr int dataFlits = headerFlits + 16;
+
+} // namespace gs::net
+
+#endif // GS_NET_PACKET_HH

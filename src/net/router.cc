@@ -1,0 +1,265 @@
+#include "net/router.hh"
+
+#include <algorithm>
+
+#include "net/network.hh"
+#include "sim/logging.hh"
+
+namespace gs::net
+{
+
+Router::Router(Network &network, NodeId node) : net(network), id(node)
+{
+    const auto &topo = net.topology();
+    const auto &prm = net.params();
+    const int ports = topo.numPorts(id);
+
+    inputs.resize(static_cast<std::size_t>(ports));
+    outputs.resize(static_cast<std::size_t>(ports));
+
+    for (int p = 0; p < ports; ++p) {
+        auto &in = inputs[static_cast<std::size_t>(p)];
+        in.vcs.resize(numVcs);
+
+        auto &out = outputs[static_cast<std::size_t>(p)];
+        topo::Port link = topo.port(id, p);
+        out.connected = link.connected();
+        if (!out.connected)
+            continue;
+        out.wireCycles = prm.wireCycles(link.kind);
+        for (int vc = 0; vc < numVcs; ++vc) {
+            out.credits[static_cast<std::size_t>(vc)] =
+                vc % vcSubCount == vcAdaptive ? prm.adaptiveVcFlits
+                                              : prm.escapeVcFlits;
+        }
+    }
+
+    gs_assert(prm.escapeVcFlits >= dataFlits &&
+                  prm.adaptiveVcFlits >= dataFlits,
+              "VC buffers must hold a whole data packet (cut-through)");
+}
+
+void
+Router::receive(int in_port, int vc, Packet pkt)
+{
+    auto &buf = inputs[static_cast<std::size_t>(in_port)]
+                    .vcs[static_cast<std::size_t>(vc)];
+    pkt.hops += 1;
+    buf.flitsUsed += pkt.flits;
+    buf.q.push_back(pkt);
+    buffered += 1;
+    net.activate();
+}
+
+void
+Router::creditReturn(int out_port, int vc, int flits)
+{
+    auto &out = outputs[static_cast<std::size_t>(out_port)];
+    out.credits[static_cast<std::size_t>(vc)] += flits;
+    net.activate();
+}
+
+void
+Router::inject(Packet pkt)
+{
+    injQs[static_cast<std::size_t>(pkt.cls)].push_back(pkt);
+    injWaiting += 1;
+    net.activate();
+}
+
+int
+Router::vcOccupancy(int in_port, int vc) const
+{
+    return inputs[static_cast<std::size_t>(in_port)]
+        .vcs[static_cast<std::size_t>(vc)]
+        .flitsUsed;
+}
+
+bool
+Router::chooseRoute(const Packet &pkt, Route &route) const
+{
+    const auto &topo = net.topology();
+
+    // Adaptive first: pick the minimal direction with the most free
+    // downstream credits ("a message can choose the less congested
+    // minimal path").
+    if (net.params().adaptiveEnabled && mayAdapt(pkt.cls)) {
+        int vc = vcIndex(pkt.cls, vcAdaptive);
+        int bestPort = -1, bestCredits = -1;
+        for (int p : topo.adaptivePorts(id, pkt.dst, pkt.hops)) {
+            const auto &out = outputs[static_cast<std::size_t>(p)];
+            int credits = out.credits[static_cast<std::size_t>(vc)];
+            if (credits >= pkt.flits && credits > bestCredits) {
+                bestCredits = credits;
+                bestPort = p;
+            }
+        }
+        if (bestPort >= 0) {
+            route = Route{bestPort, vc};
+            return true;
+        }
+    }
+
+    // Escape: the deadlock-free channel is always routable; it may
+    // just lack credits right now, in which case the packet waits.
+    topo::EscapeHop esc = topo.escapeRoute(id, pkt.dst, 0);
+    gs_assert(esc.port >= 0, "escape route missing at node ", id,
+              " for dst ", pkt.dst);
+    int vc = vcIndex(pkt.cls, esc.vc == 0 ? vcEscape0 : vcEscape1);
+    const auto &out = outputs[static_cast<std::size_t>(esc.port)];
+    if (out.credits[static_cast<std::size_t>(vc)] >= pkt.flits) {
+        route = Route{esc.port, vc};
+        return true;
+    }
+    return false;
+}
+
+Packet
+Router::popHead(int in_port, int vc)
+{
+    auto &buf = inputs[static_cast<std::size_t>(in_port)]
+                    .vcs[static_cast<std::size_t>(vc)];
+    gs_assert(!buf.q.empty());
+    Packet pkt = buf.q.front();
+    buf.q.pop_front();
+    buf.flitsUsed -= pkt.flits;
+    buffered -= 1;
+    // Freed buffer space becomes a credit at our upstream neighbour.
+    net.scheduleCredit(id, in_port, vc, pkt.flits);
+    return pkt;
+}
+
+void
+Router::ejectPass(Tick now)
+{
+    (void)now;
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+        for (int vc = 0; vc < numVcs; ++vc) {
+            auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
+            while (!buf.q.empty() && buf.q.front().dst == id) {
+                Packet pkt = popHead(static_cast<int>(p), vc);
+                net.deliverLocal(id, pkt);
+            }
+        }
+    }
+}
+
+void
+Router::nominate(Tick now)
+{
+    noms.clear();
+
+    // Network input ports: one nominee each, round-robin over VCs.
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+        auto &in = inputs[p];
+        for (int k = 0; k < numVcs; ++k) {
+            int vc = (in.rrVc + k) % numVcs;
+            auto &buf = in.vcs[static_cast<std::size_t>(vc)];
+            if (buf.q.empty())
+                continue;
+            Route route;
+            if (!chooseRoute(buf.q.front(), route))
+                continue;
+            if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
+                > now)
+                continue;
+            noms.push_back(Nominee{static_cast<int>(p), vc, route});
+            in.rrVc = (vc + 1) % numVcs;
+            break;
+        }
+    }
+
+    // Injection: one nominee, round-robin over message classes.
+    for (int k = 0; k < numClasses; ++k) {
+        int cls = (injRrClass + k) % numClasses;
+        auto &q = injQs[static_cast<std::size_t>(cls)];
+        if (q.empty())
+            continue;
+        Route route;
+        if (!chooseRoute(q.front(), route))
+            continue;
+        if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
+            > now)
+            continue;
+        noms.push_back(Nominee{-1, cls, route});
+        injRrClass = (cls + 1) % numClasses;
+        break;
+    }
+}
+
+void
+Router::grant(Tick now)
+{
+    const auto &topo = net.topology();
+    const auto &prm = net.params();
+    const int srcSlots = static_cast<int>(inputs.size()) + 1;
+
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+        auto &out = outputs[o];
+        if (!out.connected || out.busyUntil > now)
+            continue;
+
+        // Global arbiter: round-robin over nominating sources
+        // (network inputs 0..P-1, injection as slot P).
+        const Nominee *winner = nullptr;
+        int bestRank = srcSlots;
+        for (const auto &nom : noms) {
+            if (nom.route.outPort != static_cast<int>(o))
+                continue;
+            int slot = nom.inPort < 0 ? srcSlots - 1 : nom.inPort;
+            int rank = (slot - out.rrSrc + srcSlots) % srcSlots;
+            if (rank < bestRank) {
+                bestRank = rank;
+                winner = &nom;
+            }
+        }
+        if (!winner)
+            continue;
+
+        Packet pkt;
+        if (winner->inPort < 0) {
+            auto &q = injQs[static_cast<std::size_t>(winner->vc)];
+            pkt = q.front();
+            q.pop_front();
+            injWaiting -= 1;
+        } else {
+            pkt = popHead(winner->inPort, winner->vc);
+        }
+
+        int vc = winner->route.outVc;
+        out.credits[static_cast<std::size_t>(vc)] -= pkt.flits;
+        gs_assert(out.credits[static_cast<std::size_t>(vc)] >= 0,
+                  "credit underflow at node ", id, " port ", o);
+        out.busyUntil = now + static_cast<Tick>(pkt.flits) * net.period();
+        out.rrSrc = ((winner->inPort < 0 ? srcSlots - 1 : winner->inPort)
+                     + 1) % srcSlots;
+
+        net.countLinkFlits(id, static_cast<int>(o), pkt.flits);
+
+        topo::Port link = topo.port(id, static_cast<int>(o));
+        // Cut-through: the header is routable downstream after the
+        // pipeline + wire + header cycles; the body streams behind
+        // it at link rate (the link stays busy for the full length,
+        // and ejection waits for the tail). Store-and-forward (the
+        // ablation) waits for the whole packet at every hop.
+        int delay = prm.pipelineCycles + out.wireCycles +
+                    (prm.cutThrough ? std::min(pkt.flits, headerFlits)
+                                    : pkt.flits);
+        net.scheduleArrival(link.peer, link.peerPort, vc, pkt, delay);
+    }
+}
+
+void
+Router::tick(Tick now)
+{
+    if (idle())
+        return;
+    ejectPass(now);
+    if (buffered == 0 && injWaiting == 0)
+        return;
+    nominate(now);
+    if (!noms.empty())
+        grant(now);
+}
+
+} // namespace gs::net

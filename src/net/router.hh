@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The 21364-style router model.
+ *
+ * Each router serves one node of the topology. Per network input
+ * port it keeps one buffer per virtual channel (per message class:
+ * two escape VCs and one adaptive VC, Section 2 of the paper), and
+ * moves packets virtual-cut-through: a packet is transferred whole
+ * and occupies the link for its length in flits.
+ *
+ * Arbitration follows the paper's two-level scheme: "Each input
+ * port has two first-level arbiters, called the local arbiters,
+ * [which select] a candidate packet among those waiting at the
+ * input port. Each output port has a second-level arbiter, called
+ * the global arbiter, which selects a packet from those nominated
+ * for it by the local arbiters." Both levels are round-robin here.
+ *
+ * Route selection: packets prefer the adaptive VC of the minimal
+ * output with the most free downstream credits; when every adaptive
+ * candidate is full they fall into the deadlock-free escape channel
+ * (dimension-order with a dateline VC switch, computed by the
+ * topology). Ejection always sinks, so responses drain and the
+ * class separation keeps the coherence protocol deadlock-free.
+ */
+
+#ifndef GS_NET_ROUTER_HH
+#define GS_NET_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace gs::net
+{
+
+class Network;
+
+/** One node's router: buffers, arbiters and the crossbar. */
+class Router
+{
+  public:
+    Router(Network &net, NodeId id);
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+    Router(Router &&) = default;
+
+    /** Advance one network cycle (called by the Network). */
+    void tick(Tick now);
+
+    /** True when no packet is buffered or awaiting injection. */
+    bool idle() const { return buffered == 0 && injWaiting == 0; }
+
+    /** Packet arrival from an upstream link (scheduled event). */
+    void receive(int in_port, int vc, Packet pkt);
+
+    /** Downstream freed buffer space (scheduled event). */
+    void creditReturn(int out_port, int vc, int flits);
+
+    /** Local agent hands a packet to this router for injection. */
+    void inject(Packet pkt);
+
+    /** Occupancy (flits) of input VC @p vc on port @p in_port. */
+    int vcOccupancy(int in_port, int vc) const;
+
+    /** Pending packets in the injection queue of class @p cls. */
+    std::size_t injQueueDepth(MsgClass cls) const
+    {
+        return injQs[static_cast<std::size_t>(cls)].size();
+    }
+
+  private:
+    /** Chosen output for a head packet. */
+    struct Route
+    {
+        int outPort = -1;
+        int outVc = -1;
+    };
+
+    /** A local-arbiter nomination. */
+    struct Nominee
+    {
+        int inPort;  ///< network input port, or -1 for injection
+        int vc;      ///< source VC (or class index when injecting)
+        Route route; ///< chosen output
+    };
+
+    /**
+     * Pick the best feasible output for @p pkt: adaptive candidate
+     * with most free credits, else escape.
+     * @retval false when no output currently has room.
+     */
+    bool chooseRoute(const Packet &pkt, Route &out) const;
+
+    /** Eject every deliverable head packet on every input VC. */
+    void ejectPass(Tick now);
+
+    /** Run the local arbiters, filling the nominee list. */
+    void nominate(Tick now);
+
+    /** Run the global arbiters and perform the granted transfers. */
+    void grant(Tick now);
+
+    /** Pop the head of an input VC, returning upstream credits. */
+    Packet popHead(int in_port, int vc);
+
+    struct VcBuf
+    {
+        std::deque<Packet> q;
+        int flitsUsed = 0;
+    };
+
+    struct Input
+    {
+        std::vector<VcBuf> vcs;
+        int rrVc = 0; ///< local-arbiter round-robin pointer
+    };
+
+    struct Output
+    {
+        bool connected = false;
+        std::array<int, numVcs> credits{};
+        Tick busyUntil = 0;
+        int wireCycles = 0;
+        int rrSrc = 0; ///< global-arbiter round-robin pointer
+    };
+
+    Network &net;
+    NodeId id;
+
+    std::vector<Input> inputs;
+    std::vector<Output> outputs;
+    std::array<std::deque<Packet>, numClasses> injQs;
+    int injRrClass = 0;
+
+    int buffered = 0;   ///< packets held in input VC buffers
+    int injWaiting = 0; ///< packets waiting in injection queues
+
+    std::vector<Nominee> noms; ///< per-tick scratch
+};
+
+} // namespace gs::net
+
+#endif // GS_NET_ROUTER_HH

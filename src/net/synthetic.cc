@@ -1,0 +1,192 @@
+#include "net/synthetic.hh"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "topology/torus.hh"
+
+namespace gs::net
+{
+
+namespace
+{
+
+/** Destination chooser for one source node under a pattern. */
+class Chooser
+{
+  public:
+    Chooser(const topo::Topology &topo, const SyntheticConfig &cfg,
+            Rng &rng)
+        : topo(topo), cfg(cfg), rng(rng),
+          torus(dynamic_cast<const topo::Torus2D *>(&topo))
+    {
+        if (cfg.pattern == TrafficPattern::Transpose) {
+            gs_assert(torus && torus->width() == torus->height(),
+                      "transpose traffic needs a square torus");
+        }
+        if (cfg.pattern == TrafficPattern::NearestNeighbor)
+            gs_assert(torus, "nearest-neighbour traffic needs a torus");
+    }
+
+    NodeId
+    pick(NodeId src)
+    {
+        const int n = topo.numCpuNodes();
+        switch (cfg.pattern) {
+          case TrafficPattern::UniformRandom:
+            return uniformOther(src);
+          case TrafficPattern::BitComplement:
+            return static_cast<NodeId>(n - 1 - src);
+          case TrafficPattern::Transpose:
+            return torus->nodeAt(torus->yOf(src), torus->xOf(src));
+          case TrafficPattern::NearestNeighbor:
+            return torus->nodeAt(
+                (torus->xOf(src) + 1) % torus->width(),
+                torus->yOf(src));
+          case TrafficPattern::HotSpot:
+            if (src != cfg.hotspotNode &&
+                rng.chance(cfg.hotspotFraction))
+                return cfg.hotspotNode;
+            return uniformOther(src);
+        }
+        return uniformOther(src);
+    }
+
+  private:
+    NodeId
+    uniformOther(NodeId src)
+    {
+        const int n = topo.numCpuNodes();
+        auto pick = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(n - 1)));
+        if (pick >= src)
+            pick += 1;
+        return pick;
+    }
+
+    const topo::Topology &topo;
+    const SyntheticConfig &cfg;
+    Rng &rng;
+    const topo::Torus2D *torus;
+};
+
+/**
+ * Run state shared with scheduled events, which may still be queued
+ * (harmlessly) after runSynthetic() returns.
+ */
+struct RunState
+{
+    RunState(const topo::Topology &topo, const SyntheticConfig &c)
+        : cfg(c), rng(c.seed), chooser(topo, cfg, rng)
+    {
+    }
+
+    SyntheticConfig cfg;
+    Rng rng;
+    Chooser chooser;
+
+    Tick measureFrom = 0;
+    Tick measureTo = 0;
+    bool stopped = false;
+
+    stats::Average latency;
+    stats::Average hops;
+    std::uint64_t inWindow = 0;          ///< injected during window
+    std::uint64_t deliveredInWindow = 0; ///< of those, delivered
+    std::uint64_t throughputCount = 0;   ///< delivered DURING window
+};
+
+} // namespace
+
+SyntheticResult
+runSynthetic(SimContext &ctx, Network &net, const SyntheticConfig &cfg)
+{
+    gs_assert(cfg.injectionRate > 0 && cfg.injectionRate <= 1.0,
+              "injection rate must be in (0, 1]");
+
+    const auto &topo = net.topology();
+    const int n = topo.numCpuNodes();
+    const Tick period = net.period();
+
+    auto state = std::make_shared<RunState>(topo, cfg);
+    state->measureFrom =
+        ctx.now() + static_cast<Tick>(cfg.warmupCycles) * period;
+    state->measureTo = state->measureFrom +
+                       static_cast<Tick>(cfg.measureCycles) * period;
+
+    for (NodeId node = 0; node < topo.numNodes(); ++node) {
+        net.setHandler(node, [state, &ctx](const Packet &pkt) {
+            // Throughput: deliveries inside the window (regardless
+            // of injection time) — the drain phase must not count.
+            if (ctx.now() >= state->measureFrom &&
+                ctx.now() < state->measureTo)
+                state->throughputCount += 1;
+            // Latency: packets injected inside the window.
+            if (pkt.injected >= state->measureFrom &&
+                pkt.injected < state->measureTo) {
+                state->deliveredInWindow += 1;
+                state->latency.sample(
+                    ticksToNs(ctx.now() - pkt.injected));
+                state->hops.sample(static_cast<double>(pkt.hops));
+            }
+        });
+    }
+
+    // One geometric-gap injection process per source node. The
+    // chained events capture the shared state by value, so stragglers
+    // left in the queue after we return are no-ops.
+    auto arm = std::make_shared<std::function<void(NodeId)>>();
+    *arm = [state, arm, &ctx, &net, period](NodeId src) {
+        double u = state->rng.uniform();
+        auto gapCycles = static_cast<Tick>(
+            1 + std::log(1.0 - u) /
+                    std::log(1.0 - state->cfg.injectionRate));
+        ctx.queue().schedule(gapCycles * period,
+                             [state, arm, &ctx, &net, src] {
+            if (state->stopped || ctx.now() >= state->measureTo)
+                return;
+            Packet pkt;
+            pkt.cls = state->cfg.cls;
+            pkt.src = src;
+            pkt.dst = state->chooser.pick(src);
+            pkt.flits = state->cfg.packetFlits;
+            if (ctx.now() >= state->measureFrom)
+                state->inWindow += 1;
+            net.inject(pkt);
+            (*arm)(src);
+        });
+    };
+    for (NodeId src = 0; src < n; ++src)
+        (*arm)(src);
+
+    // Run through the window, then drain.
+    ctx.queue().runUntil(state->measureTo);
+    Tick drainLimit = state->measureTo + 1000 * tickUs;
+    while (ctx.now() < drainLimit && net.inFlight() > 0) {
+        if (!ctx.queue().step())
+            break;
+    }
+    state->stopped = true;
+
+    SyntheticResult out;
+    out.offeredFlitsPerNodeCycle =
+        cfg.injectionRate * cfg.packetFlits;
+    double windowCycles = static_cast<double>(cfg.measureCycles);
+    out.acceptedFlitsPerNodeCycle =
+        static_cast<double>(state->throughputCount) *
+        cfg.packetFlits / (windowCycles * n);
+    out.avgLatencyNs = state->latency.mean();
+    out.avgHops = state->hops.mean();
+    out.measuredPackets = state->deliveredInWindow;
+    out.drained = state->deliveredInWindow == state->inWindow;
+
+    // Leave no dangling handlers for the caller.
+    for (NodeId node = 0; node < topo.numNodes(); ++node)
+        net.setHandler(node, nullptr);
+    return out;
+}
+
+} // namespace gs::net

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic-traffic harness for standalone network studies
+ * (Garnet-style): drive every node with a stochastic packet stream
+ * under a chosen spatial pattern, measure accepted throughput and
+ * latency over a warmed window, then drain.
+ *
+ * Used by the ablation benches (adaptive vs deterministic routing,
+ * VC buffer sizing) and by the network tests; the paper's Figure 15
+ * load test is the protocol-level cousin of the uniform pattern.
+ */
+
+#ifndef GS_NET_SYNTHETIC_HH
+#define GS_NET_SYNTHETIC_HH
+
+#include "net/network.hh"
+#include "sim/random.hh"
+
+namespace gs::net
+{
+
+/** Spatial traffic patterns. */
+enum class TrafficPattern
+{
+    UniformRandom,   ///< every other node equally likely
+    BitComplement,   ///< node i -> node (N-1-i)
+    Transpose,       ///< (x,y) -> (y,x); square tori only
+    NearestNeighbor, ///< (x,y) -> (x+1,y)
+    HotSpot,         ///< a fraction of traffic targets one node
+};
+
+/** Harness configuration. */
+struct SyntheticConfig
+{
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+
+    /** Offered load in packets per node per network cycle. */
+    double injectionRate = 0.05;
+
+    int packetFlits = dataFlits;
+    MsgClass cls = MsgClass::BlockResponse;
+
+    /** Cycles of warmup (not measured) and of measurement. */
+    int warmupCycles = 2000;
+    int measureCycles = 8000;
+
+    std::uint64_t seed = 1;
+
+    NodeId hotspotNode = 0;
+    double hotspotFraction = 0.5; ///< HotSpot: share aimed at it
+};
+
+/** Measured outcome of one run. */
+struct SyntheticResult
+{
+    double offeredFlitsPerNodeCycle = 0;
+    double acceptedFlitsPerNodeCycle = 0;
+    double avgLatencyNs = 0;
+    double avgHops = 0;
+    std::uint64_t measuredPackets = 0;
+
+    /** True when every measured packet was delivered (no loss). */
+    bool drained = false;
+};
+
+/**
+ * Drive @p net with @p cfg and report. The network must be idle and
+ * have no conflicting handlers; the harness owns all handlers for
+ * the duration.
+ */
+SyntheticResult runSynthetic(SimContext &ctx, Network &net,
+                             const SyntheticConfig &cfg);
+
+} // namespace gs::net
+
+#endif // GS_NET_SYNTHETIC_HH

@@ -1,0 +1,76 @@
+#include "sim/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace gs
+{
+
+Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            gs_fatal("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+
+        std::string key = arg, value = "1";
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+
+        if (key == "help") {
+            std::printf("options:\n");
+            for (const auto &[name, help] : known)
+                std::printf("  --%-20s %s\n", name.c_str(), help.c_str());
+            std::exit(0);
+        }
+        if (!known.empty() && !known.count(key))
+            gs_fatal("unknown option --", key, " (try --help)");
+        values[key] = value;
+    }
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::string
+Args::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? def : std::strtoll(it->second.c_str(),
+                                                   nullptr, 0);
+}
+
+double
+Args::getDouble(const std::string &key, double def) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? def : std::strtod(it->second.c_str(),
+                                                  nullptr);
+}
+
+bool
+Args::getBool(const std::string &key, bool def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    return it->second != "0" && it->second != "false" &&
+           it->second != "no";
+}
+
+} // namespace gs

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Simulation context: the event queue plus the experiment-level RNG.
+ * One context per experiment run; components hold a reference.
+ */
+
+#ifndef GS_SIM_CONTEXT_HH
+#define GS_SIM_CONTEXT_HH
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace gs
+{
+
+/** Bundles the per-run simulation services components depend on. */
+class SimContext
+{
+  public:
+    explicit SimContext(std::uint64_t seed = 1) : rng_(seed) {}
+
+    EventQueue &queue() { return eq; }
+    Rng &rng() { return rng_; }
+    Tick now() const { return eq.now(); }
+
+  private:
+    EventQueue eq;
+    Rng rng_;
+};
+
+} // namespace gs
+
+#endif // GS_SIM_CONTEXT_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event kernel: a time-ordered queue of callbacks.
+ *
+ * Events scheduled for the same tick fire in FIFO order of their
+ * scheduling (a monotone sequence number breaks ties), which keeps
+ * component interactions deterministic and reproducible.
+ */
+
+#ifndef GS_SIM_EVENT_QUEUE_HH
+#define GS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gs
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A discrete-event queue with a current simulated time.
+ *
+ * The queue owns the notion of "now": callbacks observe time via
+ * now() and schedule further work with schedule()/scheduleAt().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Number of events not yet fired. */
+    std::size_t pending() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        gs_assert(when >= curTick,
+                  "event scheduled in the past: ", when, " < ", curTick);
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        scheduleAt(curTick + delay, std::move(fn));
+    }
+
+    /**
+     * Fire the single earliest event.
+     * @retval false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        curTick = e.when;
+        e.fn();
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or time exceeds @p limit.
+     * @return the tick at which execution stopped.
+     */
+    Tick
+    runUntil(Tick limit = maxTick)
+    {
+        while (!heap.empty() && heap.top().when <= limit)
+            step();
+        if (curTick < limit && limit != maxTick)
+            curTick = limit;
+        return curTick;
+    }
+
+    /** Run for @p duration ticks past the current time. */
+    Tick runFor(Tick duration) { return runUntil(curTick + duration); }
+
+    /** Drop all pending events (used between experiment phases). */
+    void
+    clear()
+    {
+        while (!heap.empty())
+            heap.pop();
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace gs
+
+#endif // GS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,47 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace gs
+{
+
+namespace
+{
+bool verboseFlag = true;
+}
+
+void setVerbose(bool on) { verboseFlag = on; }
+bool verbose() { return verboseFlag; }
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace gs

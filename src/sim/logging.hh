@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 spirit: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef GS_SIM_LOGGING_HH
+#define GS_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gs
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a variadic pack into one string via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggle inform() output (benches silence it for clean tables). */
+void setVerbose(bool on);
+bool verbose();
+
+} // namespace gs
+
+/**
+ * panic: something happened that should never happen regardless of
+ * what the user does, i.e. a simulator bug. Aborts.
+ */
+#define gs_panic(...) \
+    ::gs::detail::panicImpl(__FILE__, __LINE__, \
+                            ::gs::detail::concat(__VA_ARGS__))
+
+/**
+ * fatal: the simulation cannot continue due to a user-level problem
+ * (bad configuration, invalid arguments). Exits with code 1.
+ */
+#define gs_fatal(...) \
+    ::gs::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::gs::detail::concat(__VA_ARGS__))
+
+/** warn: possibly-incorrect behaviour the user should know about. */
+#define gs_warn(...) \
+    ::gs::detail::warnImpl(::gs::detail::concat(__VA_ARGS__))
+
+/** inform: normal operating message. */
+#define gs_inform(...) \
+    ::gs::detail::informImpl(::gs::detail::concat(__VA_ARGS__))
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define gs_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            gs_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // GS_SIM_LOGGING_HH

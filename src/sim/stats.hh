@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Statistics primitives used by every model: scalar counters,
+ * running averages, histograms, busy-fraction accumulators, and a
+ * periodic time-series sampler (the substrate for the Xmesh-style
+ * profiles in Figures 10, 11, 20, 22 and 24 of the paper).
+ */
+
+#ifndef GS_SIM_STATS_HH
+#define GS_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gs::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { val += n; }
+    void reset() { val = 0; }
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Running mean / min / max / count over observed samples. */
+class Average
+{
+  public:
+    void
+    sample(double x)
+    {
+        sum += x;
+        n += 1;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+
+    void
+    reset()
+    {
+        sum = 0;
+        n = 0;
+        lo = 1e300;
+        hi = -1e300;
+    }
+
+    std::uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+  private:
+    double sum = 0;
+    std::uint64_t n = 0;
+    double lo = 1e300;
+    double hi = -1e300;
+};
+
+/** Fixed-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lower(lo), upper(hi), counts(buckets + 1, 0)
+    {
+        gs_assert(buckets > 0 && hi > lo);
+    }
+
+    void
+    sample(double x)
+    {
+        stat.sample(x);
+        if (x < lower) {
+            counts.front() += 1;
+        } else if (x >= upper) {
+            counts.back() += 1;
+        } else {
+            auto idx = static_cast<std::size_t>(
+                (x - lower) / (upper - lower)
+                * static_cast<double>(counts.size() - 1));
+            counts[idx] += 1;
+        }
+    }
+
+    const Average &summary() const { return stat; }
+    const std::vector<std::uint64_t> &buckets() const { return counts; }
+
+    /** Approximate quantile (q in [0,1]) from bucket midpoints. */
+    double
+    quantile(double q) const
+    {
+        const std::uint64_t target =
+            static_cast<std::uint64_t>(q * static_cast<double>(stat.count()));
+        std::uint64_t seen = 0;
+        const double width =
+            (upper - lower) / static_cast<double>(counts.size() - 1);
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            seen += counts[i];
+            if (seen > target)
+                return lower + (static_cast<double>(i) + 0.5) * width;
+        }
+        return upper;
+    }
+
+  private:
+    double lower, upper;
+    std::vector<std::uint64_t> counts;
+    Average stat;
+};
+
+/**
+ * Tracks the busy fraction of a resource (a link direction, a Zbox)
+ * over a measurement window. Components report busy spans; the
+ * utilization is busy-time / elapsed-time, exactly what the 21364
+ * performance counters expose to Xmesh.
+ */
+class Utilization
+{
+  public:
+    /** Record that the resource was busy for @p ticks. */
+    void addBusy(Tick ticks) { busy += ticks; }
+
+    /** Start a measurement window at @p now. */
+    void
+    beginWindow(Tick now)
+    {
+        windowStart = now;
+        busy = 0;
+    }
+
+    /** Busy fraction in [0,1] for the window ending at @p now. */
+    double
+    fraction(Tick now) const
+    {
+        if (now <= windowStart)
+            return 0.0;
+        double f = static_cast<double>(busy)
+                   / static_cast<double>(now - windowStart);
+        return std::min(f, 1.0);
+    }
+
+    Tick busyTicks() const { return busy; }
+
+  private:
+    Tick busy = 0;
+    Tick windowStart = 0;
+};
+
+/** One named series of periodic samples (e.g. "MC util, node 3"). */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * Periodic sampler producing the utilization-vs-time histograms the
+ * paper plots. An experiment registers probe callbacks; sample()
+ * is invoked at a fixed interval and appends one value per probe.
+ */
+class TimeSeries
+{
+  public:
+    using Probe = std::function<double()>;
+
+    /** Register a named probe; returns its series index. */
+    std::size_t
+    add(std::string name, Probe probe)
+    {
+        probes.push_back(std::move(probe));
+        data.push_back(Series{std::move(name), {}});
+        return probes.size() - 1;
+    }
+
+    /** Take one sample of every probe. */
+    void
+    sample()
+    {
+        for (std::size_t i = 0; i < probes.size(); ++i)
+            data[i].values.push_back(probes[i]());
+    }
+
+    const std::vector<Series> &series() const { return data; }
+    std::size_t sampleCount() const
+    {
+        return data.empty() ? 0 : data.front().values.size();
+    }
+
+  private:
+    std::vector<Probe> probes;
+    std::vector<Series> data;
+};
+
+} // namespace gs::stats
+
+#endif // GS_SIM_STATS_HH

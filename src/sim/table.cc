@@ -1,0 +1,92 @@
+#include "sim/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gs
+{
+
+Table::Table(std::vector<std::string> header) : head(std::move(header))
+{
+    gs_assert(!head.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    gs_assert(cells.size() == head.size(),
+              "row width ", cells.size(), " != header width ", head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(int v)
+{
+    return std::to_string(v);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << '\n';
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==" << '\n';
+}
+
+} // namespace gs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for bench harnesses. Every bench
+ * binary prints the rows/series of one paper figure or table through
+ * these helpers so output formatting is uniform.
+ */
+
+#ifndef GS_SIM_TABLE_HH
+#define GS_SIM_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gs
+{
+
+/**
+ * Column-aligned ASCII table. Usage:
+ *
+ *   Table t({"dataset", "GS1280", "GS320"});
+ *   t.addRow({"4k", "2.4", "3.3"});
+ *   t.print(std::cout);
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a pre-formatted row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p digits fraction digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+    static std::string num(int v);
+
+    void print(std::ostream &os) const;
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+    const std::vector<std::string> &row(std::size_t i) const
+    {
+        return body[i];
+    }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Print a section banner ("== Figure 15: Load test ==") to @p os. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace gs
+
+#endif // GS_SIM_TABLE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fundamental simulation types and time helpers.
+ *
+ * The simulator keeps one global time base in picoseconds so that
+ * components in different clock domains (1.15 GHz EV7 core, 767 MHz
+ * router/Zbox data rate, 400 MHz GS320 switch) can interoperate on a
+ * single event queue without rounding surprises.
+ */
+
+#ifndef GS_SIM_TYPES_HH
+#define GS_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace gs
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Node (processor/switch) identifier inside one machine. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/** Sentinel tick, later than any reachable simulation time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One nanosecond in ticks. */
+constexpr Tick tickNs = 1000;
+
+/** One microsecond in ticks. */
+constexpr Tick tickUs = 1000 * tickNs;
+
+/** One millisecond in ticks. */
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** Convert a floating-point nanosecond quantity to ticks (rounded). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickNs) + 0.5);
+}
+
+/** Convert ticks to (floating point) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickNs);
+}
+
+/**
+ * A clock domain: converts between cycles and ticks.
+ *
+ * Period is stored in ticks (picoseconds); e.g. the EV7 core at
+ * 1.15 GHz has a period of 870 ps, the router/Zbox data clock at
+ * 767 MHz has a period of 1304 ps.
+ */
+class Clock
+{
+  public:
+    /** Construct from a frequency in MHz. */
+    static Clock
+    fromMHz(double mhz)
+    {
+        return Clock(static_cast<Tick>(1e6 / mhz + 0.5));
+    }
+
+    explicit constexpr Clock(Tick period_ps) : period(period_ps) {}
+
+    constexpr Tick periodTicks() const { return period; }
+    constexpr double frequencyGHz() const
+    {
+        return 1000.0 / static_cast<double>(period);
+    }
+
+    /** Ticks taken by @p n cycles of this clock. */
+    constexpr Tick cyclesToTicks(Cycles n) const { return n * period; }
+
+    /** Whole cycles elapsed at tick @p t (floor). */
+    constexpr Cycles ticksToCycles(Tick t) const { return t / period; }
+
+    /** Next tick at or after @p t that is aligned to a clock edge. */
+    constexpr Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + period - 1) / period) * period;
+    }
+
+  private:
+    Tick period;
+};
+
+} // namespace gs
+
+#endif // GS_SIM_TYPES_HH

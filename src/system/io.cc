@@ -1,0 +1,78 @@
+#include "system/io.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::sys
+{
+
+IoDma::IoDma(net::Network &network, NodeId from_node, NodeId to_node,
+             IoDmaParams params)
+    : net(network), from(from_node), to(to_node), prm(params)
+{
+    gs_assert(from != to, "DMA stream needs distinct endpoints");
+    gs_assert(prm.packetBytes > 0 && prm.rateGBs > 0);
+    packets = (prm.totalBytes + prm.packetBytes - 1) /
+              static_cast<std::uint64_t>(prm.packetBytes);
+    gap = nsToTicks(static_cast<double>(prm.packetBytes) /
+                    prm.rateGBs);
+}
+
+double
+IoDma::deliveredGBs() const
+{
+    if (endTick <= startTick || received == 0)
+        return 0.0;
+    return static_cast<double>(received) * prm.packetBytes /
+           ticksToNs(endTick - startTick);
+}
+
+void
+IoDma::start(std::function<void()> on_done)
+{
+    gs_assert(injected == 0, "DMA stream already started");
+    onDone = std::move(on_done);
+    startTick = net.context().now();
+    injectNext();
+}
+
+void
+IoDma::injectNext()
+{
+    if (injected >= packets)
+        return;
+    injected += 1;
+
+    net::Packet pkt;
+    pkt.cls = net::MsgClass::IO;
+    pkt.src = from;
+    pkt.dst = to;
+    pkt.flits = net::headerFlits +
+                (prm.packetBytes + 3) / 4; // 4 B flits
+    pkt.user[0] = injected; // sequence number
+    net.inject(pkt);
+
+    net.context().queue().schedule(gap, [this] { injectNext(); });
+}
+
+void
+IoDma::deliver(const net::Packet &)
+{
+    received += 1;
+    if (received == packets) {
+        endTick = net.context().now();
+        if (onDone) {
+            auto done = std::move(onDone);
+            onDone = nullptr;
+            done();
+        }
+    }
+}
+
+void
+IoDma::attachSink(coher::CoherentNode &node)
+{
+    node.setIoSink(
+        [this](const net::Packet &pkt) { deliver(pkt); });
+}
+
+} // namespace gs::sys

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * I/O subsystem model: DMA streams over the IO packet class.
+ *
+ * Each 21364 connects its IO7 chip through a full-duplex 3.1 GB/s
+ * port (Section 2 of the paper); IO traffic rides the torus in its
+ * own packet class, which has the two deadlock-free VCs but no
+ * adaptive channel. The paper's Figure 28 credits the GS1280 with
+ * ~8x the GS320's I/O bandwidth, and its future work singles out
+ * I/O-intensive characterization — this model supports both: paced
+ * DMA streams whose delivered bandwidth and interference with
+ * coherence traffic can be measured.
+ */
+
+#ifndef GS_SYSTEM_IO_HH
+#define GS_SYSTEM_IO_HH
+
+#include <functional>
+
+#include "coherence/node.hh"
+#include "net/network.hh"
+#include "sim/types.hh"
+
+namespace gs::sys
+{
+
+/** Configuration of one DMA stream. */
+struct IoDmaParams
+{
+    std::uint64_t totalBytes = 1 << 20;
+
+    /** Device pacing; the 21364 IO port sustains 3.1 GB/s. */
+    double rateGBs = 3.1;
+
+    /** Payload per packet (one cache line per IO packet here). */
+    int packetBytes = 64;
+};
+
+/**
+ * A paced DMA stream from a device behind @p from's IO port to
+ * @p to's IO port (e.g. disk-to-disk or NIC traffic crossing the
+ * fabric). Injection is paced at the device rate; the network
+ * applies its own backpressure on top.
+ */
+class IoDma
+{
+  public:
+    IoDma(net::Network &net, NodeId from, NodeId to,
+          IoDmaParams params = {});
+
+    /** Begin streaming; @p on_done fires when all bytes arrived. */
+    void start(std::function<void()> on_done);
+
+    /** Count one arrived packet (called from the receiver's sink). */
+    void deliver(const net::Packet &pkt);
+
+    /**
+     * Convenience: register this stream as @p node's IO sink (one
+     * stream per receiving node; use a custom sink to multiplex).
+     */
+    void attachSink(coher::CoherentNode &node);
+
+    bool done() const { return received >= packets; }
+
+    /** Delivered bandwidth over the stream's lifetime, in GB/s. */
+    double deliveredGBs() const;
+
+    std::uint64_t packetsDelivered() const { return received; }
+
+  private:
+    void injectNext();
+
+    net::Network &net;
+    NodeId from;
+    NodeId to;
+    IoDmaParams prm;
+
+    std::uint64_t packets = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t received = 0;
+    Tick startTick = 0;
+    Tick endTick = 0;
+    Tick gap = 0; ///< pacing interval between injections
+    std::function<void()> onDone;
+};
+
+} // namespace gs::sys
+
+#endif // GS_SYSTEM_IO_HH

@@ -1,0 +1,308 @@
+#include "system/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "topology/torus.hh"
+#include "topology/tree.hh"
+
+namespace gs::sys
+{
+
+std::pair<int, int>
+torusShape(int cpus)
+{
+    // The shapes HP shipped: 2x1, 2x2, 4x2, 4x3 (12P), 4x4, 8x4,
+    // 8x8; width is the longer dimension ("horizontal" links in the
+    // paper's Figure 24 discussion of the 32P machine).
+    switch (cpus) {
+      case 1:
+        return {1, 1};
+      case 2:
+        return {2, 1};
+      case 4:
+        return {2, 2};
+      case 8:
+        return {4, 2};
+      case 12:
+        return {4, 3};
+      case 16:
+        return {4, 4};
+      case 32:
+        return {8, 4};
+      case 64:
+        return {8, 8};
+      default: {
+        int w = 1;
+        while (w * w < cpus)
+            w *= 2;
+        gs_assert(cpus % w == 0, "no standard torus shape for ", cpus,
+                  " CPUs");
+        return {w, cpus / w};
+      }
+    }
+}
+
+NodeId
+Machine::moduleBuddy(NodeId n) const
+{
+    gs_assert(kind_ == SystemKind::GS1280,
+              "module buddies exist only on the GS1280");
+    const auto *torus = static_cast<const topo::Torus2D *>(topo_.get());
+    int x = torus->xOf(n), y = torus->yOf(n);
+    if (torus->height() == 1)
+        return torus->nodeAt((x + 1) % torus->width(), y);
+    int buddyY = (y % 2 == 0) ? (y + 1 < torus->height() ? y + 1 : y - 1)
+                              : y - 1;
+    if (buddyY < 0)
+        buddyY = y; // degenerate single-row case
+    return torus->nodeAt(x, buddyY);
+}
+
+std::unique_ptr<Machine>
+Machine::buildGS1280(int cpus, Gs1280Options opt)
+{
+    gs_assert(cpus >= 1 && cpus <= 64, "GS1280 supports 1-64 CPUs");
+
+    auto m = std::unique_ptr<Machine>(new Machine);
+    m->kind_ = SystemKind::GS1280;
+    m->nCpus = cpus;
+    m->context = std::make_unique<SimContext>(opt.seed);
+
+    auto [w, h] = opt.width > 0 ? std::pair{opt.width, opt.height}
+                                : torusShape(cpus);
+    gs_assert(w * h == cpus, "torus ", w, "x", h, " != ", cpus,
+              " CPUs");
+    m->torusW = w;
+    m->torusH = h;
+
+    if (opt.shuffle) {
+        m->topo_ = std::make_unique<topo::ShuffleTorus>(
+            w, h, opt.shufflePolicy);
+    } else {
+        m->topo_ = std::make_unique<topo::Torus2D>(w, h);
+    }
+
+    if (opt.striped) {
+        Machine *raw = m.get();
+        m->map = std::make_unique<mem::StripedMap>(
+            [raw](NodeId n) { return raw->moduleBuddy(n); });
+    } else {
+        m->map = std::make_unique<mem::NodeOwnedMap>();
+    }
+
+    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
+                                            net::NetworkParams::gs1280());
+
+    coher::NodeConfig ncfg;
+    ncfg.hasCache = true;
+    ncfg.hasMemory = true;
+    ncfg.l2 = mem::CacheParams::ev7L2();
+    ncfg.zbox = mem::ZboxParams::ev7();
+    ncfg.zboxCount = 2;
+    ncfg.mafEntries = std::max(16, opt.mlp);
+
+    cpu::CoreParams ccfg;
+    ccfg.mlp = opt.mlp;
+
+    for (NodeId n = 0; n < cpus; ++n) {
+        m->nodes.push_back(std::make_unique<coher::CoherentNode>(
+            *m->context, *m->net, n, *m->map, ncfg));
+        m->cores.push_back(std::make_unique<cpu::TimingCore>(
+            *m->context, *m->nodes.back(), ccfg));
+    }
+    return m;
+}
+
+std::unique_ptr<Machine>
+Machine::buildGS320(int cpus, std::uint64_t seed, int mlp)
+{
+    gs_assert(cpus >= 1 && cpus <= 32 &&
+                  (cpus % 4 == 0 || cpus < 4),
+              "GS320 supports up to 8 QBBs of 4 CPUs");
+
+    auto m = std::unique_ptr<Machine>(new Machine);
+    m->kind_ = SystemKind::GS320;
+    m->nCpus = cpus;
+    m->context = std::make_unique<SimContext>(seed);
+
+    int perQbb = std::min(cpus, 4);
+    auto tree = std::make_unique<topo::QbbTree>(cpus, perQbb);
+    const topo::QbbTree *treeRaw = tree.get();
+    m->topo_ = std::move(tree);
+
+    m->map = std::make_unique<mem::SharedHomeMap>(
+        [treeRaw](NodeId region) {
+        return treeRaw->qbbSwitchOf(region);
+    });
+
+    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
+                                            net::NetworkParams::gs320());
+
+    // CPU nodes: 21264 core with the 16 MB off-chip direct-mapped L2.
+    // Probing that cache for a forward means an off-chip SRAM read
+    // through a busy bus interface — the slow Read-Dirty path the
+    // paper contrasts with the EV7's on-chip forwarding (6.6x).
+    coher::NodeConfig cpuCfg;
+    cpuCfg.hasCache = true;
+    cpuCfg.hasMemory = false;
+    cpuCfg.l2 = mem::CacheParams::ev68L2();
+    cpuCfg.fwdServiceNs = 300.0;
+
+    // QBB switch nodes: the shared memory + directory. Calibrated so
+    // one QBB sustains ~2 GB/s and local latency lands near 330 ns.
+    coher::NodeConfig memCfg;
+    memCfg.hasCache = false;
+    memCfg.hasMemory = true;
+    memCfg.zbox = mem::ZboxParams::qbbMemory(1.0, 70.0);
+    memCfg.zboxCount = 2;
+    memCfg.homeOverheadNs = 15.0;
+
+    m->nodes.resize(static_cast<std::size_t>(m->topo_->numNodes()));
+    for (NodeId n = 0; n < cpus; ++n) {
+        m->nodes[std::size_t(n)] =
+            std::make_unique<coher::CoherentNode>(*m->context, *m->net,
+                                                  n, *m->map, cpuCfg);
+        cpu::CoreParams ccfg;
+        ccfg.mlp = mlp;
+        m->cores.push_back(std::make_unique<cpu::TimingCore>(
+            *m->context, *m->nodes[std::size_t(n)], ccfg));
+    }
+    for (int q = 0; q < treeRaw->qbbCount(); ++q) {
+        NodeId sw = static_cast<NodeId>(cpus + q);
+        m->nodes[std::size_t(sw)] =
+            std::make_unique<coher::CoherentNode>(*m->context, *m->net,
+                                                  sw, *m->map, memCfg);
+    }
+    // The global switch (if any) is a pure router: no CoherentNode.
+    return m;
+}
+
+std::unique_ptr<Machine>
+Machine::buildES45(int cpus, std::uint64_t seed, int mlp)
+{
+    gs_assert(cpus >= 1 && cpus <= 4, "ES45 is a 4-CPU SMP");
+
+    auto m = std::unique_ptr<Machine>(new Machine);
+    m->kind_ = SystemKind::ES45;
+    m->nCpus = cpus;
+    m->context = std::make_unique<SimContext>(seed);
+
+    auto tree = std::make_unique<topo::QbbTree>(cpus, cpus);
+    const topo::QbbTree *treeRaw = tree.get();
+    m->topo_ = std::move(tree);
+
+    m->map = std::make_unique<mem::SharedHomeMap>(
+        [treeRaw](NodeId region) {
+        return treeRaw->qbbSwitchOf(region);
+    });
+
+    // ES45 crossbar: faster than the GS320 QBB path (Figure 4:
+    // ~195 ns flat memory latency; Figure 7: ~2x GS320 bandwidth).
+    net::NetworkParams netP = net::NetworkParams::gs320();
+    netP.clockMHz = 500.0;
+    netP.pipelineCycles = 7;
+    netP.injectionCycles = 3;
+    netP.ejectionCycles = 3;
+    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
+                                            netP);
+
+    coher::NodeConfig cpuCfg;
+    cpuCfg.hasCache = true;
+    cpuCfg.hasMemory = false;
+    cpuCfg.l2 = mem::CacheParams::ev68L2();
+    cpuCfg.fwdServiceNs = 120.0; // off-chip cache probe
+
+    coher::NodeConfig memCfg;
+    memCfg.hasCache = false;
+    memCfg.hasMemory = true;
+    memCfg.zbox = mem::ZboxParams::qbbMemory(1.75, 45.0);
+    memCfg.zboxCount = 2;
+    memCfg.homeOverheadNs = 10.0;
+
+    m->nodes.resize(static_cast<std::size_t>(m->topo_->numNodes()));
+    for (NodeId n = 0; n < cpus; ++n) {
+        m->nodes[std::size_t(n)] =
+            std::make_unique<coher::CoherentNode>(*m->context, *m->net,
+                                                  n, *m->map, cpuCfg);
+        cpu::CoreParams ccfg;
+        ccfg.mlp = mlp;
+        m->cores.push_back(std::make_unique<cpu::TimingCore>(
+            *m->context, *m->nodes[std::size_t(n)], ccfg));
+    }
+    NodeId hub = static_cast<NodeId>(cpus);
+    m->nodes[std::size_t(hub)] =
+        std::make_unique<coher::CoherentNode>(*m->context, *m->net, hub,
+                                              *m->map, memCfg);
+    return m;
+}
+
+bool
+Machine::run(const std::vector<cpu::TrafficSource *> &sources,
+             Tick limit)
+{
+    gs_assert(static_cast<int>(sources.size()) <= nCpus,
+              "more sources than CPUs");
+
+    // Shared counter: completion callbacks may fire after an early
+    // (limit-hit) return, so they must not reference the stack.
+    auto running = std::make_shared<int>(0);
+    for (std::size_t c = 0; c < sources.size(); ++c) {
+        if (!sources[c])
+            continue;
+        *running += 1;
+        cores[c]->run(*sources[c], [running] { *running -= 1; });
+    }
+
+    Tick deadline = context->now() + limit;
+    while (context->now() < deadline) {
+        if (*running == 0 && drained())
+            return true;
+        if (!context->queue().step())
+            break;
+    }
+    return *running == 0 && drained();
+}
+
+void
+Machine::runFor(Tick duration)
+{
+    context->queue().runFor(duration);
+}
+
+bool
+Machine::drained() const
+{
+    if (net->inFlight() != 0)
+        return false;
+    for (const auto &node : nodes)
+        if (node && !node->quiesced())
+            return false;
+    return true;
+}
+
+void
+Machine::clearStats()
+{
+    net->clearStats();
+    for (auto &node : nodes)
+        if (node)
+            node->clearStats();
+}
+
+cpu::MachineTiming
+Machine::analyticTiming() const
+{
+    switch (kind_) {
+      case SystemKind::GS1280:
+        return cpu::MachineTiming::gs1280();
+      case SystemKind::GS320:
+        return cpu::MachineTiming::gs320();
+      case SystemKind::ES45:
+        return cpu::MachineTiming::es45();
+    }
+    return cpu::MachineTiming::gs1280();
+}
+
+} // namespace gs::sys

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Whole-machine assembly for the three systems the paper compares:
+ *
+ *  - GS1280: up to 64 EV7 nodes (core + L1 + 1.75 MB L2 + two RDRAM
+ *    Zboxes + router) on a 2-D torus, optionally with the Section 6
+ *    memory striping or the Section 4.1 shuffle rewiring;
+ *  - GS320: QBBs of four EV68 CPUs (16 MB off-chip L2) sharing a
+ *    memory behind a QBB switch, QBBs joined by a global switch;
+ *  - ES45: a four-CPU shared-memory SMP (one switch, one memory).
+ *
+ * A Machine owns the simulation context and every component, and
+ * offers the experiment-facing API: build, attach traffic, run to
+ * completion, read the counters.
+ */
+
+#ifndef GS_SYSTEM_MACHINE_HH
+#define GS_SYSTEM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/node.hh"
+#include "cpu/analytic_core.hh"
+#include "cpu/core.hh"
+#include "cpu/traffic.hh"
+#include "mem/address.hh"
+#include "net/network.hh"
+#include "sim/context.hh"
+#include "topology/shuffle.hh"
+#include "topology/topology.hh"
+
+namespace gs::sys
+{
+
+/** Which system a Machine models. */
+enum class SystemKind
+{
+    GS1280,
+    GS320,
+    ES45,
+};
+
+/** GS1280 build options. */
+struct Gs1280Options
+{
+    int width = 0;  ///< torus columns; 0 = derive from CPU count
+    int height = 0; ///< torus rows; 0 = derive
+    bool striped = false; ///< Section 6 memory striping
+    bool shuffle = false; ///< Section 4.1 cable swap (needs W>=4 even)
+    topo::ShufflePolicy shufflePolicy = topo::ShufflePolicy::OneHop;
+    int mlp = 10; ///< EV7 prefetch sustains ~10 overlapped misses
+    std::uint64_t seed = 1;
+};
+
+/** The standard torus shape for @p cpus (2x1, 2x2, 4x2, ... 8x8). */
+std::pair<int, int> torusShape(int cpus);
+
+/** A fully assembled system. */
+class Machine
+{
+  public:
+    static std::unique_ptr<Machine> buildGS1280(int cpus,
+                                                Gs1280Options opt = {});
+    static std::unique_ptr<Machine> buildGS320(int cpus,
+                                               std::uint64_t seed = 1,
+                                               int mlp = 8);
+    static std::unique_ptr<Machine> buildES45(int cpus,
+                                              std::uint64_t seed = 1,
+                                              int mlp = 8);
+
+    /** @name Component access */
+    /// @{
+    SimContext &ctx() { return *context; }
+    net::Network &network() { return *net; }
+    const topo::Topology &topology() const { return *topo_; }
+    const mem::AddressMap &addressMap() const { return *map; }
+    SystemKind kind() const { return kind_; }
+
+    int cpuCount() const { return nCpus; }
+    int nodeCount() const { return topo_->numNodes(); }
+
+    /** Coherence engine of @p node (may be a switch node). */
+    coher::CoherentNode &node(NodeId n) { return *nodes[std::size_t(n)]; }
+    bool hasNode(NodeId n) const { return nodes[std::size_t(n)] != nullptr; }
+
+    /** Timing core of CPU @p c. */
+    cpu::TimingCore &core(int c) { return *cores[std::size_t(c)]; }
+    /// @}
+
+    /** @name Addressing helpers */
+    /// @{
+    /** An address at byte @p offset of CPU @p c's local region. */
+    mem::Addr
+    cpuAddr(int c, std::uint64_t offset) const
+    {
+        return mem::regionBase(static_cast<NodeId>(c)) + offset;
+    }
+
+    /** The on-module buddy used by striping (GS1280 only). */
+    NodeId moduleBuddy(NodeId n) const;
+    /// @}
+
+    /** @name Running experiments */
+    /// @{
+    /**
+     * Attach one TrafficSource per CPU (sources may be fewer than
+     * CPUs; extra CPUs stay idle) and run until every core finishes
+     * and the machine drains, or @p limit elapses.
+     * @return true when everything completed within the limit.
+     */
+    bool run(const std::vector<cpu::TrafficSource *> &sources,
+             Tick limit = 500 * tickMs);
+
+    /** Run the event queue for a fixed duration (open-ended loads). */
+    void runFor(Tick duration);
+
+    /** True when cores, protocol and network are all drained. */
+    bool drained() const;
+
+    /** Reset every statistic (not state) for a measurement phase. */
+    void clearStats();
+    /// @}
+
+    /** Per-CPU analytic timing view (for the SPEC IPC model). */
+    cpu::MachineTiming analyticTiming() const;
+
+  private:
+    Machine() = default;
+
+    SystemKind kind_ = SystemKind::GS1280;
+    int nCpus = 0;
+
+    std::unique_ptr<SimContext> context;
+    std::unique_ptr<topo::Topology> topo_;
+    std::unique_ptr<mem::AddressMap> map;
+    std::unique_ptr<net::Network> net;
+    std::vector<std::unique_ptr<coher::CoherentNode>> nodes;
+    std::vector<std::unique_ptr<cpu::TimingCore>> cores;
+
+    int torusW = 0, torusH = 0; ///< GS1280 geometry
+};
+
+} // namespace gs::sys
+
+#endif // GS_SYSTEM_MACHINE_HH

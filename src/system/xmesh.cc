@@ -1,0 +1,184 @@
+#include "system/xmesh.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "topology/torus.hh"
+
+namespace gs::sys
+{
+
+Xmesh::Xmesh(Machine &machine, Tick interval_ticks)
+    : m(machine), interval(interval_ticks)
+{
+    gs_assert(interval > 0);
+    const auto &topo = m.topology();
+    lastLinkFlits.resize(static_cast<std::size_t>(topo.numNodes()));
+    lastZboxBusy.assign(static_cast<std::size_t>(topo.numNodes()), 0);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        lastLinkFlits[std::size_t(n)].assign(
+            static_cast<std::size_t>(topo.numPorts(n)), 0);
+    }
+}
+
+void
+Xmesh::start()
+{
+    if (active)
+        return;
+    active = true;
+    windowStart = m.ctx().now();
+
+    // Prime the counter snapshots.
+    const auto &topo = m.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        for (int p = 0; p < topo.numPorts(n); ++p)
+            lastLinkFlits[std::size_t(n)][std::size_t(p)] =
+                m.network().linkBusyFlits(n, p);
+        Tick busy = 0;
+        if (m.hasNode(n)) {
+            auto &node = m.node(n);
+            for (int z = 0; z < node.zboxCount(); ++z)
+                busy += node.zbox(z).stats().busyTicks;
+        }
+        lastZboxBusy[std::size_t(n)] = busy;
+    }
+    m.ctx().queue().schedule(interval, [this] { tick(); });
+}
+
+void
+Xmesh::stop()
+{
+    active = false;
+}
+
+void
+Xmesh::tick()
+{
+    if (!active)
+        return;
+    log.push_back(sampleNow());
+    m.ctx().queue().schedule(interval, [this] { tick(); });
+}
+
+XmeshSample
+Xmesh::sampleNow()
+{
+    const auto &topo = m.topology();
+    const Tick now = m.ctx().now();
+    const Tick window = now > windowStart ? now - windowStart : 1;
+    const Tick period = m.network().period();
+
+    XmeshSample s;
+    s.when = now;
+    s.memUtil.assign(static_cast<std::size_t>(topo.numNodes()), 0.0);
+    s.linkUtil.resize(static_cast<std::size_t>(topo.numNodes()));
+
+    double memSum = 0;
+    int memNodes = 0;
+    double linkSum = 0;
+    int linkCount = 0;
+    double ewSum = 0, nsSum = 0;
+    int ewCount = 0, nsCount = 0;
+
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        // Memory controllers.
+        Tick busy = 0;
+        int channels = 0;
+        if (m.hasNode(n)) {
+            auto &node = m.node(n);
+            for (int z = 0; z < node.zboxCount(); ++z) {
+                busy += node.zbox(z).stats().busyTicks;
+                channels += node.zbox(z).params().channels;
+            }
+        }
+        if (channels > 0) {
+            Tick delta = busy - lastZboxBusy[std::size_t(n)];
+            double util = static_cast<double>(delta) /
+                          (static_cast<double>(window) * channels);
+            s.memUtil[std::size_t(n)] = std::min(util, 1.0);
+            memSum += s.memUtil[std::size_t(n)];
+            memNodes += 1;
+        }
+        lastZboxBusy[std::size_t(n)] = busy;
+
+        // Links.
+        auto &ports = s.linkUtil[std::size_t(n)];
+        ports.assign(static_cast<std::size_t>(topo.numPorts(n)), 0.0);
+        for (int p = 0; p < topo.numPorts(n); ++p) {
+            if (!topo.port(n, p).connected())
+                continue;
+            std::uint64_t flits = m.network().linkBusyFlits(n, p);
+            std::uint64_t delta =
+                flits - lastLinkFlits[std::size_t(n)][std::size_t(p)];
+            lastLinkFlits[std::size_t(n)][std::size_t(p)] = flits;
+            double util = static_cast<double>(delta) *
+                          static_cast<double>(period) /
+                          static_cast<double>(window);
+            util = std::min(util, 1.0);
+            ports[std::size_t(p)] = util;
+            linkSum += util;
+            linkCount += 1;
+            if (p == topo::portEast || p == topo::portWest) {
+                ewSum += util;
+                ewCount += 1;
+            } else if (p == topo::portNorth || p == topo::portSouth) {
+                nsSum += util;
+                nsCount += 1;
+            }
+        }
+    }
+
+    s.avgMemUtil = memNodes ? memSum / memNodes : 0.0;
+    s.avgLinkUtil = linkCount ? linkSum / linkCount : 0.0;
+    s.avgEastWest = ewCount ? ewSum / ewCount : 0.0;
+    s.avgNorthSouth = nsCount ? nsSum / nsCount : 0.0;
+
+    windowStart = now;
+    return s;
+}
+
+void
+Xmesh::dumpCsv(std::ostream &os) const
+{
+    os << "timestamp_us,avg_mem,avg_link,avg_ew,avg_ns";
+    const int nodes = m.topology().numNodes();
+    for (int n = 0; n < nodes; ++n)
+        os << ",mem" << n;
+    os << '\n';
+    for (const auto &s : log) {
+        os << ticksToNs(s.when) / 1000.0 << ',' << s.avgMemUtil << ','
+           << s.avgLinkUtil << ',' << s.avgEastWest << ','
+           << s.avgNorthSouth;
+        for (double u : s.memUtil)
+            os << ',' << u;
+        os << '\n';
+    }
+}
+
+std::string
+Xmesh::heatmap(const XmeshSample &s) const
+{
+    const auto *torus =
+        dynamic_cast<const topo::Torus2D *>(&m.topology());
+    gs_assert(torus, "heatmap requires a torus machine");
+
+    std::string out;
+    out += "Xmesh: memory controller utilization (%)\n";
+    char buf[64];
+    for (int y = 0; y < torus->height(); ++y) {
+        for (int x = 0; x < torus->width(); ++x) {
+            NodeId n = torus->nodeAt(x, y);
+            double util = s.memUtil[std::size_t(n)] * 100.0;
+            const char *mark = util >= 40.0 ? "*" : " ";
+            std::snprintf(buf, sizeof buf, " [%5.1f%s]", util, mark);
+            out += buf;
+        }
+        out += '\n';
+    }
+    out += "('*' marks nodes above 40% - hot-spot candidates)\n";
+    return out;
+}
+
+} // namespace gs::sys

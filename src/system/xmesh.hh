@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Xmesh: the sampling monitor behind the paper's profiling figures.
+ *
+ * The real Xmesh tool [11] displays run-time utilization of CPUs,
+ * memory controllers, inter-processor links and I/O ports from the
+ * 21364's built-in performance counters. This model samples the
+ * same quantities from the simulator's counters at a fixed interval,
+ * producing the utilization-vs-time series of Figures 10/11/20/22/24
+ * and the hot-spot display of Figure 27 (rendered as ASCII).
+ */
+
+#ifndef GS_SYSTEM_XMESH_HH
+#define GS_SYSTEM_XMESH_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/machine.hh"
+
+namespace gs::sys
+{
+
+/** One Xmesh sampling interval's readings. */
+struct XmeshSample
+{
+    Tick when = 0;
+
+    /** Per-node memory-controller utilization [0,1]. */
+    std::vector<double> memUtil;
+
+    /** Per-node, per-port outbound link utilization [0,1]. */
+    std::vector<std::vector<double>> linkUtil;
+
+    double avgMemUtil = 0;
+    double avgLinkUtil = 0;  ///< over connected network ports
+    double avgEastWest = 0;  ///< torus horizontal links only
+    double avgNorthSouth = 0;
+};
+
+/** Periodic sampler over a Machine's counters. */
+class Xmesh
+{
+  public:
+    /**
+     * @param machine the machine to monitor
+     * @param interval_ticks sampling period (simulated time)
+     */
+    Xmesh(Machine &machine, Tick interval_ticks);
+
+    /** Begin sampling; the first sample lands one interval ahead. */
+    void start();
+
+    /** Stop sampling (pending tick becomes a no-op). */
+    void stop();
+
+    const std::vector<XmeshSample> &samples() const { return log; }
+
+    /** Take a single sample immediately (without start()). */
+    XmeshSample sampleNow();
+
+    /**
+     * ASCII heat map of a sample for a GS1280 torus: per-node
+     * memory-controller utilization percent in grid layout, the
+     * display that exposes hot spots (Figure 27).
+     */
+    std::string heatmap(const XmeshSample &s) const;
+
+    /**
+     * Dump every recorded sample as CSV (one row per sample:
+     * timestamp, averages, then per-node memory utilization) for
+     * offline plotting of the Figures 10/11/20/22/24 style series.
+     */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    void tick();
+
+    Machine &m;
+    Tick interval;
+    bool active = false;
+
+    Tick windowStart = 0;
+    std::vector<std::vector<std::uint64_t>> lastLinkFlits;
+    std::vector<Tick> lastZboxBusy;
+
+    std::vector<XmeshSample> log;
+};
+
+} // namespace gs::sys
+
+#endif // GS_SYSTEM_XMESH_HH

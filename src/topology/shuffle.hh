@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The "shuffle" rewiring of Section 4.1 (Figures 16/17, Table 1).
+ *
+ * Starting from a W x H torus, each column's Y-wraparound link is
+ * re-pointed at the column W/2 away: (x, H-1).North now connects to
+ * ((x + W/2) mod W, 0).South. In the 8-CPU (4x2) machine this is
+ * exactly the paper's cable swap: the redundant North-South links
+ * are used to connect the furthest nodes. The same rule reproduces
+ * every row of the paper's Table 1 (average latency, worst-case
+ * latency and bisection-width gains for 4x2 through 16x16).
+ *
+ * Route policies follow Section 4.1's two experiments plus an
+ * unconstrained variant:
+ *  - OneHop: a shuffle link may be used only as a packet's first hop;
+ *  - TwoHop: shuffle links may be used within the first two hops;
+ *  - Free:   shuffle links are ordinary links (upper bound).
+ *
+ * Escape routing stays deadlock-free: X dimension-order first, then
+ * routing around the merged 2H-node Y ring that the rewiring creates
+ * (columns x and x + W/2 share one Y ring), with a per-ring dateline.
+ */
+
+#ifndef GS_TOPOLOGY_SHUFFLE_HH
+#define GS_TOPOLOGY_SHUFFLE_HH
+
+#include <vector>
+
+#include "topology/torus.hh"
+
+namespace gs::topo
+{
+
+/** How adaptive routing may exploit the shuffle links. */
+enum class ShufflePolicy
+{
+    OneHop, ///< shuffle link as the initial (and only) hop
+    TwoHop, ///< shuffle links within the first two hops
+    Free,   ///< unconstrained minimal routing on the shuffle graph
+};
+
+/** Torus with shuffled Y-wraparound links. */
+class ShuffleTorus : public Torus2D
+{
+  public:
+    /**
+     * @param w columns; must be even and >= 4
+     * @param h rows; must be >= 2
+     * @param policy shuffle-link route policy
+     */
+    ShuffleTorus(int w, int h, ShufflePolicy policy = ShufflePolicy::OneHop);
+
+    Port port(NodeId node, int port) const override;
+    std::string name() const override;
+
+    std::vector<int>
+    adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
+
+    EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;
+
+    /** True when @p port of @p node is a rewired (shuffle) link. */
+    bool isShufflePort(NodeId node, int port) const;
+
+    /** Column paired with @p x by the rewiring: (x + W/2) mod W. */
+    int pairColumn(int x) const { return (x + wid / 2) % wid; }
+
+    ShufflePolicy policy() const { return pol; }
+
+  private:
+    /** Distance using torus links only (no shuffle hops). */
+    int dist0(NodeId a, NodeId b) const
+    {
+        return d0[static_cast<std::size_t>(a) *
+                  static_cast<std::size_t>(numNodes()) +
+               static_cast<std::size_t>(b)];
+    }
+
+    /** Distance allowing shuffle links in the first hop only. */
+    int dist1(NodeId a, NodeId b) const
+    {
+        return d1[static_cast<std::size_t>(a) *
+                  static_cast<std::size_t>(numNodes()) +
+               static_cast<std::size_t>(b)];
+    }
+
+    /** Distance on the full shuffle graph. */
+    int distFull(NodeId a, NodeId b) const
+    {
+        return df[static_cast<std::size_t>(a) *
+                  static_cast<std::size_t>(numNodes()) +
+               static_cast<std::size_t>(b)];
+    }
+
+    /** Position of @p node on its merged Y ring (length 2H). */
+    int ringPosition(NodeId node) const;
+
+    void buildDistanceTables();
+
+    ShufflePolicy pol;
+    std::vector<int> d0; ///< torus-links-only distances
+    std::vector<int> d1; ///< shuffle allowed in first hop
+    std::vector<int> df; ///< full-graph distances
+};
+
+} // namespace gs::topo
+
+#endif // GS_TOPOLOGY_SHUFFLE_HH

@@ -1,0 +1,93 @@
+#include "topology/topology.hh"
+
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace gs::topo
+{
+
+std::vector<int>
+Topology::distancesFrom(NodeId src) const
+{
+    const int n = numNodes();
+    gs_assert(src >= 0 && src < n, "bad source node ", src);
+
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::deque<NodeId> queue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push_back(src);
+
+    while (!queue.empty()) {
+        NodeId at = queue.front();
+        queue.pop_front();
+        for (int p = 0; p < numPorts(at); ++p) {
+            Port link = port(at, p);
+            if (!link.connected())
+                continue;
+            auto &d = dist[static_cast<std::size_t>(link.peer)];
+            if (d < 0) {
+                d = dist[static_cast<std::size_t>(at)] + 1;
+                queue.push_back(link.peer);
+            }
+        }
+    }
+    return dist;
+}
+
+int
+Topology::hopDistance(NodeId a, NodeId b) const
+{
+    return distancesFrom(a)[static_cast<std::size_t>(b)];
+}
+
+double
+Topology::averageDistance() const
+{
+    const int cpus = numCpuNodes();
+    if (cpus < 2)
+        return 0.0;
+
+    double sum = 0;
+    std::uint64_t pairs = 0;
+    for (NodeId src = 0; src < cpus; ++src) {
+        auto dist = distancesFrom(src);
+        for (NodeId dst = 0; dst < cpus; ++dst) {
+            if (dst == src)
+                continue;
+            gs_assert(dist[static_cast<std::size_t>(dst)] >= 0,
+                      "disconnected topology: ", src, " -> ", dst);
+            sum += dist[static_cast<std::size_t>(dst)];
+            pairs += 1;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+int
+Topology::worstDistance() const
+{
+    const int cpus = numCpuNodes();
+    int worst = 0;
+    for (NodeId src = 0; src < cpus; ++src) {
+        auto dist = distancesFrom(src);
+        for (NodeId dst = 0; dst < cpus; ++dst)
+            worst = std::max(worst, dist[static_cast<std::size_t>(dst)]);
+    }
+    return worst;
+}
+
+bool
+Topology::connected() const
+{
+    const int cpus = numCpuNodes();
+    if (cpus == 0)
+        return true;
+    auto dist = distancesFrom(0);
+    for (NodeId dst = 0; dst < cpus; ++dst)
+        if (dist[static_cast<std::size_t>(dst)] < 0)
+            return false;
+    return true;
+}
+
+} // namespace gs::topo

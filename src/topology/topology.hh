@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Interconnect topology abstraction.
+ *
+ * A Topology is a directed multigraph of nodes and ports plus the
+ * routing relations the EV7-style router needs:
+ *
+ *  - adaptivePorts(): the minimal next-hop candidates a packet in the
+ *    Adaptive virtual channel may choose among (Section 2 of the
+ *    paper: "a message can choose the less congested minimal path");
+ *  - escapeRoute(): the deterministic deadlock-free route, including
+ *    which of the two escape VCs (VC0/VC1) the next hop must use.
+ *    Tori use dimension-order routing with a dateline VC switch;
+ *    trees use up-then-down routing.
+ *
+ * Graph metrics (hop distance, average/worst distance, bisection
+ * width) are provided for the analytic shuffle model (Table 1).
+ */
+
+#ifndef GS_TOPOLOGY_TOPOLOGY_HH
+#define GS_TOPOLOGY_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gs::topo
+{
+
+/**
+ * Physical construction of a link, which determines its wire delay.
+ * In the GS1280 the on-module hop is the cheapest and cabled hops the
+ * most expensive (Figure 13: 139 ns vs 154 ns one-hop latency).
+ */
+enum class LinkKind
+{
+    OnModule,  ///< both routers on the same dual-CPU module
+    Backplane, ///< adjacent modules through the backplane
+    Cable,     ///< inter-drawer cable (incl. torus wraparound)
+    Internal,  ///< switch-internal path (GS320 QBB / global switch)
+};
+
+/** What a port connects to. */
+struct Port
+{
+    NodeId peer = invalidNode; ///< neighbouring node, or invalidNode
+    int peerPort = -1;         ///< port index on the peer
+    LinkKind kind = LinkKind::Cable;
+
+    bool connected() const { return peer != invalidNode; }
+};
+
+/** Next hop plus the escape VC (0/1) to request on that hop. */
+struct EscapeHop
+{
+    int port = -1; ///< output port, -1 when already at destination
+    int vc = 0;    ///< escape sub-channel for the next link
+};
+
+/**
+ * Abstract interconnect graph + routing relation.
+ *
+ * Node ids are dense [0, numNodes()). CPU (traffic-bearing) nodes
+ * come first; pure switch nodes (GS320 QBB/global switches) follow.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Total nodes, including switch-only nodes. */
+    virtual int numNodes() const = 0;
+
+    /** Number of nodes that host a CPU / memory / traffic source. */
+    virtual int numCpuNodes() const { return numNodes(); }
+
+    /** Number of port slots on @p node (some may be unconnected). */
+    virtual int numPorts(NodeId node) const = 0;
+
+    /** Connection info for @p port of @p node. */
+    virtual Port port(NodeId node, int port) const = 0;
+
+    /** Human-readable name ("torus 4x4", "shuffle 4x2", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Minimal next-hop output ports usable by the Adaptive VC for a
+     * packet at @p at heading to @p dst.
+     *
+     * @param hopsTaken hops already travelled; shuffle route policies
+     *        (Section 4.1) restrict shuffle-link use to the first one
+     *        or two hops.
+     * @return empty when at == dst or when the topology offers no
+     *         adaptivity (trees).
+     */
+    virtual std::vector<int>
+    adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const = 0;
+
+    /**
+     * Deterministic deadlock-free next hop for a packet at @p at
+     * heading to @p dst whose current escape VC is @p curVc.
+     */
+    virtual EscapeHop
+    escapeRoute(NodeId at, NodeId dst, int curVc) const = 0;
+
+    /** @name Graph metrics (BFS-based defaults) */
+    /// @{
+
+    /** Shortest hop count between two nodes (-1 if unreachable). */
+    int hopDistance(NodeId a, NodeId b) const;
+
+    /** Shortest-hop distances from @p src to every node. */
+    std::vector<int> distancesFrom(NodeId src) const;
+
+    /**
+     * Mean shortest-hop distance over all ordered CPU-node pairs,
+     * excluding self pairs (matches the paper's analytic model).
+     */
+    double averageDistance() const;
+
+    /** Network diameter over CPU nodes. */
+    int worstDistance() const;
+
+    /** True when every CPU node can reach every other CPU node. */
+    bool connected() const;
+
+    /// @}
+
+  protected:
+    Topology() = default;
+};
+
+} // namespace gs::topo
+
+#endif // GS_TOPOLOGY_TOPOLOGY_HH

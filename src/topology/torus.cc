@@ -1,0 +1,138 @@
+#include "topology/torus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gs::topo
+{
+
+Torus2D::Torus2D(int w, int h) : wid(w), hgt(h)
+{
+    gs_assert(w >= 1 && h >= 1, "bad torus dimensions ", w, "x", h);
+}
+
+NodeId
+Torus2D::neighbour(NodeId node, int port) const
+{
+    int x = xOf(node), y = yOf(node);
+    switch (port) {
+      case portEast:
+        return nodeAt((x + 1) % wid, y);
+      case portWest:
+        return nodeAt((x - 1 + wid) % wid, y);
+      case portNorth:
+        return nodeAt(x, (y + 1) % hgt);
+      case portSouth:
+        return nodeAt(x, (y - 1 + hgt) % hgt);
+      default:
+        gs_panic("bad torus port ", port);
+    }
+}
+
+LinkKind
+Torus2D::kindOf(NodeId node, int port) const
+{
+    // GS1280 packaging model: each dual-CPU module holds the
+    // vertically adjacent pair (rows 2k, 2k+1); that hop is the
+    // cheapest (139 ns in Figure 13). Direct X hops ride the
+    // backplane (145 ns); wraparound hops and the remaining Y hops
+    // are cabled (154 ns).
+    int x = xOf(node), y = yOf(node);
+    switch (port) {
+      case portEast:
+        return x == wid - 1 && wid > 2 ? LinkKind::Cable
+                                       : LinkKind::Backplane;
+      case portWest:
+        return x == 0 && wid > 2 ? LinkKind::Cable : LinkKind::Backplane;
+      case portNorth:
+        if (y % 2 == 0 && y + 1 < hgt)
+            return LinkKind::OnModule;
+        return LinkKind::Cable;
+      case portSouth:
+        if (y % 2 == 1)
+            return LinkKind::OnModule;
+        return LinkKind::Cable;
+      default:
+        gs_panic("bad torus port ", port);
+    }
+}
+
+Port
+Torus2D::port(NodeId node, int p) const
+{
+    gs_assert(node >= 0 && node < numNodes());
+    bool exists = (p == portEast || p == portWest) ? wid > 1 : hgt > 1;
+    if (!exists)
+        return Port{};
+
+    static constexpr int reverse[torusPorts] = {portWest, portEast,
+                                                portSouth, portNorth};
+    Port out;
+    out.peer = neighbour(node, p);
+    out.peerPort = reverse[p];
+    out.kind = kindOf(node, p);
+    return out;
+}
+
+std::string
+Torus2D::name() const
+{
+    return "torus " + std::to_string(wid) + "x" + std::to_string(hgt);
+}
+
+std::vector<int>
+Torus2D::adaptivePorts(NodeId at, NodeId dst, int) const
+{
+    std::vector<int> out;
+    int dx = (xOf(dst) - xOf(at) + wid) % wid;
+    int dy = (yOf(dst) - yOf(at) + hgt) % hgt;
+
+    if (dx != 0) {
+        if (2 * dx <= wid)
+            out.push_back(portEast);
+        if (2 * dx >= wid)
+            out.push_back(portWest);
+    }
+    if (dy != 0) {
+        if (2 * dy <= hgt)
+            out.push_back(portNorth);
+        if (2 * dy >= hgt)
+            out.push_back(portSouth);
+    }
+    return out;
+}
+
+EscapeHop
+Torus2D::escapeRoute(NodeId at, NodeId dst, int) const
+{
+    int ax = xOf(at), ay = yOf(at);
+    int dx_ = xOf(dst), dy_ = yOf(dst);
+
+    if (ax != dx_) {
+        // X phase. Position-based dateline: a +X hop requests VC1
+        // iff the remaining path crosses the wrap edge (W-1 -> 0),
+        // i.e. iff the destination column is behind us.
+        int fwd = (dx_ - ax + wid) % wid;
+        bool east = 2 * fwd <= wid;
+        int vc = east ? (dx_ < ax ? 1 : 0) : (dx_ > ax ? 1 : 0);
+        return EscapeHop{east ? portEast : portWest, vc};
+    }
+    if (ay != dy_) {
+        int fwd = (dy_ - ay + hgt) % hgt;
+        bool north = 2 * fwd <= hgt;
+        int vc = north ? (dy_ < ay ? 1 : 0) : (dy_ > ay ? 1 : 0);
+        return EscapeHop{north ? portNorth : portSouth, vc};
+    }
+    return EscapeHop{-1, 0};
+}
+
+int
+Torus2D::torusDistance(NodeId a, NodeId b) const
+{
+    int dx = std::abs(xOf(a) - xOf(b));
+    int dy = std::abs(yOf(a) - yOf(b));
+    return std::min(dx, wid - dx) + std::min(dy, hgt - dy);
+}
+
+} // namespace gs::topo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Two-dimensional torus, the GS1280 interconnect (Figure 3).
+ *
+ * Node (x, y) maps to id y*W + x. Ports are East(+x)=0, West(-x)=1,
+ * North(+y)=2, South(-y)=3. When a dimension has size 2 the two
+ * directions reach the same neighbour over two physically distinct
+ * links (the "redundant" links Section 4.1 re-purposes for shuffle);
+ * when it has size 1 its ports are unconnected.
+ *
+ * Routing follows the 21364 scheme described in Section 2:
+ *  - Adaptive VC: any minimal direction (both, on a tie);
+ *  - Escape VCs: dimension-order X-then-Y, with the VC0/VC1 dateline
+ *    rule per ring (a hop requests VC1 iff its remaining path in the
+ *    current dimension crosses that ring's wraparound edge).
+ */
+
+#ifndef GS_TOPOLOGY_TORUS_HH
+#define GS_TOPOLOGY_TORUS_HH
+
+#include "topology/topology.hh"
+
+namespace gs::topo
+{
+
+/** Port indices on torus-family nodes. */
+enum TorusPort : int
+{
+    portEast = 0,
+    portWest = 1,
+    portNorth = 2,
+    portSouth = 3,
+    torusPorts = 4,
+};
+
+/** 2-D torus of W x H nodes. */
+class Torus2D : public Topology
+{
+  public:
+    /**
+     * @param w columns (size of the X dimension), >= 1
+     * @param h rows (size of the Y dimension), >= 1
+     */
+    Torus2D(int w, int h);
+
+    int numNodes() const override { return wid * hgt; }
+    int numPorts(NodeId) const override { return torusPorts; }
+    Port port(NodeId node, int port) const override;
+    std::string name() const override;
+
+    std::vector<int>
+    adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
+
+    EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;
+
+    /** @name Geometry helpers */
+    /// @{
+    int width() const { return wid; }
+    int height() const { return hgt; }
+    int xOf(NodeId n) const { return static_cast<int>(n) % wid; }
+    int yOf(NodeId n) const { return static_cast<int>(n) / wid; }
+    NodeId nodeAt(int x, int y) const
+    {
+        return static_cast<NodeId>(y * wid + x);
+    }
+    /// @}
+
+    /**
+     * Torus hop distance in closed form (faster than BFS and used to
+     * cross-check it in tests).
+     */
+    int torusDistance(NodeId a, NodeId b) const;
+
+  protected:
+    /** Neighbour coordinates through @p port (wrapping). */
+    NodeId neighbour(NodeId node, int port) const;
+
+    /** Wire class of the link leaving @p node through @p port. */
+    LinkKind kindOf(NodeId node, int port) const;
+
+    int wid;
+    int hgt;
+};
+
+} // namespace gs::topo
+
+#endif // GS_TOPOLOGY_TORUS_HH

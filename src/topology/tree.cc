@@ -1,0 +1,107 @@
+#include "topology/tree.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::topo
+{
+
+QbbTree::QbbTree(int cpus, int cpus_per_qbb)
+    : nCpus(cpus), perQbb(cpus_per_qbb), nQbbs(cpus / cpus_per_qbb)
+{
+    gs_assert(cpus >= 1 && cpus_per_qbb >= 1);
+    gs_assert(cpus % cpus_per_qbb == 0,
+              "CPU count ", cpus, " not a multiple of QBB size ",
+              cpus_per_qbb);
+}
+
+int
+QbbTree::numNodes() const
+{
+    return nCpus + nQbbs + (hasGlobalSwitch() ? 1 : 0);
+}
+
+int
+QbbTree::numPorts(NodeId node) const
+{
+    if (node < nCpus)
+        return 1; // up to the QBB switch
+    if (isQbbSwitch(node))
+        return perQbb + (hasGlobalSwitch() ? 1 : 0);
+    return nQbbs; // global switch: one port per QBB
+}
+
+Port
+QbbTree::port(NodeId node, int p) const
+{
+    gs_assert(node >= 0 && node < numNodes());
+    gs_assert(p >= 0 && p < numPorts(node));
+
+    Port out;
+    if (node < nCpus) {
+        out.peer = qbbSwitchOf(node);
+        out.peerPort = static_cast<int>(node) % perQbb;
+        out.kind = LinkKind::Internal;
+    } else if (isQbbSwitch(node)) {
+        int qbb = static_cast<int>(node) - nCpus;
+        if (p < perQbb) {
+            out.peer = static_cast<NodeId>(qbb * perQbb + p);
+            out.peerPort = 0;
+            out.kind = LinkKind::Internal;
+        } else {
+            out.peer = globalSwitch();
+            out.peerPort = qbb;
+            out.kind = LinkKind::Cable;
+        }
+    } else {
+        out.peer = static_cast<NodeId>(nCpus + p);
+        out.peerPort = perQbb;
+        out.kind = LinkKind::Cable;
+    }
+    return out;
+}
+
+std::string
+QbbTree::name() const
+{
+    if (nQbbs == 1)
+        return "bus " + std::to_string(nCpus) + "P";
+    return "qbb-tree " + std::to_string(nCpus) + "P (" +
+           std::to_string(nQbbs) + " QBBs)";
+}
+
+std::vector<int>
+QbbTree::adaptivePorts(NodeId, NodeId, int) const
+{
+    return {}; // switch trees offer a unique path
+}
+
+EscapeHop
+QbbTree::escapeRoute(NodeId at, NodeId dst, int) const
+{
+    // Destinations may be CPUs or QBB switch nodes (memory homes
+    // live at the switches on the GS320). Up-then-down routing: up
+    // hops use escape VC0, down hops VC1.
+    gs_assert(dst >= 0 && dst < numNodes() && dst != globalSwitch(),
+              "bad tree destination ", dst);
+    if (at == dst)
+        return EscapeHop{-1, 0};
+
+    int dstQbb = dst < nCpus ? static_cast<int>(dst) / perQbb
+                             : static_cast<int>(dst) - nCpus;
+
+    if (at < nCpus)
+        return EscapeHop{0, 0}; // up to our QBB switch
+
+    if (isQbbSwitch(at)) {
+        int qbb = static_cast<int>(at) - nCpus;
+        if (dstQbb == qbb) {
+            // dst must be one of our CPUs (we are not it).
+            return EscapeHop{static_cast<int>(dst) % perQbb, 1};
+        }
+        return EscapeHop{perQbb, 0}; // up to the global switch
+    }
+
+    return EscapeHop{dstQbb, 1}; // global switch: down to dst's QBB
+}
+
+} // namespace gs::topo

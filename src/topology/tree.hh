@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Switch-tree topologies for the previous-generation systems.
+ *
+ * The AlphaServer GS320 connects four CPUs and four memory modules to
+ * a Quad Building Block (QBB) switch, and QBBs to a hierarchical
+ * global switch (Section 2 of the paper, citing Gharachorloo et al.,
+ * ASPLOS 2000). The ES45 is a 4-CPU shared-bus SMP, modelled as the
+ * degenerate single-switch case.
+ *
+ * Node layout: CPU nodes [0, C), then one switch node per QBB, then
+ * (when more than one QBB exists) a global switch node. Routing is
+ * up-then-down: up hops use escape VC0, down hops VC1, which is
+ * trivially deadlock-free on a tree. There is no adaptive routing.
+ */
+
+#ifndef GS_TOPOLOGY_TREE_HH
+#define GS_TOPOLOGY_TREE_HH
+
+#include "topology/topology.hh"
+
+namespace gs::topo
+{
+
+/** Two-level switch tree: CPUs -> QBB switches -> global switch. */
+class QbbTree : public Topology
+{
+  public:
+    /**
+     * @param cpus total CPUs; must divide evenly into QBBs
+     * @param cpus_per_qbb CPUs under one QBB switch (4 on the GS320)
+     */
+    QbbTree(int cpus, int cpus_per_qbb = 4);
+
+    int numNodes() const override;
+    int numCpuNodes() const override { return nCpus; }
+    int numPorts(NodeId node) const override;
+    Port port(NodeId node, int port) const override;
+    std::string name() const override;
+
+    std::vector<int>
+    adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
+
+    EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;
+
+    /** @name Structure helpers */
+    /// @{
+    int qbbCount() const { return nQbbs; }
+    int cpusPerQbb() const { return perQbb; }
+    bool hasGlobalSwitch() const { return nQbbs > 1; }
+    NodeId qbbSwitchOf(NodeId cpu) const
+    {
+        return static_cast<NodeId>(nCpus + cpu / perQbb);
+    }
+    NodeId globalSwitch() const
+    {
+        return static_cast<NodeId>(nCpus + nQbbs);
+    }
+    bool isQbbSwitch(NodeId n) const
+    {
+        return n >= nCpus && n < nCpus + nQbbs;
+    }
+    /// @}
+
+  private:
+    int nCpus;
+    int perQbb;
+    int nQbbs;
+};
+
+/** Single shared-switch SMP (the ES45): a QbbTree with one QBB. */
+inline QbbTree
+makeBus(int cpus)
+{
+    return QbbTree(cpus, cpus);
+}
+
+} // namespace gs::topo
+
+#endif // GS_TOPOLOGY_TREE_HH

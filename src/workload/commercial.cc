@@ -1,0 +1,55 @@
+#include "workload/commercial.hh"
+
+#include "workload/spec_rate.hh"
+
+namespace gs::wl
+{
+
+const cpu::BenchProfile &
+sapSd()
+{
+    static const cpu::BenchProfile profile = [] {
+        cpu::BenchProfile p;
+        p.name = "SAP SD";
+        p.fp = false;
+        // OLTP: high base CPI (branchy, serialized), little memory
+        // parallelism, a working set whose hot part fits a 16 MB
+        // cache but not 1.75 MB.
+        p.cpiBase = 1.10;
+        p.mlp = 1.8;
+        p.workingSet = {{1.0, 3.0}, {30.0, 1.8}};
+        p.phases = {1.0, 1.1, 0.9, 1.0};
+        return p;
+    }();
+    return profile;
+}
+
+const cpu::BenchProfile &
+decisionSupport()
+{
+    static const cpu::BenchProfile profile = [] {
+        cpu::BenchProfile p;
+        p.name = "Decision Support";
+        p.fp = false;
+        // DSS: table scans stream far past any cache with moderate
+        // overlap; throughput follows memory bandwidth.
+        p.cpiBase = 0.85;
+        p.mlp = 4.0;
+        p.workingSet = {{1.2, 2.5}, {80.0, 3.5}};
+        p.phases = {1.4, 0.7, 1.2, 0.7};
+        return p;
+    }();
+    return profile;
+}
+
+double
+commercialAdvantage(const cpu::BenchProfile &profile, int cpus)
+{
+    auto gs1280 =
+        cpu::evaluateIpc(profile, rateTiming(RateSystem::GS1280, cpus));
+    auto gs320 =
+        cpu::evaluateIpc(profile, rateTiming(RateSystem::GS320, cpus));
+    return gs1280.ipc / gs320.ipc;
+}
+
+} // namespace gs::wl

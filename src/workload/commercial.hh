@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Commercial workload profiles for the paper's Figure 28 rows:
+ * SAP SD two-tier transaction processing (~1.3x GS1280 vs GS320)
+ * and an internal decision-support workload (~1.6x).
+ *
+ * Substitution (see DESIGN.md): these are proprietary benchmark
+ * runs; what the ratios reflect is the workloads' memory character —
+ * OLTP: big, latency-bound, low-MLP footprints that partially fit a
+ * 16 MB cache; DSS: scan-dominated, bandwidth-sensitive streams.
+ * The profiles encode exactly that and run through the same analytic
+ * CPI model as the SPEC suites.
+ */
+
+#ifndef GS_WORKLOAD_COMMERCIAL_HH
+#define GS_WORKLOAD_COMMERCIAL_HH
+
+#include "cpu/analytic_core.hh"
+
+namespace gs::wl
+{
+
+/** SAP SD two-tier dialog step mix (OLTP character). */
+const cpu::BenchProfile &sapSd();
+
+/** Scan-heavy decision-support query mix (DSS character). */
+const cpu::BenchProfile &decisionSupport();
+
+/**
+ * Throughput ratio GS1280/GS320 for a commercial profile at
+ * @p cpus concurrent users' worth of load (rate semantics).
+ */
+double commercialAdvantage(const cpu::BenchProfile &profile,
+                           int cpus);
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_COMMERCIAL_HH

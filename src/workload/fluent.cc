@@ -1,0 +1,67 @@
+#include "workload/fluent.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+FluentCfd::FluentCfd(NodeId self_id, int rank_count, FluentParams p)
+    : self(self_id), ranks(rank_count), prm(p)
+{
+    gs_assert(ranks >= 1);
+    gs_assert(prm.blockBytes >= mem::lineBytes);
+}
+
+std::optional<cpu::MemOp>
+FluentCfd::next()
+{
+    if (iter >= prm.iterations)
+        return std::nullopt;
+
+    const std::uint64_t blockLines = prm.blockBytes / mem::lineBytes;
+    cpu::MemOp op;
+
+    if (exchanging) {
+        NodeId peer = static_cast<NodeId>(
+            (self + 1 + static_cast<NodeId>(iter)) % ranks);
+        op.addr = mem::regionBase(peer) +
+                  (exchangeOp + static_cast<std::uint64_t>(iter) *
+                                    prm.exchangeLines) *
+                      mem::lineBytes;
+        op.write = false;
+        exchangeOp += 1;
+        if (exchangeOp >= prm.exchangeLines || ranks == 1) {
+            exchanging = false;
+            exchangeOp = 0;
+            iter += 1;
+        }
+        return op;
+    }
+
+    // Blocked sweep: the current block stays cache-resident across
+    // reuse passes; each access carries solver FP work.
+    std::uint64_t blockBase =
+        static_cast<std::uint64_t>(block) * prm.blockBytes;
+    op.addr = mem::regionBase(self) + blockBase +
+              line * mem::lineBytes;
+    op.write = (line % 4) == 3;
+    op.thinkNs = prm.thinkNsPerLine;
+    cells += 1;
+
+    line += 1;
+    if (line >= blockLines) {
+        line = 0;
+        pass += 1;
+        if (pass >= prm.reusePasses) {
+            pass = 0;
+            block += 1;
+            if (block >= prm.blocksPerIter) {
+                block = 0;
+                exchanging = true;
+            }
+        }
+    }
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fluent CFD model (Section 5.1, Figures 19/20).
+ *
+ * Fluent's fl5l1 case is the paper's CPU-intensive representative:
+ * "this application does not put significant stress on either
+ * memory controller or IP-links bandwidth" (Figure 20 shows a few
+ * percent on both), because the solver is blocked for cache reuse.
+ * The model iterates over cache-resident blocks with heavy reuse
+ * and real compute per access, fetching the next block from memory
+ * only when the working block changes, plus a small neighbour
+ * exchange per iteration.
+ */
+
+#ifndef GS_WORKLOAD_FLUENT_HH
+#define GS_WORKLOAD_FLUENT_HH
+
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Shape parameters of the blocked solver. */
+struct FluentParams
+{
+    int iterations = 2;
+    std::uint64_t blockBytes = 768ULL << 10; ///< fits every L2 here
+    int blocksPerIter = 4;
+    int reusePasses = 6;      ///< sweeps over a block while loaded
+    double thinkNsPerLine = 55.0; ///< per-access FP work (CPU-bound)
+    std::uint64_t exchangeLines = 64;
+};
+
+/** One Fluent rank. */
+class FluentCfd : public cpu::TrafficSource
+{
+  public:
+    FluentCfd(NodeId self, int ranks, FluentParams p = {});
+
+    std::optional<cpu::MemOp> next() override;
+
+    std::uint64_t cellsDone() const { return cells; }
+
+  private:
+    NodeId self;
+    int ranks;
+    FluentParams prm;
+
+    int iter = 0;
+    int block = 0;
+    int pass = 0;
+    std::uint64_t line = 0;
+    bool exchanging = false;
+    std::uint64_t exchangeOp = 0;
+    std::uint64_t cells = 0;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_FLUENT_HH

@@ -1,0 +1,35 @@
+#include "workload/gups.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+Gups::Gups(int node_count, std::uint64_t bytes_per_node,
+           std::uint64_t updates, std::uint64_t seed)
+    : nodes(node_count), bytesPerNode(bytes_per_node),
+      remaining(updates), rng(seed)
+{
+    gs_assert(nodes >= 1 && bytesPerNode >= mem::lineBytes);
+}
+
+std::optional<cpu::MemOp>
+Gups::next()
+{
+    if (remaining == 0)
+        return std::nullopt;
+    remaining -= 1;
+    count += 1;
+
+    auto node = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(nodes)));
+    std::uint64_t line =
+        rng.below(bytesPerNode / mem::lineBytes);
+
+    cpu::MemOp op;
+    op.addr = mem::regionBase(node) + line * mem::lineBytes;
+    op.write = true; // a GUPS update is a read-modify-write line op
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GUPS: random updates to a table spanning the whole machine's
+ * memory (Section 5.3 of the paper, Figures 23/24).
+ *
+ * "GUPS is a multithreaded application where each thread updates an
+ * item randomly picked from the large table. Since the table is so
+ * large that it spans the entire memory in the system, this
+ * application puts substantial stress on the IP-link bandwidth."
+ *
+ * Each update is a write to a uniformly random line anywhere in the
+ * table, i.e. a read-for-ownership across the network with a dirty
+ * fill; updates overlap up to the core's MLP.
+ */
+
+#ifndef GS_WORKLOAD_GUPS_HH
+#define GS_WORKLOAD_GUPS_HH
+
+#include "cpu/traffic.hh"
+#include "sim/random.hh"
+
+namespace gs::wl
+{
+
+/** One CPU's stream of random table updates. */
+class Gups : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param nodes table spans the regions of CPUs [0, nodes)
+     * @param bytes_per_node table bytes resident on each node
+     * @param updates updates this CPU performs
+     * @param seed per-CPU RNG seed
+     */
+    Gups(int nodes, std::uint64_t bytes_per_node,
+         std::uint64_t updates, std::uint64_t seed);
+
+    std::optional<cpu::MemOp> next() override;
+
+    std::uint64_t updatesIssued() const { return count; }
+
+  private:
+    int nodes;
+    std::uint64_t bytesPerNode;
+    std::uint64_t remaining;
+    std::uint64_t count = 0;
+    Rng rng;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_GUPS_HH

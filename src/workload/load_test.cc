@@ -1,0 +1,61 @@
+#include "workload/load_test.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+RandomRemoteReads::RandomRemoteReads(NodeId self_id, int node_count,
+                                     std::uint64_t range_bytes,
+                                     std::uint64_t reads,
+                                     std::uint64_t seed)
+    : self(self_id), nodes(node_count), rangeBytes(range_bytes),
+      remaining(reads), rng(seed)
+{
+    gs_assert(nodes >= 2, "remote reads need at least two nodes");
+    gs_assert(rangeBytes >= mem::lineBytes);
+}
+
+std::optional<cpu::MemOp>
+RandomRemoteReads::next()
+{
+    if (remaining == 0)
+        return std::nullopt;
+    remaining -= 1;
+
+    auto pick = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(nodes - 1)));
+    if (pick >= self)
+        pick += 1; // skip ourselves
+
+    cpu::MemOp op;
+    op.addr = mem::regionBase(pick) +
+              rng.below(rangeBytes / mem::lineBytes) * mem::lineBytes;
+    op.write = false;
+    return op;
+}
+
+HotSpotReads::HotSpotReads(NodeId victim_node,
+                           std::uint64_t range_bytes,
+                           std::uint64_t reads, std::uint64_t seed)
+    : victim(victim_node), rangeBytes(range_bytes), remaining(reads),
+      rng(seed)
+{
+    gs_assert(rangeBytes >= mem::lineBytes);
+}
+
+std::optional<cpu::MemOp>
+HotSpotReads::next()
+{
+    if (remaining == 0)
+        return std::nullopt;
+    remaining -= 1;
+
+    cpu::MemOp op;
+    op.addr = mem::regionBase(victim) +
+              rng.below(rangeBytes / mem::lineBytes) * mem::lineBytes;
+    op.write = false;
+    return op;
+}
+
+} // namespace gs::wl

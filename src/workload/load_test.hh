@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The interconnect load test of Figure 15 and the hot-spot pattern
+ * of Figures 26/27.
+ *
+ * Load test: "Each CPU randomly selects another CPU to send a Read
+ * request to. The test is started with a single outstanding load
+ * [...] For each additional point, one outstanding load is added
+ * (up to 30 outstanding requests)." Outstanding-ness is set by the
+ * core's MLP; this source supplies the random remote read stream.
+ *
+ * Hot spot: every CPU reads random lines homed on one victim node
+ * (CPU0 in the paper's Figure 27 display).
+ */
+
+#ifndef GS_WORKLOAD_LOAD_TEST_HH
+#define GS_WORKLOAD_LOAD_TEST_HH
+
+#include "cpu/traffic.hh"
+#include "sim/random.hh"
+
+namespace gs::wl
+{
+
+/** Uniform-random remote reads (the Figure 15 generator). */
+class RandomRemoteReads : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param self this CPU's id (never chosen as a destination)
+     * @param nodes CPUs to choose among
+     * @param range_bytes address range per node (>> cache size so
+     *        reads keep missing)
+     * @param reads how many reads to issue
+     * @param seed per-CPU RNG seed
+     */
+    RandomRemoteReads(NodeId self, int nodes,
+                      std::uint64_t range_bytes, std::uint64_t reads,
+                      std::uint64_t seed);
+
+    std::optional<cpu::MemOp> next() override;
+
+  private:
+    NodeId self;
+    int nodes;
+    std::uint64_t rangeBytes;
+    std::uint64_t remaining;
+    Rng rng;
+};
+
+/** Reads concentrated on one node's memory (Figures 26/27). */
+class HotSpotReads : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param victim node whose memory everyone reads
+     * @param range_bytes range within the victim's region
+     * @param reads reads to issue
+     * @param seed per-CPU RNG seed
+     */
+    HotSpotReads(NodeId victim, std::uint64_t range_bytes,
+                 std::uint64_t reads, std::uint64_t seed);
+
+    std::optional<cpu::MemOp> next() override;
+
+  private:
+    NodeId victim;
+    std::uint64_t rangeBytes;
+    std::uint64_t remaining;
+    Rng rng;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_LOAD_TEST_HH

@@ -1,0 +1,72 @@
+#include "workload/nas_ft.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+NasFT::NasFT(NodeId self_id, int rank_count, NasFtParams p)
+    : self(self_id), ranks(rank_count), prm(p)
+{
+    gs_assert(ranks >= 1);
+}
+
+std::optional<cpu::MemOp>
+NasFT::next()
+{
+    if (iter >= prm.iterations)
+        return std::nullopt;
+
+    cpu::MemOp op;
+    const std::uint64_t slabLines = prm.slabBytes / mem::lineBytes;
+
+    if (phase == Phase::Fft) {
+        // Local butterfly passes: streaming read/write over the slab
+        // with real FP work.
+        std::uint64_t line = slabCursor % slabLines;
+        op.addr = mem::regionBase(self) + line * mem::lineBytes;
+        op.write = phaseOp % 3 == 2;
+        if (phaseOp % 3 == 0) {
+            op.thinkNs = prm.thinkNsPerLine;
+            points += 1;
+        }
+        slabCursor += 1;
+        phaseOp += 1;
+        if (phaseOp >= prm.fftLines * 3) {
+            phaseOp = 0;
+            peerIdx = 0;
+            phase = ranks > 1 ? Phase::Transpose : Phase::Fft;
+            if (ranks == 1)
+                iter += 1;
+        }
+        return op;
+    }
+
+    // Global transpose: read a block from every peer in turn,
+    // starting from a rank-dependent offset so the all-to-all does
+    // not proceed in lockstep.
+    int peer = (static_cast<int>(self) + 1 + peerIdx) % ranks;
+    std::uint64_t line =
+        (static_cast<std::uint64_t>(iter) *
+             prm.exchangeLinesPerPeer * static_cast<unsigned>(ranks) +
+         static_cast<std::uint64_t>(self) * prm.exchangeLinesPerPeer +
+         phaseOp) %
+        slabLines;
+    op.addr = mem::regionBase(static_cast<NodeId>(peer)) +
+              line * mem::lineBytes;
+    op.write = false;
+
+    phaseOp += 1;
+    if (phaseOp >= prm.exchangeLinesPerPeer) {
+        phaseOp = 0;
+        peerIdx += 1;
+        if (peerIdx >= ranks - 1) {
+            peerIdx = 0;
+            phase = Phase::Fft;
+            iter += 1;
+        }
+    }
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NAS Parallel FT model: 3-D FFT with a global transpose.
+ *
+ * The paper (Section 5.2) names FFT among the NPB kernels that
+ * stress the memory subsystem; unlike SP's nearest-neighbour
+ * pencils, FT's transpose is an all-to-all — every rank exchanges a
+ * block with every other rank each iteration — so it additionally
+ * loads the bisection, sitting between SP and GUPS in interconnect
+ * stress. Included as NPB-suite coverage beyond the paper's SP plot.
+ */
+
+#ifndef GS_WORKLOAD_NAS_FT_HH
+#define GS_WORKLOAD_NAS_FT_HH
+
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Shape parameters for one FT rank. */
+struct NasFtParams
+{
+    int iterations = 2;
+    std::uint64_t fftLines = 4096;        ///< local FFT pass lines
+    std::uint64_t exchangeLinesPerPeer = 64; ///< transpose block
+    std::uint64_t slabBytes = 48ULL << 20;
+    double thinkNsPerLine = 40.0; ///< butterflies per line
+};
+
+/** One MPI rank of the FT kernel. */
+class NasFT : public cpu::TrafficSource
+{
+  public:
+    NasFT(NodeId self, int ranks, NasFtParams p = {});
+
+    std::optional<cpu::MemOp> next() override;
+
+    std::uint64_t pointsDone() const { return points; }
+
+  private:
+    NodeId self;
+    int ranks;
+    NasFtParams prm;
+
+    enum class Phase { Fft, Transpose } phase = Phase::Fft;
+    int iter = 0;
+    std::uint64_t phaseOp = 0;
+    int peerIdx = 0; ///< transpose progress (skips self)
+    std::uint64_t slabCursor = 0;
+    std::uint64_t points = 0;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_NAS_FT_HH

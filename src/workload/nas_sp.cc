@@ -1,0 +1,75 @@
+#include "workload/nas_sp.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+NasSP::NasSP(NodeId self_id, int rank_count, NasSpParams p)
+    : self(self_id), ranks(rank_count), prm(p)
+{
+    gs_assert(ranks >= 1);
+}
+
+std::optional<cpu::MemOp>
+NasSP::next()
+{
+    if (iter >= prm.iterations)
+        return std::nullopt;
+
+    cpu::MemOp op;
+    switch (phase) {
+      case Phase::Sweep: {
+        // Streaming solver sweep: two reads and a write per three
+        // ops, marching through the slab with no reuse.
+        std::uint64_t line = slabCursor % (prm.slabBytes /
+                                           mem::lineBytes);
+        op.addr = mem::regionBase(self) + line * mem::lineBytes;
+        std::uint64_t k = phaseOp % 3;
+        op.write = k == 2;
+        if (k == 0) {
+            op.thinkNs = prm.thinkNsPerLine;
+            points += 1;
+        }
+        slabCursor += 1;
+        phaseOp += 1;
+        if (phaseOp >= prm.sweepLines * 3) {
+            phaseOp = 0;
+            phase = ranks > 1 ? Phase::ExchangeLeft : Phase::Sweep;
+            if (ranks == 1)
+                iter += 1;
+        }
+        break;
+      }
+      case Phase::ExchangeLeft:
+      case Phase::ExchangeRight: {
+        bool left = phase == Phase::ExchangeLeft;
+        NodeId peer = left
+                          ? static_cast<NodeId>((self + ranks - 1) %
+                                                ranks)
+                          : static_cast<NodeId>((self + 1) % ranks);
+        // Boundary pencils live near the start of the peer's slab;
+        // offset by iteration so each exchange misses.
+        std::uint64_t line =
+            (static_cast<std::uint64_t>(iter) * prm.exchangeLines +
+             phaseOp) %
+            (prm.slabBytes / mem::lineBytes);
+        op.addr = mem::regionBase(peer) + line * mem::lineBytes;
+        op.write = false;
+        phaseOp += 1;
+        if (phaseOp >= prm.exchangeLines) {
+            phaseOp = 0;
+            if (left) {
+                phase = Phase::ExchangeRight;
+            } else {
+                phase = Phase::Sweep;
+                iter += 1;
+            }
+        }
+        break;
+      }
+    }
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NAS Parallel SP model (Section 5.2, Figures 21/22).
+ *
+ * SP is an MPI pentadiagonal solver: per iteration every rank
+ * sweeps its local slab of the grid (memory-bandwidth-heavy
+ * streaming with real FP work between lines — the paper measures
+ * ~26% memory-controller utilization and low IP-link utilization)
+ * and then exchanges pencil boundaries with its neighbours (small
+ * messages -> low IP traffic).
+ *
+ * The per-CPU slab of a class C problem is far larger than either
+ * machine's cache at every CPU count evaluated, so the sweep always
+ * streams from memory; the model sweeps a rotating window of a
+ * large local region to reproduce that with a bounded op count.
+ */
+
+#ifndef GS_WORKLOAD_NAS_SP_HH
+#define GS_WORKLOAD_NAS_SP_HH
+
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Shape parameters for one SP rank. */
+struct NasSpParams
+{
+    int iterations = 2;
+    std::uint64_t sweepLines = 8192;    ///< lines streamed per sweep
+    std::uint64_t exchangeLines = 256;  ///< boundary lines per side
+    std::uint64_t slabBytes = 48ULL << 20; ///< local slab (no reuse)
+
+    /**
+     * FP work per grid line. Calibrated so one GS1280 CPU demands
+     * ~2.3 GB/s (the paper's ~26% controller utilization, Figure
+     * 22) — high enough to saturate the shared-memory machines but
+     * not the GS1280, which is what produces Figure 21's ratios.
+     */
+    double thinkNsPerLine = 95.0;
+};
+
+/** One MPI rank of the SP solver. */
+class NasSP : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param self this rank's CPU id
+     * @param ranks total ranks (1-D pencil ring decomposition)
+     */
+    NasSP(NodeId self, int ranks, NasSpParams p = {});
+
+    std::optional<cpu::MemOp> next() override;
+
+    /** Grid points processed (for the MOPS rating). */
+    std::uint64_t pointsDone() const { return points; }
+
+  private:
+    NodeId self;
+    int ranks;
+    NasSpParams prm;
+
+    enum class Phase { Sweep, ExchangeLeft, ExchangeRight } phase =
+        Phase::Sweep;
+    int iter = 0;
+    std::uint64_t phaseOp = 0;
+    std::uint64_t slabCursor = 0;
+    std::uint64_t points = 0;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_NAS_SP_HH

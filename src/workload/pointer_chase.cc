@@ -1,0 +1,37 @@
+#include "workload/pointer_chase.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+PointerChase::PointerChase(mem::Addr base_addr,
+                           std::uint64_t dataset_bytes,
+                           std::uint64_t stride_bytes,
+                           std::uint64_t loads)
+    : base(base_addr), dataset(dataset_bytes), stride(stride_bytes),
+      remaining(loads)
+{
+    gs_assert(dataset >= stride && stride >= 1,
+              "degenerate chase geometry");
+}
+
+std::optional<cpu::MemOp>
+PointerChase::next()
+{
+    if (remaining == 0)
+        return std::nullopt;
+    remaining -= 1;
+    count += 1;
+
+    cpu::MemOp op;
+    op.addr = base + offset;
+    op.write = false;
+    op.dependent = true; // the defining property of the pattern
+    offset += stride;
+    if (offset + stride > dataset)
+        offset = 0;
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dependent-load chain: the lmbench lat_mem_rd pattern behind the
+ * paper's Figures 4, 5, 12, 13 and 14.
+ *
+ * Every load depends on the previous one (load-to-use latency), the
+ * dataset size selects the level of the hierarchy being measured,
+ * and the stride selects open-page vs closed-page DRAM behaviour
+ * (Figure 5). Remote variants chase a chain homed on another node
+ * (Figures 12-14).
+ */
+
+#ifndef GS_WORKLOAD_POINTER_CHASE_HH
+#define GS_WORKLOAD_POINTER_CHASE_HH
+
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Serialized loads over [base, base+dataset) at a fixed stride. */
+class PointerChase : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param base first byte of the region to chase
+     * @param dataset_bytes region size; the chase wraps inside it
+     * @param stride_bytes distance between consecutive loads
+     * @param loads how many dependent loads to issue
+     */
+    PointerChase(mem::Addr base, std::uint64_t dataset_bytes,
+                 std::uint64_t stride_bytes, std::uint64_t loads);
+
+    std::optional<cpu::MemOp> next() override;
+
+    /** Loads issued so far. */
+    std::uint64_t issued() const { return count; }
+
+  private:
+    mem::Addr base;
+    std::uint64_t dataset;
+    std::uint64_t stride;
+    std::uint64_t remaining;
+    std::uint64_t count = 0;
+    std::uint64_t offset = 0;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_POINTER_CHASE_HH

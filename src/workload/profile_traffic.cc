@@ -1,0 +1,69 @@
+#include "workload/profile_traffic.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+ProfileTraffic::ProfileTraffic(const cpu::BenchProfile &profile,
+                               mem::Addr base, double clock_ghz,
+                               std::uint64_t blocks)
+    : clockGHz(clock_ghz),
+      thinkNsPerBlock(1000.0 * profile.cpiBase / clock_ghz),
+      blocksLeft(blocks)
+{
+    gs_assert(clock_ghz > 0 && blocks > 0);
+
+    mem::Addr cursor = base;
+    for (const auto &ws : profile.workingSet) {
+        Component c;
+        c.base = cursor;
+        c.lines = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(ws.sizeMB * 1024 * 1024) /
+                   mem::lineBytes);
+        // Fractional miss densities accumulate across blocks via
+        // rounding: quantize to at least one access per block when
+        // the density is >= 0.5/1k, else thin by skipping blocks.
+        c.opsPerBlock =
+            std::max(1, static_cast<int>(std::lround(ws.missPer1k)));
+        comps.push_back(c);
+        cursor += c.lines * mem::lineBytes;
+    }
+    gs_assert(!comps.empty(), "profile has no working set");
+}
+
+std::optional<cpu::MemOp>
+ProfileTraffic::next()
+{
+    if (blocksLeft == 0)
+        return std::nullopt;
+
+    Component &c = comps[compIdx];
+    cpu::MemOp op;
+    op.addr = c.base + (c.cursor % c.lines) * mem::lineBytes;
+    op.write = (c.cursor & 3) == 3; // ~1/4 of misses dirty lines
+    c.cursor += 1;
+
+    if (!blockStarted) {
+        // The block's core compute rides in front of its first miss.
+        op.thinkNs = thinkNsPerBlock;
+        blockStarted = true;
+    }
+
+    opInComp += 1;
+    if (opInComp >= c.opsPerBlock) {
+        opInComp = 0;
+        compIdx += 1;
+        if (compIdx >= comps.size()) {
+            compIdx = 0;
+            blockStarted = false;
+            blocksDone += 1;
+            blocksLeft -= 1;
+        }
+    }
+    return op;
+}
+
+} // namespace gs::wl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Profile-driven traffic: turn an analytic BenchProfile (the SPEC
+ * models of Figures 8-11) into an executable address stream for the
+ * timing simulator.
+ *
+ * Per 1000-instruction block the source emits each working-set
+ * component's L1 misses as line-granular accesses marching through
+ * a region of the component's footprint, preceded by the block's
+ * core compute time (cpiBase). Replaying the same profile through
+ * the full machine cross-checks the analytic CPI model — and lets
+ * experiments the model can only approximate (e.g. Figure 25's
+ * striping run) be *simulated* instead.
+ */
+
+#ifndef GS_WORKLOAD_PROFILE_TRAFFIC_HH
+#define GS_WORKLOAD_PROFILE_TRAFFIC_HH
+
+#include <vector>
+
+#include "cpu/analytic_core.hh"
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Executable form of a BenchProfile. */
+class ProfileTraffic : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param profile the benchmark model to replay
+     * @param base start of this CPU's data region
+     * @param clock_ghz core clock (scales cpiBase into think time)
+     * @param blocks how many 1000-instruction blocks to run
+     */
+    ProfileTraffic(const cpu::BenchProfile &profile, mem::Addr base,
+                   double clock_ghz, std::uint64_t blocks);
+
+    std::optional<cpu::MemOp> next() override;
+
+    /** Instructions represented by the stream so far. */
+    double
+    instructionsIssued() const
+    {
+        return static_cast<double>(blocksDone) * 1000.0;
+    }
+
+    /**
+     * Simulated IPC given the elapsed time of the run that consumed
+     * this stream.
+     */
+    double
+    ipc(double elapsed_ns) const
+    {
+        return instructionsIssued() / (elapsed_ns * clockGHz);
+    }
+
+  private:
+    struct Component
+    {
+        mem::Addr base = 0;      ///< region start
+        std::uint64_t lines = 0; ///< region size in lines
+        int opsPerBlock = 0;     ///< accesses per 1000 instrs
+        std::uint64_t cursor = 0;
+    };
+
+    double clockGHz;
+    double thinkNsPerBlock;
+    std::uint64_t blocksLeft;
+    std::uint64_t blocksDone = 0;
+
+    std::vector<Component> comps;
+    std::size_t compIdx = 0;
+    int opInComp = 0;
+    bool blockStarted = false;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_PROFILE_TRAFFIC_HH

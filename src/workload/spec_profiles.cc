@@ -1,0 +1,148 @@
+#include "workload/spec_profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+namespace
+{
+
+using cpu::BenchProfile;
+
+BenchProfile
+make(const char *name, bool fp, double cpi_base, double mlp,
+     std::vector<cpu::WorkingSetComponent> ws,
+     std::vector<double> phases)
+{
+    BenchProfile p;
+    p.name = name;
+    p.fp = fp;
+    p.cpiBase = cpi_base;
+    p.mlp = mlp;
+    p.workingSet = std::move(ws);
+    p.phases = std::move(phases);
+    return p;
+}
+
+/**
+ * SPECfp2000. Working-set components: {sizeMB, L1 misses/1k instr}.
+ * A component spills to memory on a machine whose L2 is smaller
+ * than its size; swim/applu/lucas/equake stream far past 16 MB,
+ * facerec/ammp sit between 1.75 MB and 16 MB (the paper's explicit
+ * examples of GS320/ES45 wins), mesa/sixtrack are cache-resident.
+ */
+std::vector<BenchProfile>
+buildFp()
+{
+    std::vector<BenchProfile> v;
+    v.push_back(make("wupwise", true, 0.55, 5.0,
+                     {{1.0, 2.0}, {170.0, 4.5}},
+                     {1.0, 1.3, 0.8, 1.2, 0.9}));
+    v.push_back(make("swim", true, 0.60, 7.0,
+                     {{0.5, 1.0}, {190.0, 40.0}},
+                     {1.0, 1.0, 1.0, 1.0}));
+    v.push_back(make("mgrid", true, 0.60, 6.0,
+                     {{1.0, 2.0}, {56.0, 9.5}},
+                     {0.6, 1.2, 1.4, 0.9, 1.1, 0.7}));
+    v.push_back(make("applu", true, 0.62, 6.0,
+                     {{1.2, 2.0}, {180.0, 11.5}},
+                     {1.2, 0.8, 1.2, 0.8, 1.2}));
+    v.push_back(make("mesa", true, 0.52, 3.0, {{0.6, 1.2}},
+                     {1.0, 0.9, 1.1}));
+    v.push_back(make("galgel", true, 0.58, 4.5,
+                     {{0.7, 3.0}, {30.0, 4.8}},
+                     {0.4, 1.5, 0.5, 1.4, 0.6}));
+    v.push_back(make("art", true, 0.85, 4.0,
+                     {{0.2, 4.0}, {3.7, 14.0}},
+                     {1.0, 1.1, 0.9, 1.0}));
+    v.push_back(make("equake", true, 0.70, 5.0,
+                     {{0.8, 2.5}, {45.0, 10.5}},
+                     {1.6, 0.9, 0.9, 0.9, 0.9}));
+    v.push_back(make("facerec", true, 0.60, 4.0,
+                     {{1.0, 2.0}, {8.0, 4.2}},
+                     {0.9, 1.2, 0.8, 1.1}));
+    v.push_back(make("ammp", true, 0.75, 2.5,
+                     {{0.9, 2.5}, {10.0, 3.5}},
+                     {1.0, 0.8, 1.2, 1.0}));
+    v.push_back(make("lucas", true, 0.58, 6.0,
+                     {{1.0, 1.5}, {120.0, 10.0}},
+                     {0.7, 1.3, 0.7, 1.3, 0.9}));
+    v.push_back(make("fma3d", true, 0.68, 4.5,
+                     {{1.2, 2.5}, {100.0, 5.5}},
+                     {1.1, 0.9, 1.1, 0.9}));
+    v.push_back(make("sixtrack", true, 0.55, 3.0, {{0.9, 1.0}},
+                     {1.0, 1.0, 1.0}));
+    v.push_back(make("apsi", true, 0.60, 3.5,
+                     {{1.3, 2.0}, {190.0, 2.8}},
+                     {0.9, 1.1, 1.0, 1.0}));
+    return v;
+}
+
+/** SPECint2000: cache-resident except mcf (latency-bound pointer
+ *  chasing) and moderate spills in vpr/gcc/gap/twolf. */
+std::vector<BenchProfile>
+buildInt()
+{
+    std::vector<BenchProfile> v;
+    v.push_back(make("gzip", false, 0.72, 2.0,
+                     {{0.8, 1.5}, {180.0, 0.35}},
+                     {1.0, 1.3, 0.7, 1.2, 0.8}));
+    v.push_back(make("vpr", false, 0.85, 1.8,
+                     {{0.9, 2.0}, {2.5, 2.5}}, {1.0, 1.0, 1.0}));
+    v.push_back(make("cc1", false, 0.88, 2.2,
+                     {{1.0, 2.5}, {22.0, 1.4}},
+                     {1.5, 0.6, 1.4, 0.7, 1.3}));
+    v.push_back(make("mcf", false, 1.05, 1.6,
+                     {{0.5, 4.0}, {100.0, 13.5}},
+                     {0.8, 1.1, 1.1, 1.0}));
+    v.push_back(make("crafty", false, 0.68, 2.0, {{1.1, 1.2}},
+                     {1.0, 1.0}));
+    v.push_back(make("parser", false, 0.82, 1.8,
+                     {{0.8, 2.0}, {30.0, 1.1}}, {1.0, 0.9, 1.1}));
+    v.push_back(make("eon", false, 0.62, 2.0, {{0.5, 0.8}},
+                     {1.0, 1.0}));
+    v.push_back(make("gap", false, 0.75, 2.5,
+                     {{0.9, 1.5}, {190.0, 1.5}},
+                     {0.9, 1.2, 0.8, 1.1}));
+    v.push_back(make("perlbmk", false, 0.70, 2.2,
+                     {{1.0, 1.5}, {30.0, 0.5}}, {1.0, 1.1, 0.9}));
+    v.push_back(make("vortex", false, 0.72, 2.5,
+                     {{1.2, 2.0}, {60.0, 0.8}}, {1.1, 0.9, 1.0}));
+    v.push_back(make("bzip2", false, 0.74, 2.2,
+                     {{1.0, 1.5}, {180.0, 0.8}},
+                     {0.7, 1.3, 0.7, 1.3}));
+    v.push_back(make("twolf", false, 0.88, 1.8,
+                     {{0.8, 2.5}, {2.2, 2.0}}, {1.0, 1.0, 1.0}));
+    return v;
+}
+
+} // namespace
+
+const std::vector<cpu::BenchProfile> &
+specFp2000()
+{
+    static const std::vector<cpu::BenchProfile> table = buildFp();
+    return table;
+}
+
+const std::vector<cpu::BenchProfile> &
+specInt2000()
+{
+    static const std::vector<cpu::BenchProfile> table = buildInt();
+    return table;
+}
+
+const cpu::BenchProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : specFp2000())
+        if (p.name == name)
+            return p;
+    for (const auto &p : specInt2000())
+        if (p.name == name)
+            return p;
+    gs_fatal("unknown SPEC profile: ", name);
+}
+
+} // namespace gs::wl

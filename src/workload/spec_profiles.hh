@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic profiles of the 26 SPEC CPU2000 benchmarks (Figures
+ * 8-11, 25 and the rate curves of Figure 1).
+ *
+ * Substitution note (see DESIGN.md): SPEC binaries cannot run here.
+ * Each profile encodes the properties the paper itself uses to
+ * explain its IPC results — base CPI, memory-level parallelism and
+ * a lumped working-set/miss-density decomposition — calibrated so
+ * that, through the analytic CPI model, the per-benchmark ordering
+ * and machine-vs-machine ratios of Figures 8/9 and the
+ * memory-controller utilization levels of Figures 10/11 are
+ * reproduced (swim ~53% utilization; applu/lucas/equake/mgrid
+ * 20-30%; fma3d/art/wupwise/galgel 10-20%; facerec ~8% with a
+ * working set that fits a 16 MB cache but not 1.75 MB; integer
+ * benchmarks cache-resident except mcf).
+ */
+
+#ifndef GS_WORKLOAD_SPEC_PROFILES_HH
+#define GS_WORKLOAD_SPEC_PROFILES_HH
+
+#include <vector>
+
+#include "cpu/analytic_core.hh"
+
+namespace gs::wl
+{
+
+/** The 14 SPECfp2000 benchmarks, in the paper's figure order. */
+const std::vector<cpu::BenchProfile> &specFp2000();
+
+/** The 12 SPECint2000 benchmarks, in the paper's figure order. */
+const std::vector<cpu::BenchProfile> &specInt2000();
+
+/** Look up one profile by name across both suites. */
+const cpu::BenchProfile &specProfile(const std::string &name);
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_SPEC_PROFILES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SPEC rate (throughput) model: Figure 1's SPECfp_rate2000 scaling
+ * comparison and Figure 25's striping degradation.
+ *
+ * A rate run executes N independent copies; what differs between
+ * machines is how per-copy memory bandwidth and latency degrade as
+ * copies multiply:
+ *  - GS1280: each CPU owns its local RDRAM -> per-copy resources are
+ *    constant and throughput scales linearly (the paper's Figure 7
+ *    argument);
+ *  - GS1280 striped: half of every copy's lines live on the module
+ *    buddy -> higher average latency and inter-processor traffic;
+ *  - GS320: four copies share one QBB memory port;
+ *  - SC45: clusters of 4-CPU ES45 boxes; copies share the box
+ *    crossbar, boxes add linearly.
+ */
+
+#ifndef GS_WORKLOAD_SPEC_RATE_HH
+#define GS_WORKLOAD_SPEC_RATE_HH
+
+#include <vector>
+
+#include "cpu/analytic_core.hh"
+
+namespace gs::wl
+{
+
+/** Rate-run system variants. */
+enum class RateSystem
+{
+    GS1280,
+    GS1280Striped,
+    SC45,
+    GS320,
+};
+
+/** Per-copy machine timing when @p cpus copies run on @p sys. */
+cpu::MachineTiming rateTiming(RateSystem sys, int cpus);
+
+/**
+ * SPEC-style rate: N x geometric mean of per-copy speeds over
+ * @p suite, scaled so the 1-copy GS1280 SPECfp number lands near
+ * its published ~19 (only ratios and shapes are meaningful).
+ */
+double specRate(const std::vector<cpu::BenchProfile> &suite,
+                RateSystem sys, int cpus);
+
+/**
+ * Figure 25: per-benchmark throughput degradation (percent) of the
+ * striped GS1280 versus the default, at @p cpus copies.
+ */
+double stripingDegradationPct(const cpu::BenchProfile &profile,
+                              int cpus);
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_SPEC_RATE_HH

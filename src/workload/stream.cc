@@ -1,0 +1,47 @@
+#include "workload/stream.hh"
+
+#include "sim/logging.hh"
+
+namespace gs::wl
+{
+
+StreamKernel::StreamKernel(StreamOp op, mem::Addr base,
+                           std::uint64_t array_bytes, int iterations,
+                           double think_ns_per_line)
+    : kind(op), aBase(base), bBase(base + array_bytes),
+      cBase(base + 2 * array_bytes), arrayBytes(array_bytes),
+      sweepsLeft(iterations), thinkNs(think_ns_per_line)
+{
+    gs_assert(array_bytes >= mem::lineBytes);
+    gs_assert(iterations >= 1);
+}
+
+std::optional<cpu::MemOp>
+StreamKernel::next()
+{
+    if (sweepsLeft == 0)
+        return std::nullopt;
+
+    const int reads = readsPerLine();
+    cpu::MemOp op;
+    if (phase < reads) {
+        op.addr = (phase == 0 ? bBase : cBase) + offset;
+        op.write = false;
+        if (phase == 0)
+            op.thinkNs = thinkNs; // the FP work for this line
+        phase += 1;
+    } else {
+        op.addr = aBase + offset;
+        op.write = true;
+        phase = 0;
+        lines += 1;
+        offset += mem::lineBytes;
+        if (offset + mem::lineBytes > arrayBytes) {
+            offset = 0;
+            sweepsLeft -= 1;
+        }
+    }
+    return op;
+}
+
+} // namespace gs::wl

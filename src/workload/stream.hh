@@ -1,0 +1,110 @@
+/**
+ * @file
+ * McCalpin STREAM kernels: the sustainable memory-bandwidth
+ * benchmark of the paper's Figures 6 and 7 and the "memory copy
+ * bandwidth" rows of Figure 28.
+ *
+ * The four kernels and their traffic per 64-byte line of progress:
+ *  - Copy  (a[i] = b[i]):          1 read stream, 1 write stream
+ *  - Scale (a[i] = q*b[i]):        1 read stream, 1 write stream
+ *  - Add   (a[i] = b[i] + c[i]):   2 read streams, 1 write stream
+ *  - Triad (a[i] = b[i] + q*c[i]): 2 read streams, 1 write stream
+ *
+ * On this protocol a write is a read-for-ownership plus a later
+ * victim write-back, exactly the extra traffic a real STREAM write
+ * stream induces. The paper plots Triad ("the other kernels have
+ * similar characteristics").
+ */
+
+#ifndef GS_WORKLOAD_STREAM_HH
+#define GS_WORKLOAD_STREAM_HH
+
+#include "cpu/traffic.hh"
+
+namespace gs::wl
+{
+
+/** Which STREAM kernel to run. */
+enum class StreamOp
+{
+    Copy,
+    Scale,
+    Add,
+    Triad,
+};
+
+/** Bytes of arithmetic progress per element line, by kernel. */
+constexpr double
+streamBytesPerLine(StreamOp op)
+{
+    switch (op) {
+      case StreamOp::Copy:
+      case StreamOp::Scale:
+        return 2.0 * 64.0;
+      case StreamOp::Add:
+      case StreamOp::Triad:
+        return 3.0 * 64.0;
+    }
+    return 3.0 * 64.0;
+}
+
+/** One CPU's share of a STREAM sweep over local arrays. */
+class StreamKernel : public cpu::TrafficSource
+{
+  public:
+    /**
+     * @param op which kernel
+     * @param base start of this CPU's array region; up to three
+     *        disjoint arrays of @p array_bytes each are placed here
+     * @param array_bytes size of each array
+     * @param iterations full sweeps to run
+     * @param think_ns_per_line FP work per line
+     */
+    StreamKernel(StreamOp op, mem::Addr base,
+                 std::uint64_t array_bytes, int iterations = 1,
+                 double think_ns_per_line = 1.5);
+
+    std::optional<cpu::MemOp> next() override;
+
+    StreamOp op() const { return kind; }
+    std::uint64_t linesProcessed() const { return lines; }
+
+    /** Bytes of kernel progress per processed line. */
+    double bytesPerLine() const { return streamBytesPerLine(kind); }
+
+  private:
+    int readsPerLine() const
+    {
+        return kind == StreamOp::Add || kind == StreamOp::Triad ? 2
+                                                                : 1;
+    }
+
+    StreamOp kind;
+    mem::Addr aBase, bBase, cBase;
+    std::uint64_t arrayBytes;
+    int sweepsLeft;
+    double thinkNs;
+
+    std::uint64_t offset = 0;
+    int phase = 0; ///< 0..reads-1: loads; reads: the store
+    std::uint64_t lines = 0;
+};
+
+/** The Triad kernel (the one the paper plots). */
+class StreamTriad : public StreamKernel
+{
+  public:
+    StreamTriad(mem::Addr base, std::uint64_t array_bytes,
+                int iterations = 1, double think_ns_per_line = 1.5)
+        : StreamKernel(StreamOp::Triad, base, array_bytes, iterations,
+                       think_ns_per_line)
+    {
+    }
+
+    /** Triad moves 24 B of data per 64 B line step (3 streams). */
+    static constexpr double bytesPerLine = 3.0 * 64.0;
+};
+
+} // namespace gs::wl
+
+#endif // GS_WORKLOAD_STREAM_HH

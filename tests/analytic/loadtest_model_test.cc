@@ -1,0 +1,96 @@
+/** @file Load-test queueing model tests, including a cross-check
+ *  against the flit-level simulator. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytic/loadtest_model.hh"
+#include "system/machine.hh"
+#include "workload/load_test.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::analytic;
+
+TEST(LoadModel, LinearBelowSaturation)
+{
+    LoadModelParams p;
+    p.cpus = 16;
+    p.unloadedLatencyNs = 200;
+    p.saturationGBs = 50;
+
+    auto one = evaluateLoadPoint(p, 1);
+    auto two = evaluateLoadPoint(p, 2);
+    EXPECT_NEAR(two.bandwidthGBs, 2.0 * one.bandwidthGBs, 1e-9);
+    // Latency flat below the knee.
+    EXPECT_NEAR(one.latencyNs, 200.0, 1e-9);
+    EXPECT_NEAR(two.latencyNs, 200.0, 1e-9);
+}
+
+TEST(LoadModel, FlatAboveSaturationWithRisingLatency)
+{
+    LoadModelParams p;
+    p.cpus = 16;
+    p.unloadedLatencyNs = 200;
+    p.saturationGBs = 50;
+
+    double knee = saturationOutstanding(p);
+    auto below = evaluateLoadPoint(p, knee * 0.5);
+    auto at = evaluateLoadPoint(p, knee);
+    auto above = evaluateLoadPoint(p, knee * 2);
+
+    EXPECT_LT(below.bandwidthGBs, at.bandwidthGBs);
+    EXPECT_NEAR(above.bandwidthGBs, 50.0, 1e-9);
+    EXPECT_NEAR(above.latencyNs, 2.0 * at.latencyNs, 1e-6);
+}
+
+TEST(LoadModel, KneeMatchesLittlesLaw)
+{
+    LoadModelParams p;
+    p.cpus = 16;
+    p.unloadedLatencyNs = 200;
+    p.bytesPerRequest = 64;
+    p.saturationGBs = 50;
+    // k* = B*L/bytes = 50 * 200 / 64 = 156.25 -> ~9.8 per CPU.
+    EXPECT_NEAR(saturationOutstanding(p), 156.25 / 16, 1e-9);
+}
+
+TEST(LoadModel, TracksTheSimulatedCurveBelowSaturation)
+{
+    // Run the simulator's 16P load test at low outstanding counts
+    // and check the model (fed the simulator's own idle latency and
+    // ceiling) brackets the measured bandwidth within 30%.
+    auto measure = [](int outstanding) {
+        sys::Gs1280Options opt;
+        opt.mlp = outstanding;
+        auto m = sys::Machine::buildGS1280(16, opt);
+        std::vector<std::unique_ptr<wl::RandomRemoteReads>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 16; ++c) {
+            gens.push_back(std::make_unique<wl::RandomRemoteReads>(
+                c, 16, 512ULL << 20, 800,
+                60 + static_cast<unsigned>(c)));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m->ctx().now();
+        EXPECT_TRUE(m->run(sources, 10000 * tickMs));
+        double ns = ticksToNs(m->ctx().now() - start);
+        return 16.0 * 800.0 * 64.0 / ns; // GB/s
+    };
+
+    LoadModelParams p;
+    p.cpus = 16;
+    p.unloadedLatencyNs = 209; // simulator's own 1-outstanding value
+    p.saturationGBs = 51;      // simulator's own plateau
+
+    for (int w : {1, 2, 4}) {
+        double sim = measure(w);
+        double model = evaluateLoadPoint(p, w).bandwidthGBs;
+        EXPECT_NEAR(sim, model, 0.30 * model) << w << " outstanding";
+    }
+}
+
+} // namespace

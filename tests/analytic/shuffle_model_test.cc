@@ -1,0 +1,142 @@
+/** @file Table 1 analytic model tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/latency_model.hh"
+#include "analytic/shuffle_model.hh"
+#include "system/machine.hh"
+#include "topology/torus.hh"
+#include "topology/tree.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::analytic;
+
+TEST(ShuffleModel, BisectionFormulas)
+{
+    // Torus bisection = 2 * min(W, H) links.
+    EXPECT_EQ(torusBisection(4, 2), 4);
+    EXPECT_EQ(torusBisection(4, 4), 8);
+    EXPECT_EQ(torusBisection(16, 8), 16);
+    // Shuffle doubles the rectangular (W = 2H) cut, leaves squares.
+    EXPECT_EQ(shuffleBisection(4, 2), 8);
+    EXPECT_EQ(shuffleBisection(8, 4), 16);
+    EXPECT_EQ(shuffleBisection(4, 4), 8);
+    EXPECT_EQ(shuffleBisection(16, 16), 32);
+}
+
+TEST(ShuffleModel, BisectionGainsMatchTable1Exactly)
+{
+    // Table 1 bisection column: 2.0 for rectangular, 1.0 for square.
+    for (const auto &row : table1()) {
+        double expect = row.width == 2 * row.height ? 2.0 : 1.0;
+        EXPECT_DOUBLE_EQ(row.bisectionGain, expect)
+            << row.width << "x" << row.height;
+    }
+}
+
+TEST(ShuffleModel, SmallShapesMatchTable1Exactly)
+{
+    // The 4x2 (the machine actually rewired and measured in Fig 18)
+    // and 4x4 rows reproduce the paper's model to 3 decimals.
+    auto g42 = evaluateShuffle(4, 2);
+    EXPECT_NEAR(g42.avgLatencyGain, 1.200, 0.001);
+    EXPECT_NEAR(g42.worstLatencyGain, 1.500, 0.001);
+    auto g44 = evaluateShuffle(4, 4);
+    EXPECT_NEAR(g44.avgLatencyGain, 1.067, 0.001);
+    EXPECT_NEAR(g44.worstLatencyGain, 1.333, 0.001);
+}
+
+TEST(ShuffleModel, WorstCaseGainsMatchMostRows)
+{
+    // Worst-latency column: 1.5 rectangular / 1.333 square, for
+    // every size up to 16x8 (see EXPERIMENTS.md on 16x16).
+    EXPECT_NEAR(evaluateShuffle(8, 4).worstLatencyGain, 1.5, 0.001);
+    EXPECT_NEAR(evaluateShuffle(16, 8).worstLatencyGain, 1.5, 0.001);
+    EXPECT_NEAR(evaluateShuffle(8, 8).worstLatencyGain, 4.0 / 3.0,
+                0.001);
+}
+
+TEST(ShuffleModel, GainsAlwaysAtLeastOne)
+{
+    for (const auto &row : table1()) {
+        EXPECT_GE(row.avgLatencyGain, 1.0);
+        EXPECT_GE(row.worstLatencyGain, 1.0);
+        EXPECT_GE(row.bisectionGain, 1.0);
+    }
+}
+
+TEST(ShuffleModel, RectangularBeatsSquareBisectionAndWorst)
+{
+    // The paper: "shuffle is more beneficial in rectangular rather
+    // than in square shaped interconnects (bisection width and
+    // worst-case latency)".
+    auto rect = evaluateShuffle(8, 4);
+    auto square = evaluateShuffle(8, 8);
+    EXPECT_GT(rect.bisectionGain, square.bisectionGain);
+    EXPECT_GT(rect.worstLatencyGain, square.worstLatencyGain);
+}
+
+TEST(ShuffleModel, Table1HasSixRows)
+{
+    auto rows = table1();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].width, 4);
+    EXPECT_EQ(rows[0].height, 2);
+    EXPECT_EQ(rows[5].width, 16);
+    EXPECT_EQ(rows[5].height, 16);
+}
+
+TEST(LatencyModel, MeanHopsIncludesSelf)
+{
+    topo::Torus2D t(2, 2);
+    // Distances from any node: 0,1,1,2 -> mean 1.0.
+    EXPECT_DOUBLE_EQ(meanHopsWithSelf(t), 1.0);
+}
+
+TEST(LatencyModel, IdleLatencyComposition)
+{
+    topo::Torus2D t(4, 4);
+    double avg = avgIdleLatencyNs(t, 83.0, 28.0);
+    // 4x4 mean hops (with self) = 2.0 -> 83 + 56 = 139.
+    EXPECT_NEAR(avg, 139.0, 0.01);
+}
+
+TEST(LatencyModel, Gs320TwoLevelAverage)
+{
+    // 16 CPUs, 4 per QBB: 1/4 local.
+    double avg = gs320AvgLatencyNs(16, 4, 330.0, 860.0);
+    EXPECT_NEAR(avg, 0.25 * 330 + 0.75 * 860, 0.01);
+    // Small systems are all local.
+    EXPECT_DOUBLE_EQ(gs320AvgLatencyNs(4, 4, 330.0, 860.0), 330.0);
+}
+
+TEST(LatencyModel, Mm1DivergesAtSaturation)
+{
+    EXPECT_DOUBLE_EQ(mm1LatencyNs(100.0, 0.0), 100.0);
+    EXPECT_NEAR(mm1LatencyNs(100.0, 0.5), 200.0, 0.01);
+    EXPECT_TRUE(std::isinf(mm1LatencyNs(100.0, 1.0)));
+}
+
+TEST(LatencyModel, Figure14Ordering)
+{
+    // GS1280 average latency grows slowly with size; GS320 is far
+    // above at every count (Figure 14).
+    double prev = 0;
+    for (int cpus : {4, 8, 16, 32, 64}) {
+        auto [w, h] = sys::torusShape(cpus);
+        topo::Torus2D t(w, h);
+        double gs1280 = avgIdleLatencyNs(t, 83.0, 28.0);
+        double gs320 =
+            gs320AvgLatencyNs(std::min(cpus, 32), 4, 330.0, 860.0);
+        EXPECT_GT(gs1280, prev);
+        EXPECT_GT(gs320, 2.5 * gs1280) << cpus;
+        prev = gs1280;
+    }
+}
+
+} // namespace

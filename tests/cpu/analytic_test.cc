@@ -1,0 +1,134 @@
+/** @file Analytic CPI model tests. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/analytic_core.hh"
+
+namespace
+{
+
+using namespace gs::cpu;
+
+BenchProfile
+cacheResident()
+{
+    BenchProfile p;
+    p.name = "small";
+    p.cpiBase = 0.7;
+    p.mlp = 2.0;
+    p.workingSet = {{0.5, 2.0}};
+    return p;
+}
+
+BenchProfile
+streaming()
+{
+    BenchProfile p;
+    p.name = "swim-like";
+    p.cpiBase = 0.6;
+    p.mlp = 7.0;
+    p.workingSet = {{0.5, 1.0}, {190.0, 26.0}};
+    return p;
+}
+
+BenchProfile
+midSized(double ws_mb)
+{
+    BenchProfile p;
+    p.name = "facerec-like";
+    p.cpiBase = 0.6;
+    p.mlp = 4.0;
+    p.workingSet = {{1.0, 2.0}, {ws_mb, 5.0}};
+    return p;
+}
+
+TEST(AnalyticCore, CacheResidentIpcNearCoreBound)
+{
+    auto r = evaluateIpc(cacheResident(), MachineTiming::gs1280());
+    EXPECT_EQ(r.memMpki, 0.0);
+    EXPECT_GT(r.ipc, 1.0); // ~1/cpiBase less a little L2 time
+    EXPECT_LT(r.memUtilization, 0.01);
+}
+
+TEST(AnalyticCore, StreamingFavorsGs1280)
+{
+    auto p = streaming();
+    auto gs1280 = evaluateIpc(p, MachineTiming::gs1280());
+    auto es45 = evaluateIpc(p, MachineTiming::es45());
+    auto gs320 = evaluateIpc(p, MachineTiming::gs320());
+    // The paper: swim shows 2.3x vs ES45 and 4x vs GS320.
+    EXPECT_GT(gs1280.ipc / es45.ipc, 1.8);
+    EXPECT_LT(gs1280.ipc / es45.ipc, 3.2);
+    EXPECT_GT(gs1280.ipc / gs320.ipc, 3.0);
+    EXPECT_LT(gs1280.ipc / gs320.ipc, 5.5);
+}
+
+TEST(AnalyticCore, MidWorkingSetFavorsBigCache)
+{
+    // The facerec story: fits 16 MB, not 1.75 MB.
+    auto p = midSized(8.0);
+    auto gs1280 = evaluateIpc(p, MachineTiming::gs1280());
+    auto gs320 = evaluateIpc(p, MachineTiming::gs320());
+    auto es45 = evaluateIpc(p, MachineTiming::es45());
+    EXPECT_GT(gs320.ipc, gs1280.ipc);
+    EXPECT_GT(es45.ipc, gs1280.ipc);
+    EXPECT_EQ(gs320.memMpki, 0.0);
+    EXPECT_GT(gs1280.memMpki, 0.0);
+}
+
+TEST(AnalyticCore, HugeWorkingSetSpillsEverywhere)
+{
+    auto p = midSized(64.0);
+    auto gs1280 = evaluateIpc(p, MachineTiming::gs1280());
+    auto gs320 = evaluateIpc(p, MachineTiming::gs320());
+    EXPECT_GT(gs1280.memMpki, 0.0);
+    EXPECT_GT(gs320.memMpki, 0.0);
+    EXPECT_GT(gs1280.ipc, gs320.ipc); // latency/bandwidth advantage
+}
+
+TEST(AnalyticCore, BandwidthBoundDetection)
+{
+    auto p = streaming();
+    auto slow = MachineTiming::gs320();
+    auto r = evaluateIpc(p, slow);
+    EXPECT_TRUE(r.bandwidthBound);
+    // Core time still dilutes utilization below 1.0.
+    EXPECT_GT(r.memUtilization, 0.6);
+    EXPECT_LE(r.memUtilization, 1.0);
+}
+
+TEST(AnalyticCore, UtilizationSeriesFollowsPhases)
+{
+    BenchProfile p = streaming();
+    p.phases = {0.5, 1.5};
+    auto series = utilizationSeries(p, MachineTiming::gs1280(), 10);
+    ASSERT_EQ(series.size(), 10u);
+    // First half lower than second half.
+    EXPECT_LT(series[1], series[8]);
+    for (double u : series) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(AnalyticCore, SwimUtilizationNearPaper)
+{
+    // Paper: swim leads with ~53% memory utilization on the GS1280.
+    auto r = evaluateIpc(streaming(), MachineTiming::gs1280());
+    EXPECT_GT(r.memUtilization, 0.35);
+    EXPECT_LT(r.memUtilization, 0.70);
+}
+
+TEST(AnalyticCore, FasterClockHelpsCacheResidentOnly)
+{
+    auto p = cacheResident();
+    auto m = MachineTiming::gs1280();
+    auto base = evaluateIpc(p, m);
+    m.clockGHz *= 1.2;
+    auto faster = evaluateIpc(p, m);
+    // IPC barely moves for core-bound code (time per instr shrinks).
+    EXPECT_NEAR(faster.ipc, base.ipc, 0.08 * base.ipc);
+    EXPECT_LT(faster.nsPerInstr, base.nsPerInstr);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+/** @file Timing-core tests: MLP throttling, dependence, think time,
+ *  L1 behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/node.hh"
+#include "cpu/core.hh"
+#include "net/network.hh"
+#include "topology/torus.hh"
+
+namespace
+{
+
+using namespace gs;
+
+/** Scripted traffic source for directed core tests. */
+class Script : public cpu::TrafficSource
+{
+  public:
+    explicit Script(std::vector<cpu::MemOp> ops) : ops(std::move(ops))
+    {
+    }
+
+    std::optional<cpu::MemOp>
+    next() override
+    {
+        if (idx >= ops.size())
+            return std::nullopt;
+        return ops[idx++];
+    }
+
+  private:
+    std::vector<cpu::MemOp> ops;
+    std::size_t idx = 0;
+};
+
+struct CoreFixture
+{
+    explicit CoreFixture(cpu::CoreParams params = {})
+        : topo(2, 1), net(ctx, topo, net::NetworkParams::gs1280())
+    {
+        coher::NodeConfig cfg;
+        for (NodeId n = 0; n < 2; ++n)
+            nodes.push_back(std::make_unique<coher::CoherentNode>(
+                ctx, net, n, map, cfg));
+        core = std::make_unique<cpu::TimingCore>(ctx, *nodes[0],
+                                                 params);
+    }
+
+    double
+    runScript(std::vector<cpu::MemOp> ops)
+    {
+        Script script(std::move(ops));
+        bool done = false;
+        core->run(script, [&] { done = true; });
+        ctx.queue().runUntil(ctx.now() + 100 * tickMs);
+        EXPECT_TRUE(done);
+        return core->stats().elapsedNs();
+    }
+
+    SimContext ctx;
+    topo::Torus2D topo;
+    mem::NodeOwnedMap map;
+    net::Network net;
+    std::vector<std::unique_ptr<coher::CoherentNode>> nodes;
+    std::unique_ptr<cpu::TimingCore> core;
+};
+
+cpu::MemOp
+read(mem::Addr a, bool dependent = false)
+{
+    cpu::MemOp op;
+    op.addr = a;
+    op.dependent = dependent;
+    return op;
+}
+
+TEST(TimingCore, CompletesAllOps)
+{
+    CoreFixture f;
+    std::vector<cpu::MemOp> ops;
+    for (int i = 0; i < 32; ++i)
+        ops.push_back(read(static_cast<mem::Addr>(i) * 64));
+    f.runScript(ops);
+    EXPECT_EQ(f.core->stats().opsDone, 32u);
+    EXPECT_TRUE(f.core->done());
+}
+
+TEST(TimingCore, DependentLoadsSerialize)
+{
+    // Independent misses overlap; dependent misses do not. Use
+    // distinct lines so merging cannot hide the difference.
+    auto makeOps = [](bool dep) {
+        std::vector<cpu::MemOp> ops;
+        for (int i = 0; i < 64; ++i)
+            ops.push_back(
+                read(mem::regionBase(1) +
+                         static_cast<mem::Addr>(i) * 8192,
+                     dep));
+        return ops;
+    };
+    CoreFixture indep;
+    double tIndep = indep.runScript(makeOps(false));
+    CoreFixture dep;
+    double tDep = dep.runScript(makeOps(true));
+    EXPECT_GT(tDep, 2.0 * tIndep);
+}
+
+TEST(TimingCore, MlpLimitsOutstanding)
+{
+    cpu::CoreParams p;
+    p.mlp = 2;
+    CoreFixture f(p);
+    std::vector<cpu::MemOp> ops;
+    for (int i = 0; i < 16; ++i)
+        ops.push_back(read(mem::regionBase(1) +
+                           static_cast<mem::Addr>(i) * 4096));
+    Script script(std::move(ops));
+    bool done = false;
+    f.core->run(script, [&] { done = true; });
+    int peak = 0;
+    while (!done && f.ctx.queue().step())
+        peak = std::max(peak, f.core->outstanding());
+    EXPECT_LE(peak, 2);
+    EXPECT_TRUE(done);
+}
+
+TEST(TimingCore, HigherMlpIsFaster)
+{
+    auto mkOps = [] {
+        std::vector<cpu::MemOp> ops;
+        for (int i = 0; i < 128; ++i)
+            ops.push_back(read(mem::regionBase(1) +
+                               static_cast<mem::Addr>(i) * 4096));
+        return ops;
+    };
+    cpu::CoreParams p1;
+    p1.mlp = 1;
+    CoreFixture narrow(p1);
+    double t1 = narrow.runScript(mkOps());
+
+    cpu::CoreParams p8;
+    p8.mlp = 8;
+    CoreFixture wide(p8);
+    double t8 = wide.runScript(mkOps());
+    EXPECT_GT(t1, 3.0 * t8);
+}
+
+TEST(TimingCore, ThinkTimeSerializes)
+{
+    CoreFixture f;
+    std::vector<cpu::MemOp> ops;
+    for (int i = 0; i < 10; ++i) {
+        cpu::MemOp op = read(static_cast<mem::Addr>(i) * 64);
+        op.thinkNs = 100.0;
+        ops.push_back(op);
+    }
+    double ns = f.runScript(ops);
+    EXPECT_GE(ns, 1000.0);
+}
+
+TEST(TimingCore, L1HitsAreFast)
+{
+    CoreFixture f;
+    // Touch a line, then re-read it many times: L1 hits.
+    std::vector<cpu::MemOp> ops;
+    for (int i = 0; i < 100; ++i)
+        ops.push_back(read(0, true));
+    f.runScript(ops);
+    EXPECT_GE(f.core->stats().l1Hits, 99u);
+    // 99 dependent L1 hits at 2.6 ns: well under a miss each.
+    EXPECT_LT(f.core->stats().elapsedNs(), 100 * 20.0);
+}
+
+TEST(TimingCore, WritesReachCoherentCache)
+{
+    CoreFixture f;
+    cpu::MemOp w;
+    w.addr = 4096;
+    w.write = true;
+    f.runScript({w});
+    EXPECT_EQ(f.nodes[0]->l2().state(4096),
+              mem::LineState::Modified);
+}
+
+TEST(TimingCore, WriteAfterReadUpgradesDespiteL1)
+{
+    // Read makes the line L1-resident; the write must still reach
+    // the L2 and set Modified (no stale L1 write path).
+    CoreFixture f;
+    cpu::MemOp r = read(8192, true);
+    cpu::MemOp w;
+    w.addr = 8192;
+    w.write = true;
+    w.dependent = true;
+    f.runScript({r, w});
+    EXPECT_EQ(f.nodes[0]->l2().state(8192),
+              mem::LineState::Modified);
+}
+
+TEST(TimingCore, RunReportsStats)
+{
+    CoreFixture f;
+    f.runScript({read(0), read(64)});
+    const auto &st = f.core->stats();
+    EXPECT_EQ(st.opsIssued, 2u);
+    EXPECT_EQ(st.opsDone, 2u);
+    EXPECT_GT(st.elapsedNs(), 0.0);
+}
+
+TEST(TimingCore, CoreIsReusable)
+{
+    CoreFixture f;
+    f.runScript({read(0)});
+    f.runScript({read(64), read(128)});
+    EXPECT_EQ(f.core->stats().opsDone, 2u); // stats are per-run
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/** @file Trace replay tests: parsing, round-trip, replay. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "coherence/node.hh"
+#include "cpu/core.hh"
+#include "cpu/trace.hh"
+#include "net/network.hh"
+#include "topology/torus.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::cpu;
+
+TEST(Trace, ParsesTheFormat)
+{
+    std::istringstream is(R"(# a comment
+R 0x1000
+T 25.5
+W 0x2040
+
+D 0x1000
+)");
+    auto trace = TraceSource::parse(is);
+    ASSERT_EQ(trace.size(), 3u);
+
+    auto r = trace.next();
+    EXPECT_EQ(r->addr, 0x1000u);
+    EXPECT_FALSE(r->write);
+    EXPECT_DOUBLE_EQ(r->thinkNs, 0.0);
+
+    auto w = trace.next();
+    EXPECT_EQ(w->addr, 0x2040u);
+    EXPECT_TRUE(w->write);
+    EXPECT_DOUBLE_EQ(w->thinkNs, 25.5); // think folds into next op
+
+    auto d = trace.next();
+    EXPECT_TRUE(d->dependent);
+    EXPECT_FALSE(trace.next().has_value());
+}
+
+TEST(Trace, RoundTripsThroughDump)
+{
+    std::vector<MemOp> ops;
+    for (int i = 0; i < 20; ++i) {
+        MemOp op;
+        op.addr = static_cast<mem::Addr>(i) * 4096 + 64;
+        op.write = i % 3 == 0;
+        op.dependent = i % 5 == 0 && !op.write;
+        op.thinkNs = i % 4 == 0 ? 12.0 : 0.0;
+        ops.push_back(op);
+    }
+    TraceSource original(ops);
+    std::ostringstream os;
+    original.dump(os);
+    std::istringstream is(os.str());
+    auto parsed = TraceSource::parse(is);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    original.rewind();
+    while (auto a = original.next()) {
+        auto b = parsed.next();
+        ASSERT_TRUE(b);
+        EXPECT_EQ(a->addr, b->addr);
+        EXPECT_EQ(a->write, b->write);
+        EXPECT_EQ(a->dependent, b->dependent);
+        EXPECT_DOUBLE_EQ(a->thinkNs, b->thinkNs);
+    }
+}
+
+TEST(Trace, RewindReplays)
+{
+    TraceSource t({MemOp{0x40, false, 0, false},
+                   MemOp{0x80, true, 0, false}});
+    EXPECT_TRUE(t.next());
+    EXPECT_TRUE(t.next());
+    EXPECT_FALSE(t.next());
+    t.rewind();
+    EXPECT_EQ(t.next()->addr, 0x40u);
+}
+
+TEST(Trace, DrivesTheTimingCore)
+{
+    SimContext ctx;
+    topo::Torus2D topo(2, 1);
+    mem::NodeOwnedMap map;
+    net::Network net(ctx, topo, net::NetworkParams::gs1280());
+    coher::CoherentNode node(ctx, net, 0, map, coher::NodeConfig{});
+    coher::CoherentNode other(ctx, net, 1, map, coher::NodeConfig{});
+    TimingCore core(ctx, node, CoreParams{});
+
+    std::istringstream is(R"(
+R 0x0
+T 50
+W 0x1000000000
+D 0x40
+)");
+    auto trace = TraceSource::parse(is);
+    bool done = false;
+    core.run(trace, [&] { done = true; });
+    ctx.queue().runUntil(ctx.now() + 100 * tickMs);
+
+    EXPECT_TRUE(done);
+    EXPECT_EQ(core.stats().opsDone, 3u);
+    // The remote write landed on node 1's region: its directory now
+    // records node 0 as the exclusive owner.
+    EXPECT_EQ(other.dirState(0x1000000000ull),
+              coher::DirState::Exclusive);
+    EXPECT_EQ(other.dirOwner(0x1000000000ull), 0);
+    EXPECT_EQ(node.l2().state(0x1000000000ull),
+              mem::LineState::Modified);
+}
+
+TEST(TraceDeath, BadTagIsFatal)
+{
+    std::istringstream is("X 0x10\n");
+    EXPECT_DEATH(
+        { TraceSource::parse(is); }, "unknown tag");
+}
+
+TEST(TraceDeath, MissingAddressIsFatal)
+{
+    std::istringstream is("R\n");
+    EXPECT_DEATH(
+        { TraceSource::parse(is); }, "missing address");
+}
+
+} // namespace

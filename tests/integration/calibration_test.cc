@@ -1,0 +1,159 @@
+/** @file End-to-end calibration: the simulator must land on the
+ *  paper's headline latency/bandwidth numbers (Figures 4, 5, 7, 13)
+ *  within shape-preserving tolerances. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "system/machine.hh"
+#include "workload/pointer_chase.hh"
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+double
+chaseNs(Machine &m, int from, int to, std::uint64_t dataset,
+        std::uint64_t stride, std::uint64_t loads,
+        std::uint64_t offset = 0)
+{
+    wl::PointerChase chase(m.cpuAddr(to, offset), dataset, stride,
+                           loads);
+    std::vector<cpu::TrafficSource *> sources(
+        static_cast<std::size_t>(from) + 1, nullptr);
+    sources[static_cast<std::size_t>(from)] = &chase;
+    EXPECT_TRUE(m.run(sources));
+    return m.core(from).stats().elapsedNs() /
+           static_cast<double>(loads);
+}
+
+TEST(Calibration, Gs1280LocalLatencyNear83ns)
+{
+    auto m = Machine::buildGS1280(16);
+    double ns = chaseNs(*m, 0, 0, 32 << 20, 64, 6000);
+    EXPECT_NEAR(ns, 83.0, 8.0);
+}
+
+TEST(Calibration, Gs1280ClosedPageLatencyNear130ns)
+{
+    // Figure 5: latency rises to ~130 ns for large-stride access.
+    auto m = Machine::buildGS1280(16);
+    double ns = chaseNs(*m, 0, 0, 64 << 20, 16384, 4000);
+    EXPECT_NEAR(ns, 130.0, 15.0);
+}
+
+TEST(Calibration, Gs1280OneHopLatencyNearFigure13)
+{
+    auto m = Machine::buildGS1280(16);
+    // On-module neighbour (node 4 = (0,1)): 139 ns in the paper.
+    double onModule = chaseNs(*m, 0, 4, 16 << 20, 64, 5000);
+    EXPECT_NEAR(onModule, 139.0, 12.0);
+    // Backplane East neighbour (node 1): 145 ns.
+    double backplane = chaseNs(*m, 0, 1, 16 << 20, 64, 5000);
+    EXPECT_NEAR(backplane, 145.0, 12.0);
+    EXPECT_LT(onModule, backplane);
+}
+
+TEST(Calibration, Gs1280WorstCase16PNear259ns)
+{
+    auto m = Machine::buildGS1280(16);
+    // (2,2) = node 10 is 4 hops from node 0 in a 4x4 torus.
+    double ns = chaseNs(*m, 0, 10, 16 << 20, 64, 5000);
+    EXPECT_NEAR(ns, 259.0, 25.0);
+}
+
+TEST(Calibration, CacheHitLatenciesOrdered)
+{
+    // Figure 4's regions: L1 ~2-3 ns, on-chip L2 ~10 ns, memory
+    // ~83 ns on the GS1280.
+    auto m = Machine::buildGS1280(4);
+    double l1 = chaseNs(*m, 0, 0, 16 << 10, 64, 20000);
+    EXPECT_LT(l1, 6.0);
+    // Warm the L2 once so the 512 KB chase measures pure hits.
+    chaseNs(*m, 0, 0, 512 << 10, 64, 8192, 1ULL << 30);
+    double l2 = chaseNs(*m, 0, 0, 512 << 10, 64, 20000, 1ULL << 30);
+    EXPECT_NEAR(l2, 10.4, 4.0);
+    // Fresh (cold) region for the memory measurement.
+    double mem = chaseNs(*m, 0, 0, 32 << 20, 64, 5000, 2ULL << 30);
+    EXPECT_GT(mem, 5.0 * l2);
+}
+
+TEST(Calibration, Gs320LocalLatencyNear330ns)
+{
+    auto m = Machine::buildGS320(16);
+    double ns = chaseNs(*m, 0, 0, 64 << 20, 64, 3000);
+    EXPECT_NEAR(ns, 330.0, 45.0);
+}
+
+TEST(Calibration, Gs320RemoteLatencyNear860ns)
+{
+    auto m = Machine::buildGS320(16);
+    double ns = chaseNs(*m, 0, 12, 64 << 20, 64, 2000);
+    EXPECT_NEAR(ns, 860.0, 120.0);
+}
+
+TEST(Calibration, Es45MemoryLatencyNear195ns)
+{
+    auto m = Machine::buildES45(4);
+    double ns = chaseNs(*m, 0, 0, 64 << 20, 64, 3000);
+    EXPECT_NEAR(ns, 195.0, 30.0);
+}
+
+TEST(Calibration, LatencyAdvantageRatioNear3p8)
+{
+    // Figure 4 at 32 MB: GS1280 is ~3.8x faster than the GS320.
+    auto gs1280 = Machine::buildGS1280(4);
+    auto gs320 = Machine::buildGS320(4);
+    double a = chaseNs(*gs1280, 0, 0, 32 << 20, 64, 4000);
+    double b = chaseNs(*gs320, 0, 0, 32 << 20, 64, 2000);
+    EXPECT_NEAR(b / a, 3.8, 0.9);
+}
+
+TEST(Calibration, MidRangeDatasetFavorsBigCache)
+{
+    // Figure 4, 1.75 MB..16 MB: the 16 MB off-chip caches win once
+    // the set is resident (warm with a full pass, then measure).
+    auto gs1280 = Machine::buildGS1280(4);
+    auto es45 = Machine::buildES45(4);
+    std::uint64_t lines = (8 << 20) / 64;
+    chaseNs(*gs1280, 0, 0, 8 << 20, 64, lines);
+    chaseNs(*es45, 0, 0, 8 << 20, 64, lines);
+    double a = chaseNs(*gs1280, 0, 0, 8 << 20, 64, 4000);
+    double b = chaseNs(*es45, 0, 0, 8 << 20, 64, 4000);
+    EXPECT_GT(a, b);
+}
+
+TEST(Calibration, SmallDatasetFavorsOnChipCache)
+{
+    // Figure 4, 64 KB..1.75 MB: the on-chip L2 is much faster.
+    auto gs1280 = Machine::buildGS1280(4);
+    auto gs320 = Machine::buildGS320(4);
+    double a = chaseNs(*gs1280, 0, 0, 1 << 20, 64, 20000);
+    double b = chaseNs(*gs320, 0, 0, 1 << 20, 64, 20000);
+    EXPECT_LT(2.0 * a, b);
+}
+
+TEST(Calibration, StreamTriadNearPublished)
+{
+    // ~4-5 GB/s per GS1280 CPU; ES45 ~1.5-2; GS320 ~0.8-1.3.
+    auto gs1280 = Machine::buildGS1280(4);
+    wl::StreamTriad t1(gs1280->cpuAddr(0, 0), 8 << 20);
+    ASSERT_TRUE(gs1280->run({&t1}));
+    double gbs = static_cast<double>(t1.linesProcessed()) * 192.0 /
+                 gs1280->core(0).stats().elapsedNs();
+    EXPECT_GT(gbs, 3.0);
+    EXPECT_LT(gbs, 6.5);
+
+    auto es45 = Machine::buildES45(4);
+    wl::StreamTriad t2(es45->cpuAddr(0, 0), 8 << 20);
+    ASSERT_TRUE(es45->run({&t2}));
+    double es45Gbs = static_cast<double>(t2.linesProcessed()) *
+                     192.0 / es45->core(0).stats().elapsedNs();
+    EXPECT_GT(gbs, 1.7 * es45Gbs);
+}
+
+} // namespace

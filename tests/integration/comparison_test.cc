@@ -1,0 +1,178 @@
+/** @file Cross-machine behavioural comparisons the paper's argument
+ *  rests on: bandwidth scaling, load response, GUPS, shuffle. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "system/machine.hh"
+#include "workload/gups.hh"
+#include "workload/load_test.hh"
+#include "workload/pointer_chase.hh"
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+double
+triadGBs(Machine &m, int cpus)
+{
+    std::vector<std::unique_ptr<wl::StreamTriad>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        gens.push_back(std::make_unique<wl::StreamTriad>(
+            m.cpuAddr(c, 0), 4 << 20));
+        sources.push_back(gens.back().get());
+    }
+    Tick start = m.ctx().now();
+    EXPECT_TRUE(m.run(sources, 2000 * tickMs));
+    double ns = ticksToNs(m.ctx().now() - start);
+    double lines = 0;
+    for (auto &g : gens)
+        lines += static_cast<double>(g->linesProcessed());
+    return lines * 192.0 / ns;
+}
+
+TEST(Comparison, StreamScalesLinearlyOnGs1280Only)
+{
+    // Figure 7: 1->4 CPUs is ~4x on the GS1280 and much less on the
+    // shared-memory ES45/GS320.
+    auto g1 = Machine::buildGS1280(4);
+    double gs1280One = triadGBs(*g1, 1);
+    auto g4 = Machine::buildGS1280(4);
+    double gs1280Four = triadGBs(*g4, 4);
+    EXPECT_NEAR(gs1280Four / gs1280One, 4.0, 0.4);
+
+    auto e1 = Machine::buildES45(4);
+    double es45One = triadGBs(*e1, 1);
+    auto e4 = Machine::buildES45(4);
+    double es45Four = triadGBs(*e4, 4);
+    EXPECT_LT(es45Four / es45One, 2.6);
+}
+
+TEST(Comparison, LoadTestLatencyRisesWithOutstanding)
+{
+    // Figure 15's x-y behaviour: more outstanding requests buy
+    // bandwidth at some latency cost.
+    auto measure = [](int mlp) {
+        Gs1280Options opt;
+        opt.mlp = mlp;
+        auto m = Machine::buildGS1280(16, opt);
+        std::vector<std::unique_ptr<wl::RandomRemoteReads>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 16; ++c) {
+            gens.push_back(std::make_unique<wl::RandomRemoteReads>(
+                c, 16, 256 << 20, 1500,
+                40 + static_cast<unsigned>(c)));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m->ctx().now();
+        EXPECT_TRUE(m->run(sources, 2000 * tickMs));
+        double ns = ticksToNs(m->ctx().now() - start);
+        double bytes = 16.0 * 1500.0 * 64.0;
+        double bwMBs = bytes / ns * 1000.0;
+        double lat = 0;
+        for (int c = 0; c < 16; ++c)
+            lat += m->node(c).stats().missLatencyNs.mean();
+        return std::pair{bwMBs, lat / 16.0};
+    };
+
+    auto [bw1, lat1] = measure(1);
+    auto [bw8, lat8] = measure(8);
+    EXPECT_GT(bw8, 3.0 * bw1);   // bandwidth grows
+    EXPECT_GT(lat8, lat1);       // latency rises under load
+    EXPECT_LT(lat8, 6.0 * lat1); // but the fabric stays resilient
+}
+
+TEST(Comparison, GupsPrefersGs1280Strongly)
+{
+    // Figure 23 / Figure 28: GUPS is the paper's biggest win (>10x
+    // vs GS320 at scale). At 8 CPUs expect a large factor.
+    auto run = [](Machine &m, int cpus) {
+        std::vector<std::unique_ptr<wl::Gups>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < cpus; ++c) {
+            gens.push_back(std::make_unique<wl::Gups>(
+                cpus, 64 << 20, 1200, 60 + static_cast<unsigned>(c)));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m.ctx().now();
+        EXPECT_TRUE(m.run(sources, 5000 * tickMs));
+        double s = ticksToNs(m.ctx().now() - start) * 1e-9;
+        return cpus * 1200.0 / s / 1e6; // Mupdates/s
+    };
+
+    auto gs1280 = Machine::buildGS1280(8);
+    double mupsGs1280 = run(*gs1280, 8);
+    auto gs320 = Machine::buildGS320(8);
+    double mupsGs320 = run(*gs320, 8);
+    EXPECT_GT(mupsGs1280, 4.0 * mupsGs320);
+}
+
+TEST(Comparison, GupsScalesWithCpuCount)
+{
+    auto run = [](int cpus) {
+        auto m = Machine::buildGS1280(cpus);
+        std::vector<std::unique_ptr<wl::Gups>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < cpus; ++c) {
+            gens.push_back(std::make_unique<wl::Gups>(
+                cpus, 64 << 20, 1000, 80 + static_cast<unsigned>(c)));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m->ctx().now();
+        EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+        double s = ticksToNs(m->ctx().now() - start) * 1e-9;
+        return cpus * 1000.0 / s / 1e6;
+    };
+    double m4 = run(4);
+    double m16 = run(16);
+    EXPECT_GT(m16, 2.0 * m4);
+}
+
+TEST(Comparison, ShuffleImprovesLoadedLatencyOn8P)
+{
+    // Figure 18: 1-hop shuffle gains ~5-25% under load vs the torus.
+    auto measure = [](bool shuffle) {
+        Gs1280Options opt;
+        opt.mlp = 8;
+        opt.shuffle = shuffle;
+        auto m = Machine::buildGS1280(8, opt);
+        std::vector<std::unique_ptr<wl::RandomRemoteReads>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 8; ++c) {
+            gens.push_back(std::make_unique<wl::RandomRemoteReads>(
+                c, 8, 256 << 20, 2500,
+                90 + static_cast<unsigned>(c)));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m->ctx().now();
+        EXPECT_TRUE(m->run(sources, 2000 * tickMs));
+        return ticksToNs(m->ctx().now() - start);
+    };
+    double torus = measure(false);
+    double shuffle = measure(true);
+    EXPECT_LT(shuffle, torus); // shuffle is faster
+    EXPECT_GT(shuffle, 0.70 * torus); // but not implausibly so
+}
+
+TEST(Comparison, RemoteLatencyOrderingAcrossMachines)
+{
+    // Read-dirty/remote costs: GS1280 far below GS320 (Figure 12).
+    auto chase = [](Machine &m, int to) {
+        wl::PointerChase c(m.cpuAddr(to, 0), 8 << 20, 64, 2000);
+        std::vector<cpu::TrafficSource *> s{&c};
+        EXPECT_TRUE(m.run(s));
+        return m.core(0).stats().elapsedNs() / 2000.0;
+    };
+    auto gs1280 = Machine::buildGS1280(16);
+    auto gs320 = Machine::buildGS320(16);
+    double remote1280 = chase(*gs1280, 10); // worst case, 4 hops
+    double remote320 = chase(*gs320, 12);   // cross-QBB
+    EXPECT_GT(remote320, 2.5 * remote1280);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/** @file Coherence and behaviour across machine variants: GS320
+ *  cross-QBB flows, striped GS1280, shuffled GS1280. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/checker.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+#include "workload/pointer_chase.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+std::vector<coher::CoherentNode *>
+allNodes(Machine &m)
+{
+    std::vector<coher::CoherentNode *> v;
+    for (NodeId n = 0; n < m.nodeCount(); ++n)
+        if (m.hasNode(n))
+            v.push_back(&m.node(n));
+    return v;
+}
+
+void
+access(Machine &m, int cpu, mem::Addr a, bool write)
+{
+    bool done = false;
+    m.node(cpu).memAccess(a, write, [&] { done = true; });
+    m.ctx().queue().runUntil(m.ctx().now() + 200 * tickUs);
+    ASSERT_TRUE(done);
+}
+
+TEST(Gs320Coherence, CrossQbbReadDirty)
+{
+    auto m = Machine::buildGS320(16);
+    mem::Addr a = m->cpuAddr(0, 0); // home: QBB switch of CPU 0
+
+    access(*m, 0, a, true);   // CPU 0 dirties its local line
+    access(*m, 12, a, false); // CPU 12 (remote QBB) reads it
+
+    EXPECT_EQ(m->node(0).l2().state(a), mem::LineState::Shared);
+    EXPECT_EQ(m->node(12).l2().state(a), mem::LineState::Shared);
+    // The directory lives at CPU 0's QBB switch (node 16).
+    EXPECT_EQ(m->node(16).dirState(a), coher::DirState::Shared);
+    EXPECT_EQ(m->node(0).stats().forwardsServed, 1u);
+    EXPECT_TRUE(coher::verifyCoherence(allNodes(*m)).ok);
+}
+
+TEST(Gs320Coherence, CrossQbbInvalidation)
+{
+    auto m = Machine::buildGS320(16);
+    mem::Addr a = m->cpuAddr(5, 4096);
+    for (NodeId reader : {0, 4, 8, 12})
+        access(*m, reader, a, false);
+    access(*m, 15, a, true);
+
+    for (NodeId reader : {0, 4, 8, 12})
+        EXPECT_EQ(m->node(reader).l2().state(a),
+                  mem::LineState::Invalid);
+    EXPECT_EQ(m->node(15).l2().state(a), mem::LineState::Modified);
+    EXPECT_TRUE(coher::verifyCoherence(allNodes(*m)).ok);
+}
+
+TEST(Gs320Coherence, RandomSharingAcrossQbbs)
+{
+    auto m = Machine::buildGS320(16, /*seed=*/9);
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 16; ++c) {
+        gens.push_back(std::make_unique<wl::Gups>(
+            16, 1 << 20, 200, 70 + static_cast<unsigned>(c)));
+        sources.push_back(gens.back().get());
+    }
+    ASSERT_TRUE(m->run(sources, 30000 * tickMs));
+    auto check = coher::verifyCoherence(allNodes(*m));
+    EXPECT_TRUE(check.ok) << check.firstViolation;
+}
+
+TEST(StripedMachine, SharingOnStripedLinesStaysCoherent)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280(8, opt);
+
+    // A striped region: lines alternate between CPU 0 and its buddy.
+    mem::Addr base = m->cpuAddr(0, 0);
+    for (int l = 0; l < 8; ++l) {
+        access(*m, 3, base + static_cast<mem::Addr>(l) * 64, true);
+        access(*m, 5, base + static_cast<mem::Addr>(l) * 64, false);
+    }
+    auto check = coher::verifyCoherence(allNodes(*m));
+    EXPECT_TRUE(check.ok) << check.firstViolation;
+
+    // Both pair members served home requests.
+    NodeId buddy = m->moduleBuddy(0);
+    EXPECT_GT(m->node(0).stats().homeRequests, 0u);
+    EXPECT_GT(m->node(buddy).stats().homeRequests, 0u);
+}
+
+TEST(StripedMachine, LocalAccessesSplitAcrossThePair)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280(8, opt);
+
+    wl::PointerChase chase(m->cpuAddr(0, 0), 4 << 20, 64, 4000);
+    std::vector<cpu::TrafficSource *> sources{&chase};
+    ASSERT_TRUE(m->run(sources));
+
+    NodeId buddy = m->moduleBuddy(0);
+    auto reads = [&](NodeId n) {
+        return m->node(n).zbox(0).stats().reads +
+               m->node(n).zbox(1).stats().reads;
+    };
+    EXPECT_NEAR(static_cast<double>(reads(0)),
+                static_cast<double>(reads(buddy)),
+                0.1 * static_cast<double>(reads(0)));
+}
+
+TEST(StripedMachine, AverageLatencySitsBetweenLocalAndOneHop)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280(8, opt);
+    wl::PointerChase chase(m->cpuAddr(0, 0), 16 << 20, 64, 4000);
+    std::vector<cpu::TrafficSource *> sources{&chase};
+    ASSERT_TRUE(m->run(sources));
+    double ns = m->core(0).stats().elapsedNs() / 4000.0;
+    EXPECT_GT(ns, 90.0);  // above pure local (83)
+    EXPECT_LT(ns, 145.0); // below pure one-hop (139+)
+}
+
+TEST(ShuffleMachine, CoherentUnderRandomTraffic)
+{
+    Gs1280Options opt;
+    opt.shuffle = true;
+    opt.shufflePolicy = topo::ShufflePolicy::TwoHop;
+    auto m = Machine::buildGS1280(8, opt);
+
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<wl::Gups>(
+            8, 1 << 20, 300, 30 + static_cast<unsigned>(c)));
+        sources.push_back(gens.back().get());
+    }
+    ASSERT_TRUE(m->run(sources, 30000 * tickMs));
+    auto check = coher::verifyCoherence(allNodes(*m));
+    EXPECT_TRUE(check.ok) << check.firstViolation;
+}
+
+TEST(ShuffleMachine, WorstCaseLatencyBeatsTorus)
+{
+    // 4x2: the torus's 3-hop antipode becomes 1 shuffle hop.
+    auto probe = [](bool shuffle) {
+        Gs1280Options opt;
+        opt.shuffle = shuffle;
+        auto m = Machine::buildGS1280(8, opt);
+        // Node 5 = (1,1): antipode of node 0 on the 4x2 torus... use
+        // node 6 = (2,1), hop distance 3 on the torus, 1 shuffled.
+        wl::PointerChase chase(m->cpuAddr(6, 0), 8 << 20, 64, 3000);
+        std::vector<cpu::TrafficSource *> s{&chase};
+        EXPECT_TRUE(m->run(s));
+        return m->core(0).stats().elapsedNs() / 3000.0;
+    };
+    double torus = probe(false);
+    double shuffled = probe(true);
+    EXPECT_LT(shuffled, torus - 20.0); // two hops saved round-trip
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/** @file Section 6 striping: hot-spot relief vs throughput cost. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "system/machine.hh"
+#include "workload/load_test.hh"
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+double
+hotSpotRunNs(bool striped, int cpus, int reads)
+{
+    Gs1280Options opt;
+    opt.striped = striped;
+    opt.mlp = 8;
+    auto m = Machine::buildGS1280(cpus, opt);
+
+    std::vector<std::unique_ptr<wl::HotSpotReads>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        gens.push_back(std::make_unique<wl::HotSpotReads>(
+            0, 256 << 20, static_cast<std::uint64_t>(reads),
+            100 + static_cast<unsigned>(c)));
+        sources.push_back(gens.back().get());
+    }
+    Tick start = m->ctx().now();
+    EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+    return ticksToNs(m->ctx().now() - start);
+}
+
+TEST(Striping, RelievesHotSpots)
+{
+    // Figure 26: striping improves hot-spot throughput (up to 80%).
+    double plain = hotSpotRunNs(false, 16, 1200);
+    double striped = hotSpotRunNs(true, 16, 1200);
+    EXPECT_LT(striped, 0.85 * plain);
+    EXPECT_GT(striped, 0.40 * plain);
+}
+
+TEST(Striping, SpreadsTheLoadOverTheBuddy)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280(8, opt);
+    std::vector<std::unique_ptr<wl::HotSpotReads>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<wl::HotSpotReads>(
+            0, 64 << 20, 1000, 7 + static_cast<unsigned>(c)));
+        sources.push_back(gens.back().get());
+    }
+    EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+
+    NodeId buddy = m->moduleBuddy(0);
+    auto reads = [&](NodeId n) {
+        return m->node(n).zbox(0).stats().reads +
+               m->node(n).zbox(1).stats().reads;
+    };
+    // Both members of the module pair serve about half the reads.
+    EXPECT_GT(reads(buddy), reads(0) / 2);
+    // Any third node serves (almost) nothing.
+    for (NodeId n = 0; n < 8; ++n) {
+        if (n == 0 || n == buddy)
+            continue;
+        EXPECT_LT(reads(n), reads(0) / 8) << "node " << n;
+    }
+}
+
+TEST(Striping, HurtsLocalStreamThroughput)
+{
+    // Figure 25: throughput (rate-style local streaming) degrades
+    // under striping because half the lines turn remote.
+    auto run = [](bool striped) {
+        Gs1280Options opt;
+        opt.striped = striped;
+        auto m = Machine::buildGS1280(8, opt);
+        std::vector<std::unique_ptr<wl::StreamTriad>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 8; ++c) {
+            gens.push_back(std::make_unique<wl::StreamTriad>(
+                m->cpuAddr(c, 0), 2 << 20));
+            sources.push_back(gens.back().get());
+        }
+        Tick start = m->ctx().now();
+        EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+        return ticksToNs(m->ctx().now() - start);
+    };
+    double plain = run(false);
+    double striped = run(true);
+    EXPECT_GT(striped, 1.04 * plain); // measurably slower
+    EXPECT_LT(striped, 1.80 * plain); // within the paper's band
+}
+
+TEST(Striping, CoherenceSurvivesStripedSharing)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280(4, opt);
+    // All CPUs hammer the same small striped region.
+    std::vector<std::unique_ptr<wl::HotSpotReads>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 4; ++c) {
+        gens.push_back(std::make_unique<wl::HotSpotReads>(
+            0, 1 << 16, 500, 3 + static_cast<unsigned>(c)));
+        sources.push_back(gens.back().get());
+    }
+    EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+    EXPECT_TRUE(m->drained());
+}
+
+} // namespace

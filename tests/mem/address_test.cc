@@ -1,0 +1,95 @@
+/** @file Address map tests: region partitioning and Section 6
+ *  striping semantics. */
+
+#include <gtest/gtest.h>
+
+#include "mem/address.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::mem;
+
+TEST(Address, LineHelpers)
+{
+    EXPECT_EQ(lineOf(0x1234), 0x1200u + 0x00u); // 0x1234 & ~63
+    EXPECT_EQ(lineOf(0x1234), (0x1234ULL / 64) * 64);
+    EXPECT_EQ(lineIndex(128), 2u);
+}
+
+TEST(Address, RegionsPartitionTheSpace)
+{
+    for (NodeId n : {0, 1, 7, 63}) {
+        Addr base = regionBase(n);
+        EXPECT_EQ(regionNode(base), n);
+        EXPECT_EQ(regionNode(base + (1ULL << 35)), n);
+    }
+    EXPECT_NE(regionBase(3), regionBase(4));
+}
+
+TEST(NodeOwned, HomeIsRegionNode)
+{
+    NodeOwnedMap map;
+    for (NodeId n : {0, 5, 63}) {
+        auto t = map.home(regionBase(n) + 4096);
+        EXPECT_EQ(t.node, n);
+    }
+}
+
+TEST(NodeOwned, ControllersAlternateByLine)
+{
+    NodeOwnedMap map;
+    Addr base = regionBase(2);
+    EXPECT_EQ(map.home(base + 0 * lineBytes).mc, 0);
+    EXPECT_EQ(map.home(base + 1 * lineBytes).mc, 1);
+    EXPECT_EQ(map.home(base + 2 * lineBytes).mc, 0);
+}
+
+TEST(Striped, FourLineRotation)
+{
+    // Buddy of node n is n^1 for the test.
+    StripedMap map([](NodeId n) { return n ^ 1; });
+    Addr base = regionBase(4);
+    // Paper: CPU0/ctl0, CPU0/ctl1, CPU1/ctl0, CPU1/ctl1, repeat.
+    EXPECT_EQ(map.home(base + 0 * lineBytes), (MemTarget{4, 0}));
+    EXPECT_EQ(map.home(base + 1 * lineBytes), (MemTarget{4, 1}));
+    EXPECT_EQ(map.home(base + 2 * lineBytes), (MemTarget{5, 0}));
+    EXPECT_EQ(map.home(base + 3 * lineBytes), (MemTarget{5, 1}));
+    EXPECT_EQ(map.home(base + 4 * lineBytes), (MemTarget{4, 0}));
+}
+
+TEST(Striped, HalfTheLinesGoRemote)
+{
+    StripedMap map([](NodeId n) { return n ^ 1; });
+    int remote = 0;
+    const int lines = 1000;
+    for (int i = 0; i < lines; ++i) {
+        auto t = map.home(regionBase(0) +
+                          static_cast<Addr>(i) * lineBytes);
+        remote += t.node != 0;
+    }
+    EXPECT_EQ(remote, lines / 2);
+}
+
+TEST(SharedHome, MapsRegionsToMemoryNode)
+{
+    // 4 CPUs per QBB: regions 0-3 home on node 16, 4-7 on 17 (as in
+    // a 16-CPU GS320).
+    SharedHomeMap map([](NodeId region) {
+        return static_cast<NodeId>(16 + region / 4);
+    });
+    EXPECT_EQ(map.home(regionBase(0)).node, 16);
+    EXPECT_EQ(map.home(regionBase(3)).node, 16);
+    EXPECT_EQ(map.home(regionBase(4)).node, 17);
+    EXPECT_EQ(map.home(regionBase(15)).node, 19);
+}
+
+TEST(Address, SubLineAddressesShareAHome)
+{
+    StripedMap map([](NodeId n) { return n ^ 1; });
+    Addr base = regionBase(6) + 2 * lineBytes;
+    EXPECT_EQ(map.home(base), map.home(base + 63));
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/** @file Randomized cache model check against a naive reference
+ *  implementation (map + per-set LRU lists). */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "mem/cache.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::mem;
+
+/** Straight-line reference: per-set LRU list of (tag, state). */
+class RefCache
+{
+  public:
+    RefCache(int sets, int ways) : nSets(sets), nWays(ways),
+                                   lru(static_cast<std::size_t>(sets))
+    {
+    }
+
+    bool
+    contains(Addr a) const
+    {
+        const auto &set = lru[setOf(a)];
+        for (const auto &[tag, state] : set)
+            if (tag == lineOf(a))
+                return true;
+        return false;
+    }
+
+    LineState
+    state(Addr a) const
+    {
+        const auto &set = lru[setOf(a)];
+        for (const auto &[tag, st] : set)
+            if (tag == lineOf(a))
+                return st;
+        return LineState::Invalid;
+    }
+
+    void
+    touch(Addr a)
+    {
+        auto &set = lru[setOf(a)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->first == lineOf(a)) {
+                set.splice(set.begin(), set, it);
+                return;
+            }
+        }
+    }
+
+    /** Insert MRU; return victim line or nullopt. */
+    std::optional<std::pair<Addr, LineState>>
+    fill(Addr a, LineState st)
+    {
+        auto &set = lru[setOf(a)];
+        set.emplace_front(lineOf(a), st);
+        if (static_cast<int>(set.size()) > nWays) {
+            auto victim = set.back();
+            set.pop_back();
+            return victim;
+        }
+        return std::nullopt;
+    }
+
+    void
+    invalidate(Addr a)
+    {
+        auto &set = lru[setOf(a)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->first == lineOf(a)) {
+                set.erase(it);
+                return;
+            }
+        }
+    }
+
+    void
+    setState(Addr a, LineState st)
+    {
+        auto &set = lru[setOf(a)];
+        for (auto &[tag, s] : set)
+            if (tag == lineOf(a))
+                s = st;
+    }
+
+  private:
+    std::size_t
+    setOf(Addr a) const
+    {
+        return static_cast<std::size_t>(
+            lineIndex(a) % static_cast<std::uint64_t>(nSets));
+    }
+
+    int nSets, nWays;
+    std::vector<std::list<std::pair<Addr, LineState>>> lru;
+};
+
+struct Geometry
+{
+    int sets;
+    int ways;
+    std::uint64_t seed;
+};
+
+class CacheVsReference : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheVsReference, RandomOpsAgree)
+{
+    const auto [sets, ways, seed] = GetParam();
+    CacheParams prm;
+    prm.sizeBytes =
+        static_cast<std::uint64_t>(sets) * ways * lineBytes;
+    prm.ways = ways;
+    Cache cache(prm);
+    RefCache ref(sets, ways);
+    Rng rng(seed);
+
+    const std::uint64_t lines =
+        static_cast<std::uint64_t>(sets) * ways * 4; // 4x capacity
+    for (int step = 0; step < 4000; ++step) {
+        Addr a = rng.below(lines) * lineBytes;
+        switch (rng.below(4)) {
+          case 0: { // lookup (+fill on miss)
+            bool hit = cache.lookup(a, false).hit;
+            ASSERT_EQ(hit, ref.contains(a)) << "step " << step;
+            if (hit) {
+                ref.touch(a);
+            } else {
+                Victim v = cache.fill(a, LineState::Shared);
+                auto rv = ref.fill(a, LineState::Shared);
+                ASSERT_EQ(v.valid(), rv.has_value()) << "step " << step;
+                if (rv) {
+                    ASSERT_EQ(v.line, rv->first);
+                    ASSERT_EQ(v.state, rv->second);
+                }
+            }
+            break;
+          }
+          case 1: // invalidate
+            cache.invalidate(a);
+            ref.invalidate(a);
+            break;
+          case 2: // state change if resident
+            if (ref.contains(a)) {
+                cache.setState(a, LineState::Modified);
+                ref.setState(a, LineState::Modified);
+            }
+            break;
+          default: // state probe
+            ASSERT_EQ(cache.state(a), ref.state(a)) << "step " << step;
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReference,
+    ::testing::Values(Geometry{1, 1, 11}, Geometry{1, 7, 12},
+                      Geometry{4, 2, 13}, Geometry{16, 1, 14},
+                      Geometry{8, 4, 15}, Geometry{2, 7, 16}));
+
+} // namespace

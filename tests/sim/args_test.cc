@@ -1,0 +1,58 @@
+/** @file Unit tests for command-line parsing. */
+
+#include <gtest/gtest.h>
+
+#include "sim/args.hh"
+
+namespace
+{
+
+using gs::Args;
+
+Args
+parse(std::initializer_list<const char *> argv_list)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("prog"));
+    for (const char *a : argv_list)
+        argv.push_back(const_cast<char *>(a));
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesKeyValue)
+{
+    auto args = parse({"--cpus=16", "--name=torus"});
+    EXPECT_EQ(args.getInt("cpus", 0), 16);
+    EXPECT_EQ(args.getString("name", ""), "torus");
+}
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.getInt("cpus", 8), 8);
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.5), 1.5);
+    EXPECT_FALSE(args.has("cpus"));
+}
+
+TEST(Args, BareFlagIsTrue)
+{
+    auto args = parse({"--verbose"});
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(Args, FalseSpellings)
+{
+    EXPECT_FALSE(parse({"--x=0"}).getBool("x", true));
+    EXPECT_FALSE(parse({"--x=false"}).getBool("x", true));
+    EXPECT_FALSE(parse({"--x=no"}).getBool("x", true));
+    EXPECT_TRUE(parse({"--x=1"}).getBool("x", false));
+}
+
+TEST(Args, DoubleParsing)
+{
+    auto args = parse({"--frac=0.25"});
+    EXPECT_DOUBLE_EQ(args.getDouble("frac", 0), 0.25);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using gs::EventQueue;
+using gs::Tick;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.runUntil();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RelativeScheduleUsesCurrentTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.schedule(50, [&] { seen = eq.now(); });
+    });
+    eq.runUntil();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { fired += 1; });
+    eq.scheduleAt(1000, [&] { fired += 1; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunForAdvancesRelative)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    eq.runUntil(50);
+    eq.runFor(25);
+    EXPECT_EQ(eq.now(), 75u);
+}
+
+TEST(EventQueue, EventsCanCascade)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.schedule(1, chain);
+    };
+    eq.schedule(1, chain);
+    eq.runUntil();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { fired += 1; });
+    eq.clear();
+    eq.runUntil();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(100, [] {});
+    eq.runUntil();
+    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}
+
+} // namespace

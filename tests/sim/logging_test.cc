@@ -1,0 +1,44 @@
+/** @file Logging/assert behaviour tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+TEST(Logging, VerboseToggle)
+{
+    bool before = gs::verbose();
+    gs::setVerbose(false);
+    EXPECT_FALSE(gs::verbose());
+    gs::setVerbose(true);
+    EXPECT_TRUE(gs::verbose());
+    gs::setVerbose(before);
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    gs_assert(1 + 1 == 2, "arithmetic still works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertFailureAborts)
+{
+    EXPECT_DEATH(gs_assert(false, "value was ", 42),
+                 "assertion failed.*42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(gs_panic("broken invariant ", 7),
+                 "panic: broken invariant 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(gs_fatal("user error ", "here"),
+                ::testing::ExitedWithCode(1), "fatal: user error");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/** @file Unit tests for the xoshiro256** generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+
+namespace
+{
+
+using gs::Rng;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundYieldsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int buckets = 8;
+    int counts[buckets] = {};
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        counts[rng.below(buckets)] += 1;
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], draws / buckets, draws / buckets / 5);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace gs::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.total(), 15.0);
+}
+
+TEST(Average, ResetClears)
+{
+    Average a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0); // underflow -> first bucket
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(25.0); // overflow bucket
+    EXPECT_EQ(h.buckets().front(), 2u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_EQ(h.summary().count(), 4u);
+}
+
+TEST(Histogram, QuantileApproximatesMedian)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Utilization, FractionOfWindow)
+{
+    Utilization u;
+    u.beginWindow(1000);
+    u.addBusy(250);
+    EXPECT_DOUBLE_EQ(u.fraction(2000), 0.25);
+}
+
+TEST(Utilization, ClampsToOne)
+{
+    Utilization u;
+    u.beginWindow(0);
+    u.addBusy(5000);
+    EXPECT_DOUBLE_EQ(u.fraction(1000), 1.0);
+}
+
+TEST(Utilization, EmptyWindowIsZero)
+{
+    Utilization u;
+    u.beginWindow(100);
+    EXPECT_DOUBLE_EQ(u.fraction(100), 0.0);
+}
+
+TEST(TimeSeries, SamplesEveryProbe)
+{
+    TimeSeries ts;
+    double x = 1.0;
+    ts.add("x", [&] { return x; });
+    ts.add("2x", [&] { return 2 * x; });
+    ts.sample();
+    x = 3.0;
+    ts.sample();
+    ASSERT_EQ(ts.series().size(), 2u);
+    EXPECT_EQ(ts.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(ts.series()[0].values[1], 3.0);
+    EXPECT_DOUBLE_EQ(ts.series()[1].values[0], 2.0);
+    EXPECT_EQ(ts.series()[1].name, "2x");
+}
+
+} // namespace

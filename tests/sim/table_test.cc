@@ -1,0 +1,59 @@
+/** @file Unit tests for table/CSV emission. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace
+{
+
+using gs::Table;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEmission)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 0), "3");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::num(-7), "-7");
+}
+
+TEST(Table, RowAccess)
+{
+    Table t({"a"});
+    t.addRow({"v"});
+    ASSERT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.row(0)[0], "v");
+}
+
+TEST(TableDeath, MismatchedRowWidthPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace

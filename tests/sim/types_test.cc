@@ -1,0 +1,62 @@
+/** @file Clock/time conversion tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace gs;
+
+TEST(Ticks, NsConversionsRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(1.0), tickNs);
+    EXPECT_EQ(nsToTicks(83.0), 83u * tickNs);
+    EXPECT_DOUBLE_EQ(ticksToNs(nsToTicks(41.7)), 41.7);
+    EXPECT_EQ(tickUs, 1000u * tickNs);
+    EXPECT_EQ(tickMs, 1000u * tickUs);
+}
+
+TEST(Clock, FromMHz)
+{
+    Clock ev7 = Clock::fromMHz(1150.0);
+    EXPECT_EQ(ev7.periodTicks(), 870u); // 869.6 ps rounded
+
+    Clock link = Clock::fromMHz(767.0);
+    EXPECT_EQ(link.periodTicks(), 1304u);
+    EXPECT_NEAR(link.frequencyGHz(), 0.767, 0.001);
+}
+
+TEST(Clock, CycleTickConversions)
+{
+    Clock c(1000); // 1 GHz
+    EXPECT_EQ(c.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(c.ticksToCycles(5999), 5u);
+    EXPECT_EQ(c.ticksToCycles(6000), 6u);
+}
+
+TEST(Clock, NextEdgeAligns)
+{
+    Clock c(1000);
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 1000u);
+    EXPECT_EQ(c.nextEdge(999), 1000u);
+    EXPECT_EQ(c.nextEdge(1000), 1000u);
+    EXPECT_EQ(c.nextEdge(1001), 2000u);
+}
+
+TEST(Clock, EdgeIsMonotone)
+{
+    Clock c(1304);
+    Tick prev = 0;
+    for (Tick t = 0; t < 20000; t += 317) {
+        Tick edge = c.nextEdge(t);
+        EXPECT_GE(edge, t);
+        EXPECT_GE(edge, prev);
+        EXPECT_EQ(edge % 1304, 0u);
+        prev = edge;
+    }
+}
+
+} // namespace

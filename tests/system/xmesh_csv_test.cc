@@ -1,0 +1,63 @@
+/** @file Xmesh CSV export test. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/xmesh.hh"
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+TEST(XmeshCsv, DumpsHeaderAndSamples)
+{
+    auto m = Machine::buildGS1280(4);
+    Xmesh mon(*m, 20 * tickUs);
+    mon.start();
+    wl::StreamTriad triad(m->cpuAddr(0, 0), 2 << 20);
+    ASSERT_TRUE(m->run({&triad}));
+    mon.stop();
+
+    std::ostringstream os;
+    mon.dumpCsv(os);
+    std::string csv = os.str();
+
+    // Header names every node's memory column.
+    EXPECT_NE(csv.find("timestamp_us,avg_mem,avg_link,avg_ew,avg_ns,"
+                       "mem0,mem1,mem2,mem3"),
+              std::string::npos);
+
+    // One line per sample plus the header.
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, mon.samples().size() + 1);
+
+    // Every row has the same number of commas as the header.
+    std::istringstream rows(csv);
+    std::string header, row;
+    std::getline(rows, header);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    while (std::getline(rows, row))
+        EXPECT_EQ(commas(row), commas(header));
+}
+
+TEST(XmeshCsv, EmptyLogIsJustHeader)
+{
+    auto m = Machine::buildGS1280(4);
+    Xmesh mon(*m, 20 * tickUs);
+    std::ostringstream os;
+    mon.dumpCsv(os);
+    std::size_t lines = 0;
+    for (char c : os.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1u);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/** @file Shuffle rewiring tests (Section 4.1 / Table 1). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/shuffle.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::topo;
+
+TEST(Shuffle, FourByTwoMatchesFigure17)
+{
+    // The 8-CPU machine: redundant N/S links reconnect the furthest
+    // nodes. Node (0,0)'s rewired South link reaches (2,1), its
+    // antipode.
+    ShuffleTorus s(4, 2);
+    EXPECT_EQ(s.port(s.nodeAt(0, 0), portSouth).peer, s.nodeAt(2, 1));
+    // The direct pair link survives.
+    EXPECT_EQ(s.port(s.nodeAt(0, 0), portNorth).peer, s.nodeAt(0, 1));
+    // X links are untouched.
+    EXPECT_EQ(s.port(s.nodeAt(0, 0), portEast).peer, s.nodeAt(1, 0));
+}
+
+TEST(Shuffle, PortPairingIsConsistent)
+{
+    for (auto [w, h] : {std::pair{4, 2}, {4, 4}, {8, 4}}) {
+        ShuffleTorus s(w, h);
+        for (NodeId n = 0; n < s.numNodes(); ++n) {
+            for (int p = 0; p < s.numPorts(n); ++p) {
+                Port fwd = s.port(n, p);
+                if (!fwd.connected())
+                    continue;
+                Port back = s.port(fwd.peer, fwd.peerPort);
+                EXPECT_EQ(back.peer, n)
+                    << w << "x" << h << " node " << n << " port " << p;
+                EXPECT_EQ(back.peerPort, p);
+            }
+        }
+    }
+}
+
+TEST(Shuffle, ShufflePortsAreTopAndBottomRows)
+{
+    ShuffleTorus s(8, 4);
+    for (NodeId n = 0; n < s.numNodes(); ++n) {
+        int y = s.yOf(n);
+        EXPECT_EQ(s.isShufflePort(n, portNorth), y == 3);
+        EXPECT_EQ(s.isShufflePort(n, portSouth), y == 0);
+        EXPECT_FALSE(s.isShufflePort(n, portEast));
+        EXPECT_FALSE(s.isShufflePort(n, portWest));
+    }
+}
+
+TEST(Shuffle, FourByTwoGainsMatchPaperRow)
+{
+    // Table 1 row "4x2": avg latency gain 1.200, worst 1.500.
+    Torus2D torus(4, 2);
+    ShuffleTorus shuffle(4, 2, ShufflePolicy::Free);
+    EXPECT_NEAR(torus.averageDistance() / shuffle.averageDistance(),
+                1.200, 0.001);
+    EXPECT_NEAR(static_cast<double>(torus.worstDistance()) /
+                    shuffle.worstDistance(),
+                1.500, 0.001);
+}
+
+TEST(Shuffle, FourByFourGainsMatchPaperRow)
+{
+    Torus2D torus(4, 4);
+    ShuffleTorus shuffle(4, 4, ShufflePolicy::Free);
+    EXPECT_NEAR(torus.averageDistance() / shuffle.averageDistance(),
+                1.067, 0.001);
+    EXPECT_NEAR(static_cast<double>(torus.worstDistance()) /
+                    shuffle.worstDistance(),
+                4.0 / 3.0, 0.001);
+}
+
+class ShuffleShapes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(ShuffleShapes, ConnectedAndNeverWorseThanTorus)
+{
+    auto [w, h] = GetParam();
+    Torus2D torus(w, h);
+    ShuffleTorus shuffle(w, h, ShufflePolicy::Free);
+    EXPECT_TRUE(shuffle.connected());
+    EXPECT_LE(shuffle.averageDistance(), torus.averageDistance());
+    EXPECT_LE(shuffle.worstDistance(), torus.worstDistance());
+}
+
+TEST_P(ShuffleShapes, EscapeRouteTerminates)
+{
+    auto [w, h] = GetParam();
+    for (auto policy : {ShufflePolicy::OneHop, ShufflePolicy::TwoHop,
+                        ShufflePolicy::Free}) {
+        ShuffleTorus s(w, h, policy);
+        for (NodeId src = 0; src < s.numNodes(); ++src) {
+            for (NodeId dst = 0; dst < s.numNodes(); ++dst) {
+                NodeId at = src;
+                int hops = 0;
+                while (at != dst) {
+                    auto hop = s.escapeRoute(at, dst, 0);
+                    ASSERT_GE(hop.port, 0);
+                    ASSERT_TRUE(hop.vc == 0 || hop.vc == 1);
+                    at = s.port(at, hop.port).peer;
+                    hops += 1;
+                    ASSERT_LE(hops, 2 * (w + h))
+                        << "non-terminating escape " << src << "->"
+                        << dst;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(ShuffleShapes, AdaptiveRoutesTerminateUnderEveryPolicy)
+{
+    auto [w, h] = GetParam();
+    for (auto policy : {ShufflePolicy::OneHop, ShufflePolicy::TwoHop,
+                        ShufflePolicy::Free}) {
+        ShuffleTorus s(w, h, policy);
+        for (NodeId src = 0; src < s.numNodes(); ++src) {
+            for (NodeId dst = 0; dst < s.numNodes(); ++dst) {
+                NodeId at = src;
+                int hops = 0;
+                while (at != dst) {
+                    auto ports = s.adaptivePorts(at, dst, hops);
+                    ASSERT_FALSE(ports.empty())
+                        << "stuck at " << at << " for " << dst;
+                    // Worst-case choice must still terminate.
+                    at = s.port(at, ports.back()).peer;
+                    hops += 1;
+                    ASSERT_LE(hops, 2 * (w + h));
+                }
+            }
+        }
+    }
+}
+
+TEST_P(ShuffleShapes, OneHopPolicyOnlyUsesShuffleOnFirstHop)
+{
+    auto [w, h] = GetParam();
+    ShuffleTorus s(w, h, ShufflePolicy::OneHop);
+    for (NodeId at = 0; at < s.numNodes(); ++at) {
+        for (NodeId dst = 0; dst < s.numNodes(); ++dst) {
+            if (at == dst)
+                continue;
+            for (int hops = 1; hops <= 3; ++hops) {
+                for (int p : s.adaptivePorts(at, dst, hops))
+                    EXPECT_FALSE(s.isShufflePort(at, p))
+                        << "shuffle link offered at hop " << hops;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShuffleShapes,
+                         ::testing::Values(std::pair{4, 2},
+                                           std::pair{4, 4},
+                                           std::pair{8, 4},
+                                           std::pair{8, 8},
+                                           std::pair{6, 3}));
+
+} // namespace

@@ -1,0 +1,203 @@
+/** @file Torus topology tests, including parameterized properties
+ *  over the shapes the GS1280 shipped in. */
+
+#include <gtest/gtest.h>
+
+#include "topology/torus.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::topo;
+
+TEST(Torus, GeometryMapping)
+{
+    Torus2D t(4, 4);
+    EXPECT_EQ(t.numNodes(), 16);
+    EXPECT_EQ(t.nodeAt(1, 2), 9);
+    EXPECT_EQ(t.xOf(9), 1);
+    EXPECT_EQ(t.yOf(9), 2);
+}
+
+TEST(Torus, NeighboursWrap)
+{
+    Torus2D t(4, 4);
+    // Node (0,0): East->(1,0), West->(3,0), North->(0,1), South->(0,3)
+    EXPECT_EQ(t.port(0, portEast).peer, t.nodeAt(1, 0));
+    EXPECT_EQ(t.port(0, portWest).peer, t.nodeAt(3, 0));
+    EXPECT_EQ(t.port(0, portNorth).peer, t.nodeAt(0, 1));
+    EXPECT_EQ(t.port(0, portSouth).peer, t.nodeAt(0, 3));
+}
+
+TEST(Torus, PortPairingIsConsistent)
+{
+    Torus2D t(4, 3);
+    for (NodeId n = 0; n < t.numNodes(); ++n) {
+        for (int p = 0; p < t.numPorts(n); ++p) {
+            Port fwd = t.port(n, p);
+            if (!fwd.connected())
+                continue;
+            Port back = t.port(fwd.peer, fwd.peerPort);
+            EXPECT_EQ(back.peer, n) << "node " << n << " port " << p;
+            EXPECT_EQ(back.peerPort, p);
+        }
+    }
+}
+
+TEST(Torus, DegenerateDimensions)
+{
+    Torus2D line(4, 1);
+    EXPECT_FALSE(line.port(0, portNorth).connected());
+    EXPECT_FALSE(line.port(0, portSouth).connected());
+    EXPECT_TRUE(line.port(0, portEast).connected());
+
+    Torus2D single(1, 1);
+    for (int p = 0; p < torusPorts; ++p)
+        EXPECT_FALSE(single.port(0, p).connected());
+}
+
+TEST(Torus, TwoWideHasRedundantParallelLinks)
+{
+    Torus2D t(4, 2);
+    NodeId n = t.nodeAt(1, 0);
+    // North and South both reach (1,1) over distinct links.
+    EXPECT_EQ(t.port(n, portNorth).peer, t.nodeAt(1, 1));
+    EXPECT_EQ(t.port(n, portSouth).peer, t.nodeAt(1, 1));
+}
+
+TEST(Torus, OnModuleLinkKinds)
+{
+    Torus2D t(4, 4);
+    // Row pairs (0,1) and (2,3) are modules: North from row 0 is
+    // on-module, North from row 1 is a cable.
+    EXPECT_EQ(t.port(t.nodeAt(0, 0), portNorth).kind,
+              LinkKind::OnModule);
+    EXPECT_EQ(t.port(t.nodeAt(0, 1), portNorth).kind, LinkKind::Cable);
+    EXPECT_EQ(t.port(t.nodeAt(0, 1), portSouth).kind,
+              LinkKind::OnModule);
+}
+
+TEST(Torus, AdaptivePortsAreMinimal)
+{
+    Torus2D t(4, 4);
+    // (0,0) -> (2,2): both X directions tie (distance 2 each way),
+    // both Y directions tie.
+    auto ports = t.adaptivePorts(t.nodeAt(0, 0), t.nodeAt(2, 2), 0);
+    EXPECT_EQ(ports.size(), 4u);
+
+    // (0,0) -> (1,0): East only.
+    ports = t.adaptivePorts(t.nodeAt(0, 0), t.nodeAt(1, 0), 0);
+    ASSERT_EQ(ports.size(), 1u);
+    EXPECT_EQ(ports[0], portEast);
+
+    // At destination: none.
+    EXPECT_TRUE(t.adaptivePorts(5, 5, 0).empty());
+}
+
+TEST(Torus, EscapeRouteIsDimensionOrdered)
+{
+    Torus2D t(4, 4);
+    // X first.
+    auto hop = t.escapeRoute(t.nodeAt(0, 0), t.nodeAt(2, 2), 0);
+    EXPECT_TRUE(hop.port == portEast || hop.port == portWest);
+    // Then Y once columns match.
+    hop = t.escapeRoute(t.nodeAt(2, 0), t.nodeAt(2, 2), 0);
+    EXPECT_TRUE(hop.port == portNorth || hop.port == portSouth);
+    // Arrived.
+    EXPECT_EQ(t.escapeRoute(5, 5, 0).port, -1);
+}
+
+TEST(Torus, EscapeDatelineVcRule)
+{
+    Torus2D t(8, 1);
+    // Going East with the destination "behind" us crosses the wrap:
+    // node 6 -> node 1 goes E (distance 3) and must use VC1.
+    auto hop = t.escapeRoute(t.nodeAt(6, 0), t.nodeAt(1, 0), 0);
+    EXPECT_EQ(hop.port, portEast);
+    EXPECT_EQ(hop.vc, 1);
+    // 1 -> 3 East, no wrap: VC0.
+    hop = t.escapeRoute(t.nodeAt(1, 0), t.nodeAt(3, 0), 0);
+    EXPECT_EQ(hop.port, portEast);
+    EXPECT_EQ(hop.vc, 0);
+}
+
+// ------------------------------------------------------------------
+// Parameterized properties over shipped shapes.
+// ------------------------------------------------------------------
+
+class TorusShapes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(TorusShapes, BfsMatchesClosedFormDistance)
+{
+    auto [w, h] = GetParam();
+    Torus2D t(w, h);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        auto dist = t.distancesFrom(src);
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            EXPECT_EQ(dist[static_cast<std::size_t>(dst)],
+                      t.torusDistance(src, dst))
+                << w << "x" << h << " " << src << "->" << dst;
+        }
+    }
+}
+
+TEST_P(TorusShapes, EscapeRouteTerminatesMinimally)
+{
+    auto [w, h] = GetParam();
+    Torus2D t(w, h);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            NodeId at = src;
+            int hops = 0;
+            while (at != dst) {
+                auto hop = t.escapeRoute(at, dst, 0);
+                ASSERT_GE(hop.port, 0);
+                at = t.port(at, hop.port).peer;
+                hops += 1;
+                ASSERT_LE(hops, w + h) << "non-terminating route";
+            }
+            EXPECT_EQ(hops, t.torusDistance(src, dst));
+        }
+    }
+}
+
+TEST_P(TorusShapes, AdaptivePortsAlwaysReduceDistance)
+{
+    auto [w, h] = GetParam();
+    Torus2D t(w, h);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            auto ports = t.adaptivePorts(src, dst, 0);
+            ASSERT_FALSE(ports.empty());
+            for (int p : ports) {
+                NodeId next = t.port(src, p).peer;
+                EXPECT_EQ(t.torusDistance(next, dst),
+                          t.torusDistance(src, dst) - 1);
+            }
+        }
+    }
+}
+
+TEST_P(TorusShapes, ConnectedAndSymmetric)
+{
+    auto [w, h] = GetParam();
+    Torus2D t(w, h);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.hopDistance(0, t.numNodes() - 1),
+              t.hopDistance(t.numNodes() - 1, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShippedShapes, TorusShapes,
+    ::testing::Values(std::pair{2, 1}, std::pair{2, 2},
+                      std::pair{4, 2}, std::pair{4, 3},
+                      std::pair{4, 4}, std::pair{8, 4},
+                      std::pair{8, 8}, std::pair{5, 3}));
+
+} // namespace

@@ -1,0 +1,111 @@
+/** @file QBB switch-tree (GS320/ES45) topology tests. */
+
+#include <gtest/gtest.h>
+
+#include "topology/tree.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::topo;
+
+TEST(QbbTree, Gs320ShapeAndCounts)
+{
+    QbbTree t(16, 4);
+    EXPECT_EQ(t.qbbCount(), 4);
+    EXPECT_TRUE(t.hasGlobalSwitch());
+    EXPECT_EQ(t.numCpuNodes(), 16);
+    EXPECT_EQ(t.numNodes(), 16 + 4 + 1);
+    EXPECT_EQ(t.qbbSwitchOf(0), 16);
+    EXPECT_EQ(t.qbbSwitchOf(5), 17);
+    EXPECT_EQ(t.globalSwitch(), 20);
+}
+
+TEST(QbbTree, SingleQbbHasNoGlobalSwitch)
+{
+    QbbTree t(4, 4);
+    EXPECT_FALSE(t.hasGlobalSwitch());
+    EXPECT_EQ(t.numNodes(), 5);
+}
+
+TEST(QbbTree, PortPairingIsConsistent)
+{
+    QbbTree t(16, 4);
+    for (NodeId n = 0; n < t.numNodes(); ++n) {
+        for (int p = 0; p < t.numPorts(n); ++p) {
+            Port fwd = t.port(n, p);
+            ASSERT_TRUE(fwd.connected());
+            Port back = t.port(fwd.peer, fwd.peerPort);
+            EXPECT_EQ(back.peer, n);
+            EXPECT_EQ(back.peerPort, p);
+        }
+    }
+}
+
+TEST(QbbTree, EscapeRoutesUpThenDown)
+{
+    QbbTree t(16, 4);
+    // CPU 0 -> CPU 1 (same QBB): up to switch (VC0), down (VC1).
+    auto hop = t.escapeRoute(0, 1, 0);
+    EXPECT_EQ(t.port(0, hop.port).peer, t.qbbSwitchOf(0));
+    EXPECT_EQ(hop.vc, 0);
+    hop = t.escapeRoute(t.qbbSwitchOf(0), 1, 0);
+    EXPECT_EQ(t.port(t.qbbSwitchOf(0), hop.port).peer, 1);
+    EXPECT_EQ(hop.vc, 1);
+
+    // CPU 0 -> CPU 12 (remote QBB) passes the global switch.
+    hop = t.escapeRoute(t.qbbSwitchOf(0), 12, 0);
+    EXPECT_EQ(t.port(t.qbbSwitchOf(0), hop.port).peer,
+              t.globalSwitch());
+    hop = t.escapeRoute(t.globalSwitch(), 12, 0);
+    EXPECT_EQ(t.port(t.globalSwitch(), hop.port).peer,
+              t.qbbSwitchOf(12));
+}
+
+TEST(QbbTree, EscapeTerminatesForAllCpuPairs)
+{
+    QbbTree t(32, 4);
+    for (NodeId src = 0; src < t.numCpuNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numCpuNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            NodeId at = src;
+            int hops = 0;
+            while (at != dst) {
+                auto hop = t.escapeRoute(at, dst, 0);
+                ASSERT_GE(hop.port, 0);
+                at = t.port(at, hop.port).peer;
+                hops += 1;
+                ASSERT_LE(hops, 4);
+            }
+            int expect = src / 4 == dst / 4 ? 2 : 4;
+            EXPECT_EQ(hops, expect);
+        }
+    }
+}
+
+TEST(QbbTree, NoAdaptivity)
+{
+    QbbTree t(16, 4);
+    EXPECT_TRUE(t.adaptivePorts(0, 12, 0).empty());
+}
+
+TEST(QbbTree, TwoLevelLatencyProfile)
+{
+    QbbTree t(16, 4);
+    // Local (same QBB) distance 2, remote distance 4: the GS320's
+    // two-level latency structure of Figure 12.
+    EXPECT_EQ(t.hopDistance(0, 1), 2);
+    EXPECT_EQ(t.hopDistance(0, 15), 4);
+}
+
+TEST(Bus, MakeBusIsSingleSwitch)
+{
+    QbbTree bus = makeBus(4);
+    EXPECT_EQ(bus.numNodes(), 5);
+    EXPECT_FALSE(bus.hasGlobalSwitch());
+    EXPECT_EQ(bus.hopDistance(0, 3), 2);
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+/** @file Commercial profile tests against Figure 28's rows. */
+
+#include <gtest/gtest.h>
+
+#include "workload/commercial.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::wl;
+
+TEST(Commercial, SapAdvantageNearPaper)
+{
+    // Figure 28: SAP SD Transaction Processing (32P) ~ 1.3x.
+    double ratio = commercialAdvantage(sapSd(), 32);
+    EXPECT_GT(ratio, 1.15);
+    EXPECT_LT(ratio, 1.55);
+}
+
+TEST(Commercial, DssAdvantageNearPaper)
+{
+    // Figure 28: Decision Support internal (32P) ~ 1.6x.
+    double ratio = commercialAdvantage(decisionSupport(), 32);
+    EXPECT_GT(ratio, 1.35);
+    EXPECT_LT(ratio, 1.95);
+}
+
+TEST(Commercial, DssIsMoreBandwidthHungryThanSap)
+{
+    auto machine = cpu::MachineTiming::gs1280();
+    double sapUtil = cpu::evaluateIpc(sapSd(), machine).memUtilization;
+    double dssUtil =
+        cpu::evaluateIpc(decisionSupport(), machine).memUtilization;
+    EXPECT_GT(dssUtil, sapUtil);
+}
+
+TEST(Commercial, OltpIsLatencyBoundNotBandwidthBound)
+{
+    auto r = cpu::evaluateIpc(sapSd(), cpu::MachineTiming::gs1280());
+    EXPECT_FALSE(r.bandwidthBound);
+    EXPECT_LT(r.ipc, 1.0); // branchy, serialized
+}
+
+TEST(Commercial, AdvantageGrowsWithSharing)
+{
+    // One copy sees the full GS320 QBB port; 32 copies share it
+    // four ways, so the GS1280 edge grows with load.
+    EXPECT_GT(commercialAdvantage(decisionSupport(), 32),
+              commercialAdvantage(decisionSupport(), 1));
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+/** @file HPTC ISV profile tests against Figure 28's rows. */
+
+#include <gtest/gtest.h>
+
+#include "workload/hptc_apps.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::wl;
+
+TEST(HptcApps, SevenRows)
+{
+    EXPECT_EQ(hptcApplications().size(), 7u);
+}
+
+TEST(HptcApps, EveryRowNearThePaperRatio)
+{
+    // The chart reads 1.2-2.1x; each profile must land within 25%
+    // of its row.
+    for (const auto &app : hptcApplications()) {
+        double modelled = hptcAdvantage(app);
+        EXPECT_NEAR(modelled, app.paperRatio, 0.25 * app.paperRatio)
+            << app.profile.name;
+    }
+}
+
+TEST(HptcApps, OrderingFollowsMemoryCharacter)
+{
+    // Blocked solvers (Nastran) gain least; bandwidth-leaning codes
+    // (MM5) gain most — the paper's spread.
+    const auto &apps = hptcApplications();
+    double nastran = hptcAdvantage(apps[0]);
+    double mm5 = 0;
+    for (const auto &app : apps)
+        if (app.profile.name == "MM5 (weather)")
+            mm5 = hptcAdvantage(app);
+    EXPECT_GT(mm5, nastran);
+}
+
+TEST(HptcApps, AllRatiosInTheChartsBand)
+{
+    for (const auto &app : hptcApplications()) {
+        double r = hptcAdvantage(app);
+        EXPECT_GT(r, 1.0) << app.profile.name;
+        EXPECT_LT(r, 2.6) << app.profile.name;
+    }
+}
+
+} // namespace

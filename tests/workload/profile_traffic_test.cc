@@ -1,0 +1,177 @@
+/** @file Profile-driven traffic tests: stream shape + simulated IPC
+ *  cross-check against the analytic CPI model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "system/machine.hh"
+#include "workload/nas_sp.hh"
+#include "workload/nas_ft.hh"
+#include "workload/profile_traffic.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::wl;
+
+TEST(ProfileTraffic, EmitsTheConfiguredDensity)
+{
+    cpu::BenchProfile p;
+    p.cpiBase = 1.0;
+    p.workingSet = {{1.0, 4.0}, {64.0, 2.0}};
+    ProfileTraffic t(p, 0, 1.0, 10);
+
+    int ops = 0, thinkOps = 0, writes = 0;
+    while (auto op = t.next()) {
+        ops += 1;
+        thinkOps += op->thinkNs > 0;
+        writes += op->write;
+    }
+    EXPECT_EQ(ops, 10 * (4 + 2));
+    EXPECT_EQ(thinkOps, 10); // one compute bubble per block
+    EXPECT_GT(writes, 0);
+    EXPECT_DOUBLE_EQ(t.instructionsIssued(), 10000.0);
+}
+
+TEST(ProfileTraffic, ComponentsOccupyDisjointRegions)
+{
+    cpu::BenchProfile p;
+    p.workingSet = {{1.0, 2.0}, {2.0, 2.0}};
+    ProfileTraffic t(p, 1 << 20, 1.15, 5000);
+    mem::Addr smallEnd = (1 << 20) + (1ULL << 20);
+    bool sawSmall = false, sawBig = false;
+    while (auto op = t.next()) {
+        if (op->addr < smallEnd)
+            sawSmall = true;
+        else
+            sawBig = true;
+        EXPECT_GE(op->addr, 1u << 20);
+    }
+    EXPECT_TRUE(sawSmall);
+    EXPECT_TRUE(sawBig);
+}
+
+TEST(ProfileTraffic, SimulatedSwimIpcTracksAnalyticModel)
+{
+    // Replay the swim profile through the full GS1280 machine and
+    // compare against the closed-form CPI model it was derived from.
+    const auto &swim = specProfile("swim");
+    auto m = sys::Machine::buildGS1280(2);
+    ProfileTraffic traffic(swim, m->cpuAddr(0, 0), 1.15, 1500);
+    std::vector<cpu::TrafficSource *> sources{&traffic};
+    ASSERT_TRUE(m->run(sources, 5000 * tickMs));
+
+    double simIpc = traffic.ipc(m->core(0).stats().elapsedNs());
+    double modelIpc =
+        cpu::evaluateIpc(swim, cpu::MachineTiming::gs1280()).ipc;
+    EXPECT_NEAR(simIpc, modelIpc, 0.45 * modelIpc);
+}
+
+TEST(ProfileTraffic, CacheResidentProfileRunsNearCoreBound)
+{
+    cpu::BenchProfile p;
+    p.cpiBase = 0.7;
+    p.workingSet = {{0.5, 2.0}};
+    auto m = sys::Machine::buildGS1280(2);
+    ProfileTraffic traffic(p, m->cpuAddr(0, 0), 1.15, 2000);
+    std::vector<cpu::TrafficSource *> sources{&traffic};
+    ASSERT_TRUE(m->run(sources, 5000 * tickMs));
+    double simIpc = traffic.ipc(m->core(0).stats().elapsedNs());
+    EXPECT_GT(simIpc, 0.9); // ~1/cpiBase once the 0.5 MB set caches
+}
+
+TEST(ProfileTraffic, StripingDegradesSimulatedSwim)
+{
+    // The Figure 25 effect, in simulation rather than the model.
+    auto runSwim = [](bool striped) {
+        sys::Gs1280Options opt;
+        opt.striped = striped;
+        auto m = sys::Machine::buildGS1280(8, opt);
+        ProfileTraffic traffic(specProfile("swim"), m->cpuAddr(0, 0),
+                               1.15, 1200);
+        std::vector<cpu::TrafficSource *> sources{&traffic};
+        EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+        return m->core(0).stats().elapsedNs();
+    };
+    double plain = runSwim(false);
+    double striped = runSwim(true);
+    EXPECT_GT(striped, 1.05 * plain);
+    EXPECT_LT(striped, 1.60 * plain);
+}
+
+TEST(NasFT, AllToAllTouchesEveryPeer)
+{
+    NasFtParams p;
+    p.iterations = 1;
+    p.fftLines = 16;
+    p.exchangeLinesPerPeer = 4;
+    NasFT ft(2, 8, p);
+    std::set<NodeId> peers;
+    int local = 0;
+    while (auto op = ft.next()) {
+        NodeId n = mem::regionNode(op->addr);
+        if (n == 2)
+            local += 1;
+        else
+            peers.insert(n);
+    }
+    EXPECT_EQ(peers.size(), 7u); // all other ranks
+    EXPECT_EQ(local, 16 * 3);
+}
+
+TEST(NasFT, TransposeVolumeScalesWithRanks)
+{
+    auto remoteOps = [](int ranks) {
+        NasFtParams p;
+        p.iterations = 1;
+        p.fftLines = 8;
+        p.exchangeLinesPerPeer = 4;
+        NasFT ft(0, ranks, p);
+        int remote = 0;
+        while (auto op = ft.next())
+            remote += mem::regionNode(op->addr) != 0;
+        return remote;
+    };
+    EXPECT_EQ(remoteOps(4), 3 * 4);
+    EXPECT_EQ(remoteOps(8), 7 * 4);
+}
+
+TEST(NasFT, StressesLinksMoreThanSP)
+{
+    // For the same volume of remote lines, FT's all-to-all crosses
+    // more of the fabric than SP's one-hop neighbour pencils, so it
+    // accumulates more link-flits.
+    auto linkShare = [](bool ft) {
+        auto m = sys::Machine::buildGS1280(8);
+        std::vector<std::unique_ptr<cpu::TrafficSource>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 8; ++c) {
+            if (ft) {
+                NasFtParams p;
+                p.fftLines = 1024;
+                p.exchangeLinesPerPeer = 64; // 7 x 64 remote lines
+                gens.push_back(std::make_unique<wl::NasFT>(c, 8, p));
+            } else {
+                NasSpParams p;
+                p.sweepLines = 1024;
+                p.exchangeLines = 224; // 2 x 224 remote lines
+                gens.push_back(std::make_unique<wl::NasSP>(c, 8, p));
+            }
+            sources.push_back(gens.back().get());
+        }
+        EXPECT_TRUE(m->run(sources, 30000 * tickMs));
+        double flits = 0;
+        for (NodeId n = 0; n < 8; ++n)
+            for (int p = 0; p < 4; ++p)
+                flits += static_cast<double>(
+                    m->network().linkBusyFlits(n, p));
+        return flits;
+    };
+    EXPECT_GT(linkShare(true), 1.3 * linkShare(false));
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/** @file SPEC profile/rate model tests against the paper's stated
+ *  per-benchmark behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec_profiles.hh"
+#include "workload/spec_rate.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::cpu;
+using namespace gs::wl;
+
+TEST(SpecProfiles, SuitesComplete)
+{
+    EXPECT_EQ(specFp2000().size(), 14u);
+    EXPECT_EQ(specInt2000().size(), 12u);
+    for (const auto &p : specFp2000())
+        EXPECT_TRUE(p.fp);
+    for (const auto &p : specInt2000())
+        EXPECT_FALSE(p.fp);
+}
+
+TEST(SpecProfiles, LookupByName)
+{
+    EXPECT_EQ(specProfile("swim").name, "swim");
+    EXPECT_EQ(specProfile("mcf").name, "mcf");
+}
+
+TEST(SpecProfiles, SwimLeadsMemoryUtilization)
+{
+    // Paper Figure 10: "Swim is the leader with 53% utilization".
+    auto m = MachineTiming::gs1280();
+    double swim =
+        evaluateIpc(specProfile("swim"), m).memUtilization;
+    EXPECT_GT(swim, 0.40);
+    EXPECT_LT(swim, 0.65);
+    for (const auto &p : specFp2000()) {
+        if (p.name == "swim")
+            continue;
+        EXPECT_LE(evaluateIpc(p, m).memUtilization, swim)
+            << p.name << " exceeds swim's utilization";
+    }
+}
+
+TEST(SpecProfiles, UtilizationTiersMatchPaper)
+{
+    auto m = MachineTiming::gs1280();
+    auto util = [&](const char *name) {
+        return evaluateIpc(specProfile(name), m).memUtilization;
+    };
+    // 20-30%: applu, lucas, equake, mgrid.
+    for (const char *name : {"applu", "lucas", "equake", "mgrid"}) {
+        EXPECT_GT(util(name), 0.15) << name;
+        EXPECT_LT(util(name), 0.40) << name;
+    }
+    // 10-20%: fma3d, art, wupwise, galgel.
+    for (const char *name : {"fma3d", "art", "wupwise", "galgel"}) {
+        EXPECT_GT(util(name), 0.07) << name;
+        EXPECT_LT(util(name), 0.25) << name;
+    }
+    // facerec ~8%.
+    EXPECT_NEAR(util("facerec"), 0.08, 0.05);
+    // mesa/sixtrack near zero.
+    EXPECT_LT(util("mesa"), 0.03);
+    EXPECT_LT(util("sixtrack"), 0.03);
+}
+
+TEST(SpecProfiles, SwimAdvantageMatchesPaper)
+{
+    // "swim shows 2.3 times advantage on GS1280 vs ES45 and 4 times
+    // advantage vs GS320."
+    const auto &swim = specProfile("swim");
+    double gs1280 = evaluateIpc(swim, MachineTiming::gs1280()).ipc;
+    double es45 = evaluateIpc(swim, MachineTiming::es45()).ipc;
+    double gs320 = evaluateIpc(swim, MachineTiming::gs320()).ipc;
+    EXPECT_NEAR(gs1280 / es45, 2.3, 0.7);
+    EXPECT_NEAR(gs1280 / gs320, 4.0, 1.2);
+}
+
+TEST(SpecProfiles, FacerecAndAmmpLoseOnGs1280)
+{
+    // "there are cases where GS320 and ES45 outperform GS1280 (e.g.
+    // facerec and ammp)" — their sets fit 16 MB but not 1.75 MB.
+    for (const char *name : {"facerec", "ammp"}) {
+        const auto &p = specProfile(name);
+        double gs1280 = evaluateIpc(p, MachineTiming::gs1280()).ipc;
+        double gs320 = evaluateIpc(p, MachineTiming::gs320()).ipc;
+        double es45 = evaluateIpc(p, MachineTiming::es45()).ipc;
+        EXPECT_GT(gs320, gs1280) << name;
+        EXPECT_GT(es45, gs1280) << name;
+    }
+}
+
+TEST(SpecProfiles, IntegerSuiteIsCacheBound)
+{
+    // "all integer benchmarks fit well in the MB-size caches" (bar
+    // mcf): comparable IPC across machines.
+    for (const auto &p : specInt2000()) {
+        if (p.name == "mcf")
+            continue;
+        double gs1280 = evaluateIpc(p, MachineTiming::gs1280()).ipc;
+        double gs320 = evaluateIpc(p, MachineTiming::gs320()).ipc;
+        EXPECT_LT(gs1280 / gs320, 1.6) << p.name;
+        EXPECT_GT(gs1280 / gs320, 0.7) << p.name;
+    }
+}
+
+TEST(SpecProfiles, McfGainsFromLowLatency)
+{
+    const auto &mcf = specProfile("mcf");
+    double gs1280 = evaluateIpc(mcf, MachineTiming::gs1280()).ipc;
+    double gs320 = evaluateIpc(mcf, MachineTiming::gs320()).ipc;
+    EXPECT_GT(gs1280 / gs320, 1.5);
+}
+
+TEST(SpecRate, Gs1280ScalesLinearly)
+{
+    double r1 = specRate(specFp2000(), RateSystem::GS1280, 1);
+    double r16 = specRate(specFp2000(), RateSystem::GS1280, 16);
+    EXPECT_NEAR(r16 / r1, 16.0, 0.01);
+    EXPECT_NEAR(r1, 19.0, 0.5); // normalization anchor
+}
+
+TEST(SpecRate, OrderingMatchesFigure1)
+{
+    for (int cpus : {8, 16, 32}) {
+        double gs1280 = specRate(specFp2000(), RateSystem::GS1280,
+                                 cpus);
+        double sc45 = specRate(specFp2000(), RateSystem::SC45, cpus);
+        double gs320 = specRate(specFp2000(), RateSystem::GS320,
+                                cpus);
+        EXPECT_GT(gs1280, sc45) << cpus;
+        EXPECT_GT(sc45, gs320) << cpus;
+    }
+}
+
+TEST(SpecRate, Gs1280AdvantageNearFigure28)
+{
+    // Figure 28: SPECfp_rate2000 (16P) ratio vs GS320 ~ 2.0-2.6.
+    double ratio = specRate(specFp2000(), RateSystem::GS1280, 16) /
+                   specRate(specFp2000(), RateSystem::GS320, 16);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 3.2);
+}
+
+TEST(SpecRate, StripingDegradesThroughput)
+{
+    // Figure 25: 10-30% degradation across SPECfp_rate.
+    double worst = 0, best = 1e9;
+    for (const auto &p : specFp2000()) {
+        double d = stripingDegradationPct(p, 16);
+        EXPECT_GE(d, -1.0) << p.name; // striping never helps rate
+        worst = std::max(worst, d);
+        best = std::min(best, d);
+    }
+    EXPECT_GT(worst, 8.0);  // someone degrades >= ~10%
+    EXPECT_LT(worst, 45.0);
+}
+
+TEST(SpecRate, IntRateNearParity)
+{
+    // Figure 28: SPECint_rate ~1.1x vs GS320 — the small-cache
+    // benchmarks don't care about the memory system.
+    double ratio = specRate(specInt2000(), RateSystem::GS1280, 16) /
+                   specRate(specInt2000(), RateSystem::GS320, 16);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.7);
+}
+
+} // namespace

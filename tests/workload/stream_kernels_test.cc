@@ -1,0 +1,82 @@
+/** @file Traffic-shape tests for all four STREAM kernels. */
+
+#include <gtest/gtest.h>
+
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::wl;
+
+struct Shape
+{
+    StreamOp op;
+    int reads;
+    int writes;
+};
+
+class StreamShapes : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(StreamShapes, ReadsWritesPerLine)
+{
+    auto [op, reads, writes] = GetParam();
+    StreamKernel k(op, 0, 16 * 64, 1, 0.0);
+    int r = 0, w = 0;
+    while (auto mem_op = k.next())
+        (mem_op->write ? w : r) += 1;
+    EXPECT_EQ(r, reads * 16);
+    EXPECT_EQ(w, writes * 16);
+    EXPECT_EQ(k.linesProcessed(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, StreamShapes,
+    ::testing::Values(Shape{StreamOp::Copy, 1, 1},
+                      Shape{StreamOp::Scale, 1, 1},
+                      Shape{StreamOp::Add, 2, 1},
+                      Shape{StreamOp::Triad, 2, 1}));
+
+TEST(StreamKernels, BytesPerLineMatchesStreamAccounting)
+{
+    EXPECT_DOUBLE_EQ(streamBytesPerLine(StreamOp::Copy), 128.0);
+    EXPECT_DOUBLE_EQ(streamBytesPerLine(StreamOp::Scale), 128.0);
+    EXPECT_DOUBLE_EQ(streamBytesPerLine(StreamOp::Add), 192.0);
+    EXPECT_DOUBLE_EQ(streamBytesPerLine(StreamOp::Triad), 192.0);
+}
+
+TEST(StreamKernels, IterationsRepeatTheSweep)
+{
+    StreamKernel k(StreamOp::Copy, 0, 8 * 64, 3, 0.0);
+    int ops = 0;
+    while (k.next())
+        ops += 1;
+    EXPECT_EQ(ops, 2 * 8 * 3);
+    EXPECT_EQ(k.linesProcessed(), 24u);
+}
+
+TEST(StreamKernels, WritesTargetTheFirstArray)
+{
+    const std::uint64_t bytes = 8 * 64;
+    StreamKernel k(StreamOp::Add, 1 << 20, bytes, 1, 0.0);
+    while (auto op = k.next()) {
+        if (op->write) {
+            EXPECT_GE(op->addr, 1u << 20);
+            EXPECT_LT(op->addr, (1u << 20) + bytes);
+        } else {
+            EXPECT_GE(op->addr, (1u << 20) + bytes);
+        }
+    }
+}
+
+TEST(StreamKernels, TriadAliasStillWorks)
+{
+    StreamTriad t(0, 4 * 64);
+    EXPECT_EQ(t.op(), StreamOp::Triad);
+    EXPECT_DOUBLE_EQ(StreamTriad::bytesPerLine, 192.0);
+}
+
+} // namespace
