@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_io_interference.dir/ext_io_interference.cpp.o"
+  "CMakeFiles/ext_io_interference.dir/ext_io_interference.cpp.o.d"
+  "ext_io_interference"
+  "ext_io_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_io_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

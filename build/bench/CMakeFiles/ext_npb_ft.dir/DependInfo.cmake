@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_npb_ft.cpp" "bench/CMakeFiles/ext_npb_ft.dir/ext_npb_ft.cpp.o" "gcc" "bench/CMakeFiles/ext_npb_ft.dir/ext_npb_ft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/gs_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/gs_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/gs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

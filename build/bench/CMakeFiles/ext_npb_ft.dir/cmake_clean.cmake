@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_npb_ft.dir/ext_npb_ft.cpp.o"
+  "CMakeFiles/ext_npb_ft.dir/ext_npb_ft.cpp.o.d"
+  "ext_npb_ft"
+  "ext_npb_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_npb_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

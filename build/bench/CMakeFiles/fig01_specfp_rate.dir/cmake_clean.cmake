@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_specfp_rate.dir/fig01_specfp_rate.cpp.o"
+  "CMakeFiles/fig01_specfp_rate.dir/fig01_specfp_rate.cpp.o.d"
+  "fig01_specfp_rate"
+  "fig01_specfp_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_specfp_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

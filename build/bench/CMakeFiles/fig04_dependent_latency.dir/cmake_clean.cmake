@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dependent_latency.dir/fig04_dependent_latency.cpp.o"
+  "CMakeFiles/fig04_dependent_latency.dir/fig04_dependent_latency.cpp.o.d"
+  "fig04_dependent_latency"
+  "fig04_dependent_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dependent_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

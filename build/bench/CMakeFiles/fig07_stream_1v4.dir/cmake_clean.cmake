@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_stream_1v4.dir/fig07_stream_1v4.cpp.o"
+  "CMakeFiles/fig07_stream_1v4.dir/fig07_stream_1v4.cpp.o.d"
+  "fig07_stream_1v4"
+  "fig07_stream_1v4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stream_1v4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_stream_1v4.
+# This may be replaced when dependencies are built.

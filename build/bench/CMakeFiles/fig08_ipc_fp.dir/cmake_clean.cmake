@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ipc_fp.dir/fig08_ipc_fp.cpp.o"
+  "CMakeFiles/fig08_ipc_fp.dir/fig08_ipc_fp.cpp.o.d"
+  "fig08_ipc_fp"
+  "fig08_ipc_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ipc_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ipc_int.dir/fig09_ipc_int.cpp.o"
+  "CMakeFiles/fig09_ipc_int.dir/fig09_ipc_int.cpp.o.d"
+  "fig09_ipc_int"
+  "fig09_ipc_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ipc_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mcutil_fp.dir/fig10_mcutil_fp.cpp.o"
+  "CMakeFiles/fig10_mcutil_fp.dir/fig10_mcutil_fp.cpp.o.d"
+  "fig10_mcutil_fp"
+  "fig10_mcutil_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mcutil_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_latency_16p.dir/fig12_latency_16p.cpp.o"
+  "CMakeFiles/fig12_latency_16p.dir/fig12_latency_16p.cpp.o.d"
+  "fig12_latency_16p"
+  "fig12_latency_16p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_latency_16p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_latency_map.dir/fig13_latency_map.cpp.o"
+  "CMakeFiles/fig13_latency_map.dir/fig13_latency_map.cpp.o.d"
+  "fig13_latency_map"
+  "fig13_latency_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_latency_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

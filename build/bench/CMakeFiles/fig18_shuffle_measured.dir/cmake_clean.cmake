@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_shuffle_measured.dir/fig18_shuffle_measured.cpp.o"
+  "CMakeFiles/fig18_shuffle_measured.dir/fig18_shuffle_measured.cpp.o.d"
+  "fig18_shuffle_measured"
+  "fig18_shuffle_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_shuffle_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_fluent.dir/fig19_fluent.cpp.o"
+  "CMakeFiles/fig19_fluent.dir/fig19_fluent.cpp.o.d"
+  "fig19_fluent"
+  "fig19_fluent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_fluent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

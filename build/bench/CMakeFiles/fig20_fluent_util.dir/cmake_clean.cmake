@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_fluent_util.dir/fig20_fluent_util.cpp.o"
+  "CMakeFiles/fig20_fluent_util.dir/fig20_fluent_util.cpp.o.d"
+  "fig20_fluent_util"
+  "fig20_fluent_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_fluent_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

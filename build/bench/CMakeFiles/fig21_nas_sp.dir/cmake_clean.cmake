@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_nas_sp.dir/fig21_nas_sp.cpp.o"
+  "CMakeFiles/fig21_nas_sp.dir/fig21_nas_sp.cpp.o.d"
+  "fig21_nas_sp"
+  "fig21_nas_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_nas_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

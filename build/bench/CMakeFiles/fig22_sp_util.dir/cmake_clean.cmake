@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_sp_util.dir/fig22_sp_util.cpp.o"
+  "CMakeFiles/fig22_sp_util.dir/fig22_sp_util.cpp.o.d"
+  "fig22_sp_util"
+  "fig22_sp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_sp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

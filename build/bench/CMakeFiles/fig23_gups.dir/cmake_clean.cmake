@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_gups.dir/fig23_gups.cpp.o"
+  "CMakeFiles/fig23_gups.dir/fig23_gups.cpp.o.d"
+  "fig23_gups"
+  "fig23_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_gups_util.dir/fig24_gups_util.cpp.o"
+  "CMakeFiles/fig24_gups_util.dir/fig24_gups_util.cpp.o.d"
+  "fig24_gups_util"
+  "fig24_gups_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_gups_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

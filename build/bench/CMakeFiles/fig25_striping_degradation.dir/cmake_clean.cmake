@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_striping_degradation.dir/fig25_striping_degradation.cpp.o"
+  "CMakeFiles/fig25_striping_degradation.dir/fig25_striping_degradation.cpp.o.d"
+  "fig25_striping_degradation"
+  "fig25_striping_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_striping_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_hotspot_striping.dir/fig26_hotspot_striping.cpp.o"
+  "CMakeFiles/fig26_hotspot_striping.dir/fig26_hotspot_striping.cpp.o.d"
+  "fig26_hotspot_striping"
+  "fig26_hotspot_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_hotspot_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

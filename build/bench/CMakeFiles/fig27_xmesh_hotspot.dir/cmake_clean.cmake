@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_xmesh_hotspot.dir/fig27_xmesh_hotspot.cpp.o"
+  "CMakeFiles/fig27_xmesh_hotspot.dir/fig27_xmesh_hotspot.cpp.o.d"
+  "fig27_xmesh_hotspot"
+  "fig27_xmesh_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_xmesh_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_summary.dir/fig28_summary.cpp.o"
+  "CMakeFiles/fig28_summary.dir/fig28_summary.cpp.o.d"
+  "fig28_summary"
+  "fig28_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_streams.dir/io_streams.cpp.o"
+  "CMakeFiles/io_streams.dir/io_streams.cpp.o.d"
+  "io_streams"
+  "io_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

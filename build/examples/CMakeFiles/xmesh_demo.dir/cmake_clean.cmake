@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmesh_demo.dir/xmesh_demo.cpp.o"
+  "CMakeFiles/xmesh_demo.dir/xmesh_demo.cpp.o.d"
+  "xmesh_demo"
+  "xmesh_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmesh_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_analytic.dir/latency_model.cc.o"
+  "CMakeFiles/gs_analytic.dir/latency_model.cc.o.d"
+  "CMakeFiles/gs_analytic.dir/loadtest_model.cc.o"
+  "CMakeFiles/gs_analytic.dir/loadtest_model.cc.o.d"
+  "CMakeFiles/gs_analytic.dir/shuffle_model.cc.o"
+  "CMakeFiles/gs_analytic.dir/shuffle_model.cc.o.d"
+  "libgs_analytic.a"
+  "libgs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/checker.cc" "src/coherence/CMakeFiles/gs_coherence.dir/checker.cc.o" "gcc" "src/coherence/CMakeFiles/gs_coherence.dir/checker.cc.o.d"
+  "/root/repo/src/coherence/node.cc" "src/coherence/CMakeFiles/gs_coherence.dir/node.cc.o" "gcc" "src/coherence/CMakeFiles/gs_coherence.dir/node.cc.o.d"
+  "/root/repo/src/coherence/tracer.cc" "src/coherence/CMakeFiles/gs_coherence.dir/tracer.cc.o" "gcc" "src/coherence/CMakeFiles/gs_coherence.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_coherence.dir/checker.cc.o"
+  "CMakeFiles/gs_coherence.dir/checker.cc.o.d"
+  "CMakeFiles/gs_coherence.dir/node.cc.o"
+  "CMakeFiles/gs_coherence.dir/node.cc.o.d"
+  "CMakeFiles/gs_coherence.dir/tracer.cc.o"
+  "CMakeFiles/gs_coherence.dir/tracer.cc.o.d"
+  "libgs_coherence.a"
+  "libgs_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/analytic_core.cc" "src/cpu/CMakeFiles/gs_cpu.dir/analytic_core.cc.o" "gcc" "src/cpu/CMakeFiles/gs_cpu.dir/analytic_core.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/gs_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/gs_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/trace.cc" "src/cpu/CMakeFiles/gs_cpu.dir/trace.cc.o" "gcc" "src/cpu/CMakeFiles/gs_cpu.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/gs_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

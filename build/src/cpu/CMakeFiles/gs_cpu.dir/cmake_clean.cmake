@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_cpu.dir/analytic_core.cc.o"
+  "CMakeFiles/gs_cpu.dir/analytic_core.cc.o.d"
+  "CMakeFiles/gs_cpu.dir/core.cc.o"
+  "CMakeFiles/gs_cpu.dir/core.cc.o.d"
+  "CMakeFiles/gs_cpu.dir/trace.cc.o"
+  "CMakeFiles/gs_cpu.dir/trace.cc.o.d"
+  "libgs_cpu.a"
+  "libgs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

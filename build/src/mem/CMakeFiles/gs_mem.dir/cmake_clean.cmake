@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_mem.dir/cache.cc.o"
+  "CMakeFiles/gs_mem.dir/cache.cc.o.d"
+  "CMakeFiles/gs_mem.dir/zbox.cc.o"
+  "CMakeFiles/gs_mem.dir/zbox.cc.o.d"
+  "libgs_mem.a"
+  "libgs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

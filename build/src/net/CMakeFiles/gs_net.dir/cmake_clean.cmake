@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_net.dir/network.cc.o"
+  "CMakeFiles/gs_net.dir/network.cc.o.d"
+  "CMakeFiles/gs_net.dir/router.cc.o"
+  "CMakeFiles/gs_net.dir/router.cc.o.d"
+  "CMakeFiles/gs_net.dir/synthetic.cc.o"
+  "CMakeFiles/gs_net.dir/synthetic.cc.o.d"
+  "libgs_net.a"
+  "libgs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_sim.dir/args.cc.o"
+  "CMakeFiles/gs_sim.dir/args.cc.o.d"
+  "CMakeFiles/gs_sim.dir/logging.cc.o"
+  "CMakeFiles/gs_sim.dir/logging.cc.o.d"
+  "CMakeFiles/gs_sim.dir/table.cc.o"
+  "CMakeFiles/gs_sim.dir/table.cc.o.d"
+  "libgs_sim.a"
+  "libgs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

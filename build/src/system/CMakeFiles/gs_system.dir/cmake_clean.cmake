@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_system.dir/io.cc.o"
+  "CMakeFiles/gs_system.dir/io.cc.o.d"
+  "CMakeFiles/gs_system.dir/machine.cc.o"
+  "CMakeFiles/gs_system.dir/machine.cc.o.d"
+  "CMakeFiles/gs_system.dir/xmesh.cc.o"
+  "CMakeFiles/gs_system.dir/xmesh.cc.o.d"
+  "libgs_system.a"
+  "libgs_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/shuffle.cc" "src/topology/CMakeFiles/gs_topology.dir/shuffle.cc.o" "gcc" "src/topology/CMakeFiles/gs_topology.dir/shuffle.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/gs_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/gs_topology.dir/topology.cc.o.d"
+  "/root/repo/src/topology/torus.cc" "src/topology/CMakeFiles/gs_topology.dir/torus.cc.o" "gcc" "src/topology/CMakeFiles/gs_topology.dir/torus.cc.o.d"
+  "/root/repo/src/topology/tree.cc" "src/topology/CMakeFiles/gs_topology.dir/tree.cc.o" "gcc" "src/topology/CMakeFiles/gs_topology.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

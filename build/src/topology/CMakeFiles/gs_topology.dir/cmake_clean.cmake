@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_topology.dir/shuffle.cc.o"
+  "CMakeFiles/gs_topology.dir/shuffle.cc.o.d"
+  "CMakeFiles/gs_topology.dir/topology.cc.o"
+  "CMakeFiles/gs_topology.dir/topology.cc.o.d"
+  "CMakeFiles/gs_topology.dir/torus.cc.o"
+  "CMakeFiles/gs_topology.dir/torus.cc.o.d"
+  "CMakeFiles/gs_topology.dir/tree.cc.o"
+  "CMakeFiles/gs_topology.dir/tree.cc.o.d"
+  "libgs_topology.a"
+  "libgs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

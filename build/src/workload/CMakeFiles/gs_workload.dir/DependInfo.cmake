@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/commercial.cc" "src/workload/CMakeFiles/gs_workload.dir/commercial.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/commercial.cc.o.d"
+  "/root/repo/src/workload/fluent.cc" "src/workload/CMakeFiles/gs_workload.dir/fluent.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/fluent.cc.o.d"
+  "/root/repo/src/workload/gups.cc" "src/workload/CMakeFiles/gs_workload.dir/gups.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/gups.cc.o.d"
+  "/root/repo/src/workload/hptc_apps.cc" "src/workload/CMakeFiles/gs_workload.dir/hptc_apps.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/hptc_apps.cc.o.d"
+  "/root/repo/src/workload/load_test.cc" "src/workload/CMakeFiles/gs_workload.dir/load_test.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/load_test.cc.o.d"
+  "/root/repo/src/workload/nas_ft.cc" "src/workload/CMakeFiles/gs_workload.dir/nas_ft.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/nas_ft.cc.o.d"
+  "/root/repo/src/workload/nas_sp.cc" "src/workload/CMakeFiles/gs_workload.dir/nas_sp.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/nas_sp.cc.o.d"
+  "/root/repo/src/workload/pointer_chase.cc" "src/workload/CMakeFiles/gs_workload.dir/pointer_chase.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/pointer_chase.cc.o.d"
+  "/root/repo/src/workload/profile_traffic.cc" "src/workload/CMakeFiles/gs_workload.dir/profile_traffic.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/profile_traffic.cc.o.d"
+  "/root/repo/src/workload/spec_profiles.cc" "src/workload/CMakeFiles/gs_workload.dir/spec_profiles.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/spec_profiles.cc.o.d"
+  "/root/repo/src/workload/spec_rate.cc" "src/workload/CMakeFiles/gs_workload.dir/spec_rate.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/spec_rate.cc.o.d"
+  "/root/repo/src/workload/stream.cc" "src/workload/CMakeFiles/gs_workload.dir/stream.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/gs_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

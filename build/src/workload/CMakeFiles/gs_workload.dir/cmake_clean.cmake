@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_workload.dir/commercial.cc.o"
+  "CMakeFiles/gs_workload.dir/commercial.cc.o.d"
+  "CMakeFiles/gs_workload.dir/fluent.cc.o"
+  "CMakeFiles/gs_workload.dir/fluent.cc.o.d"
+  "CMakeFiles/gs_workload.dir/gups.cc.o"
+  "CMakeFiles/gs_workload.dir/gups.cc.o.d"
+  "CMakeFiles/gs_workload.dir/hptc_apps.cc.o"
+  "CMakeFiles/gs_workload.dir/hptc_apps.cc.o.d"
+  "CMakeFiles/gs_workload.dir/load_test.cc.o"
+  "CMakeFiles/gs_workload.dir/load_test.cc.o.d"
+  "CMakeFiles/gs_workload.dir/nas_ft.cc.o"
+  "CMakeFiles/gs_workload.dir/nas_ft.cc.o.d"
+  "CMakeFiles/gs_workload.dir/nas_sp.cc.o"
+  "CMakeFiles/gs_workload.dir/nas_sp.cc.o.d"
+  "CMakeFiles/gs_workload.dir/pointer_chase.cc.o"
+  "CMakeFiles/gs_workload.dir/pointer_chase.cc.o.d"
+  "CMakeFiles/gs_workload.dir/profile_traffic.cc.o"
+  "CMakeFiles/gs_workload.dir/profile_traffic.cc.o.d"
+  "CMakeFiles/gs_workload.dir/spec_profiles.cc.o"
+  "CMakeFiles/gs_workload.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/gs_workload.dir/spec_rate.cc.o"
+  "CMakeFiles/gs_workload.dir/spec_rate.cc.o.d"
+  "CMakeFiles/gs_workload.dir/stream.cc.o"
+  "CMakeFiles/gs_workload.dir/stream.cc.o.d"
+  "libgs_workload.a"
+  "libgs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_test.dir/coherence/protocol_test.cc.o"
+  "CMakeFiles/coherence_test.dir/coherence/protocol_test.cc.o.d"
+  "CMakeFiles/coherence_test.dir/coherence/race_test.cc.o"
+  "CMakeFiles/coherence_test.dir/coherence/race_test.cc.o.d"
+  "CMakeFiles/coherence_test.dir/coherence/stress_test.cc.o"
+  "CMakeFiles/coherence_test.dir/coherence/stress_test.cc.o.d"
+  "CMakeFiles/coherence_test.dir/coherence/tracer_test.cc.o"
+  "CMakeFiles/coherence_test.dir/coherence/tracer_test.cc.o.d"
+  "coherence_test"
+  "coherence_test.pdb"
+  "coherence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
