@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Failure-degradation study (extension; not a paper figure).
+ *
+ * Section 2 argues the GS1280's torus degrades gracefully: every
+ * node pair has many paths, so a broken cable costs bandwidth, not
+ * connectivity. The GS320's switch hierarchy is the opposite — one
+ * uplink is a single point of failure for its whole QBB. This bench
+ * quantifies both claims with the fault layer:
+ *
+ *  1. 8x8 torus, uniform and bit-complement synthetic traffic, with
+ *     0 -> 8 East links of row 0 cut: bandwidth/latency vs failures.
+ *  2. The same fabric's surviving-graph metrics (average/worst hop
+ *     distance, connectivity) per failure count.
+ *  3. GS320 contrast: cutting one QBB uplink. Cross-QBB traffic is
+ *     dropped as unroutable; the machine partitions.
+ *  4. Machine-level 16P GS1280: remote-region STREAM bandwidth and
+ *     dependent-load latency as torus links fail.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common.hh"
+#include "fault/degraded.hh"
+#include "fault/injector.hh"
+#include "net/synthetic.hh"
+#include "sim/table.hh"
+#include "topology/torus.hh"
+#include "topology/tree.hh"
+#include "workload/stream.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::fault;
+
+/** Cut the East links of row 0's first @p k nodes. */
+void
+cutRowLinks(FaultInjector &inj, int k)
+{
+    for (int x = 0; x < k; ++x)
+        inj.failLink(static_cast<NodeId>(x), topo::portEast);
+}
+
+net::SyntheticResult
+degradedSynthetic(net::TrafficPattern pattern, int failedLinks)
+{
+    SimContext ctx;
+    topo::Torus2D base(8, 8);
+    DegradedTopology deg(base);
+    net::Network net(ctx, deg, net::NetworkParams::gs1280());
+    FaultInjector inj(ctx, net, deg);
+    cutRowLinks(inj, failedLinks);
+
+    net::SyntheticConfig cfg;
+    cfg.pattern = pattern;
+    cfg.injectionRate = 0.08;
+    cfg.measureCycles = 6000;
+    cfg.seed = 5;
+    return runSynthetic(ctx, net, cfg);
+}
+
+/** Aggregate STREAM GB/s with every CPU streaming a remote region. */
+double
+remoteStreamGBs(sys::Machine &m, int cpus)
+{
+    std::vector<std::unique_ptr<wl::StreamTriad>> kernels;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        kernels.push_back(std::make_unique<wl::StreamTriad>(
+            m.cpuAddr((c + cpus / 2) % cpus, 0), 2ULL << 20));
+        sources.push_back(kernels.back().get());
+    }
+    Tick start = m.ctx().now();
+    bool ok = m.run(sources, 2000 * tickMs);
+    gs_assert(ok, "remote STREAM run timed out");
+    double ns = ticksToNs(m.ctx().now() - start);
+    double lines = 0;
+    for (const auto &k : kernels)
+        lines += static_cast<double>(k->linesProcessed());
+    return lines * wl::StreamTriad::bytesPerLine / ns;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    const int kCounts[] = {0, 1, 2, 4, 8};
+
+    printBanner(std::cout,
+                "Fault degradation 1: 8x8 torus synthetic traffic vs "
+                "failed row-0 East links");
+    {
+        Table t({"failed links", "uniform lat ns", "uniform thru",
+                 "bit-comp lat ns", "bit-comp thru"});
+        for (int k : kCounts) {
+            auto u = degradedSynthetic(
+                net::TrafficPattern::UniformRandom, k);
+            auto b = degradedSynthetic(
+                net::TrafficPattern::BitComplement, k);
+            t.addRow({Table::num(k), Table::num(u.avgLatencyNs, 0),
+                      Table::num(u.acceptedFlitsPerNodeCycle, 3),
+                      Table::num(b.avgLatencyNs, 0),
+                      Table::num(b.acceptedFlitsPerNodeCycle, 3)});
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Fault degradation 2: surviving 8x8 graph metrics");
+    {
+        Table t({"failed links", "connected", "avg hops",
+                 "worst hops"});
+        for (int k : kCounts) {
+            SimContext ctx;
+            topo::Torus2D base(8, 8);
+            DegradedTopology deg(base);
+            net::Network net(ctx, deg, net::NetworkParams::gs1280());
+            FaultInjector inj(ctx, net, deg);
+            cutRowLinks(inj, k);
+            t.addRow({Table::num(k), deg.connected() ? "yes" : "NO",
+                      Table::num(deg.averageDistance(), 3),
+                      Table::num(deg.worstDistance())});
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Fault degradation 3: GS320 QBB uplink failure "
+                "(single point of failure)");
+    {
+        SimContext ctx;
+        topo::QbbTree base(32, 4);
+        DegradedTopology deg(base);
+        net::Network net(ctx, deg, net::NetworkParams::gs320());
+        FaultInjector inj(ctx, net, deg);
+
+        int delivered = 0;
+        for (NodeId n = 0; n < 32; ++n)
+            net.setHandler(n, [&](const net::Packet &) {
+                delivered += 1;
+            });
+
+        // QBB 0's switch is node 32; port 4 is its global uplink.
+        inj.failLink(32, 4);
+
+        int pairsCut = 0, pairsKept = 0;
+        for (NodeId a = 0; a < 32; ++a)
+            for (NodeId b = 0; b < 32; ++b)
+                if (a != b)
+                    (deg.reachable(a, b) ? pairsKept : pairsCut) += 1;
+
+        // Offer one packet per ordered CPU pair.
+        for (NodeId a = 0; a < 32; ++a) {
+            for (NodeId b = 0; b < 32; ++b) {
+                if (a == b)
+                    continue;
+                net::Packet p;
+                p.src = a;
+                p.dst = b;
+                p.cls = net::MsgClass::Request;
+                p.flits = net::headerFlits;
+                net.inject(p);
+            }
+        }
+        ctx.queue().runUntil(100 * tickMs);
+
+        Table t({"metric", "value"});
+        t.addRow({"CPU pairs still reachable", Table::num(pairsKept)});
+        t.addRow({"CPU pairs disconnected", Table::num(pairsCut)});
+        t.addRow({"packets delivered", Table::num(delivered)});
+        t.addRow({"packets dropped (unroutable)",
+                  Table::num(static_cast<int>(
+                      inj.stats().dropsUnroutable))});
+        t.print(std::cout);
+        std::cout << "(the torus above keeps every pair reachable "
+                     "through 8 failures)\n";
+    }
+
+    printBanner(std::cout,
+                "Fault degradation 4: 16P GS1280 remote STREAM + "
+                "latency vs failed links");
+    {
+        Table t({"failed links", "remote STREAM GB/s",
+                 "remote load ns"});
+        for (int k : {0, 1, 2, 4}) {
+            double gbs, ns;
+            {
+                auto m = sys::Machine::buildGS1280(16);
+                cutRowLinks(m->faults(), k);
+                gbs = remoteStreamGBs(*m, 16);
+            }
+            {
+                auto m = sys::Machine::buildGS1280(16);
+                cutRowLinks(m->faults(), k);
+                // CPU 0 chasing node 2's region crosses the cut row.
+                ns = gs::bench::dependentLoadNs(*m, 0, 2);
+            }
+            t.addRow({Table::num(k), Table::num(gbs, 2),
+                      Table::num(ns, 1)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -125,6 +125,22 @@ class CoherentNode
     int victimBufferFill() const { return static_cast<int>(vb.size()); }
     bool quiesced() const;
 
+    /**
+     * Issue time of the oldest outstanding miss, or maxTick when no
+     * miss is pending. The fault watchdog's coherence probe uses this
+     * to detect transactions that will never complete (e.g. their
+     * response was dropped by a failed link).
+     */
+    Tick
+    oldestMissIssued() const
+    {
+        Tick oldest = maxTick;
+        for (const auto &ent : maf)
+            oldest = ent.second.issued < oldest ? ent.second.issued
+                                                : oldest;
+        return oldest;
+    }
+
     DirState dirState(mem::Addr line) const;
     std::uint64_t dirSharers(mem::Addr line) const;
     NodeId dirOwner(mem::Addr line) const;

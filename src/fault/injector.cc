@@ -1,0 +1,79 @@
+#include "fault/injector.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace gs::fault
+{
+
+FaultInjector::FaultInjector(SimContext &context, net::Network &net,
+                             DegradedTopology &topo)
+    : ctx(context), net_(net), topo_(topo)
+{
+    gs_assert(&net.topology() == &topo,
+              "injector's topology is not the one the network routes "
+              "over");
+    net_.setDropHook([this](NodeId, const net::Packet &,
+                            const char *why) {
+        st.packetsDropped += 1;
+        if (std::strcmp(why, "unroutable") == 0)
+            st.dropsUnroutable += 1;
+        else
+            st.dropsDeadNode += 1;
+    });
+    // A topology that was degraded before the network attached still
+    // needs the routers' port state brought in line.
+    if (topo_.degraded())
+        net_.onTopologyChange();
+}
+
+void
+FaultInjector::schedule(const FaultPlan &plan)
+{
+    for (const FaultEvent &event : plan.events()) {
+        ctx.queue().scheduleAt(event.when,
+                               [this, event] { apply(event); });
+    }
+}
+
+void
+FaultInjector::apply(const FaultEvent &event)
+{
+    // A bad node/port names hardware that doesn't exist — a user
+    // error in the fault plan, not a simulator bug.
+    if (event.node < 0 || event.node >= topo_.numNodes())
+        gs_fatal("fault event: node ", event.node, " out of range [0,",
+                 topo_.numNodes(), ")");
+    const bool linkEvent = event.kind == FaultKind::LinkDown ||
+                           event.kind == FaultKind::LinkUp;
+    if (linkEvent &&
+        (event.port < 0 || event.port >= topo_.numPorts(event.node)))
+        gs_fatal("fault event: node ", event.node, " port ", event.port,
+                 " out of range [0,", topo_.numPorts(event.node), ")");
+    switch (event.kind) {
+      case FaultKind::LinkDown:
+        topo_.failLink(event.node, event.port);
+        st.linkFailures += 1;
+        break;
+      case FaultKind::LinkUp:
+        topo_.repairLink(event.node, event.port);
+        st.repairs += 1;
+        break;
+      case FaultKind::NodeDown:
+        topo_.failNode(event.node);
+        // Masks first, then flush: the dying router's buffered
+        // packets drop without crediting across dead links.
+        net_.setNodeFailed(event.node, true);
+        st.nodeFailures += 1;
+        break;
+      case FaultKind::NodeUp:
+        topo_.repairNode(event.node);
+        net_.setNodeFailed(event.node, false);
+        st.repairs += 1;
+        break;
+    }
+    net_.onTopologyChange();
+}
+
+} // namespace gs::fault

@@ -14,6 +14,7 @@ Network::Network(SimContext &context, const topo::Topology &topo,
     routers.reserve(static_cast<std::size_t>(n));
     handlers.resize(static_cast<std::size_t>(n));
     linkFlits.resize(static_cast<std::size_t>(n));
+    deadNode.assign(static_cast<std::size_t>(n), 0);
     for (NodeId node = 0; node < n; ++node) {
         routers.push_back(std::make_unique<Router>(*this, node));
         linkFlits[static_cast<std::size_t>(node)].assign(
@@ -30,12 +31,30 @@ Network::setHandler(NodeId node, Handler handler)
 void
 Network::inject(Packet pkt)
 {
-    gs_assert(pkt.src >= 0 && pkt.src < topo_.numNodes());
-    gs_assert(pkt.dst >= 0 && pkt.dst < topo_.numNodes());
+    // Malformed packets are a user error (bad agent/bench wiring),
+    // not a simulator bug: refuse them loudly instead of indexing
+    // out of range. Destinations may be switch nodes (GS320 memory
+    // homes live at the QBB switches), so the bound is numNodes().
+    if (pkt.src < 0 || pkt.src >= topo_.numNodes() || pkt.dst < 0 ||
+        pkt.dst >= topo_.numNodes()) {
+        gs_fatal("inject: endpoint out of range: src=", pkt.src,
+                 " dst=", pkt.dst, " valid=[0,", topo_.numNodes(), ")");
+    }
+    if (pkt.flits <= 0)
+        gs_fatal("inject: non-positive packet length ", pkt.flits,
+                 " flits");
 
     pkt.injected = ctx.now();
     st.injectedPackets += 1;
     flying += 1;
+
+    if (degraded_ && (deadNode[std::size_t(pkt.src)] ||
+                      deadNode[std::size_t(pkt.dst)])) {
+        dropPacket(pkt.src, pkt,
+                   deadNode[std::size_t(pkt.src)] ? "dead-src"
+                                                  : "dead-dst");
+        return;
+    }
 
     if (pkt.src == pkt.dst) {
         // Local traffic does not enter the fabric; it still pays the
@@ -62,6 +81,12 @@ Network::scheduleArrival(NodeId to, int in_port, int vc, Packet pkt,
 {
     ctx.queue().schedule(static_cast<Tick>(delay_cycles) * tickPeriod,
                          [this, to, in_port, vc, pkt] {
+        // The packet was on the wire when the downstream router
+        // died: its flits arrive at a dead receiver and are lost.
+        if (degraded_ && deadNode[std::size_t(to)]) {
+            dropPacket(to, pkt, "dead-receiver");
+            return;
+        }
         routers[static_cast<std::size_t>(to)]->receive(in_port, vc, pkt);
     });
 }
@@ -70,7 +95,12 @@ void
 Network::scheduleCredit(NodeId at_node, int in_port, int vc, int flits)
 {
     topo::Port link = topo_.port(at_node, in_port);
-    gs_assert(link.connected(), "credit for unconnected port");
+    if (!link.connected()) {
+        // Credits die with their link; Router::syncPorts rebuilds
+        // the upstream credit count from buffer occupancy on repair.
+        gs_assert(degraded_, "credit for unconnected port");
+        return;
+    }
     NodeId peer = link.peer;
     int peerPort = link.peerPort;
     ctx.queue().schedule(static_cast<Tick>(prm.creditCycles) * tickPeriod,
@@ -98,6 +128,10 @@ Network::deliverLocal(NodeId node, Packet pkt)
 void
 Network::deliverNow(NodeId node, const Packet &pkt)
 {
+    if (degraded_ && deadNode[std::size_t(node)]) {
+        dropPacket(node, pkt, "dead-receiver");
+        return;
+    }
     st.deliveredPackets += 1;
     st.deliveredFlits += static_cast<std::uint64_t>(pkt.flits);
     st.latencyNs.sample(ticksToNs(ctx.now() - pkt.injected));
@@ -106,6 +140,34 @@ Network::deliverNow(NodeId node, const Packet &pkt)
     auto &handler = handlers[static_cast<std::size_t>(node)];
     if (handler)
         handler(pkt);
+}
+
+void
+Network::dropPacket(NodeId at, const Packet &pkt, const char *why)
+{
+    st.droppedPackets += 1;
+    flying -= 1;
+    if (dropHook)
+        dropHook(at, pkt, why);
+}
+
+void
+Network::onTopologyChange()
+{
+    degraded_ = true;
+    for (auto &router : routers)
+        router->syncPorts();
+    activate();
+}
+
+void
+Network::setNodeFailed(NodeId node, bool failed)
+{
+    degraded_ = true;
+    auto &flag = deadNode[std::size_t(node)];
+    if (failed && !flag)
+        routers[std::size_t(node)]->flushAll();
+    flag = failed ? 1 : 0;
 }
 
 void

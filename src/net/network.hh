@@ -28,6 +28,7 @@ struct NetworkStats
     std::uint64_t injectedPackets = 0;
     std::uint64_t deliveredPackets = 0;
     std::uint64_t deliveredFlits = 0;
+    std::uint64_t droppedPackets = 0; ///< lost to faults (degraded mode)
     stats::Average latencyNs;      ///< inject-to-deliver, all classes
     stats::Average hopsPerPacket;
 };
@@ -52,7 +53,12 @@ class Network
     /** Register the delivery callback for @p node. */
     void setHandler(NodeId node, Handler handler);
 
-    /** Hand a packet to @p pkt.src's router. Never refuses. */
+    /**
+     * Hand a packet to @p pkt.src's router. Rejects malformed
+     * packets (out-of-range endpoints, non-positive length) with
+     * gs_fatal; in degraded mode, packets from or to a failed node
+     * are dropped and counted instead.
+     */
     void inject(Packet pkt);
 
     /** @name Component access */
@@ -62,6 +68,10 @@ class Network
     SimContext &context() { return ctx; }
     Tick period() const { return tickPeriod; }
     Router &router(NodeId node) { return *routers[std::size_t(node)]; }
+    const Router &router(NodeId node) const
+    {
+        return *routers[std::size_t(node)];
+    }
     /// @}
 
     /** @name Statistics */
@@ -79,6 +89,41 @@ class Network
 
     /** Reset cumulative statistics (not the fabric state). */
     void clearStats();
+    /// @}
+
+    /** @name Fault-layer hooks (used by fault::FaultInjector)
+     *
+     * Until the first fault is applied none of this costs anything
+     * on the packet path: degraded() stays false and every check
+     * short-circuits, keeping healthy runs bit-identical.
+     */
+    /// @{
+
+    /**
+     * The topology's link liveness changed: resync every router's
+     * output ports and switch the fabric to degraded (lossy)
+     * semantics.
+     */
+    void onTopologyChange();
+
+    /** Mark a router dead (flushes its buffers) or repaired. */
+    void setNodeFailed(NodeId node, bool failed);
+
+    bool nodeFailed(NodeId node) const
+    {
+        return degraded_ && deadNode[std::size_t(node)] != 0;
+    }
+
+    /** True once any fault has ever been applied to this network. */
+    bool degraded() const { return degraded_; }
+
+    /** Observer for dropped packets (per-failure accounting). */
+    using DropHook =
+        std::function<void(NodeId at, const Packet &, const char *why)>;
+    void setDropHook(DropHook hook) { dropHook = std::move(hook); }
+
+    /** Account and discard an undeliverable packet (also Router). */
+    void dropPacket(NodeId at, const Packet &pkt, const char *why);
     /// @}
 
     /** @name Router-internal plumbing (used by Router) */
@@ -111,6 +156,10 @@ class Network
     NetworkStats st;
     int flying = 0;
     bool ticking = false;
+
+    bool degraded_ = false;        ///< any fault ever applied
+    std::vector<char> deadNode;    ///< failed routers (degraded mode)
+    DropHook dropHook;
 };
 
 } // namespace gs::net

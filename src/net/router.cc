@@ -55,8 +55,90 @@ void
 Router::creditReturn(int out_port, int vc, int flits)
 {
     auto &out = outputs[static_cast<std::size_t>(out_port)];
-    out.credits[static_cast<std::size_t>(vc)] += flits;
+    auto &credits = out.credits[static_cast<std::size_t>(vc)];
+    credits += flits;
+    // A credit that was on the wire across a link repair arrives on
+    // top of the resynced count; clamp rather than overflow the
+    // downstream buffer. Healthy fabrics never hit this.
+    if (net.degraded() && credits > vcCapacity(vc))
+        credits = vcCapacity(vc);
     net.activate();
+}
+
+int
+Router::vcCapacity(int vc) const
+{
+    const auto &prm = net.params();
+    return vc % vcSubCount == vcAdaptive ? prm.adaptiveVcFlits
+                                         : prm.escapeVcFlits;
+}
+
+void
+Router::syncPorts()
+{
+    const auto &topo = net.topology();
+    const auto &prm = net.params();
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+        auto &out = outputs[p];
+        topo::Port link = topo.port(id, static_cast<int>(p));
+        if (out.connected == link.connected())
+            continue;
+        out.connected = link.connected();
+        if (!out.connected)
+            continue;
+        // Reconnected (repair, or the peer router came back): the
+        // peer's input buffers kept their contents, so our credit
+        // view restarts at capacity minus what is still buffered
+        // there. busyUntil is stale by at most one transfer.
+        out.wireCycles = prm.wireCycles(link.kind);
+        out.busyUntil = 0;
+        const Router &peer = net.router(link.peer);
+        for (int vc = 0; vc < numVcs; ++vc) {
+            out.credits[static_cast<std::size_t>(vc)] =
+                vcCapacity(vc) - peer.vcOccupancy(link.peerPort, vc);
+        }
+    }
+}
+
+void
+Router::flushAll()
+{
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+        for (int vc = 0; vc < numVcs; ++vc) {
+            auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
+            while (!buf.q.empty()) {
+                Packet pkt = popHead(static_cast<int>(p), vc);
+                net.dropPacket(id, pkt, "node-failure");
+            }
+        }
+    }
+    for (auto &q : injQs) {
+        while (!q.empty()) {
+            net.dropPacket(id, q.front(), "node-failure");
+            q.pop_front();
+            injWaiting -= 1;
+        }
+    }
+}
+
+bool
+Router::oldestBuffered(Packet &out) const
+{
+    bool found = false;
+    auto consider = [&](const Packet &pkt) {
+        if (!found || pkt.injected < out.injected) {
+            out = pkt;
+            found = true;
+        }
+    };
+    for (const auto &in : inputs)
+        for (const auto &buf : in.vcs)
+            for (const auto &pkt : buf.q)
+                consider(pkt);
+    for (const auto &q : injQs)
+        for (const auto &pkt : q)
+            consider(pkt);
+    return found;
 }
 
 void
@@ -76,7 +158,8 @@ Router::vcOccupancy(int in_port, int vc) const
 }
 
 bool
-Router::chooseRoute(const Packet &pkt, Route &route) const
+Router::chooseRoute(const Packet &pkt, Route &route,
+                    bool &unroutable) const
 {
     const auto &topo = net.topology();
 
@@ -103,8 +186,14 @@ Router::chooseRoute(const Packet &pkt, Route &route) const
     // Escape: the deadlock-free channel is always routable; it may
     // just lack credits right now, in which case the packet waits.
     topo::EscapeHop esc = topo.escapeRoute(id, pkt.dst, 0);
-    gs_assert(esc.port >= 0, "escape route missing at node ", id,
-              " for dst ", pkt.dst);
+    if (esc.port < 0) {
+        // Only a degraded fabric may legitimately lose every route
+        // to a destination; anywhere else it is a simulator bug.
+        gs_assert(net.degraded(), "escape route missing at node ", id,
+                  " for dst ", pkt.dst);
+        unroutable = true;
+        return false;
+    }
     int vc = vcIndex(pkt.cls, esc.vc == 0 ? vcEscape0 : vcEscape1);
     const auto &out = outputs[static_cast<std::size_t>(esc.port)];
     if (out.credits[static_cast<std::size_t>(vc)] >= pkt.flits) {
@@ -150,15 +239,27 @@ Router::nominate(Tick now)
     noms.clear();
 
     // Network input ports: one nominee each, round-robin over VCs.
+    // Heads whose destination lost every route (degraded fabric) are
+    // dropped on the spot: waiting cannot bring the route back.
     for (std::size_t p = 0; p < inputs.size(); ++p) {
         auto &in = inputs[p];
         for (int k = 0; k < numVcs; ++k) {
             int vc = (in.rrVc + k) % numVcs;
             auto &buf = in.vcs[static_cast<std::size_t>(vc)];
-            if (buf.q.empty())
-                continue;
             Route route;
-            if (!chooseRoute(buf.q.front(), route))
+            bool nominated = false;
+            while (!buf.q.empty()) {
+                bool unroutable = false;
+                if (chooseRoute(buf.q.front(), route, unroutable)) {
+                    nominated = true;
+                    break;
+                }
+                if (!unroutable)
+                    break;
+                Packet pkt = popHead(static_cast<int>(p), vc);
+                net.dropPacket(id, pkt, "unroutable");
+            }
+            if (!nominated)
                 continue;
             if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
                 > now)
@@ -173,10 +274,21 @@ Router::nominate(Tick now)
     for (int k = 0; k < numClasses; ++k) {
         int cls = (injRrClass + k) % numClasses;
         auto &q = injQs[static_cast<std::size_t>(cls)];
-        if (q.empty())
-            continue;
         Route route;
-        if (!chooseRoute(q.front(), route))
+        bool nominated = false;
+        while (!q.empty()) {
+            bool unroutable = false;
+            if (chooseRoute(q.front(), route, unroutable)) {
+                nominated = true;
+                break;
+            }
+            if (!unroutable)
+                break;
+            net.dropPacket(id, q.front(), "unroutable");
+            q.pop_front();
+            injWaiting -= 1;
+        }
+        if (!nominated)
             continue;
         if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
             > now)

@@ -72,6 +72,33 @@ class Router
         return injQs[static_cast<std::size_t>(cls)].size();
     }
 
+    /** Credits currently held for (out_port, vc). */
+    int creditsAvailable(int out_port, int vc) const
+    {
+        return outputs[static_cast<std::size_t>(out_port)]
+            .credits[static_cast<std::size_t>(vc)];
+    }
+
+    /** @name Fault-layer hooks (see Network's fault section) */
+    /// @{
+
+    /**
+     * Re-read link liveness from the topology. A newly reconnected
+     * output gets fresh credits computed from the peer's current
+     * buffer occupancy (credits in flight across a failure are lost).
+     */
+    void syncPorts();
+
+    /** Drop every buffered and injection-queued packet (node died). */
+    void flushAll();
+
+    /**
+     * Oldest buffered packet by injection time, for diagnostics.
+     * @retval false when nothing is buffered here.
+     */
+    bool oldestBuffered(Packet &out) const;
+    /// @}
+
   private:
     /** Chosen output for a head packet. */
     struct Route
@@ -91,9 +118,16 @@ class Router
     /**
      * Pick the best feasible output for @p pkt: adaptive candidate
      * with most free credits, else escape.
-     * @retval false when no output currently has room.
+     * @retval false when no output currently has room. @p unroutable
+     * is additionally set when the destination has no escape route
+     * at all (degraded fabric) — the packet must be dropped, since
+     * no amount of waiting brings the route back.
      */
-    bool chooseRoute(const Packet &pkt, Route &out) const;
+    bool chooseRoute(const Packet &pkt, Route &out,
+                     bool &unroutable) const;
+
+    /** Buffer capacity of output VC @p vc in flits. */
+    int vcCapacity(int vc) const;
 
     /** Eject every deliverable head packet on every input VC. */
     void ejectPass(Tick now);

@@ -170,6 +170,10 @@ runSynthetic(SimContext &ctx, Network &net, const SyntheticConfig &cfg)
             break;
     }
     state->stopped = true;
+    // *arm's lambda captures arm itself; break the cycle or the
+    // whole RunState leaks. Stragglers still queued hold their own
+    // arm copy but bail on `stopped` before invoking it.
+    *arm = nullptr;
 
     SyntheticResult out;
     out.offeredFlitsPerNodeCycle =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "sim/logging.hh"
 #include "topology/torus.hh"
@@ -92,8 +93,7 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
         m->map = std::make_unique<mem::NodeOwnedMap>();
     }
 
-    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
-                                            net::NetworkParams::gs1280());
+    m->buildFabric(net::NetworkParams::gs1280());
 
     coher::NodeConfig ncfg;
     ncfg.hasCache = true;
@@ -137,8 +137,7 @@ Machine::buildGS320(int cpus, std::uint64_t seed, int mlp)
         return treeRaw->qbbSwitchOf(region);
     });
 
-    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
-                                            net::NetworkParams::gs320());
+    m->buildFabric(net::NetworkParams::gs320());
 
     // CPU nodes: 21264 core with the 16 MB off-chip direct-mapped L2.
     // Probing that cache for a forward means an off-chip SRAM read
@@ -205,8 +204,7 @@ Machine::buildES45(int cpus, std::uint64_t seed, int mlp)
     netP.pipelineCycles = 7;
     netP.injectionCycles = 3;
     netP.ejectionCycles = 3;
-    m->net = std::make_unique<net::Network>(*m->context, *m->topo_,
-                                            netP);
+    m->buildFabric(netP);
 
     coher::NodeConfig cpuCfg;
     cpuCfg.hasCache = true;
@@ -236,6 +234,51 @@ Machine::buildES45(int cpus, std::uint64_t seed, int mlp)
         std::make_unique<coher::CoherentNode>(*m->context, *m->net, hub,
                                               *m->map, memCfg);
     return m;
+}
+
+void
+Machine::buildFabric(net::NetworkParams params)
+{
+    fabric_ = std::make_unique<fault::DegradedTopology>(*topo_);
+    net = std::make_unique<net::Network>(*context, *fabric_,
+                                         std::move(params));
+    injector_ =
+        std::make_unique<fault::FaultInjector>(*context, *net, *fabric_);
+}
+
+fault::Watchdog &
+Machine::armWatchdog(fault::WatchdogConfig cfg, double coherenceTimeoutNs)
+{
+    if (!watchdog_) {
+        watchdog_ =
+            std::make_unique<fault::Watchdog>(*context, *net, cfg);
+        if (coherenceTimeoutNs > 0) {
+            Machine *self = this;
+            watchdog_->addProbe([self, coherenceTimeoutNs] {
+                Tick now = self->context->now();
+                for (const auto &node : self->nodes) {
+                    if (!node)
+                        continue;
+                    Tick issued = node->oldestMissIssued();
+                    if (issued == maxTick)
+                        continue;
+                    double age = ticksToNs(now - issued);
+                    if (age > coherenceTimeoutNs) {
+                        std::ostringstream os;
+                        os << "coherence transaction stuck: node "
+                           << node->id() << " has a miss outstanding "
+                           << age << " ns (limit " << coherenceTimeoutNs
+                           << "), " << node->outstandingMisses()
+                           << " misses pending";
+                        return os.str();
+                    }
+                }
+                return std::string();
+            });
+        }
+    }
+    watchdog_->arm();
+    return *watchdog_;
 }
 
 bool

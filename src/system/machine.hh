@@ -24,6 +24,9 @@
 #include "cpu/analytic_core.hh"
 #include "cpu/core.hh"
 #include "cpu/traffic.hh"
+#include "fault/degraded.hh"
+#include "fault/injector.hh"
+#include "fault/watchdog.hh"
 #include "mem/address.hh"
 #include "net/network.hh"
 #include "sim/context.hh"
@@ -88,6 +91,34 @@ class Machine
     cpu::TimingCore &core(int c) { return *cores[std::size_t(c)]; }
     /// @}
 
+    /** @name Fault injection & health monitoring
+     *
+     * Every machine routes over a fault::DegradedTopology wrapper;
+     * until a fault is applied it forwards verbatim, so healthy runs
+     * behave exactly as before. faults() schedules or applies
+     * link/router failures; armWatchdog() starts the deadlock /
+     * stuck-transaction monitor.
+     */
+    /// @{
+    fault::FaultInjector &faults() { return *injector_; }
+    const fault::FaultInjector &faults() const { return *injector_; }
+
+    /** The degraded (maskable) view the network routes over. */
+    fault::DegradedTopology &fabric() { return *fabric_; }
+    const fault::DegradedTopology &fabric() const { return *fabric_; }
+
+    /**
+     * Create (first call) and arm the watchdog. When
+     * @p coherenceTimeoutNs > 0 a probe also trips on any MAF miss
+     * outstanding longer than that.
+     */
+    fault::Watchdog &armWatchdog(fault::WatchdogConfig cfg = {},
+                                 double coherenceTimeoutNs = 0.0);
+
+    /** The watchdog, if armWatchdog() was called. */
+    fault::Watchdog *watchdog() { return watchdog_.get(); }
+    /// @}
+
     /** @name Addressing helpers */
     /// @{
     /** An address at byte @p offset of CPU @p c's local region. */
@@ -131,10 +162,16 @@ class Machine
     SystemKind kind_ = SystemKind::GS1280;
     int nCpus = 0;
 
+    /** Wrap topo_ in the fault layer and build the network over it. */
+    void buildFabric(net::NetworkParams params);
+
     std::unique_ptr<SimContext> context;
     std::unique_ptr<topo::Topology> topo_;
+    std::unique_ptr<fault::DegradedTopology> fabric_;
     std::unique_ptr<mem::AddressMap> map;
     std::unique_ptr<net::Network> net;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<fault::Watchdog> watchdog_;
     std::vector<std::unique_ptr<coher::CoherentNode>> nodes;
     std::vector<std::unique_ptr<cpu::TimingCore>> cores;
 

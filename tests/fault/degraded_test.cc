@@ -1,0 +1,229 @@
+/** @file DegradedTopology tests: verbatim delegation while healthy,
+ *  link/node masking, surviving connectivity and the deadlock-free
+ *  up/down escape on the degraded graph. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "fault/degraded.hh"
+#include "topology/torus.hh"
+#include "topology/tree.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::fault;
+
+/**
+ * Walk the escape relation from @p at to @p dst and validate it:
+ * terminates within numNodes() hops (acyclic), every hop uses a live
+ * link, and the VC sequence never returns to 0 (up) after a 1 (down)
+ * — the invariant that makes up/down routing deadlock-free.
+ */
+void
+expectEscapeWalks(const DegradedTopology &topo, NodeId at, NodeId dst)
+{
+    NodeId cur = at;
+    int maxVcSeen = 0;
+    for (int hop = 0; hop <= topo.numNodes(); ++hop) {
+        if (cur == dst)
+            return;
+        topo::EscapeHop esc = topo.escapeRoute(cur, dst, 0);
+        ASSERT_GE(esc.port, 0)
+            << "no escape route at " << cur << " for dst " << dst;
+        topo::Port link = topo.port(cur, esc.port);
+        ASSERT_TRUE(link.connected())
+            << "escape uses failed link at " << cur;
+        EXPECT_GE(esc.vc, maxVcSeen)
+            << "escape turned up (VC0) after going down (VC1) at "
+            << cur << " toward " << dst;
+        maxVcSeen = std::max(maxVcSeen, esc.vc);
+        cur = link.peer;
+    }
+    FAIL() << "escape walk " << at << "->" << dst
+           << " did not terminate (cycle)";
+}
+
+TEST(DegradedTopology, HealthyDelegatesVerbatim)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    EXPECT_FALSE(deg.degraded());
+    EXPECT_EQ(deg.name(), base.name());
+
+    for (NodeId at = 0; at < base.numNodes(); ++at) {
+        for (int p = 0; p < base.numPorts(at); ++p) {
+            topo::Port a = base.port(at, p), b = deg.port(at, p);
+            EXPECT_EQ(a.peer, b.peer);
+            EXPECT_EQ(a.peerPort, b.peerPort);
+        }
+        for (NodeId dst = 0; dst < base.numNodes(); ++dst) {
+            EXPECT_EQ(base.adaptivePorts(at, dst, 0),
+                      deg.adaptivePorts(at, dst, 0));
+            for (int vc = 0; vc < 2; ++vc) {
+                topo::EscapeHop a = base.escapeRoute(at, dst, vc);
+                topo::EscapeHop b = deg.escapeRoute(at, dst, vc);
+                EXPECT_EQ(a.port, b.port);
+                EXPECT_EQ(a.vc, b.vc);
+            }
+        }
+    }
+}
+
+TEST(DegradedTopology, FailedLinkMaskedBothDirections)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    deg.failLink(0, topo::portEast); // 0 <-> 1
+
+    EXPECT_TRUE(deg.degraded());
+    EXPECT_EQ(deg.failedLinks(), 1);
+    EXPECT_FALSE(deg.port(0, topo::portEast).connected());
+    EXPECT_FALSE(deg.port(1, topo::portWest).connected());
+    EXPECT_TRUE(deg.linkFailed(0, topo::portEast));
+    EXPECT_TRUE(deg.linkFailed(1, topo::portWest));
+    // Unrelated links untouched.
+    EXPECT_TRUE(deg.port(0, topo::portWest).connected());
+    EXPECT_TRUE(deg.port(2, topo::portEast).connected());
+}
+
+TEST(DegradedTopology, AdaptivePortsShrinkAroundFailure)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    // 0 -> 5 is minimal via East then South-ish: both E and N.
+    std::vector<int> before = deg.adaptivePorts(0, 5, 0);
+    ASSERT_EQ(before.size(), 2u);
+
+    deg.failLink(0, topo::portEast);
+    std::vector<int> after = deg.adaptivePorts(0, 5, 0);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_NE(after[0], topo::portEast);
+}
+
+TEST(DegradedTopology, OneFailedTorusLinkKeepsFullConnectivity)
+{
+    topo::Torus2D base(8, 8);
+    DegradedTopology deg(base);
+    deg.failLink(0, topo::portEast);
+
+    EXPECT_TRUE(deg.connected());
+    for (NodeId a = 0; a < deg.numNodes(); ++a)
+        for (NodeId b = 0; b < deg.numNodes(); ++b)
+            EXPECT_TRUE(deg.reachable(a, b));
+
+    // Every pair still has a valid, acyclic, VC-monotone escape.
+    for (NodeId a = 0; a < deg.numNodes(); ++a)
+        for (NodeId b = 0; b < deg.numNodes(); ++b)
+            expectEscapeWalks(deg, a, b);
+}
+
+TEST(DegradedTopology, ManyFailedLinksStillRouteWhileConnected)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    // Cut the whole East column of row-crossing links plus one more.
+    deg.failLink(0, topo::portEast);
+    deg.failLink(4, topo::portEast);
+    deg.failLink(8, topo::portEast);
+    deg.failLink(12, topo::portEast);
+    deg.failLink(5, topo::portNorth);
+    ASSERT_EQ(deg.failedLinks(), 5);
+
+    ASSERT_TRUE(deg.connected());
+    for (NodeId a = 0; a < deg.numNodes(); ++a)
+        for (NodeId b = 0; b < deg.numNodes(); ++b)
+            expectEscapeWalks(deg, a, b);
+}
+
+TEST(DegradedTopology, NodeFailureMasksAllItsLinks)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    deg.failNode(5);
+
+    EXPECT_TRUE(deg.nodeFailed(5));
+    EXPECT_EQ(deg.failedNodes(), 1);
+    for (int p = 0; p < 4; ++p)
+        EXPECT_FALSE(deg.port(5, p).connected());
+    // Neighbours see their port toward 5 dark too.
+    EXPECT_FALSE(deg.port(4, topo::portEast).connected());
+    EXPECT_FALSE(deg.port(6, topo::portWest).connected());
+
+    EXPECT_FALSE(deg.reachable(0, 5));
+    EXPECT_FALSE(deg.reachable(5, 0));
+    // Survivors still all-route.
+    for (NodeId a = 0; a < deg.numNodes(); ++a) {
+        if (a == 5)
+            continue;
+        for (NodeId b = 0; b < deg.numNodes(); ++b) {
+            if (b == 5)
+                continue;
+            EXPECT_TRUE(deg.reachable(a, b));
+            expectEscapeWalks(deg, a, b);
+        }
+    }
+}
+
+TEST(DegradedTopology, RepairRestoresVerbatimDelegation)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology deg(base);
+    deg.failLink(3, topo::portSouth);
+    deg.failNode(9);
+    EXPECT_TRUE(deg.degraded());
+
+    deg.repairNode(9);
+    deg.repairLink(3, topo::portSouth);
+    EXPECT_FALSE(deg.degraded());
+
+    for (NodeId at = 0; at < base.numNodes(); ++at) {
+        for (NodeId dst = 0; dst < base.numNodes(); ++dst) {
+            topo::EscapeHop a = base.escapeRoute(at, dst, 0);
+            topo::EscapeHop b = deg.escapeRoute(at, dst, 0);
+            EXPECT_EQ(a.port, b.port);
+            EXPECT_EQ(a.vc, b.vc);
+        }
+    }
+}
+
+TEST(DegradedTopology, TreeUplinkFailurePartitions)
+{
+    // The GS320's hierarchy has single points of failure: cutting a
+    // QBB's uplink to the global switch orphans that whole QBB. (The
+    // torus tests above show the GS1280 contrast.)
+    topo::QbbTree tree(8, 4); // 2 QBBs + global switch
+    DegradedTopology deg(tree);
+    // QBB switch of CPU 0 is node 8; its uplink is port 4 (perQbb).
+    deg.failLink(8, 4);
+
+    EXPECT_FALSE(deg.reachable(0, 4)); // CPU in the other QBB
+    EXPECT_TRUE(deg.reachable(0, 3));  // same QBB still fine
+    EXPECT_FALSE(deg.connected());
+    EXPECT_LT(deg.escapeRoute(0, 4, 0).port, 0); // no route exists
+    expectEscapeWalks(deg, 0, 3);
+
+    deg.repairLink(8, 4);
+    EXPECT_TRUE(deg.reachable(0, 4));
+}
+
+TEST(DegradedTopology, EscapeForestDeterministic)
+{
+    topo::Torus2D base(4, 4);
+    DegradedTopology a(base), b(base);
+    a.failLink(2, topo::portNorth);
+    b.failLink(2, topo::portNorth);
+    for (NodeId at = 0; at < base.numNodes(); ++at) {
+        for (NodeId dst = 0; dst < base.numNodes(); ++dst) {
+            EXPECT_EQ(a.escapeRoute(at, dst, 0).port,
+                      b.escapeRoute(at, dst, 0).port);
+            EXPECT_EQ(a.escapeRoute(at, dst, 0).vc,
+                      b.escapeRoute(at, dst, 0).vc);
+        }
+    }
+}
+
+} // namespace
