@@ -14,9 +14,9 @@
 
 #include <iostream>
 
+#include "common.hh"
 #include "net/synthetic.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
 #include "topology/torus.hh"
 
 namespace
@@ -40,28 +40,34 @@ run(const NetworkParams &params, double rate, int w = 4, int h = 4)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Ablation 1: adaptive routing vs dimension-order "
                 "(4x4, uniform random)");
     {
-        Table t({"inj rate", "adaptive lat ns", "adaptive thru",
-                 "DOR lat ns", "DOR thru"});
-        for (double rate : {0.02, 0.05, 0.10, 0.20, 0.35}) {
-            NetworkParams a = NetworkParams::gs1280();
-            NetworkParams d = NetworkParams::gs1280();
-            d.adaptiveEnabled = false;
-            auto ra = run(a, rate);
-            auto rd = run(d, rate);
-            t.addRow({Table::num(rate, 2),
-                      Table::num(ra.avgLatencyNs, 0),
-                      Table::num(ra.acceptedFlitsPerNodeCycle, 2),
-                      Table::num(rd.avgLatencyNs, 0),
-                      Table::num(rd.acceptedFlitsPerNodeCycle, 2)});
-        }
+        const std::vector<double> rates = {0.02, 0.05, 0.10, 0.20,
+                                           0.35};
+        auto t = bench::sweepTable(
+            runner,
+            {"inj rate", "adaptive lat ns", "adaptive thru",
+             "DOR lat ns", "DOR thru"},
+            rates, [&](double rate, SweepPoint) -> bench::Row {
+                NetworkParams a = NetworkParams::gs1280();
+                NetworkParams d = NetworkParams::gs1280();
+                d.adaptiveEnabled = false;
+                auto ra = run(a, rate);
+                auto rd = run(d, rate);
+                return {Table::num(rate, 2),
+                        Table::num(ra.avgLatencyNs, 0),
+                        Table::num(ra.acceptedFlitsPerNodeCycle, 2),
+                        Table::num(rd.avgLatencyNs, 0),
+                        Table::num(rd.acceptedFlitsPerNodeCycle, 2)};
+            });
         t.print(std::cout);
     }
 
@@ -69,62 +75,74 @@ main(int, char **)
                 "Ablation 2: cut-through vs store-and-forward "
                 "(latency at low load, by distance)");
     {
-        Table t({"torus", "cut-through ns", "store-fwd ns",
-                 "penalty"});
-        for (auto [w, h] : {std::pair{4, 2}, {4, 4}, {8, 4}, {8, 8}}) {
-            NetworkParams ct = NetworkParams::gs1280();
-            NetworkParams sf = NetworkParams::gs1280();
-            sf.cutThrough = false;
-            auto rc = run(ct, 0.01, w, h);
-            auto rs = run(sf, 0.01, w, h);
-            t.addRow({std::to_string(w) + "x" + std::to_string(h),
-                      Table::num(rc.avgLatencyNs, 0),
-                      Table::num(rs.avgLatencyNs, 0),
-                      Table::num(rs.avgLatencyNs / rc.avgLatencyNs,
-                                 2)});
-        }
+        const std::vector<std::pair<int, int>> shapes = {
+            {4, 2}, {4, 4}, {8, 4}, {8, 8}};
+        auto t = bench::sweepTable(
+            runner,
+            {"torus", "cut-through ns", "store-fwd ns", "penalty"},
+            shapes,
+            [&](const std::pair<int, int> &s, SweepPoint)
+                -> bench::Row {
+                auto [w, h] = s;
+                NetworkParams ct = NetworkParams::gs1280();
+                NetworkParams sf = NetworkParams::gs1280();
+                sf.cutThrough = false;
+                auto rc = run(ct, 0.01, w, h);
+                auto rs = run(sf, 0.01, w, h);
+                return {std::to_string(w) + "x" + std::to_string(h),
+                        Table::num(rc.avgLatencyNs, 0),
+                        Table::num(rs.avgLatencyNs, 0),
+                        Table::num(rs.avgLatencyNs / rc.avgLatencyNs,
+                                   2)};
+            });
         t.print(std::cout);
     }
 
     printBanner(std::cout,
                 "Ablation 3: adaptive VC depth (4x4, 0.2 inj rate)");
     {
-        Table t({"adaptive VC flits", "latency ns", "throughput"});
-        for (int depth : {18, 36, 72, 144}) {
-            NetworkParams p = NetworkParams::gs1280();
-            p.adaptiveVcFlits = depth;
-            auto r = run(p, 0.2);
-            t.addRow({Table::num(depth),
-                      Table::num(r.avgLatencyNs, 0),
-                      Table::num(r.acceptedFlitsPerNodeCycle, 2)});
-        }
+        const std::vector<int> depths = {18, 36, 72, 144};
+        auto t = bench::sweepTable(
+            runner, {"adaptive VC flits", "latency ns", "throughput"},
+            depths, [&](int depth, SweepPoint) -> bench::Row {
+                NetworkParams p = NetworkParams::gs1280();
+                p.adaptiveVcFlits = depth;
+                auto r = run(p, 0.2);
+                return {Table::num(depth),
+                        Table::num(r.avgLatencyNs, 0),
+                        Table::num(r.acceptedFlitsPerNodeCycle, 2)};
+            });
         t.print(std::cout);
     }
 
     printBanner(std::cout,
                 "Ablation 4: traffic patterns (4x4, 0.1 inj rate)");
     {
-        Table t({"pattern", "latency ns", "throughput", "avg hops"});
-        const std::pair<const char *, TrafficPattern> patterns[] = {
-            {"uniform", TrafficPattern::UniformRandom},
-            {"bit-complement", TrafficPattern::BitComplement},
-            {"transpose", TrafficPattern::Transpose},
-            {"nearest-neighbour", TrafficPattern::NearestNeighbor},
-            {"hot-spot", TrafficPattern::HotSpot},
-        };
-        for (auto [name, pattern] : patterns) {
-            SimContext ctx;
-            topo::Torus2D topo(4, 4);
-            Network net(ctx, topo, NetworkParams::gs1280());
-            SyntheticConfig cfg;
-            cfg.pattern = pattern;
-            cfg.injectionRate = 0.1;
-            cfg.measureCycles = 6000;
-            auto r = runSynthetic(ctx, net, cfg);
-            t.addRow({name, Table::num(r.avgLatencyNs, 0),
-                      Table::num(r.acceptedFlitsPerNodeCycle, 2),
-                      Table::num(r.avgHops, 2)});
-        }
+        const std::vector<std::pair<const char *, TrafficPattern>>
+            patterns = {
+                {"uniform", TrafficPattern::UniformRandom},
+                {"bit-complement", TrafficPattern::BitComplement},
+                {"transpose", TrafficPattern::Transpose},
+                {"nearest-neighbour", TrafficPattern::NearestNeighbor},
+                {"hot-spot", TrafficPattern::HotSpot},
+            };
+        auto t = bench::sweepTable(
+            runner, {"pattern", "latency ns", "throughput", "avg hops"},
+            patterns,
+            [&](const std::pair<const char *, TrafficPattern> &p,
+                SweepPoint) -> bench::Row {
+                SimContext ctx;
+                topo::Torus2D topo(4, 4);
+                Network net(ctx, topo, NetworkParams::gs1280());
+                SyntheticConfig cfg;
+                cfg.pattern = p.second;
+                cfg.injectionRate = 0.1;
+                cfg.measureCycles = 6000;
+                auto r = runSynthetic(ctx, net, cfg);
+                return {p.first, Table::num(r.avgLatencyNs, 0),
+                        Table::num(r.acceptedFlitsPerNodeCycle, 2),
+                        Table::num(r.avgHops, 2)};
+            });
         t.print(std::cout);
     }
     return 0;

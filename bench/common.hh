@@ -9,10 +9,14 @@
 #define GS_BENCH_COMMON_HH
 
 #include <iostream>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "sim/args.hh"
 #include "sim/logging.hh"
+#include "sim/sweep.hh"
 #include "sim/table.hh"
 #include "system/machine.hh"
 #include "workload/pointer_chase.hh"
@@ -20,6 +24,58 @@
 
 namespace gs::bench
 {
+
+/**
+ * @name Declarative sweeps
+ *
+ * A figure bench declares its sweep points up front, then submits
+ * them to a SweepRunner; points execute across hardware threads
+ * (`--jobs N`, default hardware concurrency, `--jobs 1` = the old
+ * serial path) and rows come back in declared order. Each point
+ * builds its own Machine from the point's counted seed, so output is
+ * bit-identical at every jobs value.
+ */
+/// @{
+
+/** Register the sweep options every figure bench shares. */
+inline std::map<std::string, std::string>
+withSweepArgs(std::map<std::string, std::string> known = {})
+{
+    known.emplace("jobs", "worker threads (default: all hardware "
+                          "threads; 1 = serial)");
+    known.emplace("seed", "master seed for per-point RNG streams "
+                          "(default 1)");
+    return known;
+}
+
+/** Build the runner a bench's --jobs/--seed options ask for. */
+inline SweepRunner
+makeRunner(const Args &args)
+{
+    return SweepRunner(
+        static_cast<int>(args.getInt("jobs", 0)),
+        static_cast<std::uint64_t>(args.getInt("seed", 1)));
+}
+
+/** A table row produced by one sweep point. */
+using Row = std::vector<std::string>;
+
+/**
+ * Run one declared point per table row: @p fn maps (point,
+ * SweepPoint) to that row's cells; rows land in declared order.
+ */
+template <typename P, typename Fn>
+Table
+sweepTable(SweepRunner &runner, std::vector<std::string> header,
+           const std::vector<P> &points, Fn &&fn)
+{
+    Table t(std::move(header));
+    for (auto &row : runner.map(points, std::forward<Fn>(fn)))
+        t.addRow(std::move(row));
+    return t;
+}
+
+/// @}
 
 /**
  * End-to-end dependent-load latency (ns) of CPU @p from chasing a

@@ -87,45 +87,55 @@ remoteStreamGBs(sys::Machine &m, int cpus)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
-    const int kCounts[] = {0, 1, 2, 4, 8};
+    using namespace gs;
+    Args args(argc, argv, gs::bench::withSweepArgs());
+    auto runner = gs::bench::makeRunner(args);
+
+    const std::vector<int> kCounts = {0, 1, 2, 4, 8};
 
     printBanner(std::cout,
                 "Fault degradation 1: 8x8 torus synthetic traffic vs "
                 "failed row-0 East links");
     {
-        Table t({"failed links", "uniform lat ns", "uniform thru",
-                 "bit-comp lat ns", "bit-comp thru"});
-        for (int k : kCounts) {
-            auto u = degradedSynthetic(
-                net::TrafficPattern::UniformRandom, k);
-            auto b = degradedSynthetic(
-                net::TrafficPattern::BitComplement, k);
-            t.addRow({Table::num(k), Table::num(u.avgLatencyNs, 0),
-                      Table::num(u.acceptedFlitsPerNodeCycle, 3),
-                      Table::num(b.avgLatencyNs, 0),
-                      Table::num(b.acceptedFlitsPerNodeCycle, 3)});
-        }
+        auto t = gs::bench::sweepTable(
+            runner,
+            {"failed links", "uniform lat ns", "uniform thru",
+             "bit-comp lat ns", "bit-comp thru"},
+            kCounts,
+            [&](int k, SweepPoint) -> gs::bench::Row {
+                auto u = degradedSynthetic(
+                    net::TrafficPattern::UniformRandom, k);
+                auto b = degradedSynthetic(
+                    net::TrafficPattern::BitComplement, k);
+                return {Table::num(k), Table::num(u.avgLatencyNs, 0),
+                        Table::num(u.acceptedFlitsPerNodeCycle, 3),
+                        Table::num(b.avgLatencyNs, 0),
+                        Table::num(b.acceptedFlitsPerNodeCycle, 3)};
+            });
         t.print(std::cout);
     }
 
     printBanner(std::cout,
                 "Fault degradation 2: surviving 8x8 graph metrics");
     {
-        Table t({"failed links", "connected", "avg hops",
-                 "worst hops"});
-        for (int k : kCounts) {
-            SimContext ctx;
-            topo::Torus2D base(8, 8);
-            DegradedTopology deg(base);
-            net::Network net(ctx, deg, net::NetworkParams::gs1280());
-            FaultInjector inj(ctx, net, deg);
-            cutRowLinks(inj, k);
-            t.addRow({Table::num(k), deg.connected() ? "yes" : "NO",
-                      Table::num(deg.averageDistance(), 3),
-                      Table::num(deg.worstDistance())});
-        }
+        auto t = gs::bench::sweepTable(
+            runner,
+            {"failed links", "connected", "avg hops", "worst hops"},
+            kCounts,
+            [&](int k, SweepPoint) -> gs::bench::Row {
+                SimContext ctx;
+                topo::Torus2D base(8, 8);
+                DegradedTopology deg(base);
+                net::Network net(ctx, deg,
+                                 net::NetworkParams::gs1280());
+                FaultInjector inj(ctx, net, deg);
+                cutRowLinks(inj, k);
+                return {Table::num(k), deg.connected() ? "yes" : "NO",
+                        Table::num(deg.averageDistance(), 3),
+                        Table::num(deg.worstDistance())};
+            });
         t.print(std::cout);
     }
 
@@ -185,24 +195,28 @@ main(int, char **)
                 "Fault degradation 4: 16P GS1280 remote STREAM + "
                 "latency vs failed links");
     {
-        Table t({"failed links", "remote STREAM GB/s",
-                 "remote load ns"});
-        for (int k : {0, 1, 2, 4}) {
-            double gbs, ns;
-            {
-                auto m = sys::Machine::buildGS1280(16);
-                cutRowLinks(m->faults(), k);
-                gbs = remoteStreamGBs(*m, 16);
-            }
-            {
-                auto m = sys::Machine::buildGS1280(16);
-                cutRowLinks(m->faults(), k);
-                // CPU 0 chasing node 2's region crosses the cut row.
-                ns = gs::bench::dependentLoadNs(*m, 0, 2);
-            }
-            t.addRow({Table::num(k), Table::num(gbs, 2),
-                      Table::num(ns, 1)});
-        }
+        const std::vector<int> machineCuts = {0, 1, 2, 4};
+        auto t = gs::bench::sweepTable(
+            runner,
+            {"failed links", "remote STREAM GB/s", "remote load ns"},
+            machineCuts,
+            [&](int k, SweepPoint) -> gs::bench::Row {
+                double gbs, ns;
+                {
+                    auto m = sys::Machine::buildGS1280(16);
+                    cutRowLinks(m->faults(), k);
+                    gbs = remoteStreamGBs(*m, 16);
+                }
+                {
+                    auto m = sys::Machine::buildGS1280(16);
+                    cutRowLinks(m->faults(), k);
+                    // CPU 0 chasing node 2's region crosses the cut
+                    // row.
+                    ns = gs::bench::dependentLoadNs(*m, 0, 2);
+                }
+                return {Table::num(k), Table::num(gbs, 2),
+                        Table::num(ns, 1)};
+            });
         t.print(std::cout);
     }
     return 0;

@@ -13,10 +13,9 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
 #include "system/io.hh"
-#include "system/machine.hh"
 #include "workload/gups.hh"
 #include "workload/stream.hh"
 
@@ -108,29 +107,45 @@ run(bool stream_app, int dma_streams, std::uint64_t dma_bytes)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
+
     printBanner(std::cout,
                 "Extension: I/O DMA interference on a 16P GS1280");
 
+    // One declared point per (app, DMA-stream-count); the streams=0
+    // point doubles as each app's quiet baseline.
+    const std::vector<int> streamCounts = {0, 2, 4};
+    struct Task
+    {
+        bool streamApp;
+        int streams;
+    };
+    std::vector<Task> tasks;
+    for (bool app : {true, false})
+        for (int streams : streamCounts)
+            tasks.push_back({app, streams});
+
+    auto outcomes = runner.map(
+        tasks, [&](const Task &tk, SweepPoint) -> Outcome {
+            return run(tk.streamApp, tk.streams, 8 << 20);
+        });
+
     Table t({"app", "DMA streams", "app metric", "vs quiet", "IO GB/s"});
-
-    double quietStream = run(true, 0, 0).appMetric;
-    for (int streams : {0, 2, 4}) {
-        auto o = run(true, streams, 8 << 20);
-        t.addRow({"STREAM (GB/s, local)", Table::num(streams),
-                  Table::num(o.appMetric, 2),
-                  Table::num(o.appMetric / quietStream, 2),
-                  Table::num(o.ioGBs, 1)});
-    }
-
-    double quietGups = run(false, 0, 0).appMetric;
-    for (int streams : {0, 2, 4}) {
-        auto o = run(false, streams, 8 << 20);
-        t.addRow({"GUPS (Mup/s, fabric)", Table::num(streams),
-                  Table::num(o.appMetric, 1),
-                  Table::num(o.appMetric / quietGups, 2),
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const Task &tk = tasks[i];
+        const Outcome &o = outcomes[i];
+        // The quiet baseline is this app's streams=0 point.
+        const std::size_t base = tk.streamApp ? 0 : streamCounts.size();
+        double quiet = outcomes[base].appMetric;
+        t.addRow({tk.streamApp ? "STREAM (GB/s, local)"
+                               : "GUPS (Mup/s, fabric)",
+                  Table::num(tk.streams),
+                  Table::num(o.appMetric, tk.streamApp ? 2 : 1),
+                  Table::num(o.appMetric / quiet, 2),
                   Table::num(o.ioGBs, 1)});
     }
     t.print(std::cout);

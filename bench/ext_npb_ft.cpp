@@ -11,9 +11,8 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
-#include "system/machine.hh"
 #include "workload/nas_ft.hh"
 
 namespace
@@ -43,31 +42,37 @@ mops(sys::Machine &m, int cpus)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
+
     printBanner(std::cout,
                 "Extension: NAS FT (MOPS) vs CPUs - all-to-all "
                 "transpose");
 
-    Table t({"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz",
-             "ES45-class/1.25GHz"});
-    for (int cpus : {1, 4, 8, 16, 32}) {
-        auto gs1280 = sys::Machine::buildGS1280(cpus);
-        double a = mops(*gs1280, cpus);
+    const std::vector<int> points = {1, 4, 8, 16, 32};
+    auto t = bench::sweepTable(
+        runner,
+        {"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz",
+         "ES45-class/1.25GHz"},
+        points, [&](int cpus, SweepPoint) -> bench::Row {
+            auto gs1280 = sys::Machine::buildGS1280(cpus);
+            double a = mops(*gs1280, cpus);
 
-        std::string b = "-";
-        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
-            auto gs320 = sys::Machine::buildGS320(cpus);
-            b = Table::num(mops(*gs320, cpus), 0);
-        }
-        std::string c = "-";
-        if (cpus <= 4) {
-            auto es45 = sys::Machine::buildES45(cpus);
-            c = Table::num(mops(*es45, cpus), 0);
-        }
-        t.addRow({Table::num(cpus), Table::num(a, 0), b, c});
-    }
+            std::string b = "-";
+            if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+                auto gs320 = sys::Machine::buildGS320(cpus);
+                b = Table::num(mops(*gs320, cpus), 0);
+            }
+            std::string c = "-";
+            if (cpus <= 4) {
+                auto es45 = sys::Machine::buildES45(cpus);
+                c = Table::num(mops(*es45, cpus), 0);
+            }
+            return {Table::num(cpus), Table::num(a, 0), b, c};
+        });
     t.print(std::cout);
 
     std::cout << "\nexpectation (no paper figure): GS1280 advantage "

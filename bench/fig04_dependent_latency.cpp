@@ -18,47 +18,51 @@ int
 main(int argc, char **argv)
 {
     using namespace gs;
-    Args args(argc, argv, {{"loads", "loads per point (default 6000)"}});
+    Args args(argc, argv,
+              bench::withSweepArgs(
+                  {{"loads", "loads per point (default 6000)"}}));
     auto loads = static_cast<std::uint64_t>(args.getInt("loads", 6000));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 4: dependent load latency vs dataset (ns)");
 
-    const std::uint64_t sizes[] = {
+    const std::vector<std::uint64_t> sizes = {
         4ULL << 10,   16ULL << 10,  64ULL << 10,  256ULL << 10,
         512ULL << 10, 1ULL << 20,   2ULL << 20,   4ULL << 20,
         8ULL << 20,   16ULL << 20,  32ULL << 20,  64ULL << 20,
         128ULL << 20,
     };
 
-    Table t({"dataset", "GS1280/1.15GHz", "ES45/1.25GHz",
-             "GS320/1.22GHz"});
+    auto t = bench::sweepTable(
+        runner,
+        {"dataset", "GS1280/1.15GHz", "ES45/1.25GHz", "GS320/1.22GHz"},
+        sizes, [&](std::uint64_t size, SweepPoint) -> bench::Row {
+            // Fresh machines per point; warm with one full pass so
+            // cache-resident sizes measure hits, then measure.
+            auto probe = [&](sys::Machine &m) {
+                std::uint64_t lines = size / 64;
+                // Warm with one full pass when a cache could hold
+                // the set; beyond 24 MB nothing caches it and cold
+                // access is the measurement.
+                if (size <= (24ULL << 20))
+                    bench::dependentLoadNs(m, 0, 0, size, 64, lines);
+                return bench::dependentLoadNs(m, 0, 0, size, 64,
+                                              std::min(loads,
+                                                       4 * lines));
+            };
+            auto gs1280 = sys::Machine::buildGS1280(2);
+            auto es45 = sys::Machine::buildES45(2);
+            auto gs320 = sys::Machine::buildGS320(4);
 
-    for (std::uint64_t size : sizes) {
-        // Fresh machines per point; warm with one full pass so
-        // cache-resident sizes measure hits, then measure.
-        auto probe = [&](sys::Machine &m) {
-            std::uint64_t lines = size / 64;
-            // Warm with one full pass when a cache could hold the
-            // set; beyond 24 MB nothing caches it and cold access is
-            // the measurement.
-            if (size <= (24ULL << 20))
-                bench::dependentLoadNs(m, 0, 0, size, 64, lines);
-            return bench::dependentLoadNs(m, 0, 0, size, 64,
-                                          std::min(loads, 4 * lines));
-        };
-        auto gs1280 = sys::Machine::buildGS1280(2);
-        auto es45 = sys::Machine::buildES45(2);
-        auto gs320 = sys::Machine::buildGS320(4);
-
-        std::string label =
-            size >= (1ULL << 20)
-                ? Table::num(std::uint64_t(size >> 20)) + "m"
-                : Table::num(std::uint64_t(size >> 10)) + "k";
-        t.addRow({label, Table::num(probe(*gs1280), 1),
-                  Table::num(probe(*es45), 1),
-                  Table::num(probe(*gs320), 1)});
-    }
+            std::string label =
+                size >= (1ULL << 20)
+                    ? Table::num(std::uint64_t(size >> 20)) + "m"
+                    : Table::num(std::uint64_t(size >> 10)) + "k";
+            return {label, Table::num(probe(*gs1280), 1),
+                    Table::num(probe(*es45), 1),
+                    Table::num(probe(*gs320), 1)};
+        });
     t.print(std::cout);
 
     std::cout << "\npaper anchors: GS1280 83 ns / ES45 ~195 ns / "

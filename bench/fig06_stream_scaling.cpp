@@ -15,30 +15,38 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              {{"max-cpus", "largest GS1280 point (default 32)"},
-               {"array-mb", "per-CPU array MB (default 2)"}});
+              bench::withSweepArgs(
+                  {{"max-cpus", "largest GS1280 point (default 32)"},
+                   {"array-mb", "per-CPU array MB (default 2)"}}));
     int maxCpus = static_cast<int>(args.getInt("max-cpus", 32));
     auto arrayBytes = static_cast<std::uint64_t>(
                           args.getInt("array-mb", 2)) << 20;
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 6: STREAM Triad bandwidth (GB/s) vs CPUs");
 
-    Table t({"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz"});
-    for (int cpus : {1, 2, 4, 8, 16, 32, 64}) {
-        if (cpus > maxCpus)
-            break;
-        auto gs1280 = sys::Machine::buildGS1280(cpus);
-        double a = bench::streamTriadGBs(*gs1280, cpus, arrayBytes);
+    std::vector<int> points;
+    for (int cpus : {1, 2, 4, 8, 16, 32, 64})
+        if (cpus <= maxCpus)
+            points.push_back(cpus);
 
-        std::string b = "-";
-        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
-            auto gs320 = sys::Machine::buildGS320(cpus);
-            b = Table::num(
-                bench::streamTriadGBs(*gs320, cpus, arrayBytes), 2);
-        }
-        t.addRow({Table::num(cpus), Table::num(a, 2), b});
-    }
+    auto t = bench::sweepTable(
+        runner, {"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz"}, points,
+        [&](int cpus, SweepPoint) -> bench::Row {
+            auto gs1280 = sys::Machine::buildGS1280(cpus);
+            double a =
+                bench::streamTriadGBs(*gs1280, cpus, arrayBytes);
+
+            std::string b = "-";
+            if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+                auto gs320 = sys::Machine::buildGS320(cpus);
+                b = Table::num(
+                    bench::streamTriadGBs(*gs320, cpus, arrayBytes),
+                    2);
+            }
+            return {Table::num(cpus), Table::num(a, 2), b};
+        });
     t.print(std::cout);
 
     std::cout << "\npaper shape: GS1280 ~4.2 GB/s per CPU, linear to "

@@ -10,35 +10,54 @@
 #include "sim/args.hh"
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
+
     printBanner(std::cout,
                 "Figure 7: STREAM Triad 1P vs 4P (GB/s)");
 
-    auto point = [&](auto builder, int cpus) {
-        auto m = builder(cpus);
-        return bench::streamTriadGBs(*m, cpus, 4ULL << 20);
+    // One point per (system, active-CPU-count) measurement.
+    struct Point
+    {
+        const char *name;
+        sys::SystemKind kind;
+        int cpus;
     };
+    const std::vector<Point> points = {
+        {"GS1280/1.15GHz", sys::SystemKind::GS1280, 1},
+        {"GS1280/1.15GHz", sys::SystemKind::GS1280, 4},
+        {"ES45/1.25GHz", sys::SystemKind::ES45, 1},
+        {"ES45/1.25GHz", sys::SystemKind::ES45, 4},
+        {"GS320/1.2GHz", sys::SystemKind::GS320, 1},
+        {"GS320/1.2GHz", sys::SystemKind::GS320, 4},
+    };
+
+    auto gbs = runner.map(
+        points, [&](const Point &p, SweepPoint) -> double {
+            std::unique_ptr<sys::Machine> m;
+            switch (p.kind) {
+              case sys::SystemKind::GS1280:
+                m = sys::Machine::buildGS1280(p.cpus);
+                break;
+              case sys::SystemKind::ES45:
+                m = sys::Machine::buildES45(4);
+                break;
+              case sys::SystemKind::GS320:
+                m = sys::Machine::buildGS320(4);
+                break;
+            }
+            return bench::streamTriadGBs(*m, p.cpus, 4ULL << 20);
+        });
 
     Table t({"system", "1 CPU", "4 CPUs", "scaling"});
-    auto addRow = [&](const char *name, double one, double four) {
-        t.addRow({name, Table::num(one, 2), Table::num(four, 2),
-                  Table::num(four / one, 2)});
-    };
-
-    double g1 = point([](int n) { return sys::Machine::buildGS1280(n); }, 1);
-    double g4 = point([](int n) { return sys::Machine::buildGS1280(n); }, 4);
-    addRow("GS1280/1.15GHz", g1, g4);
-
-    double e1 = point([](int n) { return sys::Machine::buildES45(4); }, 1);
-    double e4 = point([](int n) { return sys::Machine::buildES45(4); }, 4);
-    addRow("ES45/1.25GHz", e1, e4);
-
-    double q1 = point([](int n) { return sys::Machine::buildGS320(4); }, 1);
-    double q4 = point([](int n) { return sys::Machine::buildGS320(4); }, 4);
-    addRow("GS320/1.2GHz", q1, q4);
-
+    for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+        double one = gbs[i], four = gbs[i + 1];
+        t.addRow({points[i].name, Table::num(one, 2),
+                  Table::num(four, 2), Table::num(four / one, 2)});
+    }
     t.print(std::cout);
     std::cout << "\npaper shape: GS1280 ~4.2 -> ~16.8 (4.0x); "
                  "ES45 ~1.8 -> ~3.4; GS320 ~1.1 -> ~2.3\n";

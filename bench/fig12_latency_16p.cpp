@@ -63,26 +63,43 @@ int
 main(int argc, char **argv)
 {
     using namespace gs;
-    Args args(argc, argv, {{"loads", "loads per probe (default 4000)"}});
+    Args args(argc, argv,
+              bench::withSweepArgs(
+                  {{"loads", "loads per probe (default 4000)"}}));
     auto loads = static_cast<std::uint64_t>(args.getInt("loads", 4000));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 12: GS1280 vs GS320 latency, 16 CPUs (ns)");
 
-    auto gs1280 = sys::Machine::buildGS1280(16);
-    auto gs320 = sys::Machine::buildGS320(16);
+    // One sweep point per destination; each probes a fresh pair of
+    // machines so points are independent (and always cold).
+    struct Pair
+    {
+        double gs1280, gs320;
+    };
+    std::vector<int> dsts(16);
+    for (int d = 0; d < 16; ++d)
+        dsts[static_cast<std::size_t>(d)] = d;
+
+    auto pairs = runner.map(
+        dsts, [&](int dst, SweepPoint) -> Pair {
+            auto gs1280 = sys::Machine::buildGS1280(16);
+            auto gs320 = sys::Machine::buildGS320(16);
+            return {bench::dependentLoadNs(*gs1280, 0, dst, 16 << 20,
+                                           64, loads),
+                    bench::dependentLoadNs(*gs320, 0, dst, 64 << 20,
+                                           64, loads / 2)};
+        });
 
     Table t({"path", "GS1280/1.15GHz", "GS320/1.2GHz"});
     double sumA = 0, sumB = 0;
     for (int dst = 0; dst < 16; ++dst) {
-        double a = bench::dependentLoadNs(*gs1280, 0, dst, 16 << 20,
-                                          64, loads);
-        double b = bench::dependentLoadNs(*gs320, 0, dst, 64 << 20,
-                                          64, loads / 2);
-        sumA += a;
-        sumB += b;
-        t.addRow({"0 ->" + std::to_string(dst), Table::num(a, 0),
-                  Table::num(b, 0)});
+        const auto &p = pairs[static_cast<std::size_t>(dst)];
+        sumA += p.gs1280;
+        sumB += p.gs320;
+        t.addRow({"0 ->" + std::to_string(dst),
+                  Table::num(p.gs1280, 0), Table::num(p.gs320, 0)});
     }
     t.addRow({"average", Table::num(sumA / 16, 0),
               Table::num(sumB / 16, 0)});
@@ -91,15 +108,21 @@ main(int argc, char **argv)
               << Table::num(sumB / sumA, 2)
               << "x   (paper: ~4x)\n";
 
-    // Read-Dirty: remote CPU's cache supplies the line.
-    auto gs1280d = sys::Machine::buildGS1280(16);
-    auto gs320d = sys::Machine::buildGS320(16);
-    double dirtyA = readDirtyNs(*gs1280d, 10, 3000); // 4 hops away
-    double dirtyB = readDirtyNs(*gs320d, 12, 1500);  // remote QBB
+    // Read-Dirty: remote CPU's cache supplies the line. Two
+    // independent points, one per system.
+    auto dirty = runner.map(
+        std::size_t(2), [&](SweepPoint sp) -> double {
+            if (sp.index == 0) {
+                auto m = sys::Machine::buildGS1280(16);
+                return readDirtyNs(*m, 10, 3000); // 4 hops away
+            }
+            auto m = sys::Machine::buildGS320(16);
+            return readDirtyNs(*m, 12, 1500); // remote QBB
+        });
     std::cout << "read-dirty, worst-case remote: GS1280 "
-              << Table::num(dirtyA, 0) << " ns vs GS320 "
-              << Table::num(dirtyB, 0) << " ns -> "
-              << Table::num(dirtyB / dirtyA, 2)
+              << Table::num(dirty[0], 0) << " ns vs GS320 "
+              << Table::num(dirty[1], 0) << " ns -> "
+              << Table::num(dirty[1] / dirty[0], 2)
               << "x   (paper: ~6.6x)\n";
     return 0;
 }

@@ -19,24 +19,31 @@ int
 main(int argc, char **argv)
 {
     using namespace gs;
-    Args args(argc, argv, {{"cpus", "CPU count (default 16)"}});
+    Args args(argc, argv,
+              bench::withSweepArgs(
+                  {{"cpus", "CPU count (default 16)"}}));
     int cpus = static_cast<int>(args.getInt("cpus", 16));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 13: remote memory latency map, " +
                     std::to_string(cpus) + "P GS1280 (ns)");
 
-    auto m = sys::Machine::buildGS1280(cpus);
-    const auto &torus =
-        static_cast<const topo::Torus2D &>(m->topology());
+    std::vector<int> targets(static_cast<std::size_t>(cpus));
+    for (int to = 0; to < cpus; ++to)
+        targets[static_cast<std::size_t>(to)] = to;
 
-    std::vector<double> lat(static_cast<std::size_t>(cpus), 0.0);
-    for (int to = 0; to < cpus; ++to) {
-        lat[static_cast<std::size_t>(to)] =
-            bench::dependentLoadNs(*m, 0, to, 16ULL << 20, 64, 6000,
-                                   /*offset=*/0);
-    }
+    // Each probe gets its own machine, so every point is cold and
+    // independent of sweep order.
+    auto lat = runner.map(
+        targets, [&](int to, SweepPoint) -> double {
+            auto m = sys::Machine::buildGS1280(cpus);
+            return bench::dependentLoadNs(*m, 0, to, 16ULL << 20, 64,
+                                          6000, /*offset=*/0);
+        });
 
+    auto shape = sys::torusShape(cpus);
+    topo::Torus2D torus(shape.first, shape.second);
     for (int y = 0; y < torus.height(); ++y) {
         for (int x = 0; x < torus.width(); ++x) {
             NodeId n = torus.nodeAt(x, y);

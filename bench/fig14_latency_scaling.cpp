@@ -13,27 +13,73 @@
 #include "sim/args.hh"
 #include "topology/torus.hh"
 
+namespace
+{
+
+using namespace gs;
+
+/** One independent latency probe of the sweep. */
+struct Probe
+{
+    sys::SystemKind kind;
+    int cpus;
+    int dst;
+    std::uint64_t loads;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace gs;
-    Args args(argc, argv, {{"loads", "loads per probe (default 3000)"}});
+    Args args(argc, argv,
+              bench::withSweepArgs(
+                  {{"loads", "loads per probe (default 3000)"}}));
     auto loads = static_cast<std::uint64_t>(args.getInt("loads", 3000));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 14: average load-to-use latency (ns) vs CPUs");
 
+    const std::vector<int> cpuCounts = {4, 8, 16, 32, 64};
+
+    // Declare every probe up front: GS1280 node 0 -> every
+    // destination (vertex-transitive torus, so node 0's average is
+    // the machine average), GS320 local + worst remote.
+    std::vector<Probe> probes;
+    for (int cpus : cpuCounts) {
+        for (int dst = 0; dst < cpus; ++dst)
+            probes.push_back(
+                {sys::SystemKind::GS1280, cpus, dst, loads});
+        if (cpus <= 32) {
+            probes.push_back(
+                {sys::SystemKind::GS320, cpus, 0, loads / 2});
+            if (cpus > 4)
+                probes.push_back({sys::SystemKind::GS320, cpus,
+                                  cpus - 1, loads / 2});
+        }
+    }
+
+    auto ns = runner.map(
+        probes, [&](const Probe &p, SweepPoint) -> double {
+            if (p.kind == sys::SystemKind::GS1280) {
+                auto m = sys::Machine::buildGS1280(p.cpus);
+                return bench::dependentLoadNs(*m, 0, p.dst, 16 << 20,
+                                              64, p.loads);
+            }
+            auto m = sys::Machine::buildGS320(p.cpus);
+            return bench::dependentLoadNs(*m, 0, p.dst, 64 << 20, 64,
+                                          p.loads);
+        });
+
     Table t({"#CPUs", "GS1280 (sim)", "GS1280 (model)",
              "GS320 (sim)", "GS320 (model)"});
-
-    for (int cpus : {4, 8, 16, 32, 64}) {
-        // GS1280: node 0's average over all destinations equals the
-        // machine average (vertex-transitive torus).
-        auto m = sys::Machine::buildGS1280(cpus);
+    std::size_t at = 0;
+    for (int cpus : cpuCounts) {
         double sum = 0;
         for (int dst = 0; dst < cpus; ++dst)
-            sum += bench::dependentLoadNs(*m, 0, dst, 16 << 20, 64,
-                                          loads);
+            sum += ns[at++];
         double sim1280 = sum / cpus;
 
         auto [w, h] = sys::torusShape(cpus);
@@ -43,14 +89,8 @@ main(int argc, char **argv)
 
         std::string sim320 = "-", model320 = "-";
         if (cpus <= 32) {
-            auto g = sys::Machine::buildGS320(cpus);
-            double local = bench::dependentLoadNs(*g, 0, 0, 64 << 20,
-                                                  64, loads / 2);
-            double remote =
-                cpus > 4 ? bench::dependentLoadNs(
-                               *g, 0, cpus - 1, 64 << 20, 64,
-                               loads / 2)
-                         : local;
+            double local = ns[at++];
+            double remote = cpus > 4 ? ns[at++] : local;
             int perQbb = std::min(cpus, 4);
             double avg = (perQbb * local + (cpus - perQbb) * remote) /
                          cpus;

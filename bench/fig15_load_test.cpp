@@ -30,7 +30,7 @@ struct Point
 
 Point
 loadPoint(sys::SystemKind kind, int cpus, int outstanding,
-          std::uint64_t reads)
+          std::uint64_t reads, std::uint64_t seed)
 {
     std::unique_ptr<sys::Machine> m;
     if (kind == sys::SystemKind::GS1280) {
@@ -46,7 +46,7 @@ loadPoint(sys::SystemKind kind, int cpus, int outstanding,
     for (int c = 0; c < cpus; ++c) {
         gens.push_back(std::make_unique<wl::RandomRemoteReads>(
             c, cpus, 512ULL << 20, reads,
-            1000 + static_cast<unsigned>(c)));
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
         sources.push_back(gens.back().get());
     }
 
@@ -64,6 +64,14 @@ loadPoint(sys::SystemKind kind, int cpus, int outstanding,
     return Point{bytes / ns * 1000.0, lat / cpus};
 }
 
+/** One sweep: a named (system, CPU-count) latency/bandwidth curve. */
+struct Curve
+{
+    const char *name;
+    sys::SystemKind kind;
+    int cpus;
+};
+
 } // namespace
 
 int
@@ -71,35 +79,56 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              {{"reads", "reads per CPU per point (default 600)"},
-               {"full", "include the 64P sweep (slow)"}});
+              bench::withSweepArgs(
+                  {{"reads", "reads per CPU per point (default 600)"},
+                   {"full", "include the 64P sweep (slow)"}}));
     auto reads = static_cast<std::uint64_t>(args.getInt("reads", 600));
     bool full = args.getBool("full", false);
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 15: load test, latency (ns) vs delivered "
                 "bandwidth (MB/s)");
 
-    const int outs[] = {1, 2, 4, 8, 12, 16, 24, 30};
+    const std::vector<int> outs = {1, 2, 4, 8, 12, 16, 24, 30};
 
-    auto sweep = [&](const char *name, sys::SystemKind kind,
-                     int cpus) {
+    std::vector<Curve> curves = {
+        {"GS1280 16P", sys::SystemKind::GS1280, 16},
+        {"GS1280 32P", sys::SystemKind::GS1280, 32},
+    };
+    if (full)
+        curves.push_back({"GS1280 64P", sys::SystemKind::GS1280, 64});
+    curves.push_back({"GS320 16P", sys::SystemKind::GS320, 16});
+    curves.push_back({"GS320 32P", sys::SystemKind::GS320, 32});
+
+    // Flatten (curve x outstanding) into one declared point list.
+    struct Task
+    {
+        Curve curve;
+        int outstanding;
+    };
+    std::vector<Task> tasks;
+    for (const auto &c : curves)
+        for (int o : outs)
+            tasks.push_back({c, o});
+
+    auto measured = runner.map(
+        tasks, [&](const Task &tk, SweepPoint sp) -> Point {
+            return loadPoint(tk.curve.kind, tk.curve.cpus,
+                             tk.outstanding, reads, sp.seed);
+        });
+
+    std::size_t at = 0;
+    for (const auto &c : curves) {
         Table t({"outstanding", "bandwidth MB/s", "latency ns"});
         for (int o : outs) {
-            Point p = loadPoint(kind, cpus, o, reads);
+            const Point &p = measured[at++];
             t.addRow({Table::num(o), Table::num(p.bwMBs, 0),
                       Table::num(p.latencyNs, 0)});
         }
-        std::cout << "\n-- " << name << " --\n";
+        std::cout << "\n-- " << c.name << " --\n";
         t.print(std::cout);
-    };
-
-    sweep("GS1280 16P", sys::SystemKind::GS1280, 16);
-    sweep("GS1280 32P", sys::SystemKind::GS1280, 32);
-    if (full)
-        sweep("GS1280 64P", sys::SystemKind::GS1280, 64);
-    sweep("GS320 16P", sys::SystemKind::GS320, 16);
-    sweep("GS320 32P", sys::SystemKind::GS320, 32);
+    }
 
     std::cout << "\npaper shape: GS1280 gains bandwidth with modest "
                  "latency growth; GS320 latency explodes at ~1/10th "

@@ -29,7 +29,7 @@ struct Point
 
 Point
 run8p(bool shuffle, topo::ShufflePolicy policy, int outstanding,
-      std::uint64_t reads)
+      std::uint64_t reads, std::uint64_t seed)
 {
     sys::Gs1280Options opt;
     opt.mlp = outstanding;
@@ -41,7 +41,8 @@ run8p(bool shuffle, topo::ShufflePolicy policy, int outstanding,
     std::vector<cpu::TrafficSource *> sources;
     for (int c = 0; c < 8; ++c) {
         gens.push_back(std::make_unique<wl::RandomRemoteReads>(
-            c, 8, 512ULL << 20, reads, 300 + static_cast<unsigned>(c)));
+            c, 8, 512ULL << 20, reads,
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
         sources.push_back(gens.back().get());
     }
     Tick start = m->ctx().now();
@@ -62,23 +63,46 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              {{"reads", "reads per CPU per point (default 800)"}});
+              bench::withSweepArgs(
+                  {{"reads", "reads per CPU per point (default 800)"}}));
     auto reads = static_cast<std::uint64_t>(args.getInt("reads", 800));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 18: shuffle improvement on 8P (4x2), "
                 "bandwidth (MB/s) and latency (ns) by load");
 
+    // Three wiring configurations measured at each load level; one
+    // declared point per (load, wiring) pair.
+    const std::vector<int> outs = {1, 2, 4, 8, 16, 24, 30};
+    struct Task
+    {
+        int outstanding;
+        bool shuffle;
+        topo::ShufflePolicy policy;
+    };
+    std::vector<Task> tasks;
+    for (int o : outs) {
+        tasks.push_back({o, false, topo::ShufflePolicy::OneHop});
+        tasks.push_back({o, true, topo::ShufflePolicy::OneHop});
+        tasks.push_back({o, true, topo::ShufflePolicy::TwoHop});
+    }
+
+    auto points = runner.map(
+        tasks, [&](const Task &tk, SweepPoint sp) -> Point {
+            return run8p(tk.shuffle, tk.policy, tk.outstanding, reads,
+                         sp.seed);
+        });
+
     Table t({"outstanding", "torus bw", "torus lat", "shuffle bw",
              "shuffle lat", "shuffle2 bw", "shuffle2 lat",
              "1-hop gain %"});
-    for (int o : {1, 2, 4, 8, 16, 24, 30}) {
-        Point torus =
-            run8p(false, topo::ShufflePolicy::OneHop, o, reads);
-        Point s1 = run8p(true, topo::ShufflePolicy::OneHop, o, reads);
-        Point s2 = run8p(true, topo::ShufflePolicy::TwoHop, o, reads);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        const Point &torus = points[3 * i];
+        const Point &s1 = points[3 * i + 1];
+        const Point &s2 = points[3 * i + 2];
         double gain = (torus.latencyNs / s1.latencyNs - 1.0) * 100.0;
-        t.addRow({Table::num(o), Table::num(torus.bwMBs, 0),
+        t.addRow({Table::num(outs[i]), Table::num(torus.bwMBs, 0),
                   Table::num(torus.latencyNs, 0),
                   Table::num(s1.bwMBs, 0), Table::num(s1.latencyNs, 0),
                   Table::num(s2.bwMBs, 0), Table::num(s2.latencyNs, 0),

@@ -10,9 +10,8 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
-#include "system/machine.hh"
 #include "workload/fluent.hh"
 
 namespace
@@ -43,36 +42,42 @@ rating(sys::Machine &m, int cpus)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
+
     printBanner(std::cout, "Figure 19: Fluent rating vs CPU count");
 
-    Table t({"#CPUs", "GS1280/1.15GHz", "ES45-class/1.25GHz",
-             "GS320/1.2GHz"});
-    for (int cpus : {1, 2, 4, 8, 16, 32}) {
-        auto gs1280 = sys::Machine::buildGS1280(cpus);
-        double a = rating(*gs1280, cpus);
+    const std::vector<int> points = {1, 2, 4, 8, 16, 32};
+    auto t = bench::sweepTable(
+        runner,
+        {"#CPUs", "GS1280/1.15GHz", "ES45-class/1.25GHz",
+         "GS320/1.2GHz"},
+        points, [&](int cpus, SweepPoint) -> bench::Row {
+            auto gs1280 = sys::Machine::buildGS1280(cpus);
+            double a = rating(*gs1280, cpus);
 
-        // SC45 = clusters of 4-CPU ES45 boxes; throughput adds per
-        // box for this blocked, low-communication solver.
-        std::string b = "-";
-        {
-            int perBox = std::min(cpus, 4);
-            auto es45 = sys::Machine::buildES45(perBox);
-            double boxRating = rating(*es45, perBox);
-            b = Table::num(boxRating *
-                               (static_cast<double>(cpus) / perBox),
-                           1);
-        }
+            // SC45 = clusters of 4-CPU ES45 boxes; throughput adds
+            // per box for this blocked, low-communication solver.
+            std::string b = "-";
+            {
+                int perBox = std::min(cpus, 4);
+                auto es45 = sys::Machine::buildES45(perBox);
+                double boxRating = rating(*es45, perBox);
+                b = Table::num(
+                    boxRating * (static_cast<double>(cpus) / perBox),
+                    1);
+            }
 
-        std::string c = "-";
-        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
-            auto gs320 = sys::Machine::buildGS320(cpus);
-            c = Table::num(rating(*gs320, cpus), 1);
-        }
-        t.addRow({Table::num(cpus), Table::num(a, 1), b, c});
-    }
+            std::string c = "-";
+            if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+                auto gs320 = sys::Machine::buildGS320(cpus);
+                c = Table::num(rating(*gs320, cpus), 1);
+            }
+            return {Table::num(cpus), Table::num(a, 1), b, c};
+        });
     t.print(std::cout);
 
     std::cout << "\npaper shape: GS1280 comparable to SC45 (the "

@@ -10,9 +10,8 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
-#include "system/machine.hh"
 #include "workload/nas_sp.hh"
 
 namespace
@@ -44,33 +43,38 @@ mops(sys::Machine &m, int cpus)
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
     using namespace gs;
+    Args args(argc, argv, bench::withSweepArgs());
+    auto runner = bench::makeRunner(args);
+
     printBanner(std::cout, "Figure 21: NAS Parallel SP (MOPS) vs CPUs");
 
-    Table t({"#CPUs", "GS1280/1.15GHz", "SC45/1.25GHz",
-             "GS320/1.2GHz"});
-    for (int cpus : {1, 4, 8, 16, 32}) {
-        auto gs1280 = sys::Machine::buildGS1280(cpus);
-        double a = mops(*gs1280, cpus);
+    const std::vector<int> points = {1, 4, 8, 16, 32};
+    auto t = bench::sweepTable(
+        runner,
+        {"#CPUs", "GS1280/1.15GHz", "SC45/1.25GHz", "GS320/1.2GHz"},
+        points, [&](int cpus, SweepPoint) -> bench::Row {
+            auto gs1280 = sys::Machine::buildGS1280(cpus);
+            double a = mops(*gs1280, cpus);
 
-        // SC45: 4-CPU boxes; SP's modest exchanges cost ~10% across
-        // the cluster interconnect.
-        int perBox = std::min(cpus, 4);
-        auto es45 = sys::Machine::buildES45(perBox);
-        double box = mops(*es45, perBox);
-        double sc45 = box * (static_cast<double>(cpus) / perBox) *
-                      (cpus > 4 ? 0.9 : 1.0);
+            // SC45: 4-CPU boxes; SP's modest exchanges cost ~10%
+            // across the cluster interconnect.
+            int perBox = std::min(cpus, 4);
+            auto es45 = sys::Machine::buildES45(perBox);
+            double box = mops(*es45, perBox);
+            double sc45 = box * (static_cast<double>(cpus) / perBox) *
+                          (cpus > 4 ? 0.9 : 1.0);
 
-        std::string c = "-";
-        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
-            auto gs320 = sys::Machine::buildGS320(cpus);
-            c = Table::num(mops(*gs320, cpus), 0);
-        }
-        t.addRow({Table::num(cpus), Table::num(a, 0),
-                  Table::num(sc45, 0), c});
-    }
+            std::string c = "-";
+            if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+                auto gs320 = sys::Machine::buildGS320(cpus);
+                c = Table::num(mops(*gs320, cpus), 0);
+            }
+            return {Table::num(cpus), Table::num(a, 0),
+                    Table::num(sc45, 0), c};
+        });
     t.print(std::cout);
 
     std::cout << "\npaper shape: GS1280 well above SC45, which is "

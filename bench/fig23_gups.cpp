@@ -9,9 +9,8 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
-#include "system/machine.hh"
 #include "workload/gups.hh"
 
 namespace
@@ -20,14 +19,15 @@ namespace
 using namespace gs;
 
 double
-mups(sys::Machine &m, int cpus, std::uint64_t updates)
+mups(sys::Machine &m, int cpus, std::uint64_t updates,
+     std::uint64_t seed)
 {
     std::vector<std::unique_ptr<wl::Gups>> gens;
     std::vector<cpu::TrafficSource *> sources;
     for (int c = 0; c < cpus; ++c) {
         gens.push_back(std::make_unique<wl::Gups>(
             cpus, 256ULL << 20, updates,
-            5000 + static_cast<unsigned>(c)));
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
         sources.push_back(gens.back().get());
     }
     Tick start = m.ctx().now();
@@ -45,37 +45,51 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              {{"updates", "updates per CPU (default 1500)"},
-               {"full", "include the 64P point (slow)"}});
+              bench::withSweepArgs(
+                  {{"updates", "updates per CPU (default 1500)"},
+                   {"full", "include the 64P point (slow)"}}));
     auto updates =
         static_cast<std::uint64_t>(args.getInt("updates", 1500));
     bool full = args.getBool("full", false);
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout, "Figure 23: GUPS (Mupdates/s) vs CPUs");
 
-    Table t({"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz",
-             "ES45-class/1.25GHz"});
+    std::vector<int> points;
     for (int cpus : {2, 4, 8, 16, 32, 64}) {
         if (cpus == 64 && !full)
             break;
-        sys::Gs1280Options opt;
-        opt.mlp = 16; // GUPS overlaps updates aggressively
-        auto gs1280 = sys::Machine::buildGS1280(cpus, opt);
-        double a = mups(*gs1280, cpus, updates);
-
-        std::string b = "-";
-        if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
-            auto gs320 = sys::Machine::buildGS320(cpus);
-            b = Table::num(mups(*gs320, cpus, updates / 4), 1);
-        }
-
-        std::string c = "-";
-        if (cpus <= 4) {
-            auto es45 = sys::Machine::buildES45(cpus);
-            c = Table::num(mups(*es45, cpus, updates / 2), 1);
-        }
-        t.addRow({Table::num(cpus), Table::num(a, 1), b, c});
+        points.push_back(cpus);
     }
+
+    auto t = bench::sweepTable(
+        runner,
+        {"#CPUs", "GS1280/1.15GHz", "GS320/1.2GHz",
+         "ES45-class/1.25GHz"},
+        points, [&](int cpus, SweepPoint sp) -> bench::Row {
+            sys::Gs1280Options opt;
+            opt.mlp = 16; // GUPS overlaps updates aggressively
+            auto gs1280 = sys::Machine::buildGS1280(cpus, opt);
+            double a = mups(*gs1280, cpus, updates,
+                            Rng::deriveSeed(sp.seed, 0));
+
+            std::string b = "-";
+            if (cpus <= 32 && (cpus % 4 == 0 || cpus < 4)) {
+                auto gs320 = sys::Machine::buildGS320(cpus);
+                b = Table::num(mups(*gs320, cpus, updates / 4,
+                                    Rng::deriveSeed(sp.seed, 1)),
+                               1);
+            }
+
+            std::string c = "-";
+            if (cpus <= 4) {
+                auto es45 = sys::Machine::buildES45(cpus);
+                c = Table::num(mups(*es45, cpus, updates / 2,
+                                    Rng::deriveSeed(sp.seed, 2)),
+                               1);
+            }
+            return {Table::num(cpus), Table::num(a, 1), b, c};
+        });
     t.print(std::cout);
 
     std::cout << "\npaper shape: GS1280 climbs toward ~1000 Mup/s at "

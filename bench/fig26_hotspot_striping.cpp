@@ -8,9 +8,8 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hh"
 #include "sim/args.hh"
-#include "sim/table.hh"
-#include "system/machine.hh"
 #include "workload/load_test.hh"
 
 namespace
@@ -25,7 +24,8 @@ struct Point
 };
 
 Point
-hotSpot(bool striped, int outstanding, int cpus, std::uint64_t reads)
+hotSpot(bool striped, int outstanding, int cpus, std::uint64_t reads,
+        std::uint64_t seed)
 {
     sys::Gs1280Options opt;
     opt.striped = striped;
@@ -36,7 +36,8 @@ hotSpot(bool striped, int outstanding, int cpus, std::uint64_t reads)
     std::vector<cpu::TrafficSource *> sources;
     for (int c = 0; c < cpus; ++c) {
         gens.push_back(std::make_unique<wl::HotSpotReads>(
-            0, 512ULL << 20, reads, 700 + static_cast<unsigned>(c)));
+            0, 512ULL << 20, reads,
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
         sources.push_back(gens.back().get());
     }
     Tick start = m->ctx().now();
@@ -58,21 +59,42 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              {{"cpus", "CPU count (default 16)"},
-               {"reads", "reads per CPU per point (default 700)"}});
+              bench::withSweepArgs(
+                  {{"cpus", "CPU count (default 16)"},
+                   {"reads", "reads per CPU per point (default 700)"}}));
     int cpus = static_cast<int>(args.getInt("cpus", 16));
     auto reads = static_cast<std::uint64_t>(args.getInt("reads", 700));
+    auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
                 "Figure 26: hot-spot latency (ns) vs bandwidth "
                 "(MB/s), striped vs non-striped");
 
+    // One declared point per (load level, striped?) measurement.
+    const std::vector<int> outs = {1, 2, 4, 8, 16, 24, 30};
+    struct Task
+    {
+        int outstanding;
+        bool striped;
+    };
+    std::vector<Task> tasks;
+    for (int o : outs) {
+        tasks.push_back({o, false});
+        tasks.push_back({o, true});
+    }
+
+    auto points = runner.map(
+        tasks, [&](const Task &tk, SweepPoint sp) -> Point {
+            return hotSpot(tk.striped, tk.outstanding, cpus, reads,
+                           sp.seed);
+        });
+
     Table t({"outstanding", "non-striped bw", "non-striped lat",
              "striped bw", "striped lat", "bw gain %"});
-    for (int o : {1, 2, 4, 8, 16, 24, 30}) {
-        Point plain = hotSpot(false, o, cpus, reads);
-        Point striped = hotSpot(true, o, cpus, reads);
-        t.addRow({Table::num(o), Table::num(plain.bwMBs, 0),
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        const Point &plain = points[2 * i];
+        const Point &striped = points[2 * i + 1];
+        t.addRow({Table::num(outs[i]), Table::num(plain.bwMBs, 0),
                   Table::num(plain.latencyNs, 0),
                   Table::num(striped.bwMBs, 0),
                   Table::num(striped.latencyNs, 0),

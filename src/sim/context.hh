@@ -2,6 +2,12 @@
  * @file
  * Simulation context: the event queue plus the experiment-level RNG.
  * One context per experiment run; components hold a reference.
+ *
+ * A context is fully self-contained — no global or static mutable
+ * state anywhere in the library backs it — so independent contexts
+ * may run concurrently on different threads (the SweepRunner
+ * contract). A single context is not internally synchronised; drive
+ * it from one thread at a time.
  */
 
 #ifndef GS_SIM_CONTEXT_HH
@@ -17,14 +23,18 @@ namespace gs
 class SimContext
 {
   public:
-    explicit SimContext(std::uint64_t seed = 1) : rng_(seed) {}
+    explicit SimContext(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
     EventQueue &queue() { return eq; }
     Rng &rng() { return rng_; }
     Tick now() const { return eq.now(); }
 
+    /** The seed this run was built from (for reproduction lines). */
+    std::uint64_t seed() const { return seed_; }
+
   private:
     EventQueue eq;
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace gs
@@ -7,11 +8,13 @@ namespace gs
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic so sweep workers can log while the driver toggles
+// verbosity; this is the library's only global mutable state.
+std::atomic<bool> verboseFlag{true};
 }
 
-void setVerbose(bool on) { verboseFlag = on; }
-bool verbose() { return verboseFlag; }
+void setVerbose(bool on) { verboseFlag.store(on, std::memory_order_relaxed); }
+bool verbose() { return verboseFlag.load(std::memory_order_relaxed); }
 
 namespace detail
 {

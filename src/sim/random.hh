@@ -35,6 +35,30 @@ class Rng
         }
     }
 
+    /**
+     * Derive the seed of counted stream @p stream under @p master.
+     *
+     * Streams are *counted*, not sequentially drawn: stream i's seed
+     * is a pure function of (master, i), so adding or removing a
+     * stream never perturbs any other stream's values. Sweep engines
+     * use one stream per sweep point, which is what makes results
+     * independent of execution order and thread count.
+     */
+    static std::uint64_t
+    deriveSeed(std::uint64_t master, std::uint64_t stream)
+    {
+        // Two rounds of the SplitMix64 finalizer over a golden-ratio
+        // spread of the stream index, folded into the master seed.
+        return mix(master + mix(stream * 0x9e3779b97f4a7c15ULL + 1));
+    }
+
+    /** The generator for counted stream @p stream under @p master. */
+    static Rng
+    stream(std::uint64_t master, std::uint64_t stream)
+    {
+        return Rng(deriveSeed(master, stream));
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()
@@ -83,6 +107,15 @@ class Rng
     rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /** SplitMix64 finalizer: a strong 64-bit bijective mix. */
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
     }
 
     std::uint64_t s[4];

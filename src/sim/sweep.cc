@@ -1,0 +1,21 @@
+#include "sim/sweep.hh"
+
+namespace gs
+{
+
+int
+SweepRunner::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+SweepRunner::clampJobs(int jobs)
+{
+    if (jobs <= 0)
+        return hardwareJobs();
+    return jobs;
+}
+
+} // namespace gs

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Golden-value regression tests: exact expected output committed
+ * under tests/integration/golden/ for the pure-analytic benches
+ * (Table 1 shuffle model, the Figure 14 latency model, the Figure 15
+ * load-test model) plus one small fixed-seed simulation run. Any
+ * drift in these numbers is a deliberate model change and must be
+ * re-blessed by regenerating the files:
+ *
+ *     GS_UPDATE_GOLDEN=1 ./integration_test --gtest_filter='Golden*'
+ *
+ * then reviewing the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analytic/latency_model.hh"
+#include "analytic/loadtest_model.hh"
+#include "analytic/shuffle_model.hh"
+#include "sim/random.hh"
+#include "sim/table.hh"
+#include "system/machine.hh"
+#include "topology/torus.hh"
+#include "workload/load_test.hh"
+
+namespace
+{
+
+using namespace gs;
+
+/**
+ * Compare @p actual against the committed golden file, or rewrite
+ * the file when GS_UPDATE_GOLDEN is set in the environment.
+ */
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = std::string(GS_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("GS_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run with GS_UPDATE_GOLDEN=1 to create it)";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(actual, want.str())
+        << "output of " << name << " drifted from its golden copy; "
+        << "if the change is intentional, regenerate with "
+        << "GS_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// ---------------------------------------------------------------
+// Table 1: shuffle-rewiring gains (pure graph model).
+// ---------------------------------------------------------------
+
+TEST(Golden, Table1ShuffleModel)
+{
+    std::ostringstream os;
+    Table gains({"size", "aver. latency", "worst latency",
+                 "bisection width"});
+    Table abs({"size", "torus avg", "shuffle avg", "torus worst",
+               "shuffle worst", "torus bisect", "shuffle bisect"});
+    for (const auto &r : analytic::table1()) {
+        const std::string size = std::to_string(r.width) + "x" +
+                                 std::to_string(r.height);
+        gains.addRow({size, Table::num(r.avgLatencyGain, 3),
+                      Table::num(r.worstLatencyGain, 3),
+                      Table::num(r.bisectionGain, 3)});
+        abs.addRow({size, Table::num(r.torusAvg, 3),
+                    Table::num(r.shuffleAvg, 3),
+                    Table::num(r.torusWorst),
+                    Table::num(r.shuffleWorst),
+                    Table::num(r.torusBisection),
+                    Table::num(r.shuffleBisection)});
+    }
+    gains.print(os);
+    os << "\n";
+    abs.print(os);
+    checkGolden("table1_shuffle_model.txt", os.str());
+}
+
+// ---------------------------------------------------------------
+// Figure 14 analytic layer: idle-latency scaling models.
+// ---------------------------------------------------------------
+
+TEST(Golden, LatencyModel)
+{
+    std::ostringstream os;
+    Table t({"cpus", "torus", "GS1280 model ns", "GS320 model ns"});
+    struct Shape
+    {
+        int w, h;
+    };
+    // The machine sizes of Figure 14 (GS320 capped at 32 CPUs).
+    const std::vector<Shape> shapes = {{2, 2},  {4, 2},  {4, 4},
+                                       {8, 4},  {8, 8},  {16, 8},
+                                       {16, 16}};
+    for (const auto &s : shapes) {
+        const int cpus = s.w * s.h;
+        topo::Torus2D torus(s.w, s.h);
+        t.addRow({Table::num(cpus),
+                  std::to_string(s.w) + "x" + std::to_string(s.h),
+                  Table::num(
+                      analytic::avgIdleLatencyNs(torus, 83.0, 44.0),
+                      2),
+                  cpus <= 32
+                      ? Table::num(analytic::gs320AvgLatencyNs(
+                                       cpus, 4, 330.0, 860.0),
+                                   2)
+                      : "-"});
+    }
+    t.print(os);
+
+    os << "\n";
+    Table q({"rho", "M/M/1 ns (service 100)"});
+    for (double rho : {0.0, 0.25, 0.5, 0.75, 0.9, 0.95})
+        q.addRow({Table::num(rho, 2),
+                  Table::num(analytic::mm1LatencyNs(100.0, rho), 2)});
+    q.print(os);
+    checkGolden("latency_model.txt", os.str());
+}
+
+// ---------------------------------------------------------------
+// Figure 15 analytic layer: load-test asymptotic bounds.
+// ---------------------------------------------------------------
+
+TEST(Golden, LoadtestModel)
+{
+    std::ostringstream os;
+    analytic::LoadModelParams p; // the bench's defaults
+    Table t({"outstanding/cpu", "bandwidth GB/s", "latency ns"});
+    for (double w : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 30.0}) {
+        auto pt = analytic::evaluateLoadPoint(p, w);
+        t.addRow({Table::num(pt.outstanding, 1),
+                  Table::num(pt.bandwidthGBs, 3),
+                  Table::num(pt.latencyNs, 3)});
+    }
+    t.print(os);
+    os << "\nsaturation knee: "
+       << Table::num(analytic::saturationOutstanding(p), 4)
+       << " outstanding/cpu\n";
+    checkGolden("loadtest_model.txt", os.str());
+}
+
+// ---------------------------------------------------------------
+// Fixed-seed simulation: a small GS1280 under the Figure 15 random
+// remote-read generator. Exercises cores, caches, directory, torus
+// routing and the stats pipeline end to end.
+// ---------------------------------------------------------------
+
+TEST(Golden, FixedSeedSimulation)
+{
+    const std::uint64_t masterSeed = 1;
+    const std::uint64_t reads = 400;
+    auto m = sys::Machine::buildGS1280(8);
+
+    std::vector<std::unique_ptr<wl::RandomRemoteReads>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<wl::RandomRemoteReads>(
+            static_cast<NodeId>(c), 8, 8ULL << 20, reads,
+            Rng::deriveSeed(masterSeed, static_cast<std::uint64_t>(c))));
+        sources.push_back(gens.back().get());
+    }
+    ASSERT_TRUE(m->run(sources));
+
+    std::ostringstream os;
+    Table t({"cpu", "reads", "avg load-to-use ns"});
+    for (int c = 0; c < 8; ++c) {
+        const auto &st = m->core(c).stats();
+        t.addRow({Table::num(c), Table::num(reads),
+                  Table::num(st.elapsedNs() /
+                                 static_cast<double>(reads),
+                             3)});
+    }
+    t.print(os);
+    checkGolden("fixed_seed_simulation.txt", os.str());
+}
+
+} // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "sim/random.hh"
 
@@ -87,6 +89,47 @@ TEST(Rng, ChanceExtremes)
         EXPECT_FALSE(rng.chance(0.0));
         EXPECT_TRUE(rng.chance(1.0));
     }
+}
+
+TEST(Rng, StreamSeedIsPureFunctionOfMasterAndIndex)
+{
+    // Counted streams: stream i's seed never depends on how many
+    // other streams exist or in what order they are derived.
+    const std::uint64_t master = 12345;
+    std::vector<std::uint64_t> forward, reverse;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        forward.push_back(Rng::deriveSeed(master, i));
+    for (std::uint64_t i = 8; i-- > 0;)
+        reverse.push_back(Rng::deriveSeed(master, i));
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(forward[i], reverse[7 - i]);
+}
+
+TEST(Rng, StreamsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t master : {1ULL, 2ULL, 99ULL})
+        for (std::uint64_t i = 0; i < 100; ++i)
+            seeds.insert(Rng::deriveSeed(master, i));
+    EXPECT_EQ(seeds.size(), 300u);
+}
+
+TEST(Rng, StreamsAreStatisticallyIndependent)
+{
+    // Adjacent streams must not track each other.
+    Rng a = Rng::stream(5, 0), b = Rng::stream(5, 1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StreamMatchesDerivedSeed)
+{
+    Rng a = Rng::stream(77, 3);
+    Rng b(Rng::deriveSeed(77, 3));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.next(), b.next());
 }
 
 } // namespace

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Request-stream statistics for the workload generators the paper
+ * characterizes in Section 5: GUPS (random updates spanning the
+ * whole machine), NAS SP (streaming sweeps plus small neighbour
+ * exchanges) and the commercial profiles (OLTP vs DSS memory
+ * character). Each test drains a generator and asserts the address
+ * distribution, read/write mix and footprint the paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/address.hh"
+#include "workload/commercial.hh"
+#include "workload/gups.hh"
+#include "workload/nas_sp.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::wl;
+
+// ---------------------------------------------------------------
+// GUPS: "each thread updates an item randomly picked from the large
+// table ... the table is so large that it spans the entire memory".
+// ---------------------------------------------------------------
+
+TEST(GupsStream, AllUpdatesAreWrites)
+{
+    Gups gups(4, 1 << 20, 2000, 11);
+    std::uint64_t ops = 0;
+    while (auto op = gups.next()) {
+        EXPECT_TRUE(op->write);
+        EXPECT_FALSE(op->dependent);
+        ops += 1;
+    }
+    EXPECT_EQ(ops, 2000u);
+    EXPECT_EQ(gups.updatesIssued(), 2000u);
+}
+
+TEST(GupsStream, AddressesAreLineAlignedAndInTable)
+{
+    const std::uint64_t bytesPerNode = 1 << 20;
+    Gups gups(8, bytesPerNode, 4000, 42);
+    while (auto op = gups.next()) {
+        EXPECT_EQ(op->addr % mem::lineBytes, 0u);
+        NodeId node = mem::regionNode(op->addr);
+        EXPECT_LT(node, 8);
+        EXPECT_LT(op->addr - mem::regionBase(node), bytesPerNode);
+    }
+}
+
+TEST(GupsStream, NodeDistributionIsUniform)
+{
+    // The table spans every node equally; a 16-node chi-square
+    // statistic over 16000 updates should stay far under the
+    // p=0.001 cut (~37.7 for 15 dof).
+    const int nodes = 16;
+    const std::uint64_t updates = 16000;
+    Gups gups(nodes, 1 << 20, updates, 7);
+    std::map<NodeId, double> counts;
+    while (auto op = gups.next())
+        counts[mem::regionNode(op->addr)] += 1;
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(nodes));
+    const double expected =
+        static_cast<double>(updates) / nodes;
+    double chi2 = 0;
+    for (auto [node, n] : counts)
+        chi2 += (n - expected) * (n - expected) / expected;
+    EXPECT_LT(chi2, 37.7);
+}
+
+TEST(GupsStream, FootprintGrowsTowardTable)
+{
+    // Uniform picks over a 512-line table: after 4096 updates nearly
+    // every line should have been touched at least once.
+    const std::uint64_t bytesPerNode = 256 * mem::lineBytes;
+    Gups gups(2, bytesPerNode, 4096, 3);
+    std::set<mem::Addr> lines;
+    while (auto op = gups.next())
+        lines.insert(op->addr);
+    EXPECT_GT(lines.size(), 480u); // of 512 distinct table lines
+}
+
+// ---------------------------------------------------------------
+// NAS SP: memory-bandwidth-heavy local sweeps with real FP work,
+// small boundary exchanges with ring neighbours.
+// ---------------------------------------------------------------
+
+TEST(NasSpStream, SweepMixIsTwoReadsOneWrite)
+{
+    NasSpParams p;
+    p.iterations = 3;
+    p.sweepLines = 120;
+    p.exchangeLines = 0;
+    NasSP sp(0, 1, p);
+    std::uint64_t reads = 0, writes = 0;
+    while (auto op = sp.next())
+        (op->write ? writes : reads) += 1;
+    EXPECT_EQ(reads, 2 * writes);
+    EXPECT_EQ(writes, 3u * 120u);
+}
+
+TEST(NasSpStream, ThinkTimeOncePerGridLine)
+{
+    // The FP work the paper prices at ~95 ns/line rides on the first
+    // op of each line; exchanges carry none.
+    NasSpParams p;
+    p.iterations = 1;
+    p.sweepLines = 60;
+    p.exchangeLines = 8;
+    NasSP sp(2, 4, p);
+    std::uint64_t thinkOps = 0, sweepOps = 0, exchangeOps = 0;
+    while (auto op = sp.next()) {
+        bool local = mem::regionNode(op->addr) == 2;
+        (local ? sweepOps : exchangeOps) += 1;
+        if (op->thinkNs > 0) {
+            EXPECT_TRUE(local);
+            EXPECT_DOUBLE_EQ(op->thinkNs, p.thinkNsPerLine);
+            thinkOps += 1;
+        }
+    }
+    EXPECT_EQ(thinkOps, p.sweepLines);
+    EXPECT_EQ(sweepOps, 3 * p.sweepLines);
+    EXPECT_EQ(exchangeOps, 2 * p.exchangeLines);
+}
+
+TEST(NasSpStream, FootprintStaysInsideSlab)
+{
+    NasSpParams p;
+    p.iterations = 2;
+    p.sweepLines = 200;
+    p.exchangeLines = 16;
+    p.slabBytes = 64 * mem::lineBytes; // tiny slab -> wraps
+    NasSP sp(1, 4, p);
+    while (auto op = sp.next()) {
+        NodeId node = mem::regionNode(op->addr);
+        EXPECT_LT(op->addr - mem::regionBase(node), p.slabBytes);
+    }
+}
+
+TEST(NasSpStream, ExchangesMissAcrossIterations)
+{
+    // Boundary reads are offset per iteration so each exchange
+    // misses: the same peer lines must not repeat while the slab
+    // hasn't wrapped.
+    NasSpParams p;
+    p.iterations = 4;
+    p.sweepLines = 10;
+    p.exchangeLines = 8;
+    NasSP sp(0, 8, p);
+    std::map<NodeId, std::multiset<mem::Addr>> byPeer;
+    while (auto op = sp.next()) {
+        NodeId node = mem::regionNode(op->addr);
+        if (node != 0)
+            byPeer[node].insert(op->addr);
+    }
+    ASSERT_EQ(byPeer.size(), 2u); // ring neighbours 1 and 7
+    for (const auto &[peer, addrs] : byPeer) {
+        std::set<mem::Addr> unique(addrs.begin(), addrs.end());
+        EXPECT_EQ(unique.size(), addrs.size())
+            << "peer " << peer << " lines were re-read";
+    }
+}
+
+TEST(NasSpStream, RemoteTrafficFractionIsSmall)
+{
+    // The paper measures low IP-link utilization: exchange ops are a
+    // small fixed fraction of the stream (2*256 vs 3*8192 per
+    // iteration with default parameters ~ 2%).
+    NasSP sp(3, 8);
+    std::uint64_t local = 0, remote = 0;
+    while (auto op = sp.next())
+        (mem::regionNode(op->addr) == 3 ? local : remote) += 1;
+    double frac = static_cast<double>(remote) /
+                  static_cast<double>(local + remote);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 0.05);
+}
+
+// ---------------------------------------------------------------
+// Commercial profiles: the paper's OLTP (SAP SD) vs DSS memory
+// character, beyond the advantage ratios commercial_test covers.
+// ---------------------------------------------------------------
+
+TEST(CommercialProfile, OltpIsLatencyBoundWithMemoryResidentSet)
+{
+    // OLTP: a cache-resident hot set plus a footprint too big even
+    // for the GS320's 16 MB off-chip cache, with little memory
+    // parallelism — the latency-bound character behind the paper's
+    // modest 1.3x ratio.
+    const auto &p = sapSd();
+    bool hasCached = false, hasUncached = false;
+    for (const auto &c : p.workingSet) {
+        hasCached = hasCached || c.sizeMB <= 1.75;
+        hasUncached = hasUncached || c.sizeMB > 16.0;
+    }
+    EXPECT_TRUE(hasCached);
+    EXPECT_TRUE(hasUncached);
+    EXPECT_LT(p.mlp, 2.5); // latency-bound, little overlap
+    EXPECT_LT(p.mlp, decisionSupport().mlp);
+}
+
+TEST(CommercialProfile, DssStreamsPastEveryCache)
+{
+    const auto &p = decisionSupport();
+    bool hasUncachedComponent = false;
+    for (const auto &c : p.workingSet)
+        if (c.sizeMB > 16.0)
+            hasUncachedComponent = true;
+    EXPECT_TRUE(hasUncachedComponent);
+    EXPECT_GT(p.mlp, sapSd().mlp); // scans overlap misses
+}
+
+} // namespace
