@@ -8,6 +8,8 @@
 #ifndef GS_BENCH_COMMON_HH
 #define GS_BENCH_COMMON_HH
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -18,6 +20,7 @@
 #include "sim/logging.hh"
 #include "sim/sweep.hh"
 #include "sim/table.hh"
+#include "sim/telemetry.hh"
 #include "system/machine.hh"
 #include "workload/pointer_chase.hh"
 #include "workload/stream.hh"
@@ -74,6 +77,191 @@ sweepTable(SweepRunner &runner, std::vector<std::string> header,
         t.addRow(std::move(row));
     return t;
 }
+
+/// @}
+
+/**
+ * @name Machine telemetry plumbing
+ *
+ * Benches that expose the telemetry layer share four options:
+ * `--stats-out=FILE` writes a full registry snapshot after the run
+ * (JSON, or scalar CSV when FILE ends in .csv), `--trace=FILE`
+ * writes a Chrome trace_event file Perfetto can open,
+ * `--sample-interval=NS` sets the time-series cadence in simulated
+ * nanoseconds, and `--verbose` prints simulator self-metrics to
+ * stderr. A TelemetrySession wires all of it to one Machine; with no
+ * option given it attaches nothing and the run is unobserved.
+ */
+/// @{
+
+/** Register the telemetry options (compose with withSweepArgs). */
+inline std::map<std::string, std::string>
+withTelemetryArgs(std::map<std::string, std::string> known = {})
+{
+    known.emplace("stats-out", "write a telemetry snapshot to FILE "
+                               "(JSON; scalar CSV when FILE ends in "
+                               ".csv)");
+    known.emplace("trace", "write a Chrome trace_event file to FILE "
+                           "(open in Perfetto / chrome://tracing)");
+    known.emplace("sample-interval", "time-series sampling cadence in "
+                                     "simulated ns (default 1000)");
+    known.emplace("verbose", "print simulator self-metrics (events "
+                             "fired, events/s, peak queue) to stderr");
+    return known;
+}
+
+/**
+ * Binds the shared telemetry options to one Machine: attaches the
+ * trace writer, samples every external-link and memory-controller
+ * utilization, and writes the requested files in finish().
+ *
+ * @p force_sample starts the sampler even with no output file, for
+ * benches that read the time-series directly (ext_link_heatmap).
+ */
+class TelemetrySession
+{
+  public:
+    TelemetrySession(const Args &args, sys::Machine &m,
+                     bool force_sample = false)
+        : machine(m),
+          statsPath(args.getString("stats-out", "")),
+          tracePath(args.getString("trace", "")),
+          verbose(args.getBool("verbose", false)),
+          wallStart(std::chrono::steady_clock::now())
+    {
+        // A bad output path is a user error; fail before the run,
+        // not after the simulation time is already spent.
+        checkWritable(statsPath);
+        checkWritable(tracePath);
+        if (!tracePath.empty()) {
+            trace_ = std::make_unique<telem::TraceWriter>();
+            machine.attachTrace(*trace_);
+        }
+        if (!statsPath.empty() || trace_ || force_sample) {
+            Tick interval =
+                nsToTicks(args.getDouble("sample-interval", 1000.0));
+            sampler_ = std::make_unique<telem::Sampler>(
+                machine.ctx(), machine.telemetry(), interval);
+            watchLinkUtilization();
+            watchMemUtilization();
+            if (trace_)
+                sampler_->mirrorToTrace(*trace_);
+            sampler_->start();
+        }
+    }
+
+    bool active() const { return sampler_ != nullptr; }
+    telem::Sampler *sampler() { return sampler_.get(); }
+    telem::TraceWriter *trace() { return trace_.get(); }
+
+    /** Write the requested files; print --verbose self-metrics. */
+    void
+    finish()
+    {
+        if (sampler_)
+            sampler_->stop();
+        if (!statsPath.empty()) {
+            std::ofstream os(statsPath);
+            if (!os.good())
+                gs_fatal("cannot write ", statsPath);
+            if (endsWith(statsPath, ".csv")) {
+                telem::exportCsv(os, machine.telemetry());
+            } else {
+                telem::exportJson(os, machine.telemetry(),
+                                  sampler_.get(), machine.ctx().now());
+            }
+        }
+        if (trace_) {
+            std::ofstream os(tracePath);
+            if (!os.good())
+                gs_fatal("cannot write ", tracePath);
+            trace_->write(os);
+            if (trace_->dropped() > 0) {
+                std::cerr << "# trace: capacity cap hit, "
+                          << trace_->dropped()
+                          << " event(s) not recorded\n";
+            }
+        }
+        if (verbose) {
+            double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wallStart)
+                    .count();
+            const auto &q = machine.ctx().queue();
+            std::cerr << "# self: " << q.firedCount()
+                      << " events fired, peak queue " << q.peakPending()
+                      << ", " << wall << " s wall, "
+                      << (wall > 0
+                              ? static_cast<double>(q.firedCount()) /
+                                    wall
+                              : 0.0)
+                      << " events/s\n";
+        }
+    }
+
+  private:
+    static void
+    checkWritable(const std::string &path)
+    {
+        if (path.empty())
+            return;
+        std::ofstream probe(path);
+        if (!probe.good())
+            gs_fatal("cannot write ", path);
+    }
+
+    static bool
+    endsWith(const std::string &s, const std::string &suffix)
+    {
+        return s.size() >= suffix.size() &&
+               s.compare(s.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+    }
+
+    /**
+     * Busy fraction of every external link: one flit crosses per
+     * network cycle, so delta(flits) * period / interval. Skips the
+     * per-VC breakdown (per-port aggregates only).
+     */
+    void
+    watchLinkUtilization()
+    {
+        double period =
+            static_cast<double>(machine.network().period());
+        for (const auto &p : machine.telemetry().paths("node.")) {
+            if (p.find(".router.port.") == std::string::npos ||
+                p.find(".vc.") != std::string::npos ||
+                !endsWith(p, ".flits")) {
+                continue;
+            }
+            sampler_->watchRate(p, period);
+        }
+    }
+
+    /** Memory-controller utilization: busy ticks over channels. */
+    void
+    watchMemUtilization()
+    {
+        auto &reg = machine.telemetry();
+        for (const auto &p : reg.paths("node.")) {
+            if (!endsWith(p, ".busy_ticks"))
+                continue;
+            std::string base =
+                p.substr(0, p.size() - std::string("busy_ticks").size());
+            double channels = reg.value(base + "channels");
+            sampler_->watchRate(p,
+                                channels > 0 ? 1.0 / channels : 0.0);
+        }
+    }
+
+    sys::Machine &machine;
+    std::string statsPath;
+    std::string tracePath;
+    bool verbose;
+    std::chrono::steady_clock::time_point wallStart;
+    std::unique_ptr<telem::TraceWriter> trace_;
+    std::unique_ptr<telem::Sampler> sampler_;
+};
 
 /// @}
 

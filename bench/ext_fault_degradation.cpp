@@ -149,6 +149,11 @@ main(int argc, char **argv)
         net::Network net(ctx, deg, net::NetworkParams::gs320());
         FaultInjector inj(ctx, net, deg);
 
+        // Drop accounting read back through the telemetry registry —
+        // the same `fault.*` paths a Machine export carries.
+        telem::Registry reg;
+        inj.registerTelemetry(reg, "fault");
+
         int delivered = 0;
         for (NodeId n = 0; n < 32; ++n)
             net.setHandler(n, [&](const net::Packet &) {
@@ -184,8 +189,9 @@ main(int argc, char **argv)
         t.addRow({"CPU pairs disconnected", Table::num(pairsCut)});
         t.addRow({"packets delivered", Table::num(delivered)});
         t.addRow({"packets dropped (unroutable)",
-                  Table::num(static_cast<int>(
-                      inj.stats().dropsUnroutable))});
+                  Table::num(reg.value("fault.drops.unroutable"), 0)});
+        t.addRow({"link failures applied",
+                  Table::num(reg.value("fault.link_failures"), 0)});
         t.print(std::cout);
         std::cout << "(the torus above keeps every pair reachable "
                      "through 8 failures)\n";

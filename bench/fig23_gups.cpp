@@ -45,9 +45,9 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              bench::withSweepArgs(
+              bench::withTelemetryArgs(bench::withSweepArgs(
                   {{"updates", "updates per CPU (default 1500)"},
-                   {"full", "include the 64P point (slow)"}}));
+                   {"full", "include the 64P point (slow)"}})));
     auto updates =
         static_cast<std::uint64_t>(args.getInt("updates", 1500));
     bool full = args.getBool("full", false);
@@ -95,5 +95,30 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: GS1280 climbs toward ~1000 Mup/s at "
                  "64P with a bend at 32P (bisection-limited 8x4 "
                  "torus); GS320 stays near ~50-100\n";
+
+    // The sweep above spreads point machines across worker threads,
+    // so the observed run is a separate serial one: the 32P (8x4)
+    // machine of the Figure 24 discussion, with the telemetry
+    // session attached for --stats-out / --trace / --verbose.
+    if (args.has("stats-out") || args.has("trace") ||
+        args.getBool("verbose", false)) {
+        auto master =
+            static_cast<std::uint64_t>(args.getInt("seed", 1));
+        sys::Gs1280Options opt;
+        opt.mlp = 16;
+        opt.seed = master;
+        auto m = sys::Machine::buildGS1280(32, opt);
+        bench::TelemetrySession session(args, *m);
+        double rate = mups(*m, 32, updates, Rng::deriveSeed(master, 0));
+        session.finish();
+        std::cout << "\ninstrumented 32P run: " << Table::num(rate, 1)
+                  << " Mup/s";
+        if (args.has("stats-out"))
+            std::cout << ", stats -> "
+                      << args.getString("stats-out", "");
+        if (args.has("trace"))
+            std::cout << ", trace -> " << args.getString("trace", "");
+        std::cout << "\n";
+    }
     return 0;
 }

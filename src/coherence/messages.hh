@@ -52,6 +52,10 @@ enum class MsgType : std::uint8_t
     VictimAck,      ///< home -> victim sender: buffer may retire
 };
 
+/** Number of MsgType values (per-type telemetry arrays). */
+constexpr int numMsgTypes =
+    static_cast<int>(MsgType::VictimAck) + 1;
+
 /** Decoded message (payload view of a packet). */
 struct Msg
 {

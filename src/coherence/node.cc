@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coherence/tracer.hh"
 #include "sim/logging.hh"
 
 namespace gs::coher
@@ -43,6 +44,44 @@ CoherentNode::clearStats()
         cache->clearStats();
     for (auto &z : zboxes)
         z->clearStats();
+}
+
+void
+CoherentNode::registerTelemetry(telem::Registry &reg,
+                                const std::string &prefix)
+{
+    reg.addCounter(telem::path(prefix, "accesses"), st.accesses);
+    reg.addCounter(telem::path(prefix, "l2_hits"), st.l2Hits);
+    reg.addCounter(telem::path(prefix, "misses"), st.misses);
+    reg.addCounter(telem::path(prefix, "maf_merges"), st.mafMerges);
+    reg.addCounter(telem::path(prefix, "home_requests"),
+                   st.homeRequests);
+    reg.addCounter(telem::path(prefix, "forwards_served"),
+                   st.forwardsServed);
+    reg.addCounter(telem::path(prefix, "invals_received"),
+                   st.invalsReceived);
+    reg.addCounter(telem::path(prefix, "victims_sent"),
+                   st.victimsSent);
+    reg.addCounter(telem::path(prefix, "vb_high_water"),
+                   st.vbHighWater);
+    reg.addAverage(telem::path(prefix, "miss_latency_ns"),
+                   st.missLatencyNs);
+    reg.addGauge(telem::path(prefix, "maf_outstanding"), [this] {
+        return static_cast<double>(maf.size());
+    });
+    reg.addGauge(telem::path(prefix, "victim_buffer_fill"), [this] {
+        return static_cast<double>(vb.size());
+    });
+    for (int t = 0; t < numMsgTypes; ++t) {
+        const char *name = msgTypeName(static_cast<MsgType>(t));
+        reg.addCounter(telem::path(prefix, "proto", "sent", name),
+                       st.msgSent[static_cast<std::size_t>(t)]);
+        reg.addCounter(telem::path(prefix, "proto", "recv", name),
+                       st.msgRecv[static_cast<std::size_t>(t)]);
+    }
+    for (std::size_t z = 0; z < zboxes.size(); ++z)
+        zboxes[z]->registerTelemetry(reg,
+                                     telem::path(prefix, "mem", z));
 }
 
 double
@@ -112,6 +151,7 @@ CoherentNode::send(MsgType type, NodeId dst, mem::Addr line,
     m.line = line;
     m.requester = requester;
     m.aux = aux;
+    st.msgSent[static_cast<std::size_t>(type)] += 1;
     net::Packet pkt = encode(m, self, dst);
     if (observer)
         observer(pkt, /*incoming=*/false);
@@ -143,6 +183,7 @@ CoherentNode::onPacket(const net::Packet &pkt)
         observer(pkt, /*incoming=*/true);
 
     Msg m = decode(pkt);
+    st.msgRecv[static_cast<std::size_t>(m.type)] += 1;
     switch (m.type) {
       case MsgType::RdReq:
       case MsgType::RdModReq:

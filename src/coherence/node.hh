@@ -26,9 +26,11 @@
 #ifndef GS_COHERENCE_NODE_HH
 #define GS_COHERENCE_NODE_HH
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +89,10 @@ struct NodeStats
     std::uint64_t victimsSent = 0;
     std::uint64_t vbHighWater = 0; ///< peak victim-buffer occupancy
     stats::Average missLatencyNs; ///< miss issue to fill
+
+    /** Messages sent/received by MsgType (telemetry `proto.*`). */
+    std::array<std::uint64_t, numMsgTypes> msgSent{};
+    std::array<std::uint64_t, numMsgTypes> msgRecv{};
 };
 
 /**
@@ -120,6 +126,15 @@ class CoherentNode
 
     /** Mean utilization over this node's memory controllers. */
     double memUtilization(Tick window_start, Tick now) const;
+
+    /**
+     * Register this node's protocol stats (including per-MsgType
+     * send/receive counters under `proto.sent.<Name>` /
+     * `proto.recv.<Name>`) and its Zboxes (under `mem.<i>`) below
+     * @p prefix (e.g. "node.12").
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix);
 
     int outstandingMisses() const { return static_cast<int>(maf.size()); }
     int victimBufferFill() const { return static_cast<int>(vb.size()); }

@@ -76,4 +76,25 @@ FaultInjector::apply(const FaultEvent &event)
     net_.onTopologyChange();
 }
 
+void
+FaultInjector::registerTelemetry(telem::Registry &reg,
+                                 const std::string &prefix)
+{
+    reg.addCounter(telem::path(prefix, "drops", "total"),
+                   st.packetsDropped);
+    reg.addCounter(telem::path(prefix, "drops", "unroutable"),
+                   st.dropsUnroutable);
+    reg.addCounter(telem::path(prefix, "drops", "dead_node"),
+                   st.dropsDeadNode);
+    reg.addGauge(telem::path(prefix, "link_failures"), [this] {
+        return static_cast<double>(st.linkFailures);
+    });
+    reg.addGauge(telem::path(prefix, "node_failures"), [this] {
+        return static_cast<double>(st.nodeFailures);
+    });
+    reg.addGauge(telem::path(prefix, "repairs"), [this] {
+        return static_cast<double>(st.repairs);
+    });
+}
+
 } // namespace gs::fault

@@ -21,6 +21,7 @@
 #define GS_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/degraded.hh"
@@ -131,6 +132,14 @@ class FaultInjector
     const FaultStats &stats() const { return st; }
     DegradedTopology &fabric() { return topo_; }
     const DegradedTopology &fabric() const { return topo_; }
+
+    /**
+     * Register drop and failure accounting under @p prefix
+     * (conventionally "fault"): `<prefix>.drops.{total, unroutable,
+     * dead_node}` plus failure/repair event gauges.
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix);
 
   private:
     SimContext &ctx;

@@ -119,9 +119,19 @@ Watchdog::poll()
 }
 
 void
+Watchdog::registerTelemetry(telem::Registry &reg,
+                            const std::string &prefix)
+{
+    reg.addCounter(telem::path(prefix, "trips"), trips_);
+    reg.addGauge(telem::path(prefix, "armed"),
+                 [this] { return armed() ? 1.0 : 0.0; });
+}
+
+void
 Watchdog::trip(const std::string &why)
 {
     tripped_ = true;
+    trips_ += 1;
     token.reset();
     if (tripFn) {
         tripFn(why);

@@ -64,6 +64,16 @@ class Watchdog
     bool armed() const { return token != nullptr; }
     bool tripped() const { return tripped_; }
 
+    /** Times the watchdog has tripped over its lifetime. */
+    std::uint64_t trips() const { return trips_; }
+
+    /**
+     * Register trip accounting under @p prefix (conventionally
+     * "fault.watchdog").
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix);
+
     /**
      * Replace the default trip action (diagnostic dump + gs_panic).
      * The argument is the trip reason; call diagnose() for the full
@@ -104,6 +114,7 @@ class Watchdog
     std::uint64_t lastProgress = 0; ///< deliveries + drops last seen
     long stalledCycles = 0;
     bool tripped_ = false;
+    std::uint64_t trips_ = 0;
 };
 
 } // namespace gs::fault

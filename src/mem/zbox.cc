@@ -82,6 +82,39 @@ Zbox::write(Addr a, std::function<void()> done)
         ctx.queue().scheduleAt(when, std::move(done));
 }
 
+int
+Zbox::busyChannels(Tick now) const
+{
+    int n = 0;
+    for (Tick free_at : channelFree)
+        n += free_at > now ? 1 : 0;
+    return n;
+}
+
+void
+Zbox::registerTelemetry(telem::Registry &reg, const std::string &prefix)
+{
+    reg.addCounter(telem::path(prefix, "reads"), st.reads);
+    reg.addCounter(telem::path(prefix, "writes"), st.writes);
+    reg.addCounter(telem::path(prefix, "row_hits"), st.rowHits);
+    reg.addCounter(telem::path(prefix, "row_empties"), st.rowEmpties);
+    reg.addCounter(telem::path(prefix, "row_conflicts"),
+                   st.rowConflicts);
+    reg.addCounter(telem::path(prefix, "busy_ticks"), st.busyTicks);
+    reg.addGauge(telem::path(prefix, "channels"), [this] {
+        return static_cast<double>(prm.channels);
+    });
+    reg.addGauge(telem::path(prefix, "queue_depth"), [this] {
+        return static_cast<double>(busyChannels(ctx.now()));
+    });
+    reg.addGauge(telem::path(prefix, "open_page_hit_rate"), [this] {
+        std::uint64_t n = st.reads + st.writes;
+        return n ? static_cast<double>(st.rowHits) /
+                       static_cast<double>(n)
+                 : 0.0;
+    });
+}
+
 double
 Zbox::utilization(Tick window_start, Tick now) const
 {

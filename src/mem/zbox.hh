@@ -18,12 +18,14 @@
 #define GS_MEM_ZBOX_HH
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/address.hh"
 #include "sim/context.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 
 namespace gs::mem
 {
@@ -106,6 +108,16 @@ class Zbox
      * clearStats(), over a window ending at @p now.
      */
     double utilization(Tick window_start, Tick now) const;
+
+    /** Channels still busy (occupied past @p now): queue depth. */
+    int busyChannels(Tick now) const;
+
+    /**
+     * Register access counters, the open-page hit rate, queue depth
+     * and geometry under @p prefix (e.g. "node.3.mem.0").
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix);
 
     void clearStats() { st = ZboxStats{}; }
 

@@ -177,6 +177,27 @@ Network::clearStats()
     for (auto &ports : linkFlits)
         for (auto &flits : ports)
             flits = 0;
+    for (auto &router : routers)
+        router->clearStats(ctx.now());
+}
+
+void
+Network::registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix)
+{
+    reg.addCounter(telem::path(prefix, "injected_packets"),
+                   st.injectedPackets);
+    reg.addCounter(telem::path(prefix, "delivered_packets"),
+                   st.deliveredPackets);
+    reg.addCounter(telem::path(prefix, "delivered_flits"),
+                   st.deliveredFlits);
+    reg.addCounter(telem::path(prefix, "dropped_packets"),
+                   st.droppedPackets);
+    reg.addAverage(telem::path(prefix, "latency_ns"), st.latencyNs);
+    reg.addAverage(telem::path(prefix, "hops_per_packet"),
+                   st.hopsPerPacket);
+    reg.addGauge(telem::path(prefix, "in_flight"),
+                 [this] { return static_cast<double>(flying); });
 }
 
 void

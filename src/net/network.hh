@@ -17,6 +17,7 @@
 #include "net/router.hh"
 #include "sim/context.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "topology/topology.hh"
 
 namespace gs::net
@@ -89,6 +90,15 @@ class Network
 
     /** Reset cumulative statistics (not the fabric state). */
     void clearStats();
+
+    /**
+     * Register the network-wide counters under @p prefix
+     * (injected/delivered/dropped packets, latency, hops,
+     * in-flight). Per-router stats register separately via
+     * Router::registerTelemetry.
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix);
     /// @}
 
     /** @name Fault-layer hooks (used by fault::FaultInjector)

@@ -67,6 +67,25 @@ mayAdapt(MsgClass cls)
     return cls != MsgClass::IO;
 }
 
+/** Short class name for telemetry paths ("req", "fwd", ...). */
+constexpr const char *
+msgClassName(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Request:
+        return "req";
+      case MsgClass::Forward:
+        return "fwd";
+      case MsgClass::BlockResponse:
+        return "blk";
+      case MsgClass::Ack:
+        return "ack";
+      case MsgClass::IO:
+        return "io";
+    }
+    return "?";
+}
+
 /**
  * A packet in flight. Packets move whole (virtual cut-through);
  * their length in flits determines link occupancy.

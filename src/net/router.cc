@@ -46,6 +46,7 @@ Router::receive(int in_port, int vc, Packet pkt)
                     .vcs[static_cast<std::size_t>(vc)];
     pkt.hops += 1;
     buf.flitsUsed += pkt.flits;
+    buf.recvFlits += static_cast<std::uint64_t>(pkt.flits);
     buf.q.push_back(pkt);
     buffered += 1;
     net.activate();
@@ -119,6 +120,66 @@ Router::flushAll()
             injWaiting -= 1;
         }
     }
+}
+
+void
+Router::registerTelemetry(telem::Registry &reg,
+                          const std::string &prefix,
+                          const std::function<std::string(int)>
+                              &port_name)
+{
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+        if (!outputs[p].connected)
+            continue;
+        const std::string pp =
+            telem::path(prefix, "port", port_name(static_cast<int>(p)));
+        reg.addCounter(pp + ".flits", outputs[p].sentFlits);
+        reg.addCounter(pp + ".packets", outputs[p].sentPackets);
+        reg.addGauge(pp + ".busy_frac", [this, p] {
+            Tick now = net.context().now();
+            if (now <= statsWindowStart)
+                return 0.0;
+            double f = static_cast<double>(outputs[p].sentFlits) *
+                       static_cast<double>(net.period()) /
+                       static_cast<double>(now - statsWindowStart);
+            return std::min(f, 1.0);
+        });
+        // Input-side VC stats of the same port (the buffers facing
+        // the neighbour this port points at).
+        for (int vc = 0; vc < numVcs; ++vc) {
+            const auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
+            const std::string vp = telem::path(pp, "vc", vc);
+            reg.addCounter(vp + ".flits", buf.recvFlits);
+            reg.addCounter(vp + ".stalls", buf.creditStalls);
+        }
+    }
+    for (int cls = 0; cls < numClasses; ++cls) {
+        const std::string cp = telem::path(
+            prefix, "inj", msgClassName(static_cast<MsgClass>(cls)));
+        reg.addCounter(cp + ".stalls",
+                       injStalls[static_cast<std::size_t>(cls)]);
+        reg.addGauge(cp + ".depth", [this, cls] {
+            return static_cast<double>(
+                injQs[static_cast<std::size_t>(cls)].size());
+        });
+    }
+}
+
+void
+Router::clearStats(Tick now)
+{
+    for (auto &in : inputs) {
+        for (auto &buf : in.vcs) {
+            buf.recvFlits = 0;
+            buf.creditStalls = 0;
+        }
+    }
+    for (auto &out : outputs) {
+        out.sentFlits = 0;
+        out.sentPackets = 0;
+    }
+    injStalls.fill(0);
+    statsWindowStart = now;
 }
 
 bool
@@ -254,8 +315,10 @@ Router::nominate(Tick now)
                     nominated = true;
                     break;
                 }
-                if (!unroutable)
+                if (!unroutable) {
+                    buf.creditStalls += 1;
                     break;
+                }
                 Packet pkt = popHead(static_cast<int>(p), vc);
                 net.dropPacket(id, pkt, "unroutable");
             }
@@ -282,8 +345,10 @@ Router::nominate(Tick now)
                 nominated = true;
                 break;
             }
-            if (!unroutable)
+            if (!unroutable) {
+                injStalls[static_cast<std::size_t>(cls)] += 1;
                 break;
+            }
             net.dropPacket(id, q.front(), "unroutable");
             q.pop_front();
             injWaiting -= 1;
@@ -343,6 +408,8 @@ Router::grant(Tick now)
         gs_assert(out.credits[static_cast<std::size_t>(vc)] >= 0,
                   "credit underflow at node ", id, " port ", o);
         out.busyUntil = now + static_cast<Tick>(pkt.flits) * net.period();
+        out.sentFlits += static_cast<std::uint64_t>(pkt.flits);
+        out.sentPackets += 1;
         out.rrSrc = ((winner->inPort < 0 ? srcSlots - 1 : winner->inPort)
                      + 1) % srcSlots;
 

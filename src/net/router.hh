@@ -28,9 +28,12 @@
 
 #include <array>
 #include <deque>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace gs::net
@@ -78,6 +81,22 @@ class Router
         return outputs[static_cast<std::size_t>(out_port)]
             .credits[static_cast<std::size_t>(vc)];
     }
+
+    /**
+     * Register this router's per-port / per-VC stats under
+     * @p prefix (e.g. "node.12.router"): outbound flit/packet
+     * counts and busy fraction per port, received-flit and
+     * credit-stall counts per input VC, and injection-queue stats
+     * per message class. @p port_name maps a port index to its
+     * display name ("E"/"W"/"N"/"S" on the torus).
+     */
+    void registerTelemetry(telem::Registry &reg,
+                           const std::string &prefix,
+                           const std::function<std::string(int)>
+                               &port_name);
+
+    /** Zero the telemetry counters; @p now starts the busy window. */
+    void clearStats(Tick now);
 
     /** @name Fault-layer hooks (see Network's fault section) */
     /// @{
@@ -145,6 +164,12 @@ class Router
     {
         std::deque<Packet> q;
         int flitsUsed = 0;
+
+        // Telemetry counters (plain adds on the hot path; the
+        // registry reads them pull-based, so they cost nothing more
+        // even with every sink attached).
+        std::uint64_t recvFlits = 0;
+        std::uint64_t creditStalls = 0; ///< head blocked, no credits
     };
 
     struct Input
@@ -160,6 +185,9 @@ class Router
         Tick busyUntil = 0;
         int wireCycles = 0;
         int rrSrc = 0; ///< global-arbiter round-robin pointer
+
+        std::uint64_t sentFlits = 0;   ///< telemetry
+        std::uint64_t sentPackets = 0; ///< telemetry
     };
 
     Network &net;
@@ -168,7 +196,9 @@ class Router
     std::vector<Input> inputs;
     std::vector<Output> outputs;
     std::array<std::deque<Packet>, numClasses> injQs;
+    std::array<std::uint64_t, numClasses> injStalls{}; ///< telemetry
     int injRrClass = 0;
+    Tick statsWindowStart = 0; ///< busy-fraction window origin
 
     int buffered = 0;   ///< packets held in input VC buffers
     int injWaiting = 0; ///< packets waiting in injection queues

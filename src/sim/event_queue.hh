@@ -45,6 +45,15 @@ class EventQueue
 
     bool empty() const { return heap.empty(); }
 
+    /** @name Self-metrics (telemetry / --verbose bench reporting) */
+    /// @{
+    /** Events fired since construction. */
+    std::uint64_t firedCount() const { return fired; }
+
+    /** High-water mark of the pending-event heap. */
+    std::size_t peakPending() const { return peak; }
+    /// @}
+
     /** Schedule @p fn at absolute time @p when (>= now). */
     void
     scheduleAt(Tick when, EventFn fn)
@@ -52,6 +61,8 @@ class EventQueue
         gs_assert(when >= curTick,
                   "event scheduled in the past: ", when, " < ", curTick);
         heap.push(Entry{when, nextSeq++, std::move(fn)});
+        if (heap.size() > peak)
+            peak = heap.size();
     }
 
     /** Schedule @p fn @p delay ticks from now. */
@@ -73,6 +84,7 @@ class EventQueue
         Entry e = std::move(const_cast<Entry &>(heap.top()));
         heap.pop();
         curTick = e.when;
+        fired += 1;
         e.fn();
         return true;
     }
@@ -119,6 +131,8 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+    std::size_t peak = 0;
 };
 
 } // namespace gs

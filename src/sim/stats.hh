@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -52,8 +53,8 @@ class Average
     {
         sum = 0;
         n = 0;
-        lo = 1e300;
-        hi = -1e300;
+        lo = std::numeric_limits<double>::max();
+        hi = std::numeric_limits<double>::lowest();
     }
 
     std::uint64_t count() const { return n; }
@@ -65,8 +66,8 @@ class Average
   private:
     double sum = 0;
     std::uint64_t n = 0;
-    double lo = 1e300;
-    double hi = -1e300;
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
 };
 
 /** Fixed-bucket histogram with overflow bucket. */
@@ -85,12 +86,15 @@ class Histogram
         stat.sample(x);
         if (x < lower) {
             counts.front() += 1;
-        } else if (x >= upper) {
+        } else if (x > upper) {
             counts.back() += 1;
         } else {
             auto idx = static_cast<std::size_t>(
                 (x - lower) / (upper - lower)
                 * static_cast<double>(counts.size() - 1));
+            // The inclusive upper edge (and any rounding that lands
+            // on it) belongs to the last real bucket, not overflow.
+            idx = std::min(idx, counts.size() - 2);
             counts[idx] += 1;
         }
     }

@@ -1,0 +1,487 @@
+#include "sim/telemetry.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace gs::telem
+{
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+void
+Registry::insert(const std::string &p, Entry e)
+{
+    gs_assert(!p.empty(), "empty telemetry path");
+    auto [it, fresh] = entries_.emplace(p, std::move(e));
+    (void)it;
+    if (!fresh)
+        gs_fatal("duplicate telemetry path: ", p);
+}
+
+void
+Registry::addCounter(const std::string &p, const stats::Counter &c)
+{
+    Entry e;
+    e.kind = Kind::Counter;
+    e.counter = &c;
+    insert(p, std::move(e));
+}
+
+void
+Registry::addCounter(const std::string &p, const std::uint64_t &raw)
+{
+    Entry e;
+    e.kind = Kind::Counter;
+    e.raw = &raw;
+    insert(p, std::move(e));
+}
+
+void
+Registry::addGauge(const std::string &p, Probe probe)
+{
+    gs_assert(probe != nullptr, "null telemetry probe for ", p);
+    Entry e;
+    e.kind = Kind::Gauge;
+    e.probe = std::move(probe);
+    insert(p, std::move(e));
+}
+
+void
+Registry::addAverage(const std::string &p, const stats::Average &a)
+{
+    Entry e;
+    e.kind = Kind::Average;
+    e.avg = &a;
+    insert(p, std::move(e));
+}
+
+void
+Registry::addHistogram(const std::string &p, const stats::Histogram &h)
+{
+    Entry e;
+    e.kind = Kind::Histogram;
+    e.hist = &h;
+    insert(p, std::move(e));
+}
+
+bool
+Registry::has(const std::string &p) const
+{
+    return entries_.count(p) != 0;
+}
+
+std::vector<std::string>
+Registry::paths(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (auto it = entries_.lower_bound(prefix); it != entries_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+namespace
+{
+
+double
+scalarOf(const Registry::Entry &e)
+{
+    switch (e.kind) {
+      case Registry::Kind::Counter:
+        return e.counter
+                   ? static_cast<double>(e.counter->value())
+                   : static_cast<double>(*e.raw);
+      case Registry::Kind::Gauge:
+        return e.probe();
+      case Registry::Kind::Average:
+        return e.avg->mean();
+      case Registry::Kind::Histogram:
+        return e.hist->summary().mean();
+    }
+    return 0.0;
+}
+
+} // namespace
+
+double
+Registry::value(const std::string &p) const
+{
+    auto it = entries_.find(p);
+    if (it == entries_.end())
+        gs_fatal("unknown telemetry path: ", p);
+    return scalarOf(it->second);
+}
+
+// ---------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------
+
+Sampler::Sampler(SimContext &context, const Registry &registry,
+                 Tick interval)
+    : ctx(context), reg(registry), interval_(interval)
+{
+    gs_assert(interval_ > 0, "sampler interval must be positive");
+}
+
+void
+Sampler::watch(const std::string &p)
+{
+    gs_assert(reg.has(p), "sampler watch of unknown path ", p);
+    Series s;
+    s.path = p;
+    series_.push_back(std::move(s));
+}
+
+void
+Sampler::watchRate(const std::string &p, double scale)
+{
+    gs_assert(reg.has(p), "sampler watch of unknown path ", p);
+    Series s;
+    s.path = p;
+    s.rate = true;
+    s.scale = scale;
+    s.prev = reg.value(p);
+    series_.push_back(std::move(s));
+}
+
+int
+Sampler::watchPrefix(const std::string &prefix)
+{
+    int n = 0;
+    for (const auto &p : reg.paths(prefix)) {
+        watch(p);
+        n += 1;
+    }
+    return n;
+}
+
+void
+Sampler::sampleNow()
+{
+    Tick now = ctx.now();
+    times_.push_back(now);
+    for (auto &s : series_) {
+        double cur = reg.value(s.path);
+        double v = cur;
+        if (s.rate) {
+            v = (cur - s.prev) * s.scale /
+                static_cast<double>(interval_);
+            s.prev = cur;
+        }
+        s.values.push_back(v);
+        if (trace)
+            trace->counter(now, s.path, v);
+    }
+}
+
+void
+Sampler::start()
+{
+    if (token)
+        return;
+    token = std::make_shared<char>(0);
+    std::weak_ptr<char> alive = token;
+    ctx.queue().schedule(interval_, [this, alive] {
+        if (!alive.expired())
+            tick();
+    });
+}
+
+void
+Sampler::stop()
+{
+    token.reset();
+}
+
+void
+Sampler::tick()
+{
+    sampleNow();
+    std::weak_ptr<char> alive = token;
+    ctx.queue().schedule(interval_, [this, alive] {
+        if (!alive.expired())
+            tick();
+    });
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------
+
+bool
+TraceWriter::room()
+{
+    if (events.size() < cap)
+        return true;
+    dropped_ += 1;
+    return false;
+}
+
+void
+TraceWriter::counter(Tick when, const std::string &name, double value)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'C';
+    e.ts = when;
+    e.value = value;
+    e.name = name;
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::instant(Tick when, const std::string &name, int tid,
+                     const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'i';
+    e.ts = when;
+    e.tid = tid;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::complete(Tick when, Tick dur, const std::string &name,
+                      int tid, const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'X';
+    e.ts = when;
+    e.dur = dur;
+    e.tid = tid;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
+// ---------------------------------------------------------------------
+// Export helpers
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Fixed, locale-independent number rendering. Identical doubles
+ * (which identical seeds guarantee) always format identically, so
+ * exports diff clean. Non-finite values become JSON null.
+ */
+void
+putNum(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+void
+putEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+putEntryJson(std::ostream &os, const Registry::Entry &e)
+{
+    switch (e.kind) {
+      case Registry::Kind::Counter:
+        os << (e.counter ? e.counter->value() : *e.raw);
+        break;
+      case Registry::Kind::Gauge:
+        putNum(os, e.probe());
+        break;
+      case Registry::Kind::Average: {
+        const auto &a = *e.avg;
+        os << "{\"count\":" << a.count() << ",\"mean\":";
+        putNum(os, a.mean());
+        os << ",\"min\":";
+        putNum(os, a.min());
+        os << ",\"max\":";
+        putNum(os, a.max());
+        os << ",\"total\":";
+        putNum(os, a.total());
+        os << "}";
+        break;
+      }
+      case Registry::Kind::Histogram: {
+        const auto &h = *e.hist;
+        os << "{\"count\":" << h.summary().count() << ",\"mean\":";
+        putNum(os, h.summary().mean());
+        os << ",\"buckets\":[";
+        const char *sep = "";
+        for (auto b : h.buckets()) {
+            os << sep << b;
+            sep = ",";
+        }
+        os << "]}";
+        break;
+      }
+    }
+}
+
+const char *
+kindName(Registry::Kind k)
+{
+    switch (k) {
+      case Registry::Kind::Counter:
+        return "counter";
+      case Registry::Kind::Gauge:
+        return "gauge";
+      case Registry::Kind::Average:
+        return "average";
+      case Registry::Kind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+TraceWriter::write(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    const char *sep = "\n";
+    for (const auto &e : events) {
+        os << sep << "{\"ph\":\"" << e.ph << "\",\"ts\":";
+        // trace_event timestamps are microseconds; ticks are ps.
+        putNum(os, static_cast<double>(e.ts) / 1e6);
+        os << ",\"pid\":0,\"tid\":" << e.tid << ",\"name\":";
+        putEscaped(os, e.name);
+        if (e.ph == 'C') {
+            os << ",\"args\":{\"value\":";
+            putNum(os, e.value);
+            os << "}";
+        } else {
+            os << ",\"cat\":\"" << e.cat << "\"";
+            if (e.ph == 'X') {
+                os << ",\"dur\":";
+                putNum(os, static_cast<double>(e.dur) / 1e6);
+            }
+            if (e.ph == 'i')
+                os << ",\"s\":\"t\"";
+            os << ",\"args\":{}";
+        }
+        os << "}";
+        sep = ",\n";
+    }
+    os << "\n]}\n";
+}
+
+void
+exportJson(std::ostream &os, const Registry &reg, const Sampler *sampler,
+           Tick now)
+{
+    os << "{\"schema\":\"gs-telemetry-1\",\"now_ps\":" << now
+       << ",\"stats\":{";
+    const char *sep = "\n";
+    for (const auto &[p, e] : reg.entries()) {
+        os << sep;
+        putEscaped(os, p);
+        os << ":";
+        putEntryJson(os, e);
+        sep = ",\n";
+    }
+    os << "\n}";
+    if (sampler) {
+        os << ",\"series\":{\"interval_ps\":" << sampler->interval()
+           << ",\"t_ps\":[";
+        sep = "";
+        for (Tick t : sampler->times()) {
+            os << sep << t;
+            sep = ",";
+        }
+        os << "],\"paths\":{";
+        sep = "\n";
+        for (const auto &s : sampler->series()) {
+            os << sep;
+            putEscaped(os, s.path);
+            os << ":[";
+            const char *vsep = "";
+            for (double v : s.values) {
+                os << vsep;
+                putNum(os, v);
+                vsep = ",";
+            }
+            os << "]";
+            sep = ",\n";
+        }
+        os << "\n}}";
+    }
+    os << "}\n";
+}
+
+void
+exportCsv(std::ostream &os, const Registry &reg)
+{
+    os << "path,kind,value\n";
+    for (const auto &[p, e] : reg.entries()) {
+        os << p << "," << kindName(e.kind) << ",";
+        putNum(os, scalarOf(e));
+        os << "\n";
+    }
+}
+
+void
+exportSeriesCsv(std::ostream &os, const Sampler &sampler)
+{
+    os << "t_ps";
+    for (const auto &s : sampler.series())
+        os << "," << s.path;
+    os << "\n";
+    const auto &times = sampler.times();
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        os << times[i];
+        for (const auto &s : sampler.series()) {
+            os << ",";
+            putNum(os, s.values[i]);
+        }
+        os << "\n";
+    }
+}
+
+} // namespace gs::telem

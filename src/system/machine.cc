@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "coherence/tracer.hh"
 #include "sim/logging.hh"
 #include "topology/torus.hh"
 #include "topology/tree.hh"
@@ -112,6 +113,7 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
         m->cores.push_back(std::make_unique<cpu::TimingCore>(
             *m->context, *m->nodes.back(), ccfg));
     }
+    m->registerTelemetry();
     return m;
 }
 
@@ -175,6 +177,7 @@ Machine::buildGS320(int cpus, std::uint64_t seed, int mlp)
                                                   sw, *m->map, memCfg);
     }
     // The global switch (if any) is a pure router: no CoherentNode.
+    m->registerTelemetry();
     return m;
 }
 
@@ -233,6 +236,7 @@ Machine::buildES45(int cpus, std::uint64_t seed, int mlp)
     m->nodes[std::size_t(hub)] =
         std::make_unique<coher::CoherentNode>(*m->context, *m->net, hub,
                                               *m->map, memCfg);
+    m->registerTelemetry();
     return m;
 }
 
@@ -246,12 +250,68 @@ Machine::buildFabric(net::NetworkParams params)
         std::make_unique<fault::FaultInjector>(*context, *net, *fabric_);
 }
 
+void
+Machine::registerTelemetry()
+{
+    net->registerTelemetry(telemetry_, "net");
+    injector_->registerTelemetry(telemetry_, "fault");
+
+    // GS1280 routers keep the compass port names the paper uses in
+    // its Figure 24 discussion (E/W/N/S); other fabrics number them.
+    std::function<std::string(int)> portName;
+    if (kind_ == SystemKind::GS1280) {
+        portName = [](int p) -> std::string {
+            switch (p) {
+              case topo::portEast: return "E";
+              case topo::portWest: return "W";
+              case topo::portNorth: return "N";
+              case topo::portSouth: return "S";
+              default: return "p" + std::to_string(p);
+            }
+        };
+    } else {
+        portName = [](int p) { return "p" + std::to_string(p); };
+    }
+
+    for (NodeId n = 0; n < NodeId(topo_->numNodes()); ++n) {
+        std::string base = telem::path("node", n);
+        net->router(n).registerTelemetry(
+            telemetry_, telem::path(base, "router"), portName);
+        if (hasNode(n))
+            nodes[std::size_t(n)]->registerTelemetry(telemetry_, base);
+    }
+}
+
+void
+Machine::attachTrace(telem::TraceWriter &trace)
+{
+    telem::TraceWriter *tw = &trace;
+    SimContext *ctxp = context.get();
+    for (auto &node : nodes) {
+        if (!node)
+            continue;
+        int tid = static_cast<int>(node->id());
+        node->setMsgObserver([tw, ctxp, tid](const net::Packet &pkt,
+                                             bool incoming) {
+            // Once per message, at its receiver — the transaction
+            // flow a protocol diagram would show.
+            if (!incoming)
+                return;
+            coher::Msg m = coher::decode(pkt);
+            tw->instant(ctxp->now(), coher::msgTypeName(m.type), tid,
+                        "protocol");
+        });
+    }
+}
+
 fault::Watchdog &
 Machine::armWatchdog(fault::WatchdogConfig cfg, double coherenceTimeoutNs)
 {
     if (!watchdog_) {
         watchdog_ =
             std::make_unique<fault::Watchdog>(*context, *net, cfg);
+        watchdog_->registerTelemetry(telemetry_,
+                                     telem::path("fault", "watchdog"));
         if (coherenceTimeoutNs > 0) {
             Machine *self = this;
             watchdog_->addProbe([self, coherenceTimeoutNs] {

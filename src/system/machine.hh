@@ -30,6 +30,7 @@
 #include "mem/address.hh"
 #include "net/network.hh"
 #include "sim/context.hh"
+#include "sim/telemetry.hh"
 #include "topology/shuffle.hh"
 #include "topology/topology.hh"
 
@@ -119,6 +120,29 @@ class Machine
     fault::Watchdog *watchdog() { return watchdog_.get(); }
     /// @}
 
+    /** @name Telemetry
+     *
+     * Every build registers the whole machine in a per-machine
+     * registry: network aggregates under `net.*`, fault accounting
+     * under `fault.*`, and per-node subtrees under `node.<n>.*`
+     * (router ports/VCs, protocol counters, Zboxes). The registry
+     * holds pointers into the components — reading it is always
+     * current, and machines in different sweep threads never share
+     * state.
+     */
+    /// @{
+    telem::Registry &telemetry() { return telemetry_; }
+    const telem::Registry &telemetry() const { return telemetry_; }
+
+    /**
+     * Stream every coherence message into @p trace as an instant
+     * event, observed at its receiver, one Perfetto track per node.
+     * @p trace must outlive the machine's runs. Replaces any
+     * previously attached message observers.
+     */
+    void attachTrace(telem::TraceWriter &trace);
+    /// @}
+
     /** @name Addressing helpers */
     /// @{
     /** An address at byte @p offset of CPU @p c's local region. */
@@ -165,6 +189,9 @@ class Machine
     /** Wrap topo_ in the fault layer and build the network over it. */
     void buildFabric(net::NetworkParams params);
 
+    /** Register every built component (end of each builder). */
+    void registerTelemetry();
+
     std::unique_ptr<SimContext> context;
     std::unique_ptr<topo::Topology> topo_;
     std::unique_ptr<fault::DegradedTopology> fabric_;
@@ -174,6 +201,7 @@ class Machine
     std::unique_ptr<fault::Watchdog> watchdog_;
     std::vector<std::unique_ptr<coher::CoherentNode>> nodes;
     std::vector<std::unique_ptr<cpu::TimingCore>> cores;
+    telem::Registry telemetry_;
 
     int torusW = 0, torusH = 0; ///< GS1280 geometry
 };

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine-wide telemetry determinism: identical seeds must produce
+ * byte-identical exports — the property that makes --stats-out files
+ * diffable across runs and machines, and that the sweep engine's
+ * bit-identical-at-any-jobs contract extends to telemetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+#include "sim/telemetry.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+
+namespace
+{
+
+using namespace gs;
+
+/**
+ * One observed 8P GS1280 GUPS run: sampled link utilization, a
+ * protocol trace, and the full JSON export, all concatenated so a
+ * single string captures every export surface.
+ */
+std::string
+observedRun(std::uint64_t seed)
+{
+    sys::Gs1280Options opt;
+    opt.mlp = 16;
+    opt.seed = seed;
+    auto m = sys::Machine::buildGS1280(8, opt);
+
+    telem::TraceWriter trace;
+    m->attachTrace(trace);
+
+    telem::Sampler sampler(m->ctx(), m->telemetry(), 2 * tickUs);
+    double period = static_cast<double>(m->network().period());
+    for (const auto &p : m->telemetry().paths("node.")) {
+        if (p.find(".router.port.") != std::string::npos &&
+            p.find(".vc.") == std::string::npos &&
+            p.size() > 6 &&
+            p.compare(p.size() - 6, 6, ".flits") == 0) {
+            sampler.watchRate(p, period);
+        }
+    }
+    sampler.mirrorToTrace(trace);
+    sampler.start();
+
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<wl::Gups>(
+            8, 16ULL << 20, 300,
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
+        sources.push_back(gens.back().get());
+    }
+    EXPECT_TRUE(m->run(sources, 5000 * tickMs));
+    sampler.stop();
+
+    std::ostringstream os;
+    telem::exportJson(os, m->telemetry(), &sampler, m->ctx().now());
+    telem::exportCsv(os, m->telemetry());
+    trace.write(os);
+    return os.str();
+}
+
+TEST(TelemetryDeterminism, IdenticalSeedsExportIdenticalBytes)
+{
+    std::string a = observedRun(11);
+    std::string b = observedRun(11);
+    EXPECT_EQ(a, b) << "telemetry export diverged between two "
+                       "identically seeded runs";
+    EXPECT_NE(a, observedRun(12))
+        << "different seeds produced identical runs (suspicious)";
+}
+
+TEST(TelemetryDeterminism, SweepJobsDoNotPerturbExports)
+{
+    auto sweep = [](int jobs) {
+        SweepRunner runner(jobs, 77);
+        return runner.map(std::size_t(4), [](SweepPoint sp) {
+            return observedRun(sp.seed);
+        });
+    };
+    auto serial = sweep(1);
+    auto parallel = sweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], parallel[i])
+            << "point " << i
+            << " export changed under --jobs 8";
+    }
+}
+
+TEST(TelemetryDeterminism, ExportCarriesLinkSeries)
+{
+    // The export the benches write must actually contain per-node
+    // per-port utilization series, non-empty and bounded.
+    std::string out = observedRun(5);
+    EXPECT_NE(out.find("\"node.0.router.port.E.flits\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"series\""), std::string::npos);
+    EXPECT_NE(out.find("\"schema\":\"gs-telemetry-1\""),
+              std::string::npos);
+}
+
+} // namespace

@@ -42,6 +42,19 @@ TEST(Average, ResetClears)
     a.reset();
     EXPECT_EQ(a.count(), 0u);
     EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Average, MinMaxTrackAfterReset)
+{
+    // The reset sentinels must be the full double range, or samples
+    // beyond the old +/-1e300 sentinels would report them instead.
+    Average a;
+    a.sample(3.0);
+    a.reset();
+    a.sample(-7.0);
+    EXPECT_DOUBLE_EQ(a.min(), -7.0);
+    EXPECT_DOUBLE_EQ(a.max(), -7.0);
 }
 
 TEST(Histogram, BucketsAndOverflow)
@@ -54,6 +67,17 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.buckets().front(), 2u);
     EXPECT_EQ(h.buckets().back(), 1u);
     EXPECT_EQ(h.summary().count(), 4u);
+}
+
+TEST(Histogram, UpperEdgeLandsInLastRealBucket)
+{
+    // The range is inclusive at both ends: sampling exactly the
+    // upper edge belongs to the last real bucket, not overflow.
+    Histogram h(0.0, 10.0, 10);
+    h.sample(10.0);
+    const auto &b = h.buckets();
+    EXPECT_EQ(b.back(), 0u);
+    EXPECT_EQ(b[b.size() - 2], 1u);
 }
 
 TEST(Histogram, QuantileApproximatesMedian)
