@@ -188,6 +188,7 @@ class TelemetrySession
                     std::chrono::steady_clock::now() - wallStart)
                     .count();
             const auto &q = machine.ctx().queue();
+            const auto &pool = machine.network().pool().stats();
             std::cerr << "# self: " << q.firedCount()
                       << " events fired, peak queue " << q.peakPending()
                       << ", " << wall << " s wall, "
@@ -196,6 +197,13 @@ class TelemetrySession
                                     wall
                               : 0.0)
                       << " events/s\n";
+            std::cerr << "# self: queue ring " << q.ringPending()
+                      << " / overflow " << q.overflowPending()
+                      << " pending, " << q.overflowMigrations()
+                      << " migrations; packet pool " << pool.reused
+                      << " reused / " << pool.allocated
+                      << " allocated, peak in use " << pool.peakInUse
+                      << "\n";
         }
     }
 

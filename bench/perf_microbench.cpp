@@ -38,6 +38,91 @@ BM_EventQueueScheduleFire(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleFire);
 
 void
+BM_EventQueueScheduleFireFar(benchmark::State &state)
+{
+    // Events landing beyond the calendar window: every schedule goes
+    // through the overflow heap and migrates into the ring later.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    const Tick far = EventQueue::horizon + 1;
+    for (auto _ : state) {
+        eq.schedule(1, [&] { fired += 1; });  // keeps the ring live
+        eq.schedule(far, [&] { fired += 1; }); // parks in the heap
+        eq.step();
+        eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueScheduleFireFar);
+
+void
+BM_EventQueueMixed(benchmark::State &state)
+{
+    // Burst-and-drain with mixed offsets: same-tick ties, in-window
+    // spreads and occasional far events — the simulator's steady
+    // state in miniature.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    Rng rng(42);
+    for (auto _ : state) {
+        for (int k = 0; k < 16; ++k) {
+            Tick d = rng.below(4 * EventQueue::bucketWidth);
+            if (k == 15)
+                d = EventQueue::horizon + d;
+            eq.schedule(d, [&] { fired += 1; });
+        }
+        eq.runUntil();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueMixed);
+
+void
+BM_EventQueueCaptureLarge(benchmark::State &state)
+{
+    // A capture bigger than InlineFn's buffer (a Packet by value
+    // plus a pointer): the heap-fallback path, the cost every event
+    // paid before handles shrank the hot captures.
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    net::Packet pkt;
+    pkt.flits = net::dataFlits;
+    static_assert(sizeof(net::Packet) + sizeof(void *) >
+                      InlineFn::inlineCapacity,
+                  "capture must overflow the inline buffer");
+    for (auto _ : state) {
+        eq.schedule(1, [pkt, &sink] {
+            sink += static_cast<std::uint64_t>(pkt.flits);
+        });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCaptureLarge);
+
+void
+BM_PacketPoolAcquireRelease(benchmark::State &state)
+{
+    net::PacketPool pool;
+    net::Packet pkt;
+    pkt.src = 0;
+    pkt.dst = 1;
+    pkt.flits = net::dataFlits;
+    for (auto _ : state) {
+        net::PacketHandle h = pool.acquire(pkt);
+        benchmark::DoNotOptimize(pool.get(h).flits);
+        pool.release(h);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketPoolAcquireRelease);
+
+void
 BM_RngNext(benchmark::State &state)
 {
     Rng rng(1);

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files for performance regressions.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--max-regress 0.15]
+                     [--warn-only] [--require-speedup NAME=FACTOR ...]
+
+Compares items_per_second (falling back to 1/real_time when a
+benchmark reports no item rate) for every benchmark present in both
+files. A benchmark slower than baseline by more than --max-regress
+fails the run (or warns with --warn-only, for noisy shared runners).
+--require-speedup asserts a named benchmark got at least FACTOR times
+faster than baseline — used to pin intentional optimizations so they
+cannot silently rot back.
+
+Benchmarks present in only one file are reported but never fail the
+run: baselines are updated deliberately, not implicitly.
+
+Exit codes: 0 ok, 1 regression (strict mode), 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> items/sec (or inverse time) from a
+    google-benchmark JSON file. Aggregate rows (mean/median/stddev,
+    emitted with --benchmark_repetitions) are skipped so a repeated
+    run compares like a plain one."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if name is None:
+            continue
+        rate = b.get("items_per_second")
+        if rate is None:
+            t = b.get("real_time")
+            rate = 1.0 / t if t else None
+        if rate:
+            rates[name] = float(rate)
+    return rates
+
+
+def parse_speedup(spec):
+    name, _, factor = spec.partition("=")
+    if not name or not factor:
+        sys.exit(f"error: bad --require-speedup '{spec}', "
+                 "expected NAME=FACTOR")
+    try:
+        return name, float(factor)
+    except ValueError:
+        sys.exit(f"error: bad factor in --require-speedup '{spec}'")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional slowdown (default 0.15)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 "
+                         "(noisy shared runners)")
+    ap.add_argument("--require-speedup", action="append", default=[],
+                    metavar="NAME=FACTOR",
+                    help="require NAME to be >= FACTOR x baseline")
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+    required = dict(parse_speedup(s) for s in args.require_speedup)
+
+    failures = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  NEW      {name}: {cand[name]:,.0f}/s "
+                  "(no baseline)")
+            continue
+        if name not in cand:
+            print(f"  MISSING  {name}: in baseline only")
+            continue
+        ratio = cand[name] / base[name]
+        status = "ok"
+        if ratio < 1.0 - args.max_regress:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {ratio:.2f}x of baseline "
+                f"({base[name]:,.0f}/s -> {cand[name]:,.0f}/s)")
+        elif ratio > 1.0 + args.max_regress:
+            status = "improved"
+        print(f"  {status:9s}{name}: {ratio:5.2f}x "
+              f"({base[name]:,.0f}/s -> {cand[name]:,.0f}/s)")
+
+    for name, factor in sorted(required.items()):
+        if name not in base or name not in cand:
+            failures.append(
+                f"{name}: required {factor}x speedup but benchmark "
+                "missing from "
+                + ("baseline" if name not in base else "candidate"))
+            continue
+        ratio = cand[name] / base[name]
+        ok = ratio >= factor
+        print(f"  {'ok' if ok else 'TOO SLOW':9s}{name}: "
+              f"required >= {factor}x, got {ratio:.2f}x")
+        if not ok:
+            failures.append(
+                f"{name}: required >= {factor}x baseline, "
+                f"got {ratio:.2f}x")
+
+    if failures:
+        print("\nbench_compare: "
+              + ("warnings:" if args.warn_only else "FAILURES:"))
+        for f in failures:
+            print(f"  {f}")
+        return 0 if args.warn_only else 1
+    print("\nbench_compare: all benchmarks within "
+          f"{args.max_regress:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,9 +48,13 @@ Network::inject(Packet pkt)
     st.injectedPackets += 1;
     flying += 1;
 
+    // The packet lives in the pool for its whole flight; the fabric
+    // (buffers, lambdas, wire events) moves 4-byte handles.
+    PacketHandle h = pool_.acquire(pkt);
+
     if (degraded_ && (deadNode[std::size_t(pkt.src)] ||
                       deadNode[std::size_t(pkt.dst)])) {
-        dropPacket(pkt.src, pkt,
+        dropPacket(pkt.src, h,
                    deadNode[std::size_t(pkt.src)] ? "dead-src"
                                                   : "dead-dst");
         return;
@@ -62,32 +66,32 @@ Network::inject(Packet pkt)
         Tick delay = static_cast<Tick>(prm.injectionCycles +
                                        prm.ejectionCycles) * tickPeriod;
         NodeId node = pkt.dst;
-        ctx.queue().schedule(delay, [this, node, pkt] {
-            deliverNow(node, pkt);
+        ctx.queue().schedule(delay, [this, node, h] {
+            deliverNow(node, h);
         });
         return;
     }
 
     Tick delay = static_cast<Tick>(prm.injectionCycles) * tickPeriod;
     NodeId node = pkt.src;
-    ctx.queue().schedule(delay, [this, node, pkt] {
-        routers[static_cast<std::size_t>(node)]->inject(pkt);
+    ctx.queue().schedule(delay, [this, node, h] {
+        routers[static_cast<std::size_t>(node)]->inject(h);
     });
 }
 
 void
-Network::scheduleArrival(NodeId to, int in_port, int vc, Packet pkt,
+Network::scheduleArrival(NodeId to, int in_port, int vc, PacketHandle h,
                          int delay_cycles)
 {
     ctx.queue().schedule(static_cast<Tick>(delay_cycles) * tickPeriod,
-                         [this, to, in_port, vc, pkt] {
+                         [this, to, in_port, vc, h] {
         // The packet was on the wire when the downstream router
         // died: its flits arrive at a dead receiver and are lost.
         if (degraded_ && deadNode[std::size_t(to)]) {
-            dropPacket(to, pkt, "dead-receiver");
+            dropPacket(to, h, "dead-receiver");
             return;
         }
-        routers[static_cast<std::size_t>(to)]->receive(in_port, vc, pkt);
+        routers[static_cast<std::size_t>(to)]->receive(in_port, vc, h);
     });
 }
 
@@ -111,27 +115,29 @@ Network::scheduleCredit(NodeId at_node, int in_port, int vc, int flits)
 }
 
 void
-Network::deliverLocal(NodeId node, Packet pkt)
+Network::deliverLocal(NodeId node, PacketHandle h)
 {
     // Ejection waits for the packet tail (cut-through streamed the
     // header ahead; the body pays its serialization exactly once,
     // here at the sink). Store-and-forward packets arrive whole.
-    int tail = prm.cutThrough && pkt.flits > headerFlits
-                   ? pkt.flits - headerFlits
+    int flits = pool_.get(h).flits;
+    int tail = prm.cutThrough && flits > headerFlits
+                   ? flits - headerFlits
                    : 0;
     Tick delay =
         static_cast<Tick>(prm.ejectionCycles + tail) * tickPeriod;
     ctx.queue().schedule(delay,
-                         [this, node, pkt] { deliverNow(node, pkt); });
+                         [this, node, h] { deliverNow(node, h); });
 }
 
 void
-Network::deliverNow(NodeId node, const Packet &pkt)
+Network::deliverNow(NodeId node, PacketHandle h)
 {
     if (degraded_ && deadNode[std::size_t(node)]) {
-        dropPacket(node, pkt, "dead-receiver");
+        dropPacket(node, h, "dead-receiver");
         return;
     }
+    const Packet &pkt = pool_.get(h);
     st.deliveredPackets += 1;
     st.deliveredFlits += static_cast<std::uint64_t>(pkt.flits);
     st.latencyNs.sample(ticksToNs(ctx.now() - pkt.injected));
@@ -140,15 +146,19 @@ Network::deliverNow(NodeId node, const Packet &pkt)
     auto &handler = handlers[static_cast<std::size_t>(node)];
     if (handler)
         handler(pkt);
+    // The handler may have injected follow-on packets (growing the
+    // pool); the deque keeps `pkt` valid until this release.
+    pool_.release(h);
 }
 
 void
-Network::dropPacket(NodeId at, const Packet &pkt, const char *why)
+Network::dropPacket(NodeId at, PacketHandle h, const char *why)
 {
     st.droppedPackets += 1;
     flying -= 1;
     if (dropHook)
-        dropHook(at, pkt, why);
+        dropHook(at, pool_.get(h), why);
+    pool_.release(h);
 }
 
 void
@@ -198,6 +208,16 @@ Network::registerTelemetry(telem::Registry &reg,
                    st.hopsPerPacket);
     reg.addGauge(telem::path(prefix, "in_flight"),
                  [this] { return static_cast<double>(flying); });
+
+    // Packet-pool health: reuse should dwarf allocated once warm.
+    const std::string pp = telem::path(prefix, "packet_pool");
+    reg.addCounter(telem::path(pp, "allocated"), pool_.stats().allocated);
+    reg.addCounter(telem::path(pp, "reuse"), pool_.stats().reused);
+    reg.addCounter(telem::path(pp, "peak_in_use"),
+                   pool_.stats().peakInUse);
+    reg.addGauge(telem::path(pp, "in_use"), [this] {
+        return static_cast<double>(pool_.inUse());
+    });
 }
 
 void

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "net/params.hh"
 #include "net/router.hh"
 #include "sim/context.hh"
@@ -73,6 +74,10 @@ class Network
     {
         return *routers[std::size_t(node)];
     }
+
+    /** The slab every in-flight packet of this network lives in. */
+    PacketPool &pool() { return pool_; }
+    const PacketPool &pool() const { return pool_; }
     /// @}
 
     /** @name Statistics */
@@ -132,16 +137,16 @@ class Network
         std::function<void(NodeId at, const Packet &, const char *why)>;
     void setDropHook(DropHook hook) { dropHook = std::move(hook); }
 
-    /** Account and discard an undeliverable packet (also Router). */
-    void dropPacket(NodeId at, const Packet &pkt, const char *why);
+    /** Account, report and release an undeliverable pooled packet. */
+    void dropPacket(NodeId at, PacketHandle h, const char *why);
     /// @}
 
     /** @name Router-internal plumbing (used by Router) */
     /// @{
-    void scheduleArrival(NodeId to, int in_port, int vc, Packet pkt,
+    void scheduleArrival(NodeId to, int in_port, int vc, PacketHandle h,
                          int delay_cycles);
     void scheduleCredit(NodeId at_node, int in_port, int vc, int flits);
-    void deliverLocal(NodeId node, Packet pkt);
+    void deliverLocal(NodeId node, PacketHandle h);
     void countLinkFlits(NodeId node, int port, int flits)
     {
         linkFlits[std::size_t(node)][std::size_t(port)] +=
@@ -152,13 +157,14 @@ class Network
 
   private:
     void tick();
-    void deliverNow(NodeId node, const Packet &pkt);
+    void deliverNow(NodeId node, PacketHandle h);
 
     SimContext &ctx;
     const topo::Topology &topo_;
     NetworkParams prm;
     Tick tickPeriod;
 
+    PacketPool pool_;
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<Handler> handlers;
     std::vector<std::vector<std::uint64_t>> linkFlits;

@@ -14,13 +14,12 @@ Router::Router(Network &network, NodeId node) : net(network), id(node)
     const auto &prm = net.params();
     const int ports = topo.numPorts(id);
 
-    inputs.resize(static_cast<std::size_t>(ports));
+    vcQ.resize(static_cast<std::size_t>(ports) * numVcs);
+    vcState.resize(static_cast<std::size_t>(ports) * numVcs);
+    rrVc.assign(static_cast<std::size_t>(ports), 0);
     outputs.resize(static_cast<std::size_t>(ports));
 
     for (int p = 0; p < ports; ++p) {
-        auto &in = inputs[static_cast<std::size_t>(p)];
-        in.vcs.resize(numVcs);
-
         auto &out = outputs[static_cast<std::size_t>(p)];
         topo::Port link = topo.port(id, p);
         out.connected = link.connected();
@@ -40,14 +39,14 @@ Router::Router(Network &network, NodeId node) : net(network), id(node)
 }
 
 void
-Router::receive(int in_port, int vc, Packet pkt)
+Router::receive(int in_port, int vc, PacketHandle h)
 {
-    auto &buf = inputs[static_cast<std::size_t>(in_port)]
-                    .vcs[static_cast<std::size_t>(vc)];
+    Packet &pkt = net.pool().get(h);
+    auto &st = vcState[slot(in_port, vc)];
     pkt.hops += 1;
-    buf.flitsUsed += pkt.flits;
-    buf.recvFlits += static_cast<std::uint64_t>(pkt.flits);
-    buf.q.push_back(pkt);
+    st.flitsUsed += pkt.flits;
+    st.recvFlits += static_cast<std::uint64_t>(pkt.flits);
+    vcQ[slot(in_port, vc)].push(h);
     buffered += 1;
     net.activate();
 }
@@ -104,19 +103,20 @@ Router::syncPorts()
 void
 Router::flushAll()
 {
-    for (std::size_t p = 0; p < inputs.size(); ++p) {
+    const int ports = static_cast<int>(outputs.size());
+    for (int p = 0; p < ports; ++p) {
         for (int vc = 0; vc < numVcs; ++vc) {
-            auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
-            while (!buf.q.empty()) {
-                Packet pkt = popHead(static_cast<int>(p), vc);
-                net.dropPacket(id, pkt, "node-failure");
+            auto &q = vcQ[slot(p, vc)];
+            while (!q.empty()) {
+                PacketHandle h = popHead(p, vc);
+                net.dropPacket(id, h, "node-failure");
             }
         }
     }
     for (auto &q : injQs) {
         while (!q.empty()) {
             net.dropPacket(id, q.front(), "node-failure");
-            q.pop_front();
+            q.pop();
             injWaiting -= 1;
         }
     }
@@ -147,10 +147,10 @@ Router::registerTelemetry(telem::Registry &reg,
         // Input-side VC stats of the same port (the buffers facing
         // the neighbour this port points at).
         for (int vc = 0; vc < numVcs; ++vc) {
-            const auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
+            const auto &st = vcState[slot(static_cast<int>(p), vc)];
             const std::string vp = telem::path(pp, "vc", vc);
-            reg.addCounter(vp + ".flits", buf.recvFlits);
-            reg.addCounter(vp + ".stalls", buf.creditStalls);
+            reg.addCounter(vp + ".flits", st.recvFlits);
+            reg.addCounter(vp + ".stalls", st.creditStalls);
         }
     }
     for (int cls = 0; cls < numClasses; ++cls) {
@@ -168,11 +168,9 @@ Router::registerTelemetry(telem::Registry &reg,
 void
 Router::clearStats(Tick now)
 {
-    for (auto &in : inputs) {
-        for (auto &buf : in.vcs) {
-            buf.recvFlits = 0;
-            buf.creditStalls = 0;
-        }
+    for (auto &st : vcState) {
+        st.recvFlits = 0;
+        st.creditStalls = 0;
     }
     for (auto &out : outputs) {
         out.sentFlits = 0;
@@ -185,37 +183,31 @@ Router::clearStats(Tick now)
 bool
 Router::oldestBuffered(Packet &out) const
 {
+    const PacketPool &pool = net.pool();
     bool found = false;
-    auto consider = [&](const Packet &pkt) {
+    auto consider = [&](PacketHandle h) {
+        const Packet &pkt = pool.get(h);
         if (!found || pkt.injected < out.injected) {
             out = pkt;
             found = true;
         }
     };
-    for (const auto &in : inputs)
-        for (const auto &buf : in.vcs)
-            for (const auto &pkt : buf.q)
-                consider(pkt);
+    for (const auto &q : vcQ)
+        for (PacketHandle h : q)
+            consider(h);
     for (const auto &q : injQs)
-        for (const auto &pkt : q)
-            consider(pkt);
+        for (PacketHandle h : q)
+            consider(h);
     return found;
 }
 
 void
-Router::inject(Packet pkt)
+Router::inject(PacketHandle h)
 {
-    injQs[static_cast<std::size_t>(pkt.cls)].push_back(pkt);
+    const Packet &pkt = net.pool().get(h);
+    injQs[static_cast<std::size_t>(pkt.cls)].push(h);
     injWaiting += 1;
     net.activate();
-}
-
-int
-Router::vcOccupancy(int in_port, int vc) const
-{
-    return inputs[static_cast<std::size_t>(in_port)]
-        .vcs[static_cast<std::size_t>(vc)]
-        .flitsUsed;
 }
 
 bool
@@ -264,31 +256,33 @@ Router::chooseRoute(const Packet &pkt, Route &route,
     return false;
 }
 
-Packet
+PacketHandle
 Router::popHead(int in_port, int vc)
 {
-    auto &buf = inputs[static_cast<std::size_t>(in_port)]
-                    .vcs[static_cast<std::size_t>(vc)];
-    gs_assert(!buf.q.empty());
-    Packet pkt = buf.q.front();
-    buf.q.pop_front();
-    buf.flitsUsed -= pkt.flits;
+    auto &q = vcQ[slot(in_port, vc)];
+    gs_assert(!q.empty());
+    PacketHandle h = q.front();
+    q.pop();
+    int flits = net.pool().get(h).flits;
+    vcState[slot(in_port, vc)].flitsUsed -= flits;
     buffered -= 1;
     // Freed buffer space becomes a credit at our upstream neighbour.
-    net.scheduleCredit(id, in_port, vc, pkt.flits);
-    return pkt;
+    net.scheduleCredit(id, in_port, vc, flits);
+    return h;
 }
 
 void
 Router::ejectPass(Tick now)
 {
     (void)now;
-    for (std::size_t p = 0; p < inputs.size(); ++p) {
+    const PacketPool &pool = net.pool();
+    const int ports = static_cast<int>(outputs.size());
+    for (int p = 0; p < ports; ++p) {
         for (int vc = 0; vc < numVcs; ++vc) {
-            auto &buf = inputs[p].vcs[static_cast<std::size_t>(vc)];
-            while (!buf.q.empty() && buf.q.front().dst == id) {
-                Packet pkt = popHead(static_cast<int>(p), vc);
-                net.deliverLocal(id, pkt);
+            auto &q = vcQ[slot(p, vc)];
+            while (!q.empty() && pool.get(q.front()).dst == id) {
+                PacketHandle h = popHead(p, vc);
+                net.deliverLocal(id, h);
             }
         }
     }
@@ -298,37 +292,39 @@ void
 Router::nominate(Tick now)
 {
     noms.clear();
+    PacketPool &pool = net.pool();
 
     // Network input ports: one nominee each, round-robin over VCs.
     // Heads whose destination lost every route (degraded fabric) are
     // dropped on the spot: waiting cannot bring the route back.
-    for (std::size_t p = 0; p < inputs.size(); ++p) {
-        auto &in = inputs[p];
+    const int ports = static_cast<int>(outputs.size());
+    for (int p = 0; p < ports; ++p) {
         for (int k = 0; k < numVcs; ++k) {
-            int vc = (in.rrVc + k) % numVcs;
-            auto &buf = in.vcs[static_cast<std::size_t>(vc)];
+            int vc = (rrVc[static_cast<std::size_t>(p)] + k) % numVcs;
+            auto &q = vcQ[slot(p, vc)];
             Route route;
             bool nominated = false;
-            while (!buf.q.empty()) {
+            while (!q.empty()) {
                 bool unroutable = false;
-                if (chooseRoute(buf.q.front(), route, unroutable)) {
+                if (chooseRoute(pool.get(q.front()), route,
+                                unroutable)) {
                     nominated = true;
                     break;
                 }
                 if (!unroutable) {
-                    buf.creditStalls += 1;
+                    vcState[slot(p, vc)].creditStalls += 1;
                     break;
                 }
-                Packet pkt = popHead(static_cast<int>(p), vc);
-                net.dropPacket(id, pkt, "unroutable");
+                PacketHandle h = popHead(p, vc);
+                net.dropPacket(id, h, "unroutable");
             }
             if (!nominated)
                 continue;
             if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
                 > now)
                 continue;
-            noms.push_back(Nominee{static_cast<int>(p), vc, route});
-            in.rrVc = (vc + 1) % numVcs;
+            noms.push_back(Nominee{p, vc, route});
+            rrVc[static_cast<std::size_t>(p)] = (vc + 1) % numVcs;
             break;
         }
     }
@@ -341,7 +337,7 @@ Router::nominate(Tick now)
         bool nominated = false;
         while (!q.empty()) {
             bool unroutable = false;
-            if (chooseRoute(q.front(), route, unroutable)) {
+            if (chooseRoute(pool.get(q.front()), route, unroutable)) {
                 nominated = true;
                 break;
             }
@@ -350,7 +346,7 @@ Router::nominate(Tick now)
                 break;
             }
             net.dropPacket(id, q.front(), "unroutable");
-            q.pop_front();
+            q.pop();
             injWaiting -= 1;
         }
         if (!nominated)
@@ -369,7 +365,8 @@ Router::grant(Tick now)
 {
     const auto &topo = net.topology();
     const auto &prm = net.params();
-    const int srcSlots = static_cast<int>(inputs.size()) + 1;
+    PacketPool &pool = net.pool();
+    const int srcSlots = static_cast<int>(outputs.size()) + 1;
 
     for (std::size_t o = 0; o < outputs.size(); ++o) {
         auto &out = outputs[o];
@@ -383,8 +380,8 @@ Router::grant(Tick now)
         for (const auto &nom : noms) {
             if (nom.route.outPort != static_cast<int>(o))
                 continue;
-            int slot = nom.inPort < 0 ? srcSlots - 1 : nom.inPort;
-            int rank = (slot - out.rrSrc + srcSlots) % srcSlots;
+            int src = nom.inPort < 0 ? srcSlots - 1 : nom.inPort;
+            int rank = (src - out.rrSrc + srcSlots) % srcSlots;
             if (rank < bestRank) {
                 bestRank = rank;
                 winner = &nom;
@@ -393,15 +390,16 @@ Router::grant(Tick now)
         if (!winner)
             continue;
 
-        Packet pkt;
+        PacketHandle h;
         if (winner->inPort < 0) {
             auto &q = injQs[static_cast<std::size_t>(winner->vc)];
-            pkt = q.front();
-            q.pop_front();
+            h = q.front();
+            q.pop();
             injWaiting -= 1;
         } else {
-            pkt = popHead(winner->inPort, winner->vc);
+            h = popHead(winner->inPort, winner->vc);
         }
+        const Packet &pkt = pool.get(h);
 
         int vc = winner->route.outVc;
         out.credits[static_cast<std::size_t>(vc)] -= pkt.flits;
@@ -424,7 +422,7 @@ Router::grant(Tick now)
         int delay = prm.pipelineCycles + out.wireCycles +
                     (prm.cutThrough ? std::min(pkt.flits, headerFlits)
                                     : pkt.flits);
-        net.scheduleArrival(link.peer, link.peerPort, vc, pkt, delay);
+        net.scheduleArrival(link.peer, link.peerPort, vc, h, delay);
     }
 }
 

@@ -21,18 +21,24 @@
  * (dimension-order with a dateline VC switch, computed by the
  * topology). Ejection always sinks, so responses drain and the
  * class separation keeps the coherence protocol deadlock-free.
+ *
+ * Data layout: packets live in the Network's PacketPool for their
+ * whole flight; the router buffers 4-byte handles, and all per-VC
+ * scalar state (occupancy, telemetry counters) sits in one
+ * contiguous array indexed [port * numVcs + vc] so the arbitration
+ * sweep walks flat memory.
  */
 
 #ifndef GS_NET_ROUTER_HH
 #define GS_NET_ROUTER_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "sim/telemetry.hh"
 #include "sim/types.hh"
 
@@ -58,16 +64,19 @@ class Router
     bool idle() const { return buffered == 0 && injWaiting == 0; }
 
     /** Packet arrival from an upstream link (scheduled event). */
-    void receive(int in_port, int vc, Packet pkt);
+    void receive(int in_port, int vc, PacketHandle h);
 
     /** Downstream freed buffer space (scheduled event). */
     void creditReturn(int out_port, int vc, int flits);
 
-    /** Local agent hands a packet to this router for injection. */
-    void inject(Packet pkt);
+    /** Local agent hands a pooled packet to this router. */
+    void inject(PacketHandle h);
 
     /** Occupancy (flits) of input VC @p vc on port @p in_port. */
-    int vcOccupancy(int in_port, int vc) const;
+    int vcOccupancy(int in_port, int vc) const
+    {
+        return vcState[slot(in_port, vc)].flitsUsed;
+    }
 
     /** Pending packets in the injection queue of class @p cls. */
     std::size_t injQueueDepth(MsgClass cls) const
@@ -134,6 +143,38 @@ class Router
         Route route; ///< chosen output
     };
 
+    /** Per-(input port, VC) scalar state, flat-indexed by slot(). */
+    struct VcState
+    {
+        int flitsUsed = 0;
+
+        // Telemetry counters (plain adds on the hot path; the
+        // registry reads them pull-based, so they cost nothing more
+        // even with every sink attached).
+        std::uint64_t recvFlits = 0;
+        std::uint64_t creditStalls = 0; ///< head blocked, no credits
+    };
+
+    struct Output
+    {
+        bool connected = false;
+        std::array<int, numVcs> credits{};
+        Tick busyUntil = 0;
+        int wireCycles = 0;
+        int rrSrc = 0; ///< global-arbiter round-robin pointer
+
+        std::uint64_t sentFlits = 0;   ///< telemetry
+        std::uint64_t sentPackets = 0; ///< telemetry
+    };
+
+    std::size_t
+    slot(int in_port, int vc) const
+    {
+        return static_cast<std::size_t>(in_port) *
+                   static_cast<std::size_t>(numVcs) +
+               static_cast<std::size_t>(vc);
+    }
+
     /**
      * Pick the best feasible output for @p pkt: adaptive candidate
      * with most free credits, else escape.
@@ -158,44 +199,16 @@ class Router
     void grant(Tick now);
 
     /** Pop the head of an input VC, returning upstream credits. */
-    Packet popHead(int in_port, int vc);
-
-    struct VcBuf
-    {
-        std::deque<Packet> q;
-        int flitsUsed = 0;
-
-        // Telemetry counters (plain adds on the hot path; the
-        // registry reads them pull-based, so they cost nothing more
-        // even with every sink attached).
-        std::uint64_t recvFlits = 0;
-        std::uint64_t creditStalls = 0; ///< head blocked, no credits
-    };
-
-    struct Input
-    {
-        std::vector<VcBuf> vcs;
-        int rrVc = 0; ///< local-arbiter round-robin pointer
-    };
-
-    struct Output
-    {
-        bool connected = false;
-        std::array<int, numVcs> credits{};
-        Tick busyUntil = 0;
-        int wireCycles = 0;
-        int rrSrc = 0; ///< global-arbiter round-robin pointer
-
-        std::uint64_t sentFlits = 0;   ///< telemetry
-        std::uint64_t sentPackets = 0; ///< telemetry
-    };
+    PacketHandle popHead(int in_port, int vc);
 
     Network &net;
     NodeId id;
 
-    std::vector<Input> inputs;
+    std::vector<HandleQueue> vcQ; ///< buffered packets, slot()-indexed
+    std::vector<VcState> vcState; ///< per-VC scalars, slot()-indexed
+    std::vector<int> rrVc;        ///< per-port local-arbiter pointer
     std::vector<Output> outputs;
-    std::array<std::deque<Packet>, numClasses> injQs;
+    std::array<HandleQueue, numClasses> injQs;
     std::array<std::uint64_t, numClasses> injStalls{}; ///< telemetry
     int injRrClass = 0;
     Tick statsWindowStart = 0; ///< busy-fraction window origin

@@ -5,16 +5,31 @@
  * Events scheduled for the same tick fire in FIFO order of their
  * scheduling (a monotone sequence number breaks ties), which keeps
  * component interactions deterministic and reproducible.
+ *
+ * Internally the queue is a hierarchical calendar: a power-of-two
+ * ring of buckets covers the near future (bucketWidth ticks per
+ * bucket, bucketCount buckets of horizon total), and anything
+ * scheduled beyond the ring's window waits in an overflow min-heap
+ * until the window slides over it. Steady-state traffic — network
+ * cycles, memory callbacks, coherence hops, all within a few hundred
+ * nanoseconds of now — lands in a warm bucket vector with no heap
+ * ordering work and, because callbacks are InlineFn rather than
+ * std::function, no allocation. The fire order is contractual and
+ * identical to a single (when, seq) min-heap; see
+ * tests/sim/event_queue_ab_test.cc, which locks the two
+ * implementations together, and docs/EVENT_KERNEL.md for sizing.
  */
 
 #ifndef GS_SIM_EVENT_QUEUE_HH
 #define GS_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_fn.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -22,7 +37,7 @@ namespace gs
 {
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /**
  * A discrete-event queue with a current simulated time.
@@ -33,6 +48,21 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
+    /** @name Calendar geometry (see docs/EVENT_KERNEL.md) */
+    /// @{
+    /** log2 of the bucket width in ticks. */
+    static constexpr int bucketBits = 12;
+
+    /** One bucket covers this many ticks (~4.1 ns at 1 tick = 1 ps). */
+    static constexpr Tick bucketWidth = Tick(1) << bucketBits;
+
+    /** Number of buckets in the ring (power of two). */
+    static constexpr std::size_t bucketCount = 1024;
+
+    /** Ring window span; events past it go to the overflow heap. */
+    static constexpr Tick horizon = bucketWidth * bucketCount;
+    /// @}
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -41,35 +71,53 @@ class EventQueue
     Tick now() const { return curTick; }
 
     /** Number of events not yet fired. */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t pending() const { return pendingCnt; }
 
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /** @name Self-metrics (telemetry / --verbose bench reporting) */
     /// @{
     /** Events fired since construction. */
     std::uint64_t firedCount() const { return fired; }
 
-    /** High-water mark of the pending-event heap. */
+    /** High-water mark of the pending-event count. */
     std::size_t peakPending() const { return peak; }
+
+    /** Events currently resident in the near-future bucket ring. */
+    std::size_t ringPending() const { return ringCount; }
+
+    /** Events currently parked in the overflow heap. */
+    std::size_t overflowPending() const { return heap.size(); }
+
+    /** Events migrated overflow-heap -> ring since construction. */
+    std::uint64_t overflowMigrations() const { return migrated; }
     /// @}
 
-    /** Schedule @p fn at absolute time @p when (>= now). */
+    /**
+     * Schedule @p fn at absolute time @p when (>= now).
+     *
+     * Templated on the callable so the capture is constructed
+     * directly inside the calendar slot — no intermediate EventFn
+     * relocation on the hot path.
+     */
+    template <typename F>
     void
-    scheduleAt(Tick when, EventFn fn)
+    scheduleAt(Tick when, F &&fn)
     {
         gs_assert(when >= curTick,
                   "event scheduled in the past: ", when, " < ", curTick);
-        heap.push(Entry{when, nextSeq++, std::move(fn)});
-        if (heap.size() > peak)
-            peak = heap.size();
+        insert(when, nextSeq++, std::forward<F>(fn));
+        pendingCnt += 1;
+        if (pendingCnt > peak)
+            peak = pendingCnt;
     }
 
     /** Schedule @p fn @p delay ticks from now. */
+    template <typename F>
     void
-    schedule(Tick delay, EventFn fn)
+    schedule(Tick delay, F &&fn)
     {
-        scheduleAt(curTick + delay, std::move(fn));
+        scheduleAt(curTick + delay, std::forward<F>(fn));
     }
 
     /**
@@ -79,13 +127,9 @@ class EventQueue
     bool
     step()
     {
-        if (heap.empty())
+        if (!ensureCurrent())
             return false;
-        Entry e = std::move(const_cast<Entry &>(heap.top()));
-        heap.pop();
-        curTick = e.when;
-        fired += 1;
-        e.fn();
+        fireHead();
         return true;
     }
 
@@ -96,8 +140,12 @@ class EventQueue
     Tick
     runUntil(Tick limit = maxTick)
     {
-        while (!heap.empty() && heap.top().when <= limit)
-            step();
+        while (ensureCurrent()) {
+            Bucket &b = *curb;
+            if (b.entries[b.head].when > limit)
+                break;
+            fireHead();
+        }
         if (curTick < limit && limit != maxTick)
             curTick = limit;
         return curTick;
@@ -110,8 +158,15 @@ class EventQueue
     void
     clear()
     {
+        for (auto &b : buckets) {
+            b.entries.destroyAll();
+            b.head = 0;
+            b.sorted = false;
+        }
         while (!heap.empty())
             heap.pop();
+        ringCount = 0;
+        pendingCnt = 0;
     }
 
   private:
@@ -120,6 +175,32 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventFn fn;
+        // Pads sizeof(Entry) to a power of two so every
+        // vector<Entry>::size() on the hot path is a shift instead
+        // of a multiply by a magic reciprocal.
+        unsigned char pad[128 - 2 * sizeof(std::uint64_t) -
+                          sizeof(EventFn)];
+
+        template <typename F,
+                  typename = std::enable_if_t<
+                      !std::is_same_v<std::decay_t<F>, Entry>>>
+        Entry(Tick w, std::uint64_t s, F &&f)
+            : when(w), seq(s), fn(std::forward<F>(f))
+        {}
+
+        // Hand-written moves skip the padding bytes.
+        Entry(Entry &&o) noexcept
+            : when(o.when), seq(o.seq), fn(std::move(o.fn))
+        {}
+
+        Entry &
+        operator=(Entry &&o) noexcept
+        {
+            when = o.when;
+            seq = o.seq;
+            fn = std::move(o.fn);
+            return *this;
+        }
 
         bool
         operator>(const Entry &o) const
@@ -127,12 +208,334 @@ class EventQueue
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
+    static_assert(sizeof(Entry) == 128, "hot-path stride");
 
+    /**
+     * Grow-only storage for a bucket's entries.
+     *
+     * A pared-down vector with one extra verb std::vector cannot
+     * express: truncateHusks(), which drops every element without
+     * running destructors. When a bucket drains, all its entries are
+     * moved-from husks whose InlineFn destructors are no-ops by
+     * construction (fireHead relocates the callable out before
+     * invoking it), so the per-element destructor walk std::vector
+     * would do on clear() is pure overhead on the fire path. Elements
+     * that may still be live (queue clear()/rewind/destruction) go
+     * through destroyAll() instead. Capacity is retained across
+     * truncation so warm buckets never re-allocate.
+     */
+    class EntryVec
+    {
+      public:
+        EntryVec() = default;
+        EntryVec(const EntryVec &) = delete;
+        EntryVec &operator=(const EntryVec &) = delete;
+
+        // Plain (unaligned) operator new suffices — and keeps these
+        // allocations visible to tests that override it globally.
+        static_assert(alignof(Entry) <= alignof(std::max_align_t),
+                      "Entry must not be over-aligned");
+
+        ~EntryVec()
+        {
+            destroyAll();
+            ::operator delete(data_);
+        }
+
+        std::size_t size() const { return size_; }
+        bool empty() const { return size_ == 0; }
+        Entry &operator[](std::size_t i) { return data_[i]; }
+        Entry &back() { return data_[size_ - 1]; }
+        Entry *begin() { return data_; }
+        Entry *end() { return data_ + size_; }
+
+        template <typename... Args>
+        void
+        emplace_back(Args &&...args)
+        {
+            if (size_ == cap_) [[unlikely]]
+                grow();
+            ::new (static_cast<void *>(data_ + size_))
+                Entry(std::forward<Args>(args)...);
+            size_ += 1;
+        }
+
+        /** Insert before @p pos, shifting the tail up one slot. */
+        template <typename... Args>
+        void
+        emplace(Entry *pos, Args &&...args)
+        {
+            std::size_t at = static_cast<std::size_t>(pos - data_);
+            if (size_ == cap_) [[unlikely]]
+                grow();
+            for (std::size_t i = size_; i > at; --i) {
+                ::new (static_cast<void *>(data_ + i))
+                    Entry(std::move(data_[i - 1]));
+                data_[i - 1].~Entry();
+            }
+            ::new (static_cast<void *>(data_ + at))
+                Entry(std::forward<Args>(args)...);
+            size_ += 1;
+        }
+
+        /** Drop all elements, destructor-free. Precondition: every
+         *  element is a vacated husk (no-op destructor). */
+        void truncateHusks() { size_ = 0; }
+
+        /** Drop all elements, running destructors (live entries). */
+        void
+        destroyAll()
+        {
+            for (std::size_t i = 0; i < size_; ++i)
+                data_[i].~Entry();
+            size_ = 0;
+        }
+
+      private:
+        void
+        grow()
+        {
+            std::size_t ncap = cap_ ? cap_ * 2 : 8;
+            auto *nd = static_cast<Entry *>(
+                ::operator new(ncap * sizeof(Entry)));
+            for (std::size_t i = 0; i < size_; ++i) {
+                ::new (static_cast<void *>(nd + i))
+                    Entry(std::move(data_[i]));
+                data_[i].~Entry();
+            }
+            ::operator delete(data_);
+            data_ = nd;
+            cap_ = ncap;
+        }
+
+        Entry *data_ = nullptr;
+        std::size_t size_ = 0;
+        std::size_t cap_ = 0;
+    };
+
+    /**
+     * One calendar slot. `sorted` is true only while this is the
+     * current bucket: future buckets take cheap unordered appends and
+     * are sorted once, by (when, seq), when the window reaches them.
+     * `head` indexes the next unfired entry of the current bucket
+     * (consumed entries stay as moved-from husks until the bucket
+     * drains and its storage is recycled).
+     */
+    struct Bucket
+    {
+        EntryVec entries;
+        std::size_t head = 0;
+        bool sorted = false;
+    };
+
+    static constexpr std::size_t
+    bucketIndex(Tick when)
+    {
+        return static_cast<std::size_t>(when >> bucketBits) &
+               (bucketCount - 1);
+    }
+
+    static constexpr Tick
+    bucketBase(Tick when)
+    {
+        return when & ~(bucketWidth - 1);
+    }
+
+    template <typename F>
+    void
+    insert(Tick when, std::uint64_t seq, F &&fn)
+    {
+        if (pendingCnt == 0) {
+            // Empty queue: re-anchor the window at the new event so
+            // the ubiquitous schedule-then-fire pattern never touches
+            // the overflow heap no matter how far curTick drifted.
+            // Every bucket is empty here (fireHead clears a bucket
+            // the moment it drains), so the event is trivially in
+            // order and its bucket — the current one after the
+            // re-anchor — takes a straight append.
+            Tick nb = bucketBase(when);
+            if (nb != base) {
+                curb->sorted = false;
+                base = nb;
+                cur = bucketIndex(when);
+                curb = &buckets[cur];
+                curb->sorted = true; // empty: trivially sorted
+            }
+            curb->entries.emplace_back(when, seq, std::forward<F>(fn));
+            ringCount += 1;
+            return;
+        }
+        if (when < base) {
+            // A long idle runUntil() re-anchored the window at a
+            // far-future event and control returned to the user; a
+            // new event now lands before the window. Rare and cold:
+            // rebuild the window around the early event.
+            rewindTo(when);
+        }
+        if (when < base + horizon) {
+            Bucket &b = buckets[bucketIndex(when)];
+            if (&b == curb && b.sorted &&
+                !(b.entries.empty() || b.entries.back().when <= when)) {
+                // Out-of-order arrival into the live bucket: a
+                // binary-search insert keeps it sorted; seq is
+                // monotone, so upper_bound on `when` alone preserves
+                // same-tick FIFO. In-order arrivals (the common
+                // case: back().when <= when) append below, which
+                // also keeps the bucket sorted.
+                auto it = std::upper_bound(
+                    b.entries.begin() +
+                        static_cast<std::ptrdiff_t>(b.head),
+                    b.entries.end(), when,
+                    [](Tick w, const Entry &e) { return w < e.when; });
+                b.entries.emplace(it, when, seq, std::forward<F>(fn));
+            } else {
+                b.entries.emplace_back(when, seq, std::forward<F>(fn));
+            }
+            ringCount += 1;
+        } else {
+            heap.emplace(when, seq, std::forward<F>(fn));
+        }
+    }
+
+    /**
+     * Position the window on the earliest pending event: sort the
+     * bucket it lives in if needed, sliding over empty buckets and
+     * pulling overflow events that fall into the window as it moves.
+     * @retval false when nothing is pending.
+     */
+    bool
+    ensureCurrent()
+    {
+        for (;;) {
+            Bucket &b = *curb;
+            if (b.head < b.entries.size()) {
+                if (!b.sorted)
+                    sortBucket(b);
+                return true;
+            }
+            if (b.head != 0) {
+                // Destructor-free: a drained bucket holds only husks.
+                // Capacity is kept, so warm buckets stay warm.
+                b.entries.truncateHusks();
+                b.head = 0;
+            }
+            if (ringCount == 0) {
+                if (heap.empty())
+                    return false;
+                // Ring dry: jump the window to the heap's earliest
+                // event instead of sliding bucket by bucket.
+                b.sorted = false;
+                Tick w = heap.top().when;
+                base = bucketBase(w);
+                cur = bucketIndex(w);
+                curb = &buckets[cur];
+                migrateOverflow();
+                continue;
+            }
+            // Slide one bucket; the vacated slot becomes the far edge
+            // of the window and inherits any overflow events there.
+            b.sorted = false;
+            cur = (cur + 1) & (bucketCount - 1);
+            curb = &buckets[cur];
+            base += bucketWidth;
+            migrateOverflow();
+        }
+    }
+
+    /** Pull every overflow event inside [base, base + horizon). */
+    void
+    migrateOverflow()
+    {
+        const Tick limit = base + horizon;
+        while (!heap.empty() && heap.top().when < limit) {
+            Entry &top = const_cast<Entry &>(heap.top());
+            Bucket &b = buckets[bucketIndex(top.when)];
+            b.entries.emplace_back(top.when, top.seq,
+                                   std::move(top.fn));
+            b.sorted = false;
+            heap.pop();
+            ringCount += 1;
+            migrated += 1;
+        }
+    }
+
+    /** Rebuild the window around early @p when (cold path; see insert). */
+    void
+    rewindTo(Tick when)
+    {
+        for (auto &b : buckets) {
+            for (std::size_t i = b.head; i < b.entries.size(); ++i)
+                heap.push(std::move(b.entries[i]));
+            b.entries.destroyAll();
+            b.head = 0;
+            b.sorted = false;
+        }
+        ringCount = 0;
+        base = bucketBase(when);
+        cur = bucketIndex(when);
+        curb = &buckets[cur];
+        migrateOverflow();
+    }
+
+    static void
+    sortBucket(Bucket &b)
+    {
+        gs_assert(b.head == 0, "sorting a partially drained bucket");
+        std::sort(b.entries.begin(), b.entries.end(),
+                  [](const Entry &a, const Entry &c) {
+                      return a.when != c.when ? a.when < c.when
+                                              : a.seq < c.seq;
+                  });
+        b.sorted = true;
+    }
+
+    /** Fire the head of the current bucket (ensureCurrent() == true). */
+    void
+    fireHead()
+    {
+        Bucket &b = *curb;
+        Entry &slot = b.entries[b.head];
+        // The callable is relocated out of the slot before it runs:
+        // the callback may append to this bucket and reallocate its
+        // storage. Trivially-relocatable callables (the steady-state
+        // shape) take the raw-copy thunk path; the rest pay a full
+        // InlineFn move.
+        alignas(std::max_align_t) unsigned char tmp[EventFn::inlineCapacity];
+        const Tick when = slot.when;
+        auto pop = [&] {
+            b.head += 1;
+            if (b.head == b.entries.size()) {
+                b.entries.truncateHusks(); // all husks: destructor-free
+                b.head = 0;
+            }
+            ringCount -= 1;
+            pendingCnt -= 1;
+            curTick = when;
+            fired += 1;
+        };
+        if (EventFn::CallFn thunk = slot.fn.stealTrivial(tmp)) {
+            pop();
+            thunk(tmp);
+        } else {
+            EventFn fn = std::move(slot.fn);
+            pop();
+            fn();
+        }
+    }
+
+    std::array<Bucket, bucketCount> buckets;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick base = 0;        ///< window start (current bucket's range)
+    std::size_t cur = 0;  ///< physical index of the current bucket
+    Bucket *curb = &buckets[0]; ///< cached &buckets[cur] (hot paths)
+    std::size_t ringCount = 0;  ///< unfired events in the ring
+    std::size_t pendingCnt = 0; ///< ringCount + heap.size(), cached
+
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;
     std::size_t peak = 0;
+    std::uint64_t migrated = 0;
 };
 
 } // namespace gs

@@ -256,6 +256,28 @@ Machine::registerTelemetry()
     net->registerTelemetry(telemetry_, "net");
     injector_->registerTelemetry(telemetry_, "fault");
 
+    // Event-kernel self-metrics: how hard the calendar queue is
+    // working (see docs/EVENT_KERNEL.md). `buckets` counts events
+    // resident in the near-future ring, `overflow` those parked in
+    // the far-future heap; a healthy steady state keeps overflow
+    // near zero.
+    SimContext *ctxp = context.get();
+    telemetry_.addGauge("eq.fired", [ctxp] {
+        return static_cast<double>(ctxp->queue().firedCount());
+    });
+    telemetry_.addGauge("eq.pending", [ctxp] {
+        return static_cast<double>(ctxp->queue().pending());
+    });
+    telemetry_.addGauge("eq.peak_pending", [ctxp] {
+        return static_cast<double>(ctxp->queue().peakPending());
+    });
+    telemetry_.addGauge("eq.buckets", [ctxp] {
+        return static_cast<double>(ctxp->queue().ringPending());
+    });
+    telemetry_.addGauge("eq.overflow", [ctxp] {
+        return static_cast<double>(ctxp->queue().overflowPending());
+    });
+
     // GS1280 routers keep the compass port names the paper uses in
     // its Figure 24 discussion (E/W/N/S); other fabrics number them.
     std::function<std::string(int)> portName;

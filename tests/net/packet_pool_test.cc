@@ -1,0 +1,158 @@
+/** @file Unit tests for the packet pool and the handle FIFO. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+#include "net/packet_pool.hh"
+
+namespace
+{
+
+using gs::net::HandleQueue;
+using gs::net::Packet;
+using gs::net::PacketHandle;
+using gs::net::PacketPool;
+
+Packet
+mkPkt(int src, int dst, int flits)
+{
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.flits = flits;
+    return p;
+}
+
+TEST(PacketPool, AcquireStoresACopy)
+{
+    PacketPool pool;
+    Packet p = mkPkt(1, 2, 5);
+    PacketHandle h = pool.acquire(p);
+    p.flits = 99; // the pool owns an independent copy
+    EXPECT_EQ(pool.get(h).src, 1);
+    EXPECT_EQ(pool.get(h).dst, 2);
+    EXPECT_EQ(pool.get(h).flits, 5);
+    EXPECT_EQ(pool.inUse(), 1u);
+    pool.release(h);
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(PacketPool, ReleasedSlotsRecycleLifo)
+{
+    PacketPool pool;
+    PacketHandle a = pool.acquire(mkPkt(0, 1, 1));
+    PacketHandle b = pool.acquire(mkPkt(0, 2, 1));
+    EXPECT_EQ(pool.stats().allocated, 2u);
+    EXPECT_EQ(pool.stats().reused, 0u);
+
+    pool.release(a);
+    pool.release(b);
+    // LIFO: the most recently released slot comes back first.
+    EXPECT_EQ(pool.acquire(mkPkt(0, 3, 1)), b);
+    EXPECT_EQ(pool.acquire(mkPkt(0, 4, 1)), a);
+    EXPECT_EQ(pool.stats().allocated, 2u);
+    EXPECT_EQ(pool.stats().reused, 2u);
+    EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(PacketPool, ReferencesStayValidAcrossGrowth)
+{
+    PacketPool pool;
+    PacketHandle first = pool.acquire(mkPkt(7, 8, 9));
+    const Packet &ref = pool.get(first);
+
+    // Force lots of growth; a vector-backed slab would reallocate
+    // and dangle `ref`, the deque must not.
+    std::vector<PacketHandle> held;
+    for (int i = 0; i < 4096; ++i)
+        held.push_back(pool.acquire(mkPkt(i, i + 1, 1)));
+
+    EXPECT_EQ(ref.src, 7);
+    EXPECT_EQ(ref.dst, 8);
+    EXPECT_EQ(ref.flits, 9);
+    EXPECT_EQ(&ref, &pool.get(first));
+
+    for (auto h : held)
+        pool.release(h);
+    pool.release(first);
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.stats().peakInUse, 4097u);
+}
+
+TEST(PacketPoolDeath, DoubleReleasePanics)
+{
+    PacketPool pool;
+    PacketHandle h = pool.acquire(mkPkt(0, 1, 1));
+    pool.release(h);
+    EXPECT_DEATH(pool.release(h), "released twice");
+}
+
+TEST(HandleQueue, IsFifo)
+{
+    HandleQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(3);
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 3u);
+    q.pop();
+    EXPECT_EQ(q.front(), 1u);
+    q.pop();
+    EXPECT_EQ(q.front(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(HandleQueue, IterationSkipsConsumedPrefix)
+{
+    HandleQueue q;
+    for (PacketHandle h = 0; h < 8; ++h)
+        q.push(h);
+    q.pop();
+    q.pop();
+    std::vector<PacketHandle> seen(q.begin(), q.end());
+    EXPECT_EQ(seen, (std::vector<PacketHandle>{2, 3, 4, 5, 6, 7}));
+}
+
+TEST(HandleQueue, CompactionPreservesOrderUnderChurn)
+{
+    HandleQueue q;
+    PacketHandle nextPush = 0;
+    PacketHandle nextPop = 0;
+    // Keep ~40 in flight through hundreds of push/pop cycles; the
+    // head cursor repeatedly crosses the compaction threshold.
+    for (int round = 0; round < 500; ++round) {
+        for (int i = 0; i < 5; ++i)
+            q.push(nextPush++);
+        for (int i = 0; i < 4 && !q.empty(); ++i) {
+            ASSERT_EQ(q.front(), nextPop);
+            q.pop();
+            nextPop += 1;
+        }
+    }
+    while (!q.empty()) {
+        ASSERT_EQ(q.front(), nextPop);
+        q.pop();
+        nextPop += 1;
+    }
+    EXPECT_EQ(nextPop, nextPush);
+}
+
+TEST(HandleQueue, ClearEmptiesEverything)
+{
+    HandleQueue q;
+    for (PacketHandle h = 0; h < 100; ++h)
+        q.push(h);
+    for (int i = 0; i < 70; ++i)
+        q.pop();
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    q.push(42);
+    EXPECT_EQ(q.front(), 42u);
+}
+
+} // namespace

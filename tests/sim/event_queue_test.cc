@@ -107,4 +107,140 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
 }
 
+// --- Calendar-queue edge cases ------------------------------------
+// The internals below (bucketWidth, horizon, the overflow heap) are
+// implementation geometry; the behavior asserted is the public
+// (when, seq) fire-order contract at exactly the seams where the
+// calendar does something different from a plain heap.
+
+TEST(EventQueueCalendar, SameTickFifoAcrossBucketBoundary)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick a = EventQueue::bucketWidth - 1; // last tick, bucket 0
+    const Tick b = EventQueue::bucketWidth;     // first tick, bucket 1
+    // Interleave scheduling across the boundary; FIFO must hold
+    // within each tick and time order across them.
+    for (int i = 0; i < 4; ++i) {
+        eq.scheduleAt(b, [&order, i] { order.push_back(10 + i); });
+        eq.scheduleAt(a, [&order, i] { order.push_back(i); });
+    }
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13}));
+}
+
+TEST(EventQueueCalendar, ScheduleAtNowFiresImmediately)
+{
+    EventQueue eq;
+    eq.scheduleAt(12345, [] {});
+    eq.runUntil();
+    ASSERT_EQ(eq.now(), 12345u);
+
+    bool hit = false;
+    eq.scheduleAt(eq.now(), [&] { hit = true; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueueCalendar, EventSchedulingIntoItsOwnTickRunsLast)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(500, [&] {
+        order.push_back(0);
+        // Lands on the firing tick, behind the already-queued 1.
+        eq.schedule(0, [&order] { order.push_back(2); });
+    });
+    eq.scheduleAt(500, [&order] { order.push_back(1); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueueCalendar, ClearFromInsideACallbackMidBucket)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(100, [&] {
+        fired += 1;
+        eq.clear(); // drops the rest of this very bucket
+    });
+    eq.scheduleAt(100, [&] { fired += 1; });
+    eq.scheduleAt(101, [&] { fired += 1; });
+    eq.runUntil();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
+
+    // The queue must stay fully usable after a mid-bucket clear.
+    eq.scheduleAt(200, [&] { fired += 10; });
+    eq.runUntil();
+    EXPECT_EQ(fired, 11);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueueCalendar, FarEventsParkInOverflowAndMigrate)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(1, [&order] { order.push_back(0); });
+    // Far beyond the ring window: must wait in the overflow heap.
+    const Tick far = 3 * EventQueue::horizon + 17;
+    eq.scheduleAt(far, [&order] { order.push_back(1); });
+    eq.scheduleAt(far, [&order] { order.push_back(2); }); // FIFO tie
+    EXPECT_EQ(eq.overflowPending(), 2u);
+    EXPECT_EQ(eq.ringPending(), 1u);
+
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), far);
+    EXPECT_EQ(eq.overflowPending(), 0u);
+    EXPECT_GE(eq.overflowMigrations(), 2u);
+}
+
+TEST(EventQueueCalendar, RunUntilExactlyOnBucketEdge)
+{
+    EventQueue eq;
+    int fired = 0;
+    const Tick edge = EventQueue::bucketWidth;
+    eq.scheduleAt(edge - 1, [&] { fired += 1; });
+    eq.scheduleAt(edge, [&] { fired += 1; });
+    eq.scheduleAt(edge + 1, [&] { fired += 1; });
+    eq.runUntil(edge);
+    EXPECT_EQ(fired, 2); // limit is inclusive
+    EXPECT_EQ(eq.now(), edge);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueCalendar, NearEventAfterFarReanchorStillFiresFirst)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // A lone far-future event pulls the window forward when the ring
+    // runs dry...
+    const Tick far = 2 * EventQueue::horizon;
+    eq.scheduleAt(far, [&order] { order.push_back(1); });
+    eq.runUntil(10); // advances time only; window re-anchored at far
+    ASSERT_EQ(eq.now(), 10u);
+    // ...and an event landing before that window must still beat it.
+    eq.scheduleAt(20, [&order] { order.push_back(0); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(EventQueueCalendar, MetricsCountFiredAndPeak)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(static_cast<Tick>(10 + i), [] {});
+    EXPECT_EQ(eq.peakPending(), 5u);
+    eq.runUntil();
+    EXPECT_EQ(eq.firedCount(), 5u);
+    EXPECT_EQ(eq.peakPending(), 5u); // high-water mark persists
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
 } // namespace

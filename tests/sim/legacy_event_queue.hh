@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The pre-calendar event queue, preserved verbatim for A/B testing.
+ *
+ * This is the simple (when, seq) min-heap the kernel shipped with
+ * before the calendar-queue rewrite (src/sim/event_queue.hh). The
+ * calendar's fire order is contractually identical to this heap's;
+ * tests/sim/event_queue_ab_test.cc replays randomized schedules on
+ * both and asserts equality. Lives in the test tree only — nothing in
+ * src/ links it.
+ */
+
+#ifndef GS_TESTS_SIM_LEGACY_EVENT_QUEUE_HH
+#define GS_TESTS_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gs::test
+{
+
+/** The original heap-based event queue (reference implementation). */
+class LegacyEventQueue
+{
+  public:
+    using EventFn = std::function<void()>;
+
+    LegacyEventQueue() = default;
+    LegacyEventQueue(const LegacyEventQueue &) = delete;
+    LegacyEventQueue &operator=(const LegacyEventQueue &) = delete;
+
+    Tick now() const { return curTick; }
+
+    std::size_t pending() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+    std::uint64_t firedCount() const { return fired; }
+
+    std::size_t peakPending() const { return peak; }
+
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        gs_assert(when >= curTick,
+                  "event scheduled in the past: ", when, " < ", curTick);
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+        if (heap.size() > peak)
+            peak = heap.size();
+    }
+
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        scheduleAt(curTick + delay, std::move(fn));
+    }
+
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        curTick = e.when;
+        fired += 1;
+        e.fn();
+        return true;
+    }
+
+    Tick
+    runUntil(Tick limit = maxTick)
+    {
+        while (!heap.empty() && heap.top().when <= limit)
+            step();
+        if (curTick < limit && limit != maxTick)
+            curTick = limit;
+        return curTick;
+    }
+
+    Tick runFor(Tick duration) { return runUntil(curTick + duration); }
+
+    void
+    clear()
+    {
+        while (!heap.empty())
+            heap.pop();
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace gs::test
+
+#endif // GS_TESTS_SIM_LEGACY_EVENT_QUEUE_HH
