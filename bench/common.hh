@@ -48,7 +48,18 @@ withSweepArgs(std::map<std::string, std::string> known = {})
                           "threads; 1 = serial)");
     known.emplace("seed", "master seed for per-point RNG streams "
                           "(default 1)");
+    known.emplace("threads", "worker threads per simulated machine "
+                             "(default 1 = serial engine; results "
+                             "are bit-identical at any value, see "
+                             "docs/PARALLEL.md)");
     return known;
+}
+
+/** The --threads value a bench passes into Gs1280Options::threads. */
+inline int
+machineThreads(const Args &args)
+{
+    return static_cast<int>(args.getInt("threads", 1));
 }
 
 /** Build the runner a bench's --jobs/--seed options ask for. */
@@ -133,20 +144,34 @@ class TelemetrySession
         // not after the simulation time is already spent.
         checkWritable(statsPath);
         checkWritable(tracePath);
+        if (machine.isParallel() && !tracePath.empty()) {
+            gs_fatal("--trace requires --threads 1: event tracing "
+                     "hooks the serial engine");
+        }
         if (!tracePath.empty()) {
             trace_ = std::make_unique<telem::TraceWriter>();
             machine.attachTrace(*trace_);
         }
         if (!statsPath.empty() || trace_ || force_sample) {
-            Tick interval =
-                nsToTicks(args.getDouble("sample-interval", 1000.0));
-            sampler_ = std::make_unique<telem::Sampler>(
-                machine.ctx(), machine.telemetry(), interval);
-            watchLinkUtilization();
-            watchMemUtilization();
-            if (trace_)
-                sampler_->mirrorToTrace(*trace_);
-            sampler_->start();
+            if (machine.isParallel()) {
+                // The sampler's periodic event would read counters
+                // other worker threads are writing; snapshots taken
+                // after the run in finish() are still exact.
+                std::cerr << "# telemetry: time-series sampling is "
+                             "serial-only; --threads > 1 writes "
+                             "end-of-run snapshots without a "
+                             "series\n";
+            } else {
+                Tick interval = nsToTicks(
+                    args.getDouble("sample-interval", 1000.0));
+                sampler_ = std::make_unique<telem::Sampler>(
+                    machine.ctx(), machine.telemetry(), interval);
+                watchLinkUtilization();
+                watchMemUtilization();
+                if (trace_)
+                    sampler_->mirrorToTrace(*trace_);
+                sampler_->start();
+            }
         }
     }
 
@@ -187,23 +212,44 @@ class TelemetrySession
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - wallStart)
                     .count();
-            const auto &q = machine.ctx().queue();
-            const auto &pool = machine.network().pool().stats();
-            std::cerr << "# self: " << q.firedCount()
-                      << " events fired, peak queue " << q.peakPending()
-                      << ", " << wall << " s wall, "
+            // The eq.* gauges sum over every domain queue when the
+            // machine is parallel and read the one global queue when
+            // it is serial, so this block works for both engines.
+            const auto &reg = machine.telemetry();
+            auto count = [&reg](const char *path) {
+                return static_cast<std::uint64_t>(reg.value(path));
+            };
+            const std::uint64_t fired = count("eq.fired");
+            std::cerr << "# self: " << fired << " events fired, peak "
+                      << "queue " << count("eq.peak_pending") << ", "
+                      << wall << " s wall, "
                       << (wall > 0
-                              ? static_cast<double>(q.firedCount()) /
-                                    wall
+                              ? static_cast<double>(fired) / wall
                               : 0.0)
                       << " events/s\n";
-            std::cerr << "# self: queue ring " << q.ringPending()
-                      << " / overflow " << q.overflowPending()
-                      << " pending, " << q.overflowMigrations()
-                      << " migrations; packet pool " << pool.reused
-                      << " reused / " << pool.allocated
-                      << " allocated, peak in use " << pool.peakInUse
+            std::cerr << "# self: queue ring " << count("eq.buckets")
+                      << " / overflow " << count("eq.overflow")
+                      << " pending; packet pool "
+                      << count("net.packet_pool.reuse")
+                      << " reused / "
+                      << count("net.packet_pool.allocated")
+                      << " allocated, peak in use "
+                      << count("net.packet_pool.peak_in_use")
                       << "\n";
+            if (machine.isParallel()) {
+                std::cerr << "# self: parallel "
+                          << count("par.domains") << " domains, "
+                          << count("par.epochs") << " epochs, "
+                          << "lookahead "
+                          << count("par.lookahead_ticks")
+                          << " ticks, barrier wait "
+                          << reg.value("par.barrier_wait_frac")
+                          << " of worker time, mailbox "
+                          << count("par.mailbox.arrivals")
+                          << " arrivals / "
+                          << count("par.mailbox.credits")
+                          << " credits\n";
+            }
         }
     }
 

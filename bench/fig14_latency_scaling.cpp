@@ -37,6 +37,7 @@ main(int argc, char **argv)
               bench::withSweepArgs(
                   {{"loads", "loads per probe (default 3000)"}}));
     auto loads = static_cast<std::uint64_t>(args.getInt("loads", 3000));
+    int threads = bench::machineThreads(args);
     auto runner = bench::makeRunner(args);
 
     printBanner(std::cout,
@@ -64,7 +65,9 @@ main(int argc, char **argv)
     auto ns = runner.map(
         probes, [&](const Probe &p, SweepPoint) -> double {
             if (p.kind == sys::SystemKind::GS1280) {
-                auto m = sys::Machine::buildGS1280(p.cpus);
+                sys::Gs1280Options opt;
+                opt.threads = threads; // bit-identical at any value
+                auto m = sys::Machine::buildGS1280(p.cpus, opt);
                 return bench::dependentLoadNs(*m, 0, p.dst, 16 << 20,
                                               64, p.loads);
             }

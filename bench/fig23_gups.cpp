@@ -51,6 +51,7 @@ main(int argc, char **argv)
     auto updates =
         static_cast<std::uint64_t>(args.getInt("updates", 1500));
     bool full = args.getBool("full", false);
+    int threads = bench::machineThreads(args);
     auto runner = bench::makeRunner(args);
 
     printBanner(std::cout, "Figure 23: GUPS (Mupdates/s) vs CPUs");
@@ -69,6 +70,7 @@ main(int argc, char **argv)
         points, [&](int cpus, SweepPoint sp) -> bench::Row {
             sys::Gs1280Options opt;
             opt.mlp = 16; // GUPS overlaps updates aggressively
+            opt.threads = threads; // bit-identical at any value
             auto gs1280 = sys::Machine::buildGS1280(cpus, opt);
             double a = mups(*gs1280, cpus, updates,
                             Rng::deriveSeed(sp.seed, 0));
@@ -107,6 +109,7 @@ main(int argc, char **argv)
         sys::Gs1280Options opt;
         opt.mlp = 16;
         opt.seed = master;
+        opt.threads = threads;
         auto m = sys::Machine::buildGS1280(32, opt);
         bench::TelemetrySession session(args, *m);
         double rate = mups(*m, 32, updates, Rng::deriveSeed(master, 0));

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "coherence/node.hh"
 #include "mem/cache.hh"
@@ -16,7 +17,9 @@
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/telemetry.hh"
+#include "system/machine.hh"
 #include "topology/torus.hh"
+#include "workload/gups.hh"
 
 namespace
 {
@@ -247,6 +250,43 @@ BM_CoherentLocalMiss(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CoherentLocalMiss);
+
+void
+BM_ParallelEpoch(benchmark::State &state)
+{
+    // End-to-end cost of the parallel engine's epoch machinery on
+    // the canonical 64P GUPS workload, swept over worker-thread
+    // counts (Arg). Results are bit-identical across args — only the
+    // wall clock moves — so items/sec here IS the engine speedup.
+    const int threads = static_cast<int>(state.range(0));
+    constexpr int cpus = 64;
+    constexpr std::uint64_t updates = 200;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sys::Gs1280Options opt;
+        opt.mlp = 16;
+        opt.threads = threads;
+        auto m = sys::Machine::buildGS1280(cpus, opt);
+        std::vector<std::unique_ptr<wl::Gups>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < cpus; ++c) {
+            gens.push_back(std::make_unique<wl::Gups>(
+                cpus, 256ULL << 20, updates,
+                Rng::deriveSeed(7, static_cast<std::uint64_t>(c))));
+            sources.push_back(gens.back().get());
+        }
+        state.ResumeTiming();
+        bool ok = m->run(sources, 30000 * tickMs);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * cpus * static_cast<std::int64_t>(updates)));
+}
+// UseRealTime: the engine's own workers do most of the simulating,
+// so main-thread CPU time shrinks with Arg and would fake scaling;
+// wall clock is the number the speedup claim is about.
+BENCHMARK(BM_ParallelEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 } // namespace
 

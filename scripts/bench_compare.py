@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE CANDIDATE [--max-regress 0.15]
                      [--warn-only] [--require-speedup NAME=FACTOR ...]
+                     [--require-scaling NAME=FACTOR ...]
 
 Compares items_per_second (falling back to 1/real_time when a
 benchmark reports no item rate) for every benchmark present in both
@@ -13,6 +14,15 @@ fails the run (or warns with --warn-only, for noisy shared runners).
 faster than baseline — used to pin intentional optimizations so they
 cannot silently rot back.
 
+Thread-swept benchmark families (google-benchmark arg suffixes, e.g.
+BM_ParallelEpoch/1 ... BM_ParallelEpoch/8) additionally get a scaling
+report from the candidate file: speedup of each arg over the /1
+variant and the parallel efficiency (speedup divided by threads).
+--require-scaling NAME=FACTOR asserts the family's widest variant
+runs at least FACTOR times faster than its /1 variant — the knob the
+perf-parallel CI lane uses to keep the parallel engine's speedup
+honest (warn-only on shared runners, like everything else here).
+
 Benchmarks present in only one file are reported but never fail the
 run: baselines are updated deliberately, not implicitly.
 
@@ -21,6 +31,7 @@ Exit codes: 0 ok, 1 regression (strict mode), 2 usage/parse error.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -61,6 +72,30 @@ def parse_speedup(spec):
         sys.exit(f"error: bad factor in --require-speedup '{spec}'")
 
 
+def thread_families(rates):
+    """Group `NAME/ARG` benchmarks into {NAME: {arg: rate}}; only
+    families that include an ARG=1 variant scale meaningfully."""
+    fams = {}
+    for name, rate in rates.items():
+        m = re.fullmatch(r"(.+)/(\d+)(?:/real_time)?", name)
+        if m:
+            fams.setdefault(m.group(1), {})[int(m.group(2))] = rate
+    return {n: a for n, a in fams.items() if 1 in a and len(a) > 1}
+
+
+def scaling_report(rates):
+    fams = thread_families(rates)
+    if not fams:
+        return
+    print("\nscaling (candidate, vs the /1 variant):")
+    for name, by_arg in sorted(fams.items()):
+        for arg in sorted(by_arg):
+            speedup = by_arg[arg] / by_arg[1]
+            eff = speedup / arg
+            print(f"  {name}/{arg}: {speedup:5.2f}x "
+                  f"(efficiency {eff:.0%})")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -75,6 +110,10 @@ def main():
     ap.add_argument("--require-speedup", action="append", default=[],
                     metavar="NAME=FACTOR",
                     help="require NAME to be >= FACTOR x baseline")
+    ap.add_argument("--require-scaling", action="append", default=[],
+                    metavar="NAME=FACTOR",
+                    help="require NAME's widest /THREADS variant to "
+                         "be >= FACTOR x its /1 variant (candidate)")
     args = ap.parse_args()
 
     base = load_rates(args.baseline)
@@ -117,6 +156,26 @@ def main():
             failures.append(
                 f"{name}: required >= {factor}x baseline, "
                 f"got {ratio:.2f}x")
+
+    scaling_report(cand)
+    fams = thread_families(cand)
+    for spec in args.require_scaling:
+        name, factor = parse_speedup(spec)
+        if name not in fams:
+            failures.append(
+                f"{name}: required {factor}x scaling but no "
+                "/1-anchored thread family in candidate")
+            continue
+        by_arg = fams[name]
+        widest = max(by_arg)
+        ratio = by_arg[widest] / by_arg[1]
+        ok = ratio >= factor
+        print(f"  {'ok' if ok else 'TOO SLOW':9s}{name}/{widest}: "
+              f"required >= {factor}x of /1, got {ratio:.2f}x")
+        if not ok:
+            failures.append(
+                f"{name}: required >= {factor}x scaling at "
+                f"/{widest}, got {ratio:.2f}x")
 
     if failures:
         print("\nbench_compare: "

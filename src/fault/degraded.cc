@@ -54,7 +54,7 @@ DegradedTopology::name() const
     return out + " down]";
 }
 
-std::vector<int>
+topo::PortSet
 DegradedTopology::adaptivePorts(NodeId at, NodeId dst,
                                 int hopsTaken) const
 {
@@ -72,7 +72,7 @@ DegradedTopology::adaptivePorts(NodeId at, NodeId dst,
     const int *toDst = &dist[static_cast<std::size_t>(dst) * n];
     if (toDst[at] < 0)
         return {}; // unreachable; the escape lookup reports it too
-    std::vector<int> ports;
+    topo::PortSet ports;
     for (int p = 0; p < numPorts(at); ++p) {
         topo::Port link = base_.port(at, p);
         if (alive(at, p, link) &&

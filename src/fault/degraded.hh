@@ -51,7 +51,7 @@ class DegradedTopology : public topo::Topology
     topo::Port port(NodeId node, int port) const override;
     std::string name() const override;
 
-    std::vector<int>
+    topo::PortSet
     adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
 
     topo::EscapeHop

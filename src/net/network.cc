@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace gs::net
@@ -20,6 +22,255 @@ Network::Network(SimContext &context, const topo::Topology &topo,
         linkFlits[static_cast<std::size_t>(node)].assign(
             static_cast<std::size_t>(topo.numPorts(node)), 0);
     }
+
+    // Default partition: one domain on the build context. A later
+    // setPartition replaces this wholesale.
+    domCtx.assign(1, &ctx);
+    shards.push_back(std::make_unique<Shard>());
+    domNodes.resize(1);
+    domNodes[0].reserve(static_cast<std::size_t>(n));
+    for (NodeId node = 0; node < n; ++node)
+        domNodes[0].push_back(node);
+}
+
+void
+Network::setPartition(std::vector<int> node_domain,
+                      std::vector<SimContext *> domain_ctx)
+{
+    const int n = topo_.numNodes();
+    const int d = static_cast<int>(domain_ctx.size());
+    gs_assert(static_cast<int>(node_domain.size()) == n,
+              "partition must map every node");
+    gs_assert(d >= 1, "need at least one domain");
+    gs_assert(shards[0]->st.injectedPackets == 0 &&
+                  shards[0]->flying == 0 &&
+                  shards[0]->pool.capacity() == 0,
+              "setPartition must run before any traffic");
+    gs_assert(!degraded_,
+              "fault injection requires the serial (single-domain) "
+              "engine");
+
+    nDomains = d;
+    nodeDom = std::move(node_domain);
+    domCtx = std::move(domain_ctx);
+
+    shards.clear();
+    domNodes.assign(static_cast<std::size_t>(d), {});
+    for (int i = 0; i < d; ++i)
+        shards.push_back(std::make_unique<Shard>());
+    for (NodeId node = 0; node < n; ++node) {
+        int dom = nodeDom[std::size_t(node)];
+        gs_assert(dom >= 0 && dom < d, "domain index out of range");
+        domNodes[std::size_t(dom)].push_back(node);
+    }
+    mail.assign(static_cast<std::size_t>(d) * static_cast<std::size_t>(d),
+                Mailbox{});
+}
+
+Tick
+Network::conservativeLookahead() const
+{
+    // A cross-domain arrival costs at least pipeline + 1 wire cycle +
+    // 1 header cycle; a credit return costs creditCycles. Both are
+    // scheduled relative to the causing event's time, so the minimum
+    // of the two bounds how far ahead of its neighbours a domain may
+    // safely run.
+    int cycles = std::min(prm.creditCycles,
+                          prm.pipelineCycles + 1 + 1);
+    gs_assert(cycles >= 1, "zero-latency cross-domain link");
+    return static_cast<Tick>(cycles) * tickPeriod;
+}
+
+void
+Network::postCross(int src_dom, int dst_dom, const XEntry &e)
+{
+    Shard &sh = *shards[std::size_t(src_dom)];
+    // Posts made while sh.epoch == k+1 belong to consumer epoch k
+    // (mergeFor has already run k+1 times when epoch k executes), so
+    // the posting parity is (epoch + 1) & 1 == k & 1.
+    const std::size_t par = (sh.epoch + 1) & 1;
+    Mailbox &mb = mail[mbox(src_dom, dst_dom)];
+    if (e.due < mb.minDue[par])
+        mb.minDue[par] = e.due;
+    mb.buf[par].push_back(e);
+}
+
+void
+Network::mergeFor(int d, Tick window_start)
+{
+    Shard &sh = *shards[std::size_t(d)];
+    // Read the half producers filled during the previous epoch; the
+    // parity flip also redirects our *peers'* view of where domain
+    // d's own posts go (every shard's epoch advances in lockstep, so
+    // the arithmetic in postCross/pendingMinOf stays consistent).
+    const std::size_t par = (sh.epoch + 1) & 1;
+
+    // Reduce every domain's published chain state to the serial
+    // question "does the one global tick chain tick at this window's
+    // edge?": yes if any domain's chain survived the previous edge,
+    // or any pending inject revives it at an off-edge instant before
+    // this window's edge. activate() consults the answer so that a
+    // wake-up in an idle domain lands on the same edge the serial
+    // engine's still-alive global chain would have used.
+    const std::size_t pubPar = sh.epoch & 1;
+    sh.windowEdge = Clock(tickPeriod).nextEdge(window_start);
+    bool alive = false;
+    for (int s = 0; s < nDomains && !alive; ++s) {
+        const Shard &o = *shards[std::size_t(s)];
+        alive = o.tickingPub[pubPar] ||
+                o.revivalPub[pubPar] <= sh.windowEdge;
+    }
+    sh.aliveAtEdge = alive;
+    sh.epoch += 1;
+
+    auto &scratch = sh.scratch;
+    scratch.clear();
+    for (int s = 0; s < nDomains; ++s) {
+        if (s == d)
+            continue;
+        const auto &buf = mail[mbox(s, d)].buf[par];
+        for (std::uint32_t i = 0; i < buf.size(); ++i)
+            scratch.push_back(MergeRef{buf[i].due, s, i});
+    }
+    if (scratch.empty())
+        return;
+
+    // Canonical order: (due, posting domain, post order). Post order
+    // within a domain is deterministic (single-threaded epoch body),
+    // so the merged schedule is identical at any worker count.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const MergeRef &a, const MergeRef &b) {
+                  if (a.due != b.due)
+                      return a.due < b.due;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.idx < b.idx;
+              });
+
+    EventQueue &q = domCtx[std::size_t(d)]->queue();
+    for (const MergeRef &r : scratch) {
+        const XEntry &e = mail[mbox(r.src, d)].buf[par][r.idx];
+        gs_assert(e.due >= window_start,
+                  "mailbox entry due before the merge window");
+        Router *rt = routers[std::size_t(e.node)].get();
+        if (e.credit) {
+            const int port = e.port, vc = e.vc, flits = e.flits;
+            q.scheduleMergedAt(e.due, [rt, port, vc, flits] {
+                rt->creditReturn(port, vc, flits);
+            });
+        } else {
+            PacketHandle h = sh.pool.acquire(e.pkt);
+            const int port = e.port, vc = e.vc;
+            q.scheduleMergedAt(e.due, [rt, port, vc, h] {
+                rt->receive(port, vc, h);
+            });
+        }
+    }
+    for (int s = 0; s < nDomains; ++s) {
+        if (s == d)
+            continue;
+        Mailbox &mb = mail[mbox(s, d)];
+        mb.buf[par].clear();
+        mb.minDue[par] = maxTick;
+    }
+}
+
+Tick
+Network::pendingMinOf(int d) const
+{
+    const Shard &sh = *shards[std::size_t(d)];
+    const std::size_t par = (sh.epoch + 1) & 1;
+    Tick m = maxTick;
+    // Only the current posting parity: the other half was merged by
+    // its consumers this epoch (their queues' peekNext covers it),
+    // and reading it here would race with that merge.
+    for (int t = 0; t < nDomains; ++t) {
+        if (t == d)
+            continue;
+        m = std::min(m, mail[mbox(d, t)].minDue[par]);
+    }
+    return m;
+}
+
+void
+Network::publishFor(int d)
+{
+    Shard &sh = *shards[std::size_t(d)];
+    // sh.epoch counts completed merges, so after draining window k it
+    // reads k + 1; the consumer of this snapshot is window k + 1's
+    // mergeFor, which indexes by its own entry epoch — the same
+    // value. The other parity still holds window k's snapshot for
+    // any straggler peer mid-merge.
+    const std::size_t p = sh.epoch & 1;
+    sh.tickingPub[p] = sh.ticking;
+    sh.revivalPub[p] =
+        sh.injHead < sh.injDues.size()
+            ? Clock(tickPeriod).nextEdge(sh.injDues[sh.injHead] + 1)
+            : maxTick;
+}
+
+std::uint64_t
+Network::crossArrivalsPosted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : shards)
+        n += sh->xArrivals;
+    return n;
+}
+
+std::uint64_t
+Network::crossCreditsPosted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : shards)
+        n += sh->xCredits;
+    return n;
+}
+
+std::uint64_t
+Network::crossFlitsPosted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : shards)
+        n += sh->xFlits;
+    return n;
+}
+
+void
+Network::refreshMergedStats() const
+{
+    if (nDomains == 1)
+        return;
+    agg = MergedStats{};
+    for (const auto &sh : shards) {
+        agg.net.injectedPackets += sh->st.injectedPackets;
+        agg.net.deliveredPackets += sh->st.deliveredPackets;
+        agg.net.deliveredFlits += sh->st.deliveredFlits;
+        agg.net.droppedPackets += sh->st.droppedPackets;
+        agg.net.latencyNs.merge(sh->st.latencyNs);
+        agg.net.hopsPerPacket.merge(sh->st.hopsPerPacket);
+        agg.pool.allocated += sh->pool.stats().allocated;
+        agg.pool.reused += sh->pool.stats().reused;
+        agg.pool.peakInUse += sh->pool.stats().peakInUse;
+    }
+}
+
+const NetworkStats &
+Network::stats() const
+{
+    if (nDomains == 1)
+        return shards[0]->st;
+    refreshMergedStats();
+    return agg.net;
+}
+
+int
+Network::inFlight() const
+{
+    int n = 0;
+    for (const auto &sh : shards)
+        n += sh->flying;
+    return n;
 }
 
 void
@@ -44,13 +295,17 @@ Network::inject(Packet pkt)
         gs_fatal("inject: non-positive packet length ", pkt.flits,
                  " flits");
 
-    pkt.injected = ctx.now();
-    st.injectedPackets += 1;
-    flying += 1;
+    // Injection is always a source-domain affair: the caller runs on
+    // pkt.src's context (agents live with their node).
+    SimContext &c = ctxOf(pkt.src);
+    Shard &sh = shard(pkt.src);
+    pkt.injected = c.now();
+    sh.st.injectedPackets += 1;
+    sh.flying += 1;
 
     // The packet lives in the pool for its whole flight; the fabric
     // (buffers, lambdas, wire events) moves 4-byte handles.
-    PacketHandle h = pool_.acquire(pkt);
+    PacketHandle h = sh.pool.acquire(pkt);
 
     if (degraded_ && (deadNode[std::size_t(pkt.src)] ||
                       deadNode[std::size_t(pkt.dst)])) {
@@ -66,7 +321,7 @@ Network::inject(Packet pkt)
         Tick delay = static_cast<Tick>(prm.injectionCycles +
                                        prm.ejectionCycles) * tickPeriod;
         NodeId node = pkt.dst;
-        ctx.queue().schedule(delay, [this, node, h] {
+        c.queue().schedule(delay, [this, node, h] {
             deliverNow(node, h);
         });
         return;
@@ -74,25 +329,73 @@ Network::inject(Packet pkt)
 
     Tick delay = static_cast<Tick>(prm.injectionCycles) * tickPeriod;
     NodeId node = pkt.src;
-    ctx.queue().schedule(delay, [this, node, h] {
+    if (nDomains > 1) {
+        // Record the pending router-inject due for publishFor's
+        // revival-edge view (injects are the only activation source
+        // not aligned to the router clock).
+        sh.injDues.push_back(c.now() + delay);
+    }
+    c.queue().schedule(delay, [this, node, h] {
+        consumeInj(node);
         routers[static_cast<std::size_t>(node)]->inject(h);
     });
 }
 
 void
-Network::scheduleArrival(NodeId to, int in_port, int vc, PacketHandle h,
-                         int delay_cycles)
+Network::consumeInj(NodeId node)
 {
-    ctx.queue().schedule(static_cast<Tick>(delay_cycles) * tickPeriod,
-                         [this, to, in_port, vc, h] {
-        // The packet was on the wire when the downstream router
-        // died: its flits arrive at a dead receiver and are lost.
-        if (degraded_ && deadNode[std::size_t(to)]) {
-            dropPacket(to, h, "dead-receiver");
-            return;
-        }
-        routers[static_cast<std::size_t>(to)]->receive(in_port, vc, h);
-    });
+    if (nDomains == 1)
+        return;
+    Shard &sh = shard(node);
+    sh.injHead += 1;
+    if (sh.injHead == sh.injDues.size()) {
+        sh.injDues.clear();
+        sh.injHead = 0;
+    }
+}
+
+void
+Network::scheduleArrival(NodeId from, NodeId to, int in_port, int vc,
+                         PacketHandle h, int delay_cycles)
+{
+    const int sd = domainOf(from);
+    const int dd = domainOf(to);
+    SimContext &c = *domCtx[std::size_t(sd)];
+    const Tick delay = static_cast<Tick>(delay_cycles) * tickPeriod;
+
+    if (sd == dd) {
+        c.queue().schedule(delay, [this, to, in_port, vc, h] {
+            // The packet was on the wire when the downstream router
+            // died: its flits arrive at a dead receiver and are lost.
+            if (degraded_ && deadNode[std::size_t(to)]) {
+                dropPacket(to, h, "dead-receiver");
+                return;
+            }
+            routers[static_cast<std::size_t>(to)]->receive(in_port, vc,
+                                                           h);
+        });
+        return;
+    }
+
+    // Crossing a domain boundary: copy the packet out of the source
+    // pool into the mailbox and free the slot. The destination pool
+    // re-homes it at the barrier merge. `flying` is untouched: each
+    // shard's counter is a signed partial sum written only by its own
+    // worker (+1 at inject, -1 at delivery/drop, wherever those run),
+    // so the total — the only meaningful value, read at barriers —
+    // keeps counting mailbox-resident packets as in flight.
+    Shard &src = *shards[std::size_t(sd)];
+    XEntry e;
+    e.due = c.now() + delay;
+    e.node = to;
+    e.port = in_port;
+    e.vc = vc;
+    e.credit = 0;
+    e.pkt = src.pool.get(h);
+    src.pool.release(h);
+    src.xArrivals += 1;
+    src.xFlits += static_cast<std::uint64_t>(e.pkt.flits);
+    postCross(sd, dd, e);
 }
 
 void
@@ -107,11 +410,29 @@ Network::scheduleCredit(NodeId at_node, int in_port, int vc, int flits)
     }
     NodeId peer = link.peer;
     int peerPort = link.peerPort;
-    ctx.queue().schedule(static_cast<Tick>(prm.creditCycles) * tickPeriod,
-                         [this, peer, peerPort, vc, flits] {
-        routers[static_cast<std::size_t>(peer)]->creditReturn(peerPort, vc,
-                                                              flits);
-    });
+    const int sd = domainOf(at_node);
+    const int dd = domainOf(peer);
+    SimContext &c = *domCtx[std::size_t(sd)];
+    const Tick delay =
+        static_cast<Tick>(prm.creditCycles) * tickPeriod;
+
+    if (sd == dd) {
+        c.queue().schedule(delay, [this, peer, peerPort, vc, flits] {
+            routers[static_cast<std::size_t>(peer)]->creditReturn(
+                peerPort, vc, flits);
+        });
+        return;
+    }
+
+    XEntry e;
+    e.due = c.now() + delay;
+    e.node = peer;
+    e.port = peerPort;
+    e.vc = vc;
+    e.flits = flits;
+    e.credit = 1;
+    shards[std::size_t(sd)]->xCredits += 1;
+    postCross(sd, dd, e);
 }
 
 void
@@ -120,14 +441,14 @@ Network::deliverLocal(NodeId node, PacketHandle h)
     // Ejection waits for the packet tail (cut-through streamed the
     // header ahead; the body pays its serialization exactly once,
     // here at the sink). Store-and-forward packets arrive whole.
-    int flits = pool_.get(h).flits;
+    int flits = poolOf(node).get(h).flits;
     int tail = prm.cutThrough && flits > headerFlits
                    ? flits - headerFlits
                    : 0;
     Tick delay =
         static_cast<Tick>(prm.ejectionCycles + tail) * tickPeriod;
-    ctx.queue().schedule(delay,
-                         [this, node, h] { deliverNow(node, h); });
+    ctxOf(node).queue().schedule(delay,
+                                 [this, node, h] { deliverNow(node, h); });
 }
 
 void
@@ -137,42 +458,49 @@ Network::deliverNow(NodeId node, PacketHandle h)
         dropPacket(node, h, "dead-receiver");
         return;
     }
-    const Packet &pkt = pool_.get(h);
-    st.deliveredPackets += 1;
-    st.deliveredFlits += static_cast<std::uint64_t>(pkt.flits);
-    st.latencyNs.sample(ticksToNs(ctx.now() - pkt.injected));
-    st.hopsPerPacket.sample(static_cast<double>(pkt.hops));
-    flying -= 1;
+    Shard &sh = shard(node);
+    const Packet &pkt = sh.pool.get(h);
+    sh.st.deliveredPackets += 1;
+    sh.st.deliveredFlits += static_cast<std::uint64_t>(pkt.flits);
+    sh.st.latencyNs.sample(
+        ticksToNs(ctxOf(node).now() - pkt.injected));
+    sh.st.hopsPerPacket.sample(static_cast<double>(pkt.hops));
+    sh.flying -= 1;
     auto &handler = handlers[static_cast<std::size_t>(node)];
     if (handler)
         handler(pkt);
     // The handler may have injected follow-on packets (growing the
     // pool); the deque keeps `pkt` valid until this release.
-    pool_.release(h);
+    sh.pool.release(h);
 }
 
 void
 Network::dropPacket(NodeId at, PacketHandle h, const char *why)
 {
-    st.droppedPackets += 1;
-    flying -= 1;
+    Shard &sh = shard(at);
+    sh.st.droppedPackets += 1;
+    sh.flying -= 1;
     if (dropHook)
-        dropHook(at, pool_.get(h), why);
-    pool_.release(h);
+        dropHook(at, sh.pool.get(h), why);
+    sh.pool.release(h);
 }
 
 void
 Network::onTopologyChange()
 {
+    gs_assert(nDomains == 1,
+              "fault injection requires the serial engine");
     degraded_ = true;
     for (auto &router : routers)
         router->syncPorts();
-    activate();
+    activate(0);
 }
 
 void
 Network::setNodeFailed(NodeId node, bool failed)
 {
+    gs_assert(nDomains == 1,
+              "fault injection requires the serial engine");
     degraded_ = true;
     auto &flag = deadNode[std::size_t(node)];
     if (failed && !flag)
@@ -183,65 +511,102 @@ Network::setNodeFailed(NodeId node, bool failed)
 void
 Network::clearStats()
 {
-    st = NetworkStats{};
+    for (auto &sh : shards)
+        sh->st = NetworkStats{};
     for (auto &ports : linkFlits)
         for (auto &flits : ports)
             flits = 0;
     for (auto &router : routers)
-        router->clearStats(ctx.now());
+        router->clearStats(ctxOf(router->node()).now());
 }
 
 void
 Network::registerTelemetry(telem::Registry &reg,
                            const std::string &prefix)
 {
+    // Single domain: register the live counters directly (the
+    // historical behaviour, byte-identical exports). Partitioned:
+    // register the merged view, refreshed by the Machine at the end
+    // of each parallel run — same paths, same order.
+    const bool merged = nDomains > 1;
+    if (merged)
+        refreshMergedStats();
+    NetworkStats &nst = merged ? agg.net : shards[0]->st;
     reg.addCounter(telem::path(prefix, "injected_packets"),
-                   st.injectedPackets);
+                   nst.injectedPackets);
     reg.addCounter(telem::path(prefix, "delivered_packets"),
-                   st.deliveredPackets);
+                   nst.deliveredPackets);
     reg.addCounter(telem::path(prefix, "delivered_flits"),
-                   st.deliveredFlits);
+                   nst.deliveredFlits);
     reg.addCounter(telem::path(prefix, "dropped_packets"),
-                   st.droppedPackets);
-    reg.addAverage(telem::path(prefix, "latency_ns"), st.latencyNs);
+                   nst.droppedPackets);
+    reg.addAverage(telem::path(prefix, "latency_ns"), nst.latencyNs);
     reg.addAverage(telem::path(prefix, "hops_per_packet"),
-                   st.hopsPerPacket);
+                   nst.hopsPerPacket);
     reg.addGauge(telem::path(prefix, "in_flight"),
-                 [this] { return static_cast<double>(flying); });
+                 [this] { return static_cast<double>(inFlight()); });
 
     // Packet-pool health: reuse should dwarf allocated once warm.
     const std::string pp = telem::path(prefix, "packet_pool");
-    reg.addCounter(telem::path(pp, "allocated"), pool_.stats().allocated);
-    reg.addCounter(telem::path(pp, "reuse"), pool_.stats().reused);
-    reg.addCounter(telem::path(pp, "peak_in_use"),
-                   pool_.stats().peakInUse);
+    if (merged) {
+        reg.addCounter(telem::path(pp, "allocated"), agg.pool.allocated);
+        reg.addCounter(telem::path(pp, "reuse"), agg.pool.reused);
+        reg.addCounter(telem::path(pp, "peak_in_use"),
+                       agg.pool.peakInUse);
+    } else {
+        reg.addCounter(telem::path(pp, "allocated"),
+                       shards[0]->pool.stats().allocated);
+        reg.addCounter(telem::path(pp, "reuse"),
+                       shards[0]->pool.stats().reused);
+        reg.addCounter(telem::path(pp, "peak_in_use"),
+                       shards[0]->pool.stats().peakInUse);
+    }
     reg.addGauge(telem::path(pp, "in_use"), [this] {
-        return static_cast<double>(pool_.inUse());
+        std::uint64_t n = 0;
+        for (const auto &sh : shards)
+            n += sh->pool.inUse();
+        return static_cast<double>(n);
     });
 }
 
 void
-Network::activate()
+Network::activate(NodeId at)
 {
-    if (ticking)
+    const int d = domainOf(at);
+    Shard &sh = *shards[std::size_t(d)];
+    if (sh.ticking)
         return;
-    ticking = true;
-    Tick edge = Clock(tickPeriod).nextEdge(ctx.now() + 1);
-    ctx.queue().scheduleAt(edge, [this] { tick(); });
+    sh.ticking = true;
+    SimContext &c = *domCtx[std::size_t(d)];
+    const Clock clk(tickPeriod);
+    Tick edge = clk.nextEdge(c.now() + 1);
+    if (nDomains > 1 && sh.aliveAtEdge &&
+        clk.nextEdge(c.now()) == sh.windowEdge) {
+        // The serial engine's global chain is still ticking at this
+        // window's edge (some other domain is busy, or an in-window
+        // inject revives it), so a wake-up exactly on the edge is
+        // processed at that edge — not one period later, the way a
+        // truly dead fabric restarts.
+        edge = sh.windowEdge;
+    }
+    c.queue().scheduleAt(edge, [this, d] { tickDomain(d); });
 }
 
 void
-Network::tick()
+Network::tickDomain(int d)
 {
+    SimContext &c = *domCtx[std::size_t(d)];
+    const Tick now = c.now();
     bool any = false;
-    for (auto &router : routers) {
-        router->tick(ctx.now());
-        any = any || !router->idle();
+    for (NodeId node : domNodes[std::size_t(d)]) {
+        Router &router = *routers[std::size_t(node)];
+        router.tick(now);
+        any = any || !router.idle();
     }
     if (any) {
-        ctx.queue().schedule(tickPeriod, [this] { tick(); });
+        c.queue().schedule(tickPeriod, [this, d] { tickDomain(d); });
     } else {
-        ticking = false;
+        shards[std::size_t(d)]->ticking = false;
     }
 }
 

@@ -41,14 +41,14 @@ Router::Router(Network &network, NodeId node) : net(network), id(node)
 void
 Router::receive(int in_port, int vc, PacketHandle h)
 {
-    Packet &pkt = net.pool().get(h);
+    Packet &pkt = net.poolOf(id).get(h);
     auto &st = vcState[slot(in_port, vc)];
     pkt.hops += 1;
     st.flitsUsed += pkt.flits;
     st.recvFlits += static_cast<std::uint64_t>(pkt.flits);
     vcQ[slot(in_port, vc)].push(h);
     buffered += 1;
-    net.activate();
+    net.activate(id);
 }
 
 void
@@ -62,7 +62,7 @@ Router::creditReturn(int out_port, int vc, int flits)
     // downstream buffer. Healthy fabrics never hit this.
     if (net.degraded() && credits > vcCapacity(vc))
         credits = vcCapacity(vc);
-    net.activate();
+    net.activate(id);
 }
 
 int
@@ -136,7 +136,7 @@ Router::registerTelemetry(telem::Registry &reg,
         reg.addCounter(pp + ".flits", outputs[p].sentFlits);
         reg.addCounter(pp + ".packets", outputs[p].sentPackets);
         reg.addGauge(pp + ".busy_frac", [this, p] {
-            Tick now = net.context().now();
+            Tick now = net.ctxOf(id).now();
             if (now <= statsWindowStart)
                 return 0.0;
             double f = static_cast<double>(outputs[p].sentFlits) *
@@ -183,7 +183,7 @@ Router::clearStats(Tick now)
 bool
 Router::oldestBuffered(Packet &out) const
 {
-    const PacketPool &pool = net.pool();
+    const PacketPool &pool = net.poolOf(id);
     bool found = false;
     auto consider = [&](PacketHandle h) {
         const Packet &pkt = pool.get(h);
@@ -204,10 +204,10 @@ Router::oldestBuffered(Packet &out) const
 void
 Router::inject(PacketHandle h)
 {
-    const Packet &pkt = net.pool().get(h);
+    const Packet &pkt = net.poolOf(id).get(h);
     injQs[static_cast<std::size_t>(pkt.cls)].push(h);
     injWaiting += 1;
-    net.activate();
+    net.activate(id);
 }
 
 bool
@@ -263,7 +263,7 @@ Router::popHead(int in_port, int vc)
     gs_assert(!q.empty());
     PacketHandle h = q.front();
     q.pop();
-    int flits = net.pool().get(h).flits;
+    int flits = net.poolOf(id).get(h).flits;
     vcState[slot(in_port, vc)].flitsUsed -= flits;
     buffered -= 1;
     // Freed buffer space becomes a credit at our upstream neighbour.
@@ -275,7 +275,7 @@ void
 Router::ejectPass(Tick now)
 {
     (void)now;
-    const PacketPool &pool = net.pool();
+    const PacketPool &pool = net.poolOf(id);
     const int ports = static_cast<int>(outputs.size());
     for (int p = 0; p < ports; ++p) {
         for (int vc = 0; vc < numVcs; ++vc) {
@@ -292,7 +292,7 @@ void
 Router::nominate(Tick now)
 {
     noms.clear();
-    PacketPool &pool = net.pool();
+    PacketPool &pool = net.poolOf(id);
 
     // Network input ports: one nominee each, round-robin over VCs.
     // Heads whose destination lost every route (degraded fabric) are
@@ -365,7 +365,7 @@ Router::grant(Tick now)
 {
     const auto &topo = net.topology();
     const auto &prm = net.params();
-    PacketPool &pool = net.pool();
+    PacketPool &pool = net.poolOf(id);
     const int srcSlots = static_cast<int>(outputs.size()) + 1;
 
     for (std::size_t o = 0; o < outputs.size(); ++o) {
@@ -422,7 +422,7 @@ Router::grant(Tick now)
         int delay = prm.pipelineCycles + out.wireCycles +
                     (prm.cutThrough ? std::min(pkt.flits, headerFlits)
                                     : pkt.flits);
-        net.scheduleArrival(link.peer, link.peerPort, vc, h, delay);
+        net.scheduleArrival(id, link.peer, link.peerPort, vc, h, delay);
     }
 }
 

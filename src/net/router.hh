@@ -63,6 +63,9 @@ class Router
     /** True when no packet is buffered or awaiting injection. */
     bool idle() const { return buffered == 0 && injWaiting == 0; }
 
+    /** The topology node this router serves. */
+    NodeId node() const { return id; }
+
     /** Packet arrival from an upstream link (scheduled event). */
     void receive(int in_port, int vc, PacketHandle h);
 

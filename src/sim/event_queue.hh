@@ -63,6 +63,20 @@ class EventQueue
     static constexpr Tick horizon = bucketWidth * bucketCount;
     /// @}
 
+    /**
+     * Sequence-number bands. Locally scheduled events draw their
+     * tie-breaking sequence numbers from the upper band; events
+     * merged in from another domain's mailbox (scheduleMergedAt, the
+     * parallel engine's barrier merge) draw from the lower band.
+     * Cross-domain arrivals and credits therefore fire before any
+     * same-tick locally scheduled event — exactly the order the
+     * serial engine produces, where a credit or arrival for tick T
+     * is always scheduled before the self-ticking network event for
+     * T (see docs/PARALLEL.md). Serial runs never use the lower
+     * band, so their ordering is unchanged.
+     */
+    static constexpr std::uint64_t localSeqBase = std::uint64_t(1) << 63;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -121,6 +135,28 @@ class EventQueue
     }
 
     /**
+     * Schedule a cross-domain event merged in at a parallel-epoch
+     * barrier. Merged events take sequence numbers below
+     * localSeqBase, so at equal @p when they fire before every
+     * locally scheduled event — the serial engine's order for
+     * arrivals and credits. Callers must present merged events in
+     * their canonical (when, src-domain, src-seq) order; this queue
+     * preserves that order among them.
+     */
+    template <typename F>
+    void
+    scheduleMergedAt(Tick when, F &&fn)
+    {
+        gs_assert(when >= curTick,
+                  "merged event scheduled in the past: ", when, " < ",
+                  curTick);
+        insert(when, nextMergedSeq++, std::forward<F>(fn));
+        pendingCnt += 1;
+        if (pendingCnt > peak)
+            peak = pendingCnt;
+    }
+
+    /**
      * Fire the single earliest event.
      * @retval false if the queue was empty.
      */
@@ -154,6 +190,54 @@ class EventQueue
     /** Run for @p duration ticks past the current time. */
     Tick runFor(Tick duration) { return runUntil(curTick + duration); }
 
+    /**
+     * Fire every event strictly before @p limit. Unlike runUntil,
+     * now() is left at the last fired event — not advanced to the
+     * limit — so a parallel domain's clock after an epoch matches
+     * what the serial engine would show after the same events.
+     * @return the number of events fired.
+     */
+    std::size_t
+    drainWindow(Tick limit)
+    {
+        std::size_t n = 0;
+        while (ensureCurrent()) {
+            Bucket &b = *curb;
+            if (b.entries[b.head].when >= limit)
+                break;
+            fireHead();
+            n += 1;
+        }
+        return n;
+    }
+
+    /**
+     * Time of the earliest pending event without firing it, or
+     * maxTick when nothing is pending. Positions the calendar window
+     * (same cost class as step()).
+     */
+    Tick
+    peekNext()
+    {
+        if (!ensureCurrent())
+            return maxTick;
+        return curb->entries[curb->head].when;
+    }
+
+    /**
+     * Advance now() to @p t (>= now) without firing anything.
+     * Precondition: no pending event is earlier than @p t. The
+     * parallel engine uses this to align domain clocks at epoch
+     * barriers and at the end of a run.
+     */
+    void
+    syncTime(Tick t)
+    {
+        gs_assert(t >= curTick, "syncTime into the past: ", t, " < ",
+                  curTick);
+        curTick = t;
+    }
+
     /** Drop all pending events (used between experiment phases). */
     void
     clear()
@@ -167,6 +251,34 @@ class EventQueue
             heap.pop();
         ringCount = 0;
         pendingCnt = 0;
+        // Re-anchor the ring at zero: leaving base/cur at the old
+        // epoch would let the next insert land relative to a stale
+        // window. (Today every post-clear insert takes the
+        // empty-queue re-anchor path in insert(), but that is an
+        // invariant of the current code shape, not of the API —
+        // clear() must leave the queue indistinguishable from a
+        // fresh one, pending-state-wise.)
+        base = 0;
+        cur = 0;
+        curb = &buckets[0];
+    }
+
+    /**
+     * Pre-size every ring bucket to hold @p perBucket entries.
+     *
+     * Bucket storage grows on first touch and then persists, but the
+     * tick grid and the bucket ring have co-prime periods, so a
+     * sparse workload can keep first-touching fresh buckets many
+     * ring laps into a run. A queue whose steady state must be
+     * allocation-free — every parallel-engine domain queue — calls
+     * this once at construction instead (8 * 128-byte entries per
+     * bucket = 1 MiB per queue; serial contexts skip it).
+     */
+    void
+    prewarm(std::size_t perBucket = 8)
+    {
+        for (auto &b : buckets)
+            b.entries.reserve(perBucket);
     }
 
   private:
@@ -282,6 +394,14 @@ class EventQueue
          *  element is a vacated husk (no-op destructor). */
         void truncateHusks() { size_ = 0; }
 
+        /** Grow capacity to at least @p n without adding elements. */
+        void
+        reserve(std::size_t n)
+        {
+            while (cap_ < n)
+                grow();
+        }
+
         /** Drop all elements, running destructors (live entries). */
         void
         destroyAll()
@@ -375,18 +495,28 @@ class EventQueue
         if (when < base + horizon) {
             Bucket &b = buckets[bucketIndex(when)];
             if (&b == curb && b.sorted &&
-                !(b.entries.empty() || b.entries.back().when <= when)) {
+                !(b.entries.empty() ||
+                  b.entries.back().when < when ||
+                  (b.entries.back().when == when &&
+                   b.entries.back().seq < seq))) {
                 // Out-of-order arrival into the live bucket: a
-                // binary-search insert keeps it sorted; seq is
-                // monotone, so upper_bound on `when` alone preserves
-                // same-tick FIFO. In-order arrivals (the common
-                // case: back().when <= when) append below, which
-                // also keeps the bucket sorted.
+                // binary-search insert keeps it sorted. The compare
+                // is the full (when, seq) order — a merged-band
+                // event (scheduleMergedAt) carries a lower seq than
+                // same-tick local events already in the bucket, so
+                // ordering by `when` alone would misplace it.
+                // In-order arrivals (the common case) append below,
+                // which also keeps the bucket sorted.
                 auto it = std::upper_bound(
                     b.entries.begin() +
                         static_cast<std::ptrdiff_t>(b.head),
-                    b.entries.end(), when,
-                    [](Tick w, const Entry &e) { return w < e.when; });
+                    b.entries.end(),
+                    std::pair<Tick, std::uint64_t>{when, seq},
+                    [](const std::pair<Tick, std::uint64_t> &k,
+                       const Entry &e) {
+                        return k.first != e.when ? k.first < e.when
+                                                 : k.second < e.seq;
+                    });
                 b.entries.emplace(it, when, seq, std::forward<F>(fn));
             } else {
                 b.entries.emplace_back(when, seq, std::forward<F>(fn));
@@ -532,7 +662,8 @@ class EventQueue
     std::size_t pendingCnt = 0; ///< ringCount + heap.size(), cached
 
     Tick curTick = 0;
-    std::uint64_t nextSeq = 0;
+    std::uint64_t nextSeq = localSeqBase; ///< local scheduling band
+    std::uint64_t nextMergedSeq = 0;      ///< barrier-merge band
     std::uint64_t fired = 0;
     std::size_t peak = 0;
     std::uint64_t migrated = 0;

@@ -1,0 +1,224 @@
+#include "sim/parallel.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace gs
+{
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ParallelEngine::ParallelEngine(Config cfg)
+    : nDomains(cfg.domains),
+      nThreads(std::min(std::max(cfg.threads, 1), cfg.domains)),
+      lookahead_(cfg.lookahead)
+{
+    gs_assert(nDomains >= 1, "need at least one domain");
+    gs_assert(lookahead_ > 0, "lookahead must be positive");
+    ctxs.reserve(static_cast<std::size_t>(nDomains));
+    for (int d = 0; d < nDomains; ++d) {
+        ctxs.push_back(std::make_unique<SimContext>(
+            Rng::deriveSeed(cfg.seed, static_cast<std::uint64_t>(d))));
+        // Workers must not allocate in steady state; first-touch
+        // bucket growth can strike arbitrarily late without this.
+        ctxs.back()->queue().prewarm();
+    }
+    per.resize(static_cast<std::size_t>(nThreads));
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+std::pair<int, int>
+ParallelEngine::ownedRange(int t) const
+{
+    // Contiguous blocks: worker t owns [t*D/T, (t+1)*D/T). Adjacent
+    // torus stripes land on the same worker, which keeps a worker's
+    // epoch body walking neighbouring state.
+    int lo = t * nDomains / nThreads;
+    int hi = (t + 1) * nDomains / nThreads;
+    return {lo, hi};
+}
+
+std::uint64_t
+ParallelEngine::firedTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : ctxs)
+        n += c->queue().firedCount();
+    return n;
+}
+
+double
+ParallelEngine::barrierWaitFrac() const
+{
+    std::uint64_t wait = 0, active = 0;
+    for (const auto &p : per) {
+        wait += p.waitNs;
+        active += p.activeNs;
+    }
+    std::uint64_t total = wait + active;
+    return total ? static_cast<double>(wait) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+ParallelEngine::syncAll(Tick t)
+{
+    for (auto &c : ctxs)
+        c->queue().syncTime(t);
+}
+
+void
+ParallelEngine::computeNextWindow()
+{
+    // Runs with every other worker parked at the barrier: all domain
+    // state is coherent here.
+    Tick globalMin = maxTick;
+    for (const auto &p : per)
+        globalMin = std::min(globalMin, p.localMin);
+
+    epochs_ += 1;
+
+    if (stop_ && *stop_ && (*stop_)()) {
+        done = true; // the client's completion condition holds
+        return;
+    }
+    if (globalMin > deadline_ || globalMin == maxTick) {
+        done = true; // out of time, or fully drained
+        return;
+    }
+    // Skip-ahead: the next window starts at the globally earliest
+    // pending work, not at the previous window's end — idle gaps
+    // cost one barrier, not one barrier per lookahead interval.
+    // Windows are clamped at the deadline so that, like the serial
+    // runUntil, events due exactly at the deadline fire and nothing
+    // past it does.
+    windowStart = globalMin;
+    windowEnd = windowStart + lookahead_;
+    if (deadline_ != maxTick && windowEnd > deadline_)
+        windowEnd = deadline_ + 1;
+}
+
+void
+ParallelEngine::barrier(int t)
+{
+    std::uint64_t g = gen.load(std::memory_order_relaxed);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) ==
+        nThreads - 1) {
+        computeNextWindow();
+        arrived.store(0, std::memory_order_relaxed);
+        gen.store(g + 1, std::memory_order_release);
+        return;
+    }
+    std::uint64_t t0 = nowNs();
+    int spins = 0;
+    while (gen.load(std::memory_order_acquire) == g) {
+        if (++spins >= 256) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+    per[std::size_t(t)].waitNs += nowNs() - t0;
+}
+
+void
+ParallelEngine::workerLoop(int t)
+{
+    auto [lo, hi] = ownedRange(t);
+    std::uint64_t epoch = epochs_; // same value on every worker
+    for (;;) {
+        std::uint64_t t0 = nowNs();
+        // windowStart never precedes a domain's pending work (it is
+        // the global min), so the sync below is always legal; it
+        // keeps idle domains' clocks moving with the machine.
+        const Tick ws = windowStart, we = windowEnd;
+        for (int d = lo; d < hi; ++d) {
+            EventQueue &q = ctxs[std::size_t(d)]->queue();
+            if (q.now() < ws)
+                q.syncTime(ws);
+            if (merge)
+                merge(d, ws);
+        }
+        for (int d = lo; d < hi; ++d)
+            ctxs[std::size_t(d)]->queue().drainWindow(we);
+        if (publish) {
+            for (int d = lo; d < hi; ++d)
+                publish(d);
+        }
+        Tick lm = maxTick;
+        for (int d = lo; d < hi; ++d) {
+            lm = std::min(lm, ctxs[std::size_t(d)]->queue().peekNext());
+            if (pendingMin)
+                lm = std::min(lm, pendingMin(d));
+        }
+        per[std::size_t(t)].localMin = lm;
+        per[std::size_t(t)].activeNs += nowNs() - t0;
+        if (epochHook)
+            epochHook(t, epoch);
+        epoch += 1;
+        barrier(t);
+        if (done)
+            return;
+    }
+}
+
+Tick
+ParallelEngine::run(Tick deadline, const StopFn &stop)
+{
+    deadline_ = deadline;
+    stop_ = &stop;
+    done = false;
+
+    // Initial window: the serial loop checks for completion before
+    // firing anything; mirror that, then anchor the first window at
+    // the earliest pending event anywhere.
+    Tick globalMin = maxTick;
+    for (auto &c : ctxs)
+        globalMin = std::min(globalMin, c->queue().peekNext());
+    if (pendingMin) {
+        for (int d = 0; d < nDomains; ++d)
+            globalMin = std::min(globalMin, pendingMin(d));
+    }
+    bool stopNow = stop && stop();
+    if (!stopNow && globalMin <= deadline_ && globalMin != maxTick) {
+        windowStart = globalMin;
+        windowEnd = windowStart + lookahead_;
+        if (deadline_ != maxTick && windowEnd > deadline_)
+            windowEnd = deadline_ + 1;
+
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(nThreads - 1));
+        for (int t = 1; t < nThreads; ++t)
+            workers.emplace_back([this, t] { workerLoop(t); });
+        workerLoop(0);
+        for (auto &w : workers)
+            w.join();
+    }
+    stop_ = nullptr;
+
+    // Final time: the globally last fired event, mirrored into every
+    // domain clock so any component's view of now() agrees.
+    Tick end = 0;
+    for (auto &c : ctxs)
+        end = std::max(end, c->queue().now());
+    syncAll(end);
+    return end;
+}
+
+} // namespace gs

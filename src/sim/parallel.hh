@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine.
+ *
+ * A machine's components are partitioned into spatial domains, each
+ * with its own SimContext (event queue), and all domains advance in
+ * barrier-synchronized epochs. An epoch's window length equals the
+ * conservative lookahead: the minimum delay any event executing in
+ * one domain can impose on another domain (on the torus, the
+ * one-cycle credit return across a cross-domain link — see
+ * docs/PARALLEL.md for the derivation). Within a window every domain
+ * fires its events independently; anything aimed at another domain
+ * is buffered in a mailbox by the client layer (the Network) and
+ * merged at the next barrier in canonical (when, src-domain,
+ * src-seq) order via EventQueue::scheduleMergedAt.
+ *
+ * Determinism contract: epoch boundaries are a pure function of
+ * simulation state (each next window starts at the globally earliest
+ * pending event), and domain count is fixed by the machine build —
+ * never by the worker-thread count. Results are therefore
+ * bit-identical at any --threads value, the same contract the sweep
+ * engine (sim/sweep.hh) established across --jobs.
+ */
+
+#ifndef GS_SIM_PARALLEL_HH
+#define GS_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/context.hh"
+#include "sim/types.hh"
+
+namespace gs
+{
+
+/** Barrier-synchronized multi-domain event-loop driver. */
+class ParallelEngine
+{
+  public:
+    struct Config
+    {
+        int domains = 1;
+        int threads = 1;    ///< workers; clamped to [1, domains]
+        Tick lookahead = 1; ///< epoch window length in ticks
+        std::uint64_t seed = 1;
+    };
+
+    /**
+     * Merge hook: called for every domain at the start of every
+     * epoch by the worker that owns the domain, after the barrier —
+     * every mailbox written during the previous epoch is quiescent.
+     * The client schedules the buffered cross-domain work into
+     * domainCtx(domain) with scheduleMergedAt, in canonical order.
+     */
+    using MergeFn = std::function<void(int domain, Tick windowStart)>;
+
+    /**
+     * Earliest due time among cross-domain entries domain @p d has
+     * posted but no consumer has merged yet (maxTick when none).
+     * Folded into the next-window computation at each barrier so
+     * skip-ahead never jumps past buffered work.
+     */
+    using PendingMinFn = std::function<Tick(int domain)>;
+
+    /**
+     * Stop predicate, evaluated by exactly one thread at each
+     * barrier while all other workers are parked — every domain's
+     * state is coherent and safe to read. Returning true ends the
+     * run (the Machine's completion check).
+     */
+    using StopFn = std::function<bool()>;
+
+    /**
+     * Publish hook: called for every domain by its owning worker
+     * after the domain drains each window, before the barrier. The
+     * client snapshots per-domain state (double-buffered on its
+     * side) that every domain's next merge may read — the Network
+     * uses it to reduce global tick-chain liveness.
+     */
+    using PublishFn = std::function<void(int domain)>;
+
+    /** Epoch observer for tests: (worker thread, epoch index). */
+    using EpochFn = std::function<void(int thread, std::uint64_t epoch)>;
+
+    explicit ParallelEngine(Config cfg);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    int domains() const { return nDomains; }
+    int threads() const { return nThreads; }
+    Tick lookahead() const { return lookahead_; }
+
+    SimContext &domainCtx(int d) { return *ctxs[std::size_t(d)]; }
+    const SimContext &domainCtx(int d) const
+    {
+        return *ctxs[std::size_t(d)];
+    }
+
+    void setMergeHook(MergeFn fn) { merge = std::move(fn); }
+    void setPendingMinHook(PendingMinFn fn) { pendingMin = std::move(fn); }
+    void setPublishHook(PublishFn fn) { publish = std::move(fn); }
+    void setEpochHook(EpochFn fn) { epochHook = std::move(fn); }
+
+    /**
+     * Advance all domains in epochs until every queue and mailbox
+     * drains, the next window would start past @p deadline (events
+     * due exactly at the deadline still fire, matching the serial
+     * runUntil contract; windows are clamped so nothing later
+     * does), or @p stop returns true at a barrier. On return every
+     * domain
+     * clock is synced to the same final time — the maximum across
+     * domains, i.e. the time of the globally last fired event.
+     * @return that final time.
+     */
+    Tick run(Tick deadline, const StopFn &stop = {});
+
+    /** Sync every domain clock to @p t (>= every domain's now). */
+    void syncAll(Tick t);
+
+    /** @name Self-metrics (the par.* telemetry gauges) */
+    /// @{
+    /** Epochs (barrier intervals) executed so far. */
+    std::uint64_t epochs() const { return epochs_; }
+
+    /** Events fired across all domains. */
+    std::uint64_t firedTotal() const;
+
+    /**
+     * Fraction of total worker wall-time spent waiting at barriers.
+     * Wall-clock derived — the one par.* value that is NOT
+     * deterministic across runs or thread counts.
+     */
+    double barrierWaitFrac() const;
+    /// @}
+
+  private:
+    struct alignas(64) PerThread
+    {
+        Tick localMin = maxTick;      ///< published before each barrier
+        std::uint64_t waitNs = 0;     ///< wall time parked at barriers
+        std::uint64_t activeNs = 0;   ///< wall time in the epoch body
+    };
+
+    void workerLoop(int t);
+    void barrier(int t);
+    void computeNextWindow();
+
+    /** Domains owned by worker @p t: a contiguous block. */
+    std::pair<int, int> ownedRange(int t) const;
+
+    int nDomains;
+    int nThreads;
+    Tick lookahead_;
+
+    std::vector<std::unique_ptr<SimContext>> ctxs;
+
+    MergeFn merge;
+    PendingMinFn pendingMin;
+    PublishFn publish;
+    EpochFn epochHook;
+    const StopFn *stop_ = nullptr; ///< valid during run() only
+
+    // Epoch/barrier state. `gen` is the barrier generation counter;
+    // the last arriver computes the next window (or sets `done`)
+    // and bumps it, releasing the spinners.
+    std::atomic<int> arrived{0};
+    std::atomic<std::uint64_t> gen{0};
+    Tick windowStart = 0;
+    Tick windowEnd = 0;
+    Tick deadline_ = maxTick;
+    bool done = false;
+
+    std::vector<PerThread> per;
+    std::uint64_t epochs_ = 0;
+};
+
+} // namespace gs
+
+#endif // GS_SIM_PARALLEL_HH

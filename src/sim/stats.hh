@@ -57,6 +57,21 @@ class Average
         hi = std::numeric_limits<double>::lowest();
     }
 
+    /**
+     * Fold @p o into this average (shard aggregation). count/min/max
+     * are exact; the merged total sums shard subtotals, so its
+     * floating-point association differs from a single global
+     * accumulator by at most the usual summation-reorder ulps.
+     */
+    void
+    merge(const Average &o)
+    {
+        sum += o.sum;
+        n += o.n;
+        lo = std::min(lo, o.lo);
+        hi = std::max(hi, o.hi);
+    }
+
     std::uint64_t count() const { return n; }
     double total() const { return sum; }
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }

@@ -52,6 +52,17 @@ Registry::addGauge(const std::string &p, Probe probe)
 }
 
 void
+Registry::addWallClockGauge(const std::string &p, Probe probe)
+{
+    gs_assert(probe != nullptr, "null telemetry probe for ", p);
+    Entry e;
+    e.kind = Kind::Gauge;
+    e.probe = std::move(probe);
+    e.wallClock = true;
+    insert(p, std::move(e));
+}
+
+void
 Registry::addAverage(const std::string &p, const stats::Average &a)
 {
     Entry e;
@@ -167,19 +178,28 @@ void
 Sampler::sampleNow()
 {
     Tick now = ctx.now();
+    // Rates divide by the span actually covered since the previous
+    // sample: interval_ on the periodic tick, less on the final
+    // partial flush stop() takes. A zero span would double-record
+    // the same instant; skip it.
+    Tick span = now - lastSample_;
+    if (span == 0 && !times_.empty())
+        return;
+    if (span == 0)
+        span = interval_;
     times_.push_back(now);
     for (auto &s : series_) {
         double cur = reg.value(s.path);
         double v = cur;
         if (s.rate) {
-            v = (cur - s.prev) * s.scale /
-                static_cast<double>(interval_);
+            v = (cur - s.prev) * s.scale / static_cast<double>(span);
             s.prev = cur;
         }
         s.values.push_back(v);
         if (trace)
             trace->counter(now, s.path, v);
     }
+    lastSample_ = now;
 }
 
 void
@@ -188,6 +208,7 @@ Sampler::start()
     if (token)
         return;
     token = std::make_shared<char>(0);
+    lastSample_ = ctx.now();
     std::weak_ptr<char> alive = token;
     ctx.queue().schedule(interval_, [this, alive] {
         if (!alive.expired())
@@ -198,6 +219,13 @@ Sampler::start()
 void
 Sampler::stop()
 {
+    if (!token)
+        return;
+    // Flush the tail: a run rarely ends on an interval edge, and
+    // silently dropping the final partial window made every rate
+    // series (heatmaps included) understate the end of the run.
+    if (ctx.now() > lastSample_)
+        sampleNow();
     token.reset();
 }
 
@@ -420,6 +448,8 @@ exportJson(std::ostream &os, const Registry &reg, const Sampler *sampler,
        << ",\"stats\":{";
     const char *sep = "\n";
     for (const auto &[p, e] : reg.entries()) {
+        if (e.wallClock)
+            continue; // host-timing value; keep exports reproducible
         os << sep;
         putEscaped(os, p);
         os << ":";
@@ -460,6 +490,8 @@ exportCsv(std::ostream &os, const Registry &reg)
 {
     os << "path,kind,value\n";
     for (const auto &[p, e] : reg.entries()) {
+        if (e.wallClock)
+            continue; // host-timing value; keep exports reproducible
         os << p << "," << kindName(e.kind) << ",";
         putNum(os, scalarOf(e));
         os << "\n";

@@ -86,6 +86,13 @@ class Registry
         Probe probe;
         const stats::Average *avg = nullptr;
         const stats::Histogram *hist = nullptr;
+        /**
+         * Wall-clock-derived value (e.g. par.barrier_wait_frac):
+         * readable via value() for live diagnostics, but skipped by
+         * the exporters so snapshot files stay byte-identical across
+         * runs and thread counts.
+         */
+        bool wallClock = false;
     };
 
     Registry() = default;
@@ -100,6 +107,11 @@ class Registry
     void addCounter(const std::string &p, const std::uint64_t &raw);
 
     void addGauge(const std::string &p, Probe probe);
+
+    /** Gauge whose value depends on host timing, not simulation
+     * state; excluded from exports (see Entry::wallClock). */
+    void addWallClockGauge(const std::string &p, Probe probe);
+
     void addAverage(const std::string &p, const stats::Average &a);
     void addHistogram(const std::string &p, const stats::Histogram &h);
     /// @}
@@ -168,7 +180,12 @@ class Sampler
     /** Begin sampling; first sample lands one interval from now. */
     void start();
 
-    /** Stop sampling (a pending sample event becomes a no-op). */
+    /**
+     * Stop sampling (a pending sample event becomes a no-op). If any
+     * time has passed since the last periodic sample, a final sample
+     * is flushed first, its rate values scaled to the partial window
+     * actually covered — series include the tail of the run.
+     */
     void stop();
 
     /** Take one sample of every watched path immediately. */
@@ -193,6 +210,8 @@ class Sampler
 
     /** Liveness token: pending sample events hold a weak reference. */
     std::shared_ptr<char> token;
+
+    Tick lastSample_ = 0; ///< time of the most recent sample
 
     std::vector<Series> series_;
     std::vector<Tick> times_;

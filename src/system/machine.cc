@@ -96,6 +96,39 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
 
     m->buildFabric(net::NetworkParams::gs1280());
 
+    // Parallel decomposition: one domain per torus column, fixed by
+    // geometry. opt.threads only picks how many workers drive the
+    // domains (the engine clamps it), so the event schedule — and
+    // every statistic — is identical at any thread count. A 1-wide
+    // torus has nothing to decompose and stays serial.
+    if (opt.threads > 1 && w > 1) {
+        ParallelEngine::Config pcfg;
+        pcfg.domains = w;
+        pcfg.threads = opt.threads;
+        pcfg.lookahead = m->net->conservativeLookahead();
+        pcfg.seed = opt.seed;
+        m->par_ = std::make_unique<ParallelEngine>(pcfg);
+
+        const auto *torus =
+            static_cast<const topo::Torus2D *>(m->topo_.get());
+        std::vector<int> dom(static_cast<std::size_t>(cpus));
+        for (NodeId n = 0; n < cpus; ++n)
+            dom[std::size_t(n)] = torus->xOf(n);
+        std::vector<SimContext *> dctx;
+        dctx.reserve(static_cast<std::size_t>(w));
+        for (int d = 0; d < w; ++d)
+            dctx.push_back(&m->par_->domainCtx(d));
+        m->net->setPartition(std::move(dom), std::move(dctx));
+
+        net::Network *netp = m->net.get();
+        m->par_->setMergeHook(
+            [netp](int d, Tick ws) { netp->mergeFor(d, ws); });
+        m->par_->setPendingMinHook(
+            [netp](int d) { return netp->pendingMinOf(d); });
+        m->par_->setPublishHook(
+            [netp](int d) { netp->publishFor(d); });
+    }
+
     coher::NodeConfig ncfg;
     ncfg.hasCache = true;
     ncfg.hasMemory = true;
@@ -108,10 +141,16 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     ccfg.mlp = opt.mlp;
 
     for (NodeId n = 0; n < cpus; ++n) {
+        // Components schedule on their node's domain context; with
+        // the serial engine that is the machine context, exactly as
+        // before.
+        SimContext &nctx =
+            m->par_ ? m->par_->domainCtx(m->net->domainOf(n))
+                    : *m->context;
         m->nodes.push_back(std::make_unique<coher::CoherentNode>(
-            *m->context, *m->net, n, *m->map, ncfg));
+            nctx, *m->net, n, *m->map, ncfg));
         m->cores.push_back(std::make_unique<cpu::TimingCore>(
-            *m->context, *m->nodes.back(), ccfg));
+            nctx, *m->nodes.back(), ccfg));
     }
     m->registerTelemetry();
     return m;
@@ -260,23 +299,85 @@ Machine::registerTelemetry()
     // working (see docs/EVENT_KERNEL.md). `buckets` counts events
     // resident in the near-future ring, `overflow` those parked in
     // the far-future heap; a healthy steady state keeps overflow
-    // near zero.
-    SimContext *ctxp = context.get();
-    telemetry_.addGauge("eq.fired", [ctxp] {
-        return static_cast<double>(ctxp->queue().firedCount());
-    });
-    telemetry_.addGauge("eq.pending", [ctxp] {
-        return static_cast<double>(ctxp->queue().pending());
-    });
-    telemetry_.addGauge("eq.peak_pending", [ctxp] {
-        return static_cast<double>(ctxp->queue().peakPending());
-    });
-    telemetry_.addGauge("eq.buckets", [ctxp] {
-        return static_cast<double>(ctxp->queue().ringPending());
-    });
-    telemetry_.addGauge("eq.overflow", [ctxp] {
-        return static_cast<double>(ctxp->queue().overflowPending());
-    });
+    // near zero. Parallel machines sum the per-domain queues
+    // (peak_pending sums per-domain peaks, an upper bound on the
+    // instantaneous machine-wide peak).
+    if (par_) {
+        ParallelEngine *pe = par_.get();
+        auto sumQ = [pe](auto probe) {
+            double n = 0;
+            for (int d = 0; d < pe->domains(); ++d)
+                n += static_cast<double>(probe(pe->domainCtx(d).queue()));
+            return n;
+        };
+        telemetry_.addGauge("eq.fired", [sumQ] {
+            return sumQ([](const EventQueue &q) {
+                return q.firedCount();
+            });
+        });
+        telemetry_.addGauge("eq.pending", [sumQ] {
+            return sumQ([](const EventQueue &q) { return q.pending(); });
+        });
+        telemetry_.addGauge("eq.peak_pending", [sumQ] {
+            return sumQ([](const EventQueue &q) {
+                return q.peakPending();
+            });
+        });
+        telemetry_.addGauge("eq.buckets", [sumQ] {
+            return sumQ([](const EventQueue &q) {
+                return q.ringPending();
+            });
+        });
+        telemetry_.addGauge("eq.overflow", [sumQ] {
+            return sumQ([](const EventQueue &q) {
+                return q.overflowPending();
+            });
+        });
+
+        // Parallel-engine self-metrics. Everything here is a pure
+        // function of simulation state — identical at any thread
+        // count — except barrier_wait_frac, which is wall-clock
+        // derived (see docs/PARALLEL.md).
+        net::Network *netp = net.get();
+        telemetry_.addGauge("par.domains", [pe] {
+            return static_cast<double>(pe->domains());
+        });
+        telemetry_.addGauge("par.epochs", [pe] {
+            return static_cast<double>(pe->epochs());
+        });
+        telemetry_.addGauge("par.lookahead_ticks", [pe] {
+            return static_cast<double>(pe->lookahead());
+        });
+        telemetry_.addWallClockGauge("par.barrier_wait_frac", [pe] {
+            return pe->barrierWaitFrac();
+        });
+        telemetry_.addGauge("par.mailbox.arrivals", [netp] {
+            return static_cast<double>(netp->crossArrivalsPosted());
+        });
+        telemetry_.addGauge("par.mailbox.credits", [netp] {
+            return static_cast<double>(netp->crossCreditsPosted());
+        });
+        telemetry_.addGauge("par.mailbox.flits", [netp] {
+            return static_cast<double>(netp->crossFlitsPosted());
+        });
+    } else {
+        SimContext *ctxp = context.get();
+        telemetry_.addGauge("eq.fired", [ctxp] {
+            return static_cast<double>(ctxp->queue().firedCount());
+        });
+        telemetry_.addGauge("eq.pending", [ctxp] {
+            return static_cast<double>(ctxp->queue().pending());
+        });
+        telemetry_.addGauge("eq.peak_pending", [ctxp] {
+            return static_cast<double>(ctxp->queue().peakPending());
+        });
+        telemetry_.addGauge("eq.buckets", [ctxp] {
+            return static_cast<double>(ctxp->queue().ringPending());
+        });
+        telemetry_.addGauge("eq.overflow", [ctxp] {
+            return static_cast<double>(ctxp->queue().overflowPending());
+        });
+    }
 
     // GS1280 routers keep the compass port names the paper uses in
     // its Figure 24 discussion (E/W/N/S); other fabrics number them.
@@ -307,6 +408,10 @@ Machine::registerTelemetry()
 void
 Machine::attachTrace(telem::TraceWriter &trace)
 {
+    // The writer is a single shared sink stamped with one clock;
+    // observers firing concurrently on worker threads would corrupt
+    // it. Tracing is a serial-engine (--threads 1) feature.
+    gs_assert(!par_, "attachTrace requires the serial engine");
     telem::TraceWriter *tw = &trace;
     SimContext *ctxp = context.get();
     for (auto &node : nodes) {
@@ -329,6 +434,9 @@ Machine::attachTrace(telem::TraceWriter &trace)
 fault::Watchdog &
 Machine::armWatchdog(fault::WatchdogConfig cfg, double coherenceTimeoutNs)
 {
+    // The watchdog self-schedules on the master context and probes
+    // cross-node state mid-run; both are serial-engine assumptions.
+    gs_assert(!par_, "the watchdog requires the serial engine");
     if (!watchdog_) {
         watchdog_ =
             std::make_unique<fault::Watchdog>(*context, *net, cfg);
@@ -371,28 +479,59 @@ Machine::run(const std::vector<cpu::TrafficSource *> &sources,
               "more sources than CPUs");
 
     // Shared counter: completion callbacks may fire after an early
-    // (limit-hit) return, so they must not reference the stack.
-    auto running = std::make_shared<int>(0);
+    // (limit-hit) return, so they must not reference the stack; on
+    // the parallel engine they also fire on worker threads, so the
+    // counter is atomic.
+    auto running = std::make_shared<std::atomic<int>>(0);
     for (std::size_t c = 0; c < sources.size(); ++c) {
         if (!sources[c])
             continue;
-        *running += 1;
-        cores[c]->run(*sources[c], [running] { *running -= 1; });
+        running->fetch_add(1, std::memory_order_relaxed);
+        cores[c]->run(*sources[c], [running] {
+            running->fetch_sub(1, std::memory_order_release);
+        });
+    }
+
+    if (par_) {
+        gs_assert(!net->degraded(),
+                  "fault injection requires the serial engine");
+        // Completion is checked only at epoch barriers (every domain
+        // quiescent there), so the final time may trail the serial
+        // engine's by less than one lookahead window; every fired
+        // event and every statistic is still identical.
+        Tick deadline = ctx().now() + limit;
+        Machine *self = this;
+        par_->run(deadline, [self, running] {
+            return running->load(std::memory_order_acquire) == 0 &&
+                   self->drained();
+        });
+        net->refreshMergedStats();
+        return running->load(std::memory_order_relaxed) == 0 &&
+               drained();
     }
 
     Tick deadline = context->now() + limit;
     while (context->now() < deadline) {
-        if (*running == 0 && drained())
+        if (running->load(std::memory_order_relaxed) == 0 && drained())
             return true;
         if (!context->queue().step())
             break;
     }
-    return *running == 0 && drained();
+    return running->load(std::memory_order_relaxed) == 0 && drained();
 }
 
 void
 Machine::runFor(Tick duration)
 {
+    if (par_) {
+        gs_assert(!net->degraded(),
+                  "fault injection requires the serial engine");
+        Tick target = ctx().now() + duration;
+        par_->run(target);
+        par_->syncAll(target);
+        net->refreshMergedStats();
+        return;
+    }
     context->queue().runFor(duration);
 }
 

@@ -30,6 +30,7 @@
 #include "mem/address.hh"
 #include "net/network.hh"
 #include "sim/context.hh"
+#include "sim/parallel.hh"
 #include "sim/telemetry.hh"
 #include "topology/shuffle.hh"
 #include "topology/topology.hh"
@@ -55,6 +56,15 @@ struct Gs1280Options
     topo::ShufflePolicy shufflePolicy = topo::ShufflePolicy::OneHop;
     int mlp = 10; ///< EV7 prefetch sustains ~10 overlapped misses
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the conservative parallel engine
+     * (docs/PARALLEL.md). 1 = the classic serial event loop. More
+     * than 1 partitions the torus into one domain per column and
+     * runs them in barrier-synchronized epochs; results are
+     * bit-identical at any thread count. Ignored (serial) on a
+     * single-column torus.
+     */
+    int threads = 1;
 };
 
 /** The standard torus shape for @p cpus (2x1, 2x2, 4x2, ... 8x8). */
@@ -75,7 +85,15 @@ class Machine
 
     /** @name Component access */
     /// @{
-    SimContext &ctx() { return *context; }
+    /**
+     * The machine's time/RNG context. Serial: the sole context.
+     * Parallel: domain 0's — after any run()/runFor() every domain
+     * clock is synced, so now() is the machine time either way.
+     */
+    SimContext &ctx()
+    {
+        return par_ ? par_->domainCtx(0) : *context;
+    }
     net::Network &network() { return *net; }
     const topo::Topology &topology() const { return *topo_; }
     const mem::AddressMap &addressMap() const { return *map; }
@@ -90,6 +108,12 @@ class Machine
 
     /** Timing core of CPU @p c. */
     cpu::TimingCore &core(int c) { return *cores[std::size_t(c)]; }
+
+    /** True when this machine runs on the parallel engine. */
+    bool isParallel() const { return par_ != nullptr; }
+
+    /** The parallel engine, or nullptr for serial machines. */
+    ParallelEngine *parallel() { return par_.get(); }
     /// @}
 
     /** @name Fault injection & health monitoring
@@ -193,6 +217,7 @@ class Machine
     void registerTelemetry();
 
     std::unique_ptr<SimContext> context;
+    std::unique_ptr<ParallelEngine> par_; ///< set by parallel builds
     std::unique_ptr<topo::Topology> topo_;
     std::unique_ptr<fault::DegradedTopology> fabric_;
     std::unique_ptr<mem::AddressMap> map;

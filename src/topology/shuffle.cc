@@ -116,10 +116,10 @@ ShuffleTorus::buildDistanceTables()
     }
 }
 
-std::vector<int>
+PortSet
 ShuffleTorus::adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const
 {
-    std::vector<int> out;
+    PortSet out;
     if (at == dst)
         return out;
 

@@ -53,7 +53,7 @@ class ShuffleTorus : public Torus2D
     Port port(NodeId node, int port) const override;
     std::string name() const override;
 
-    std::vector<int>
+    PortSet
     adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
 
     EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;

@@ -20,13 +20,54 @@
 #ifndef GS_TOPOLOGY_TOPOLOGY_HH
 #define GS_TOPOLOGY_TOPOLOGY_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace gs::topo
 {
+
+/**
+ * Fixed-capacity candidate-port list returned by adaptivePorts().
+ *
+ * Route computation runs inside the router's per-cycle nomination
+ * loop, so building the candidate set must not touch the heap (the
+ * alloc-count tests pin the warm steady state at zero allocations,
+ * including on parallel-engine workers). No concrete topology offers
+ * more than a handful of minimal next hops — a 2D torus at most
+ * four — so a small inline array holds all of them.
+ */
+class PortSet
+{
+  public:
+    static constexpr int capacity = 8;
+
+    void push_back(int p)
+    {
+        gs_assert(cnt < capacity, "PortSet overflow");
+        slots[cnt++] = p;
+    }
+
+    std::size_t size() const { return static_cast<std::size_t>(cnt); }
+    bool empty() const { return cnt == 0; }
+    int operator[](std::size_t i) const { return slots[i]; }
+    int back() const { return slots[cnt - 1]; }
+    const int *begin() const { return slots; }
+    const int *end() const { return slots + cnt; }
+
+    friend bool operator==(const PortSet &a, const PortSet &b)
+    {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+
+  private:
+    int slots[capacity] = {};
+    int cnt = 0;
+};
 
 /**
  * Physical construction of a link, which determines its wire delay.
@@ -94,7 +135,7 @@ class Topology
      * @return empty when at == dst or when the topology offers no
      *         adaptivity (trees).
      */
-    virtual std::vector<int>
+    virtual PortSet
     adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const = 0;
 
     /**

@@ -81,10 +81,10 @@ Torus2D::name() const
     return "torus " + std::to_string(wid) + "x" + std::to_string(hgt);
 }
 
-std::vector<int>
+PortSet
 Torus2D::adaptivePorts(NodeId at, NodeId dst, int) const
 {
-    std::vector<int> out;
+    PortSet out;
     int dx = (xOf(dst) - xOf(at) + wid) % wid;
     int dy = (yOf(dst) - yOf(at) + hgt) % hgt;
 

@@ -69,7 +69,7 @@ QbbTree::name() const
            std::to_string(nQbbs) + " QBBs)";
 }
 
-std::vector<int>
+PortSet
 QbbTree::adaptivePorts(NodeId, NodeId, int) const
 {
     return {}; // switch trees offer a unique path

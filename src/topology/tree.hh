@@ -38,7 +38,7 @@ class QbbTree : public Topology
     Port port(NodeId node, int port) const override;
     std::string name() const override;
 
-    std::vector<int>
+    PortSet
     adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
 
     EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;

@@ -95,11 +95,11 @@ TEST(DegradedTopology, AdaptivePortsShrinkAroundFailure)
     topo::Torus2D base(4, 4);
     DegradedTopology deg(base);
     // 0 -> 5 is minimal via East then South-ish: both E and N.
-    std::vector<int> before = deg.adaptivePorts(0, 5, 0);
+    topo::PortSet before = deg.adaptivePorts(0, 5, 0);
     ASSERT_EQ(before.size(), 2u);
 
     deg.failLink(0, topo::portEast);
-    std::vector<int> after = deg.adaptivePorts(0, 5, 0);
+    topo::PortSet after = deg.adaptivePorts(0, 5, 0);
     ASSERT_EQ(after.size(), 1u);
     EXPECT_NE(after[0], topo::portEast);
 }

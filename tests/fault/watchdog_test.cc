@@ -52,7 +52,7 @@ class BrokenRing : public topo::Topology
         return out;
     }
 
-    std::vector<int>
+    topo::PortSet
     adaptivePorts(NodeId, NodeId, int) const override
     {
         return {}; // force everything onto the broken escape

@@ -243,4 +243,101 @@ TEST(EventQueueCalendar, MetricsCountFiredAndPeak)
     EXPECT_EQ(eq.pending(), 0u);
 }
 
+TEST(EventQueueCalendar, ClearReanchorsTheRing)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Drag the calendar window deep into the future, then clear with
+    // events still resident in ring AND overflow — the regression
+    // was a ring left anchored at the old epoch after clear().
+    const Tick far = 2 * EventQueue::horizon + 5;
+    eq.scheduleAt(far, [&] { fired += 100; });
+    eq.scheduleAt(far + EventQueue::horizon, [&] { fired += 100; });
+    eq.runUntil(far - 1); // window now anchored near `far`
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.ringPending(), 0u);
+    EXPECT_EQ(eq.overflowPending(), 0u);
+
+    // A post-clear near event must land in a live bucket, fire, and
+    // fire exactly once; same-tick FIFO must survive the reset.
+    std::vector<int> order;
+    eq.scheduleAt(far + 1, [&] { order.push_back(0); });
+    eq.scheduleAt(far + 1, [&] { order.push_back(1); });
+    eq.scheduleAt(far + EventQueue::bucketWidth, [&] {
+        order.push_back(2);
+    });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), far + EventQueue::bucketWidth);
+}
+
+TEST(EventQueueWindow, DrainWindowFiresStrictlyBefore)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(10, [&] { order.push_back(10); });
+    eq.scheduleAt(20, [&] { order.push_back(20); });
+    eq.scheduleAt(30, [&] { order.push_back(30); });
+
+    EXPECT_EQ(eq.drainWindow(20), 1u);
+    EXPECT_EQ(order, (std::vector<int>{10}));
+    // now() stays at the last fired event (not the window edge), so
+    // the domain clock matches the serial engine after those events.
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.peekNext(), 20u);
+
+    EXPECT_EQ(eq.drainWindow(31), 2u);
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+    EXPECT_EQ(eq.peekNext(), gs::maxTick);
+    EXPECT_EQ(eq.drainWindow(1000), 0u);
+}
+
+TEST(EventQueueWindow, SyncTimeAdvancesWithoutFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.syncTime(15);
+    EXPECT_EQ(eq.now(), 15u);
+    eq.schedule(5, [&] { fired += 1; }); // relative to synced time
+    eq.runUntil();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueueWindow, MergedEventsBeatSameTickLocalEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Local events scheduled FIRST, merged events appended LAST —
+    // the merge band must still fire first at the shared tick, the
+    // order the serial engine gives arrivals/credits vs. tick work.
+    eq.scheduleAt(100, [&] { order.push_back(2); });
+    eq.scheduleAt(100, [&] { order.push_back(3); });
+    eq.peekNext(); // sort the live bucket: exercises binary insert
+    eq.scheduleMergedAt(100, [&] { order.push_back(0); });
+    eq.scheduleMergedAt(100, [&] { order.push_back(1); });
+    eq.scheduleAt(90, [&] { order.push_back(-1); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(EventQueueWindow, MergedEventBeforeRingBaseStillFires)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // An idle domain whose only local work sits far ahead: the ring
+    // re-anchors at the far event, then a barrier merge delivers
+    // cross-domain work due much earlier. rewindTo must recover.
+    const Tick far = EventQueue::horizon + 500;
+    eq.scheduleAt(far, [&order] { order.push_back(1); });
+    eq.peekNext(); // anchor the window at `far`
+    eq.scheduleMergedAt(40, [&order] { order.push_back(0); });
+    EXPECT_EQ(eq.peekNext(), 40u);
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), far);
+}
+
 } // namespace

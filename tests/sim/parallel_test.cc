@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the conservative parallel engine, independent of
+ * the network layer: epoch windows, deadline clamping, skip-ahead,
+ * the stop predicate, and mailbox-merge determinism across worker
+ * counts (with a minimal double-buffered mailbox fixture mirroring
+ * the protocol the Network uses — see docs/PARALLEL.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace
+{
+
+using gs::maxTick;
+using gs::ParallelEngine;
+using gs::Tick;
+
+TEST(ParallelEngine, ClampsThreadsToDomains)
+{
+    ParallelEngine::Config cfg;
+    cfg.domains = 3;
+    cfg.threads = 8;
+    cfg.lookahead = 10;
+    ParallelEngine eng(cfg);
+    EXPECT_EQ(eng.domains(), 3);
+    EXPECT_EQ(eng.threads(), 3);
+    EXPECT_EQ(eng.lookahead(), Tick(10));
+}
+
+TEST(ParallelEngine, SingleDomainFiresEverything)
+{
+    ParallelEngine::Config cfg;
+    cfg.domains = 1;
+    cfg.lookahead = 7;
+    ParallelEngine eng(cfg);
+
+    std::vector<Tick> fired;
+    auto &q = eng.domainCtx(0).queue();
+    for (Tick t : {Tick(5), Tick(6), Tick(40), Tick(400)})
+        q.scheduleAt(t, [&fired, &q] { fired.push_back(q.now()); });
+
+    Tick end = eng.run(1000);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 6, 40, 400}));
+    EXPECT_EQ(end, Tick(400));
+    EXPECT_EQ(eng.domainCtx(0).now(), Tick(400));
+    EXPECT_EQ(eng.firedTotal(), 4u);
+}
+
+TEST(ParallelEngine, DeadlineIsInclusiveAndClamped)
+{
+    ParallelEngine::Config cfg;
+    cfg.domains = 1;
+    cfg.lookahead = 100; // window would overshoot without clamping
+    ParallelEngine eng(cfg);
+
+    int fired = 0;
+    auto &q = eng.domainCtx(0).queue();
+    q.scheduleAt(10, [&] { fired += 1; });
+    q.scheduleAt(20, [&] { fired += 1; });
+    q.scheduleAt(21, [&] { fired += 1; });
+
+    eng.run(20); // serial runUntil contract: fires <= deadline only
+    EXPECT_EQ(fired, 2);
+
+    eng.run(1000); // the rest fires on a later run
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(ParallelEngine, SkipAheadJumpsIdleGaps)
+{
+    ParallelEngine::Config cfg;
+    cfg.domains = 2;
+    cfg.threads = 2;
+    cfg.lookahead = 10;
+    ParallelEngine eng(cfg);
+
+    // Two events a million ticks apart: epoch windows must anchor at
+    // pending work, not sweep every lookahead interval in between.
+    int fired = 0;
+    eng.domainCtx(0).queue().scheduleAt(5, [&fired] { fired += 1; });
+    int fired1 = 0;
+    eng.domainCtx(1).queue().scheduleAt(1'000'000,
+                                        [&fired1] { fired1 += 1; });
+
+    Tick end = eng.run(2'000'000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(fired1, 1);
+    EXPECT_EQ(end, Tick(1'000'000));
+    EXPECT_LT(eng.epochs(), 10u);
+}
+
+TEST(ParallelEngine, StopPredicateEndsRunAtFirstBarrier)
+{
+    ParallelEngine::Config cfg;
+    cfg.domains = 2;
+    cfg.lookahead = 5;
+    ParallelEngine eng(cfg);
+
+    int fired = 0;
+    eng.domainCtx(0).queue().scheduleAt(10, [&fired] { fired += 1; });
+
+    // Stop already satisfied: mirrors the serial loop's
+    // check-before-step — nothing may fire.
+    eng.run(1000, [] { return true; });
+    EXPECT_EQ(fired, 0);
+
+    eng.run(1000);
+    EXPECT_EQ(fired, 1);
+}
+
+/**
+ * Two domains ping-ponging cross-domain work through the same
+ * double-buffered mailbox protocol the Network uses: posts during
+ * epoch k land in parity k&1, the consumer merges parity (k-1)&1 at
+ * the start of epoch k. The per-domain fired logs must be identical
+ * at 1 and 2 worker threads.
+ */
+struct PingPongFixture
+{
+    static constexpr Tick hop = 13; // > lookahead: due crosses windows
+
+    explicit PingPongFixture(int threads, int hops)
+        : remaining(hops)
+    {
+        ParallelEngine::Config cfg;
+        cfg.domains = 2;
+        cfg.threads = threads;
+        cfg.lookahead = 4;
+        eng = std::make_unique<ParallelEngine>(cfg);
+
+        eng->setMergeHook([this](int d, Tick ws) { mergeFor(d, ws); });
+        eng->setPendingMinHook(
+            [this](int d) { return pendingMinOf(d); });
+
+        // Seed: domain 0 acts at tick 1.
+        eng->domainCtx(0).queue().scheduleAt(1, [this] { act(0); });
+    }
+
+    void
+    act(int d)
+    {
+        Tick now = eng->domainCtx(d).now();
+        log[d].push_back(now);
+        if (remaining <= 0)
+            return;
+        remaining -= 1;
+        post(d, 1 - d, now + hop);
+    }
+
+    void
+    post(int src, int dst, Tick due)
+    {
+        const std::size_t par = (epoch[src] + 1) & 1;
+        auto &mb = mail[src][dst];
+        mb.minDue[par] = std::min(mb.minDue[par], due);
+        mb.buf[par].push_back(due);
+    }
+
+    void
+    mergeFor(int d, Tick ws)
+    {
+        const std::size_t par = (epoch[d] + 1) & 1;
+        epoch[d] += 1;
+        auto &mb = mail[1 - d][d];
+        std::sort(mb.buf[par].begin(), mb.buf[par].end());
+        auto &q = eng->domainCtx(d).queue();
+        for (Tick due : mb.buf[par]) {
+            EXPECT_GE(due, ws); // may run on a worker thread
+            q.scheduleMergedAt(due, [this, d] { act(d); });
+        }
+        mb.buf[par].clear();
+        mb.minDue[par] = maxTick;
+    }
+
+    Tick
+    pendingMinOf(int d) const
+    {
+        const std::size_t par = (epoch[d] + 1) & 1;
+        return mail[d][1 - d].minDue[par];
+    }
+
+    struct Box
+    {
+        std::vector<Tick> buf[2];
+        Tick minDue[2] = {maxTick, maxTick};
+    };
+
+    std::unique_ptr<ParallelEngine> eng;
+    Box mail[2][2];
+    std::uint64_t epoch[2] = {0, 0}; ///< merges done per domain
+    std::vector<Tick> log[2];        ///< act() times per domain
+    int remaining;
+};
+
+TEST(ParallelEngine, MailboxPingPongIsThreadCountInvariant)
+{
+    constexpr int hops = 25;
+    PingPongFixture serial(1, hops);
+    PingPongFixture threaded(2, hops);
+
+    Tick endS = serial.eng->run(10'000);
+    Tick endT = threaded.eng->run(10'000);
+
+    EXPECT_EQ(endS, endT);
+    EXPECT_EQ(serial.log[0], threaded.log[0]);
+    EXPECT_EQ(serial.log[1], threaded.log[1]);
+
+    // The token visits domains alternately, one hop apart in time.
+    ASSERT_EQ(serial.log[0].size() + serial.log[1].size(),
+              std::size_t(hops) + 1);
+    EXPECT_EQ(serial.log[0].front(), Tick(1));
+    EXPECT_EQ(serial.log[1].front(), Tick(1 + PingPongFixture::hop));
+    EXPECT_EQ(endS, Tick(1 + hops * PingPongFixture::hop));
+}
+
+TEST(ParallelEngine, RunResumesAcrossCalls)
+{
+    // Work left in a mailbox when a run ends (posted but unmerged)
+    // must be found by the next run's initial pending-min scan.
+    PingPongFixture fx(2, 9);
+    fx.eng->run(30); // cuts the ping-pong mid-flight
+    std::size_t after = fx.log[0].size() + fx.log[1].size();
+    EXPECT_LT(after, 10u);
+    fx.eng->run(10'000);
+    EXPECT_EQ(fx.log[0].size() + fx.log[1].size(), 10u);
+}
+
+} // namespace

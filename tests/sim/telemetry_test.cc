@@ -150,6 +150,51 @@ TEST(Sampler, StopEndsTheSeries)
     EXPECT_EQ(sampler.times().size(), 3u);
 }
 
+TEST(Sampler, StopFlushesFinalPartialInterval)
+{
+    SimContext ctx;
+    std::uint64_t busy = 0;
+    Registry reg;
+    reg.addCounter("busy", busy);
+
+    Sampler sampler(ctx, reg, 100);
+    sampler.watchRate("busy", 1.0);
+    sampler.start();
+
+    // One full interval (+40), then 50 ticks of tail (+30) that no
+    // periodic sample covers. stop() must flush the tail, with the
+    // rate scaled to the 50-tick window actually covered.
+    ctx.queue().scheduleAt(60, [&] { busy += 40; });
+    ctx.queue().scheduleAt(120, [&] { busy += 30; });
+    ctx.queue().runUntil(150);
+    sampler.stop();
+
+    const auto &s = sampler.series().front();
+    ASSERT_EQ(sampler.times().size(), 2u);
+    EXPECT_EQ(sampler.times()[0], Tick(100));
+    EXPECT_EQ(sampler.times()[1], Tick(150));
+    EXPECT_DOUBLE_EQ(s.values[0], 0.4);
+    EXPECT_DOUBLE_EQ(s.values[1], 0.6); // 30 flits / 50 ticks
+}
+
+TEST(Sampler, StopOnIntervalEdgeAddsNothing)
+{
+    SimContext ctx;
+    std::uint64_t v = 0;
+    Registry reg;
+    reg.addCounter("v", v);
+
+    Sampler sampler(ctx, reg, 100);
+    sampler.watch("v");
+    sampler.start();
+    ctx.queue().runUntil(200);
+    sampler.stop(); // exactly on a sample edge: nothing to flush
+    EXPECT_EQ(sampler.times().size(), 2u);
+
+    sampler.stop(); // idempotent
+    EXPECT_EQ(sampler.times().size(), 2u);
+}
+
 TEST(Sampler, WatchPrefixSelectsSubtree)
 {
     SimContext ctx;
@@ -273,6 +318,27 @@ TEST(Export, IdenticalStateExportsIdenticalBytes)
         return os.str();
     };
     EXPECT_EQ(render(), render());
+}
+
+TEST(Export, WallClockGaugesAreReadableButNotExported)
+{
+    // par.barrier_wait_frac depends on host timing: it must stay
+    // queryable for live diagnostics but never reach a snapshot
+    // file, or byte-identical re-runs would diverge.
+    Registry reg;
+    std::uint64_t flits = 3;
+    reg.addCounter("link.flits", flits);
+    reg.addWallClockGauge("par.barrier_wait_frac", [] { return 0.25; });
+
+    EXPECT_DOUBLE_EQ(reg.value("par.barrier_wait_frac"), 0.25);
+
+    std::ostringstream js, csv;
+    exportJson(js, reg, nullptr, 0);
+    exportCsv(csv, reg);
+    EXPECT_EQ(js.str().find("barrier_wait_frac"), std::string::npos);
+    EXPECT_EQ(csv.str().find("barrier_wait_frac"), std::string::npos);
+    EXPECT_NE(js.str().find("link.flits"), std::string::npos);
+    EXPECT_NE(csv.str().find("link.flits"), std::string::npos);
 }
 
 } // namespace
