@@ -320,6 +320,91 @@ class TelemetrySession
 /// @}
 
 /**
+ * @name Checkpoint / restore plumbing
+ *
+ * Benches that run one long-lived machine share three options:
+ * `--checkpoint-every=NS` snapshots the whole machine every NS of
+ * simulated time (files `PREFIX.N.gsckpt`, atomic tmp+rename),
+ * `--checkpoint-prefix=PREFIX` names them (default `gsckpt`), and
+ * `--restore-from=FILE` resumes a previous snapshot before running.
+ * A restored run continues bit-identically: its final stats export
+ * matches the uninterrupted run's byte-for-byte
+ * (docs/CHECKPOINT.md). Checkpointing is incompatible with
+ * `--trace` — the trace buffer holds unreplayable history.
+ */
+/// @{
+
+/** Register the checkpoint options (compose with the others). */
+inline std::map<std::string, std::string>
+withCheckpointArgs(std::map<std::string, std::string> known = {})
+{
+    known.emplace("checkpoint-every",
+                  "snapshot the machine every NS of simulated time "
+                  "(default 0 = off; files PREFIX.N.gsckpt)");
+    known.emplace("checkpoint-prefix",
+                  "snapshot path prefix (default gsckpt)");
+    known.emplace("restore-from",
+                  "resume from a snapshot file before running");
+    return known;
+}
+
+/**
+ * Binds the shared checkpoint options to one Machine. Construct it
+ * AFTER TelemetrySession (the sampler must exist to be registered as
+ * a snapshot participant) and call maybeRestore() with the traffic
+ * sources right before Machine::run.
+ */
+class CheckpointSession
+{
+  public:
+    CheckpointSession(const Args &args, sys::Machine &m,
+                      telem::Sampler *sampler = nullptr)
+        : machine(m),
+          restorePath(args.getString("restore-from", ""))
+    {
+        const double everyNs =
+            args.getDouble("checkpoint-every", 0.0);
+        if ((everyNs > 0 || !restorePath.empty()) &&
+            !args.getString("trace", "").empty()) {
+            gs_fatal("--trace is incompatible with checkpointing: "
+                     "the trace buffer holds history a snapshot "
+                     "cannot replay (drop --trace, or drop "
+                     "--checkpoint-every/--restore-from)");
+        }
+        // Registration order is part of the snapshot layout, so it
+        // must match between the saving and the restoring run; both
+        // go through this constructor, keeping them in lockstep.
+        if (sampler)
+            machine.registerCkptClient(*sampler);
+        if (everyNs > 0) {
+            machine.setCheckpointPolicy(
+                nsToTicks(everyNs),
+                args.getString("checkpoint-prefix", "gsckpt"));
+        }
+    }
+
+    /** Apply --restore-from (no-op without it); die loudly on a
+     *  corrupt, truncated, or mismatched snapshot. */
+    void
+    maybeRestore(const std::vector<cpu::TrafficSource *> &sources)
+    {
+        if (restorePath.empty())
+            return;
+        std::string err;
+        if (!machine.restore(restorePath, sources, &err))
+            gs_fatal("--restore-from ", restorePath, ": ", err);
+    }
+
+    bool restoring() const { return !restorePath.empty(); }
+
+  private:
+    sys::Machine &machine;
+    std::string restorePath;
+};
+
+/// @}
+
+/**
  * End-to-end dependent-load latency (ns) of CPU @p from chasing a
  * cold chain in CPU @p to's region: total time / loads, the
  * load-to-use number the paper's lmbench plots report.

@@ -34,8 +34,9 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              bench::withSweepArgs(
-                  {{"loads", "loads per probe (default 3000)"}}));
+              bench::withCheckpointArgs(bench::withTelemetryArgs(
+                  bench::withSweepArgs(
+                      {{"loads", "loads per probe (default 3000)"}}))));
     auto loads = static_cast<std::uint64_t>(args.getInt("loads", 3000));
     int threads = bench::machineThreads(args);
     auto runner = bench::makeRunner(args);
@@ -111,5 +112,42 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: GS1280 grows gently (~180 ns at 16P, "
                  "~280 ns at 64P); GS320 sits at ~700-850 ns beyond "
                  "one QBB\n";
+
+    // The probes above are sweep points on short-lived machines; the
+    // observed run is a separate 16P GS1280 probe (CPU 0 chasing the
+    // far-corner node) with the telemetry and checkpoint sessions
+    // attached. A run restored via --restore-from reproduces the
+    // uninterrupted run's --stats-out export byte-for-byte — the CI
+    // determinism lane byte-compares exactly that.
+    if (args.has("stats-out") || args.has("trace") ||
+        args.getBool("verbose", false) ||
+        args.has("checkpoint-every") || args.has("restore-from")) {
+        auto master =
+            static_cast<std::uint64_t>(args.getInt("seed", 1));
+        sys::Gs1280Options opt;
+        opt.seed = master;
+        opt.threads = threads;
+        auto m = sys::Machine::buildGS1280(16, opt);
+        bench::TelemetrySession session(args, *m);
+        bench::CheckpointSession ckpt(args, *m, session.sampler());
+
+        wl::PointerChase chase(m->cpuAddr(10, 0), 16 << 20, 64,
+                               loads);
+        std::vector<cpu::TrafficSource *> sources(16, nullptr);
+        sources[0] = &chase;
+        ckpt.maybeRestore(sources);
+        bool ok = m->run(sources);
+        session.finish();
+        std::cout << "\ninstrumented 16P probe (0 -> 10): "
+                  << (ok ? Table::num(
+                               m->core(0).stats().elapsedNs() /
+                                   static_cast<double>(loads),
+                               1) + " ns/load"
+                         : std::string("timed out"));
+        if (args.has("stats-out"))
+            std::cout << ", stats -> "
+                      << args.getString("stats-out", "");
+        std::cout << "\n";
+    }
     return 0;
 }

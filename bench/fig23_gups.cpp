@@ -45,9 +45,10 @@ main(int argc, char **argv)
 {
     using namespace gs;
     Args args(argc, argv,
-              bench::withTelemetryArgs(bench::withSweepArgs(
-                  {{"updates", "updates per CPU (default 1500)"},
-                   {"full", "include the 64P point (slow)"}})));
+              bench::withCheckpointArgs(
+                  bench::withTelemetryArgs(bench::withSweepArgs(
+                      {{"updates", "updates per CPU (default 1500)"},
+                       {"full", "include the 64P point (slow)"}}))));
     auto updates =
         static_cast<std::uint64_t>(args.getInt("updates", 1500));
     bool full = args.getBool("full", false);
@@ -99,11 +100,14 @@ main(int argc, char **argv)
                  "torus); GS320 stays near ~50-100\n";
 
     // The sweep above spreads point machines across worker threads,
-    // so the observed run is a separate serial one: the 32P (8x4)
-    // machine of the Figure 24 discussion, with the telemetry
-    // session attached for --stats-out / --trace / --verbose.
+    // so the observed run is a separate one: the 32P (8x4) machine of
+    // the Figure 24 discussion, with the telemetry session attached
+    // for --stats-out / --trace / --verbose and the checkpoint
+    // session for --checkpoint-every / --restore-from. A restored run
+    // reproduces the uninterrupted run's stats export byte-for-byte.
     if (args.has("stats-out") || args.has("trace") ||
-        args.getBool("verbose", false)) {
+        args.getBool("verbose", false) ||
+        args.has("checkpoint-every") || args.has("restore-from")) {
         auto master =
             static_cast<std::uint64_t>(args.getInt("seed", 1));
         sys::Gs1280Options opt;
@@ -112,10 +116,29 @@ main(int argc, char **argv)
         opt.threads = threads;
         auto m = sys::Machine::buildGS1280(32, opt);
         bench::TelemetrySession session(args, *m);
-        double rate = mups(*m, 32, updates, Rng::deriveSeed(master, 0));
+        bench::CheckpointSession ckpt(args, *m, session.sampler());
+
+        const std::uint64_t seed = Rng::deriveSeed(master, 0);
+        std::vector<std::unique_ptr<wl::Gups>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < 32; ++c) {
+            gens.push_back(std::make_unique<wl::Gups>(
+                32, 256ULL << 20, updates,
+                Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
+            sources.push_back(gens.back().get());
+        }
+        ckpt.maybeRestore(sources);
+        Tick start = m->ctx().now();
+        double rate = 0;
+        if (m->run(sources, 30000 * tickMs)) {
+            double seconds = ticksToNs(m->ctx().now() - start) * 1e-9;
+            rate = 32.0 * static_cast<double>(updates) / seconds / 1e6;
+        }
         session.finish();
         std::cout << "\ninstrumented 32P run: " << Table::num(rate, 1)
                   << " Mup/s";
+        if (ckpt.restoring())
+            std::cout << " (measured from the restored snapshot on)";
         if (args.has("stats-out"))
             std::cout << ", stats -> "
                       << args.getString("stats-out", "");

@@ -35,41 +35,62 @@ import re
 import sys
 
 
+def die(msg):
+    """One actionable line on stderr, exit 2 (usage/parse error) —
+    never a traceback: CI logs should show what to fix, not where
+    this script crashed."""
+    print(f"bench_compare: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_rates(path):
     """Map benchmark name -> items/sec (or inverse time) from a
     google-benchmark JSON file. Aggregate rows (mean/median/stddev,
     emitted with --benchmark_repetitions) are skipped so a repeated
     run compares like a plain one."""
+    regen = ("regenerate it with: perf_microbench "
+             f"--benchmark_out={path} --benchmark_out_format=json")
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+    except FileNotFoundError:
+        die(f"{path} does not exist; {regen}")
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON (line {e.lineno}: {e.msg}); "
+            f"{regen}")
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("benchmarks"), list):
+        die(f"{path} is JSON but not google-benchmark output "
+            f"(expected an object with a 'benchmarks' array); {regen}")
     rates = {}
-    for b in doc.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
+    for b in doc["benchmarks"]:
+        if not isinstance(b, dict) or b.get("run_type") == "aggregate":
             continue
         name = b.get("name")
-        if name is None:
+        if not isinstance(name, str):
             continue
         rate = b.get("items_per_second")
         if rate is None:
             t = b.get("real_time")
-            rate = 1.0 / t if t else None
-        if rate:
+            rate = 1.0 / t if isinstance(t, (int, float)) and t else None
+        if isinstance(rate, (int, float)) and rate:
             rates[name] = float(rate)
+    if not rates:
+        die(f"{path} contains no usable benchmark entries; {regen}")
     return rates
 
 
 def parse_speedup(spec):
     name, _, factor = spec.partition("=")
     if not name or not factor:
-        sys.exit(f"error: bad --require-speedup '{spec}', "
-                 "expected NAME=FACTOR")
+        die(f"bad requirement '{spec}', expected NAME=FACTOR")
     try:
         return name, float(factor)
     except ValueError:
-        sys.exit(f"error: bad factor in --require-speedup '{spec}'")
+        die(f"bad factor in requirement '{spec}', "
+            "expected NAME=FACTOR with a numeric FACTOR")
 
 
 def thread_families(rates):

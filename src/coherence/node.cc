@@ -18,6 +18,22 @@ bitOf(NodeId n)
     return 1ULL << static_cast<unsigned>(n);
 }
 
+/** Build the checkpoint descriptor for a node-owned event. */
+ckpt::EventDesc
+cohDesc(ckpt::EvKind kind, NodeId owner, int a = 0, int b = 0,
+        int c = 0, std::uint64_t u = 0, std::uint64_t v = 0)
+{
+    ckpt::EventDesc d;
+    d.kind = kind;
+    d.owner = static_cast<std::uint16_t>(owner);
+    d.a = a;
+    d.b = b;
+    d.c = c;
+    d.u = u;
+    d.v = v;
+    return d;
+}
+
 } // namespace
 
 CoherentNode::CoherentNode(SimContext &context, net::Network &network,
@@ -164,6 +180,9 @@ CoherentNode::sendAfter(double delay_ns, MsgType type, NodeId dst,
                         std::uint32_t aux)
 {
     ctx.queue().schedule(nsToTicks(delay_ns),
+                         cohDesc(ckpt::CohSendMsg, self,
+                                 static_cast<int>(type), dst, requester,
+                                 line, aux),
                          [this, type, dst, line, requester, aux] {
         send(type, dst, line, requester, aux);
     });
@@ -223,8 +242,7 @@ CoherentNode::onPacket(const net::Packet &pkt)
 // ---------------------------------------------------------------------
 
 void
-CoherentNode::memAccess(mem::Addr a, bool write,
-                        std::function<void()> done)
+CoherentNode::memAccess(mem::Addr a, bool write, ckpt::Cont done)
 {
     gs_assert(cfg.hasCache, "memAccess on cache-less node ", self);
     mem::Addr line = mem::lineOf(a);
@@ -240,7 +258,7 @@ CoherentNode::memAccess(mem::Addr a, bool write,
         st.l2Hits += 1;
         if (done)
             ctx.queue().schedule(nsToTicks(cfg.l2.loadToUseNs),
-                                 std::move(done));
+                                 done.desc, std::move(done.fn));
         return;
     }
 
@@ -269,8 +287,7 @@ CoherentNode::memAccess(mem::Addr a, bool write,
 }
 
 void
-CoherentNode::startMiss(mem::Addr line, bool write,
-                        std::function<void()> done)
+CoherentNode::startMiss(mem::Addr line, bool write, ckpt::Cont done)
 {
     MafEntry entry;
     entry.write = write;
@@ -360,12 +377,15 @@ CoherentNode::finishFill(mem::Addr line)
     }
 
     if (!entry.waiters.empty()) {
+        // Park the waiters in fillBatches rather than capturing them
+        // in the event: the batch id in the event's desc is all a
+        // snapshot needs to re-attach the (serializable) group.
+        const std::uint64_t id = nextFillBatch++;
+        fillBatches.emplace(id, std::move(entry.waiters));
         ctx.queue().schedule(
             nsToTicks(cfg.fillOverheadNs),
-            [waiters = std::move(entry.waiters)] {
-            for (const auto &w : waiters)
-                w();
-        });
+            cohDesc(ckpt::CohFillBatch, self, 0, 0, 0, id),
+            [this, id] { runFillBatch(id); });
     }
 
     // Forwards that raced with the miss can be serviced now.
@@ -376,6 +396,17 @@ CoherentNode::finishFill(mem::Addr line)
         memAccess(line, write, std::move(done));
 
     pumpPendingCore();
+}
+
+void
+CoherentNode::runFillBatch(std::uint64_t id)
+{
+    auto it = fillBatches.find(id);
+    gs_assert(it != fillBatches.end(), "fill batch ", id, " vanished");
+    std::vector<ckpt::Cont> waiters = std::move(it->second);
+    fillBatches.erase(it);
+    for (const auto &w : waiters)
+        w();
 }
 
 void
@@ -569,47 +600,23 @@ CoherentNode::homeProcess(const Msg &m)
       case MsgType::RdModReq:
         if (entry.state == DirState::Invalid) {
             entry.state = DirState::Busy;
-            zboxFor(line).read(line, [this, line, req] {
-                ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
-                                     [this, line, req] {
-                    DirEntry &e = dir[line];
-                    e.state = DirState::Exclusive;
-                    e.owner = req;
-                    e.sharers = 0;
-                    send(MsgType::BlkExclusive, req, line, req, 0);
-                    finishTxn(line);
-                });
-            });
+            zboxFor(line).read(
+                line,
+                ckpt::Cont(cohDesc(ckpt::CohHomeReadExcl, self, req, 0,
+                                   0, line),
+                           [this, line, req] {
+                               scheduleHomeExcl(line, req);
+                           }));
         } else if (entry.state == DirState::Shared) {
             entry.state = DirState::Busy;
             bool mod = m.type == MsgType::RdModReq;
-            zboxFor(line).read(line, [this, line, req, mod] {
-                ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
-                                     [this, line, req, mod] {
-                    DirEntry &e = dir[line];
-                    if (!mod) {
-                        e.sharers |= bitOf(req);
-                        e.state = DirState::Shared;
-                        send(MsgType::BlkShared, req, line, req, 0);
-                    } else {
-                        std::uint64_t others =
-                            e.sharers & ~bitOf(req);
-                        int count = 0;
-                        for (NodeId n = 0; others; ++n, others >>= 1) {
-                            if (others & 1) {
-                                send(MsgType::Inval, n, line, req);
-                                count += 1;
-                            }
-                        }
-                        e.sharers = 0;
-                        e.owner = req;
-                        e.state = DirState::Exclusive;
-                        send(MsgType::BlkExclusive, req, line, req,
-                             static_cast<std::uint32_t>(count));
-                    }
-                    finishTxn(line);
-                });
-            });
+            zboxFor(line).read(
+                line,
+                ckpt::Cont(cohDesc(ckpt::CohHomeReadShared, self, req,
+                                   mod ? 1 : 0, 0, line),
+                           [this, line, req, mod] {
+                               scheduleHomeShared(line, req, mod);
+                           }));
         } else { // Exclusive at a third party: forward.
             gs_assert(entry.owner != req, "owner re-request reached "
                                           "homeProcess");
@@ -631,15 +638,11 @@ CoherentNode::homeProcess(const Msg &m)
             bool dirty = m.type == MsgType::VictimWB;
             if (dirty)
                 zboxFor(line).write(line);
-            ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
-                                 [this, line, req] {
-                DirEntry &e = dir[line];
-                e.state = DirState::Invalid;
-                e.owner = invalidNode;
-                e.sharers = 0;
-                send(MsgType::VictimAck, req, line, req);
-                finishTxn(line);
-            });
+            ctx.queue().schedule(
+                nsToTicks(cfg.homeOverheadNs),
+                cohDesc(ckpt::CohHomeApplyVictim, self, req, 0, 0,
+                        line),
+                [this, line, req] { applyHomeVictim(line, req); });
         } else {
             // Stale victim: its line was already forwarded away from
             // the sender's victim buffer. Ack and drop the data.
@@ -651,6 +654,93 @@ CoherentNode::homeProcess(const Msg &m)
       default:
         gs_panic("bad home request type");
     }
+}
+
+void
+CoherentNode::scheduleHomeExcl(mem::Addr line, NodeId req)
+{
+    ctx.queue().schedule(
+        nsToTicks(cfg.homeOverheadNs),
+        cohDesc(ckpt::CohHomeApplyExcl, self, req, 0, 0, line),
+        [this, line, req] { applyHomeExcl(line, req); });
+}
+
+void
+CoherentNode::applyHomeExcl(mem::Addr line, NodeId req)
+{
+    DirEntry &e = dir[line];
+    e.state = DirState::Exclusive;
+    e.owner = req;
+    e.sharers = 0;
+    send(MsgType::BlkExclusive, req, line, req, 0);
+    finishTxn(line);
+}
+
+void
+CoherentNode::scheduleHomeShared(mem::Addr line, NodeId req, bool mod)
+{
+    ctx.queue().schedule(
+        nsToTicks(cfg.homeOverheadNs),
+        cohDesc(ckpt::CohHomeApplyShared, self, req, mod ? 1 : 0, 0,
+                line),
+        [this, line, req, mod] { applyHomeShared(line, req, mod); });
+}
+
+void
+CoherentNode::applyHomeShared(mem::Addr line, NodeId req, bool mod)
+{
+    DirEntry &e = dir[line];
+    if (!mod) {
+        e.sharers |= bitOf(req);
+        e.state = DirState::Shared;
+        send(MsgType::BlkShared, req, line, req, 0);
+    } else {
+        std::uint64_t others = e.sharers & ~bitOf(req);
+        int count = 0;
+        for (NodeId n = 0; others; ++n, others >>= 1) {
+            if (others & 1) {
+                send(MsgType::Inval, n, line, req);
+                count += 1;
+            }
+        }
+        e.sharers = 0;
+        e.owner = req;
+        e.state = DirState::Exclusive;
+        send(MsgType::BlkExclusive, req, line, req,
+             static_cast<std::uint32_t>(count));
+    }
+    finishTxn(line);
+}
+
+void
+CoherentNode::applyHomeVictim(mem::Addr line, NodeId req)
+{
+    DirEntry &e = dir[line];
+    e.state = DirState::Invalid;
+    e.owner = invalidNode;
+    e.sharers = 0;
+    send(MsgType::VictimAck, req, line, req);
+    finishTxn(line);
+}
+
+void
+CoherentNode::applyHomeDowngrade(mem::Addr line, std::uint64_t sharers)
+{
+    DirEntry &e = dir[line];
+    e.state = DirState::Shared;
+    e.sharers = sharers;
+    e.owner = invalidNode;
+    finishTxn(line);
+}
+
+void
+CoherentNode::applyHomeTransfer(mem::Addr line, NodeId req)
+{
+    DirEntry &e = dir[line];
+    e.state = DirState::Exclusive;
+    e.owner = req;
+    e.sharers = 0;
+    finishTxn(line);
 }
 
 void
@@ -674,27 +764,20 @@ CoherentNode::homeOwnerReply(const Msg &m, NodeId from)
         std::uint64_t sharers = bitOf(req);
         if (retains)
             sharers |= bitOf(from);
-        ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
-                             [this, line, sharers] {
-            DirEntry &e = dir[line];
-            e.state = DirState::Shared;
-            e.sharers = sharers;
-            e.owner = invalidNode;
-            finishTxn(line);
-        });
+        ctx.queue().schedule(
+            nsToTicks(cfg.homeOverheadNs),
+            cohDesc(ckpt::CohHomeApplyDowngrade, self, 0, 0, 0, line,
+                    sharers),
+            [this, line, sharers] { applyHomeDowngrade(line, sharers); });
         break;
       }
       case MsgType::FwdAckTransfer:
         gs_assert(entry.txnType == MsgType::RdModReq,
                   "transfer reply for a non-write transaction");
-        ctx.queue().schedule(nsToTicks(cfg.homeOverheadNs),
-                             [this, line, req] {
-            DirEntry &e = dir[line];
-            e.state = DirState::Exclusive;
-            e.owner = req;
-            e.sharers = 0;
-            finishTxn(line);
-        });
+        ctx.queue().schedule(
+            nsToTicks(cfg.homeOverheadNs),
+            cohDesc(ckpt::CohHomeApplyTransfer, self, req, 0, 0, line),
+            [this, line, req] { applyHomeTransfer(line, req); });
         break;
       default:
         gs_panic("bad owner reply type");
@@ -724,6 +807,311 @@ CoherentNode::finishTxn(mem::Addr line)
     DirEntry &entry = dir[line];
     for (auto it = work.rbegin(); it != work.rend(); ++it)
         entry.pending.push_front(*it);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Deterministic iteration order over an unordered_map's keys. */
+template <typename M>
+std::vector<typename M::key_type>
+sortedKeys(const M &m)
+{
+    std::vector<typename M::key_type> keys;
+    keys.reserve(m.size());
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+void
+saveMsg(ckpt::Serializer &s, const Msg &m)
+{
+    s.put8(static_cast<std::uint8_t>(m.type));
+    s.put64(m.line);
+    s.putI32(m.requester);
+    s.put32(m.aux);
+}
+
+Msg
+restoreMsg(ckpt::Deserializer &d)
+{
+    Msg m;
+    m.type = static_cast<MsgType>(d.get8());
+    m.line = d.get64();
+    m.requester = d.getI32();
+    m.aux = d.get32();
+    return m;
+}
+
+} // namespace
+
+void
+CoherentNode::saveCkpt(ckpt::Serializer &s) const
+{
+    s.put64(st.accesses);
+    s.put64(st.l2Hits);
+    s.put64(st.misses);
+    s.put64(st.mafMerges);
+    s.put64(st.homeRequests);
+    s.put64(st.forwardsServed);
+    s.put64(st.invalsReceived);
+    s.put64(st.victimsSent);
+    s.put64(st.vbHighWater);
+    st.missLatencyNs.saveCkpt(s);
+    for (std::uint64_t n : st.msgSent)
+        s.put64(n);
+    for (std::uint64_t n : st.msgRecv)
+        s.put64(n);
+
+    s.putBool(cache != nullptr);
+    if (cache)
+        cache->saveCkpt(s);
+    s.put32(static_cast<std::uint32_t>(zboxes.size()));
+    for (const auto &z : zboxes)
+        z->saveCkpt(s);
+
+    s.put32(static_cast<std::uint32_t>(maf.size()));
+    for (mem::Addr line : sortedKeys(maf)) {
+        const MafEntry &e = maf.at(line);
+        s.put64(line);
+        s.putBool(e.write);
+        s.putBool(e.dataArrived);
+        s.putBool(e.invalWhilePending);
+        s.put8(static_cast<std::uint8_t>(e.fillState));
+        s.putI32(e.acksNeeded);
+        s.putI32(e.acksGot);
+        s.put64(e.issued);
+        s.put32(static_cast<std::uint32_t>(e.waiters.size()));
+        for (const ckpt::Cont &w : e.waiters)
+            ckpt::saveCont(s, w, "a MAF waiter");
+        s.put32(static_cast<std::uint32_t>(e.deferredFwds.size()));
+        for (const net::Packet &p : e.deferredFwds)
+            net::savePacket(s, p);
+        s.put32(static_cast<std::uint32_t>(e.retries.size()));
+        for (const auto &[write, done] : e.retries) {
+            s.putBool(write);
+            ckpt::saveCont(s, done, "a MAF retry");
+        }
+    }
+
+    s.put32(static_cast<std::uint32_t>(vb.size()));
+    for (mem::Addr line : sortedKeys(vb)) {
+        s.put64(line);
+        s.putBool(vb.at(line).dirty);
+    }
+
+    s.put32(static_cast<std::uint32_t>(dir.size()));
+    for (mem::Addr line : sortedKeys(dir)) {
+        const DirEntry &e = dir.at(line);
+        s.put64(line);
+        s.put8(static_cast<std::uint8_t>(e.state));
+        s.put64(e.sharers);
+        s.putI32(e.owner);
+        s.putI32(e.txnRequester);
+        s.put8(static_cast<std::uint8_t>(e.txnType));
+        s.put32(static_cast<std::uint32_t>(e.pending.size()));
+        for (const Msg &m : e.pending)
+            saveMsg(s, m);
+    }
+
+    s.put32(static_cast<std::uint32_t>(pendingCore.size()));
+    for (const auto &[line, write, done] : pendingCore) {
+        s.put64(line);
+        s.putBool(write);
+        ckpt::saveCont(s, done, "a throttled core access");
+    }
+
+    s.put32(static_cast<std::uint32_t>(fillBatches.size()));
+    for (const auto &[id, waiters] : fillBatches) {
+        s.put64(id);
+        s.put32(static_cast<std::uint32_t>(waiters.size()));
+        for (const ckpt::Cont &w : waiters)
+            ckpt::saveCont(s, w, "a fill-batch waiter");
+    }
+    s.put64(nextFillBatch);
+    s.put64(ioReceived);
+}
+
+void
+CoherentNode::restoreCkpt(ckpt::Deserializer &d,
+                          const ckpt::RehydrateFn &rehydrate)
+{
+    st.accesses = d.get64();
+    st.l2Hits = d.get64();
+    st.misses = d.get64();
+    st.mafMerges = d.get64();
+    st.homeRequests = d.get64();
+    st.forwardsServed = d.get64();
+    st.invalsReceived = d.get64();
+    st.victimsSent = d.get64();
+    st.vbHighWater = d.get64();
+    st.missLatencyNs.restoreCkpt(d);
+    for (std::uint64_t &n : st.msgSent)
+        n = d.get64();
+    for (std::uint64_t &n : st.msgRecv)
+        n = d.get64();
+
+    if (d.getBool() != (cache != nullptr) && d.ok()) {
+        d.fail("snapshot node " + std::to_string(self) +
+               " cache presence differs from this machine");
+        return;
+    }
+    if (cache)
+        cache->restoreCkpt(d);
+    if (d.get32() != zboxes.size() && d.ok()) {
+        d.fail("snapshot node " + std::to_string(self) +
+               " Zbox count differs from this machine");
+        return;
+    }
+    for (auto &z : zboxes)
+        z->restoreCkpt(d);
+
+    maf.clear();
+    std::uint32_t nMaf = d.get32();
+    for (std::uint32_t i = 0; i < nMaf && d.ok(); ++i) {
+        mem::Addr line = d.get64();
+        MafEntry e;
+        e.write = d.getBool();
+        e.dataArrived = d.getBool();
+        e.invalWhilePending = d.getBool();
+        e.fillState = static_cast<mem::LineState>(d.get8());
+        e.acksNeeded = d.getI32();
+        e.acksGot = d.getI32();
+        e.issued = d.get64();
+        std::uint32_t nw = d.get32();
+        for (std::uint32_t w = 0; w < nw && d.ok(); ++w)
+            e.waiters.push_back(
+                ckpt::restoreCont(d, rehydrate, "a MAF waiter"));
+        std::uint32_t nf = d.get32();
+        for (std::uint32_t f = 0; f < nf && d.ok(); ++f) {
+            net::Packet p;
+            net::restorePacket(d, p);
+            e.deferredFwds.push_back(p);
+        }
+        std::uint32_t nr = d.get32();
+        for (std::uint32_t r = 0; r < nr && d.ok(); ++r) {
+            bool write = d.getBool();
+            e.retries.emplace_back(
+                write, ckpt::restoreCont(d, rehydrate, "a MAF retry"));
+        }
+        maf.emplace(line, std::move(e));
+    }
+
+    vb.clear();
+    std::uint32_t nVb = d.get32();
+    for (std::uint32_t i = 0; i < nVb && d.ok(); ++i) {
+        mem::Addr line = d.get64();
+        vb.emplace(line, VictimEntry{d.getBool()});
+    }
+
+    dir.clear();
+    std::uint32_t nDir = d.get32();
+    for (std::uint32_t i = 0; i < nDir && d.ok(); ++i) {
+        mem::Addr line = d.get64();
+        DirEntry e;
+        e.state = static_cast<DirState>(d.get8());
+        e.sharers = d.get64();
+        e.owner = d.getI32();
+        e.txnRequester = d.getI32();
+        e.txnType = static_cast<MsgType>(d.get8());
+        std::uint32_t np = d.get32();
+        for (std::uint32_t p = 0; p < np && d.ok(); ++p)
+            e.pending.push_back(restoreMsg(d));
+        dir.emplace(line, std::move(e));
+    }
+
+    pendingCore.clear();
+    std::uint32_t nPend = d.get32();
+    for (std::uint32_t i = 0; i < nPend && d.ok(); ++i) {
+        mem::Addr line = d.get64();
+        bool write = d.getBool();
+        pendingCore.emplace_back(
+            line, write,
+            ckpt::restoreCont(d, rehydrate, "a throttled core access"));
+    }
+
+    fillBatches.clear();
+    std::uint32_t nBatch = d.get32();
+    for (std::uint32_t i = 0; i < nBatch && d.ok(); ++i) {
+        std::uint64_t id = d.get64();
+        std::vector<ckpt::Cont> waiters;
+        std::uint32_t nw = d.get32();
+        for (std::uint32_t w = 0; w < nw && d.ok(); ++w)
+            waiters.push_back(
+                ckpt::restoreCont(d, rehydrate, "a fill-batch waiter"));
+        fillBatches.emplace(id, std::move(waiters));
+    }
+    nextFillBatch = d.get64();
+    ioReceived = d.get64();
+}
+
+std::function<void()>
+CoherentNode::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    switch (d.kind) {
+      case ckpt::CohSendMsg: {
+        const auto type = static_cast<MsgType>(d.a);
+        const NodeId dst = d.b;
+        const NodeId requester = d.c;
+        const mem::Addr line = d.u;
+        const auto aux = static_cast<std::uint32_t>(d.v);
+        return [this, type, dst, line, requester, aux] {
+            send(type, dst, line, requester, aux);
+        };
+      }
+      case ckpt::CohFillBatch: {
+        const std::uint64_t id = d.u;
+        return [this, id] { runFillBatch(id); };
+      }
+      case ckpt::CohHomeReadExcl: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        return [this, line, req] { scheduleHomeExcl(line, req); };
+      }
+      case ckpt::CohHomeApplyExcl: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        return [this, line, req] { applyHomeExcl(line, req); };
+      }
+      case ckpt::CohHomeReadShared: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        const bool mod = d.b != 0;
+        return
+            [this, line, req, mod] { scheduleHomeShared(line, req, mod); };
+      }
+      case ckpt::CohHomeApplyShared: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        const bool mod = d.b != 0;
+        return
+            [this, line, req, mod] { applyHomeShared(line, req, mod); };
+      }
+      case ckpt::CohHomeApplyVictim: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        return [this, line, req] { applyHomeVictim(line, req); };
+      }
+      case ckpt::CohHomeApplyDowngrade: {
+        const mem::Addr line = d.u;
+        const std::uint64_t sharers = d.v;
+        return
+            [this, line, sharers] { applyHomeDowngrade(line, sharers); };
+      }
+      case ckpt::CohHomeApplyTransfer: {
+        const mem::Addr line = d.u;
+        const NodeId req = d.a;
+        return [this, line, req] { applyHomeTransfer(line, req); };
+      }
+      default:
+        return {};
+    }
 }
 
 } // namespace gs::coher

@@ -29,6 +29,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,7 @@
 #include "mem/cache.hh"
 #include "mem/zbox.hh"
 #include "net/network.hh"
+#include "sim/checkpoint.hh"
 
 namespace gs::coher
 {
@@ -108,9 +110,12 @@ class CoherentNode
     /**
      * Issue one memory access from the local core. @p done fires
      * when the access is architecturally complete (cache hit time or
-     * miss fill). Never refuses; throttling is the core's job.
+     * miss fill). Never refuses; throttling is the core's job. The
+     * continuation's desc makes the access checkpointable while it
+     * waits in the MAF (a bare callable still works but blocks
+     * snapshots while pending).
      */
-    void memAccess(mem::Addr a, bool write, std::function<void()> done);
+    void memAccess(mem::Addr a, bool write, ckpt::Cont done);
 
     /** @name Introspection (tests, stats, Xmesh) */
     /// @{
@@ -190,6 +195,24 @@ class CoherentNode
         std::function<void(const net::Packet &, bool incoming)>;
     void setMsgObserver(MsgObserver fn) { observer = std::move(fn); }
 
+    /** @name Checkpoint/restore
+     *
+     * Serializes the protocol engine wholesale: stats, L2 tags,
+     * Zboxes, the MAF (waiter/retry continuations by descriptor,
+     * deferred forwards by value), victim buffers, the directory
+     * (including Busy-transaction bookkeeping and queued requests),
+     * throttled core accesses and in-flight fill batches. Restore
+     * rebuilds every held continuation through @p rehydrate.
+     * rehydrateEvent rebuilds the callbacks of pending events this
+     * node owns (Coh* descriptor kinds).
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d,
+                     const ckpt::RehydrateFn &rehydrate);
+    std::function<void()> rehydrateEvent(const ckpt::EventDesc &d);
+    /// @}
+
   private:
     /** One outstanding miss. */
     struct MafEntry
@@ -201,9 +224,9 @@ class CoherentNode
         int acksNeeded = -1; ///< unknown until the data response
         int acksGot = 0;
         Tick issued = 0;
-        std::vector<std::function<void()>> waiters;
+        std::vector<ckpt::Cont> waiters;
         std::deque<net::Packet> deferredFwds;
-        std::vector<std::pair<bool, std::function<void()>>> retries;
+        std::vector<std::pair<bool, ckpt::Cont>> retries;
     };
 
     /** A line held between eviction and VictimAck. */
@@ -234,12 +257,12 @@ class CoherentNode
                    std::uint32_t aux = 0);
 
     // -- cache side -------------------------------------------------
-    void startMiss(mem::Addr line, bool write,
-                   std::function<void()> done);
+    void startMiss(mem::Addr line, bool write, ckpt::Cont done);
     void handleResponse(const Msg &m);
     void handleInvalAck(const Msg &m);
     void tryComplete(mem::Addr line);
     void finishFill(mem::Addr line);
+    void runFillBatch(std::uint64_t id);
     void evictIfNeeded(const mem::Victim &victim);
     void handleForward(const net::Packet &pkt);
     void handleVictimAck(const Msg &m);
@@ -251,6 +274,19 @@ class CoherentNode
     void homeOwnerReply(const Msg &m, NodeId from);
     void finishTxn(mem::Addr line);
     mem::Zbox &zboxFor(mem::Addr line);
+
+    // Home transaction bodies, factored out of homeProcess /
+    // homeOwnerReply so rehydrateEvent can rebuild the exact
+    // callback a snapshot found pending (scheduleHome* are the
+    // zbox-read continuations; applyHome* the directory updates
+    // they schedule after homeOverheadNs).
+    void scheduleHomeExcl(mem::Addr line, NodeId req);
+    void applyHomeExcl(mem::Addr line, NodeId req);
+    void scheduleHomeShared(mem::Addr line, NodeId req, bool mod);
+    void applyHomeShared(mem::Addr line, NodeId req, bool mod);
+    void applyHomeVictim(mem::Addr line, NodeId req);
+    void applyHomeDowngrade(mem::Addr line, std::uint64_t sharers);
+    void applyHomeTransfer(mem::Addr line, NodeId req);
 
     SimContext &ctx;
     net::Network &net_;
@@ -267,8 +303,15 @@ class CoherentNode
     std::unordered_map<mem::Addr, DirEntry> dir;
 
     /** Core accesses waiting for a free MAF slot. */
-    std::deque<std::tuple<mem::Addr, bool, std::function<void()>>>
-        pendingCore;
+    std::deque<std::tuple<mem::Addr, bool, ckpt::Cont>> pendingCore;
+
+    /**
+     * Fill-completion waiter groups parked while their one
+     * fillOverheadNs event is pending (keyed by a monotonic id the
+     * event's desc carries, so snapshots can re-attach it).
+     */
+    std::map<std::uint64_t, std::vector<ckpt::Cont>> fillBatches;
+    std::uint64_t nextFillBatch = 0;
 
     std::function<void(mem::Addr)> backInval;
     std::function<void(const net::Packet &)> ioSink;

@@ -1,9 +1,40 @@
 #include "cpu/core.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace gs::cpu
 {
+
+namespace
+{
+
+/** Encode a core event (the full MemOp rides in the operands). */
+ckpt::EventDesc
+opDesc(ckpt::EvKind kind, NodeId owner, const MemOp &op)
+{
+    ckpt::EventDesc d;
+    d.kind = kind;
+    d.owner = static_cast<std::uint16_t>(owner);
+    d.a = (op.write ? 1 : 0) | (op.dependent ? 2 : 0);
+    d.u = op.addr;
+    std::memcpy(&d.v, &op.thinkNs, sizeof(d.v));
+    return d;
+}
+
+MemOp
+opOf(const ckpt::EventDesc &d)
+{
+    MemOp op;
+    op.addr = d.u;
+    op.write = (d.a & 1) != 0;
+    op.dependent = (d.a & 2) != 0;
+    std::memcpy(&op.thinkNs, &d.v, sizeof(op.thinkNs));
+    return op;
+}
+
+} // namespace
 
 TimingCore::TimingCore(SimContext &context, coher::CoherentNode &n,
                        CoreParams params)
@@ -50,14 +81,10 @@ TimingCore::pump()
             if (staged->thinkNs > 0) {
                 // Compute serializes in front of the issue stage.
                 thinking = true;
-                ctx.queue().schedule(nsToTicks(staged->thinkNs),
-                                     [this] {
-                    thinking = false;
-                    MemOp op2 = *staged;
-                    staged.reset();
-                    issue(op2);
-                    pump();
-                });
+                ctx.queue().schedule(
+                    nsToTicks(staged->thinkNs),
+                    opDesc(ckpt::CoreThink, node.id(), *staged),
+                    [this] { thinkDone(); });
                 return;
             }
         }
@@ -65,6 +92,16 @@ TimingCore::pump()
         staged.reset();
         issue(op);
     }
+}
+
+void
+TimingCore::thinkDone()
+{
+    thinking = false;
+    MemOp op = *staged;
+    staged.reset();
+    issue(op);
+    pump();
 }
 
 void
@@ -80,18 +117,24 @@ TimingCore::issue(const MemOp &op)
     if (l1 && !op.write && l1->lookup(op.addr, false).hit) {
         st.l1Hits += 1;
         ctx.queue().schedule(nsToTicks(prm.l1.loadToUseNs),
+                             opDesc(ckpt::CoreL1Hit, node.id(), op),
                              [this, op] { complete(op); });
         return;
     }
 
-    node.memAccess(op.addr, op.write, [this, op] {
-        if (l1 && !l1->contains(op.addr)) {
-            mem::Victim victim =
-                l1->fill(op.addr, mem::LineState::Shared);
-            (void)victim; // L1 is write-through here; drop silently
-        }
-        complete(op);
-    });
+    node.memAccess(op.addr, op.write,
+                   ckpt::Cont(opDesc(ckpt::CoreMemDone, node.id(), op),
+                              [this, op] { memDone(op); }));
+}
+
+void
+TimingCore::memDone(const MemOp &op)
+{
+    if (l1 && !l1->contains(op.addr)) {
+        mem::Victim victim = l1->fill(op.addr, mem::LineState::Shared);
+        (void)victim; // L1 is write-through here; drop silently
+    }
+    complete(op);
 }
 
 void
@@ -116,6 +159,88 @@ TimingCore::maybeFinish()
         auto done = std::move(onDone);
         onDone = nullptr;
         done();
+    }
+}
+
+void
+TimingCore::resume(TrafficSource &source, std::function<void()> on_done)
+{
+    src = &source;
+    onDone = finished ? nullptr : std::move(on_done);
+}
+
+void
+TimingCore::saveCkpt(ckpt::Serializer &s) const
+{
+    s.put64(st.opsIssued);
+    s.put64(st.opsDone);
+    s.put64(st.l1Hits);
+    s.put64(st.startTick);
+    s.put64(st.endTick);
+    s.putBool(staged.has_value());
+    if (staged) {
+        s.put64(staged->addr);
+        s.putBool(staged->write);
+        s.putF64(staged->thinkNs);
+        s.putBool(staged->dependent);
+    }
+    s.putBool(thinking);
+    s.putBool(blocked);
+    s.putBool(exhausted);
+    s.putBool(finished);
+    s.putI32(inFlight);
+    s.putBool(l1 != nullptr);
+    if (l1)
+        l1->saveCkpt(s);
+}
+
+void
+TimingCore::restoreCkpt(ckpt::Deserializer &d)
+{
+    st.opsIssued = d.get64();
+    st.opsDone = d.get64();
+    st.l1Hits = d.get64();
+    st.startTick = d.get64();
+    st.endTick = d.get64();
+    if (d.getBool()) {
+        MemOp op;
+        op.addr = d.get64();
+        op.write = d.getBool();
+        op.thinkNs = d.getF64();
+        op.dependent = d.getBool();
+        staged = op;
+    } else {
+        staged.reset();
+    }
+    thinking = d.getBool();
+    blocked = d.getBool();
+    exhausted = d.getBool();
+    finished = d.getBool();
+    inFlight = d.getI32();
+    if (d.getBool() != (l1 != nullptr) && d.ok()) {
+        d.fail("snapshot core L1 presence differs from this machine");
+        return;
+    }
+    if (l1)
+        l1->restoreCkpt(d);
+}
+
+std::function<void()>
+TimingCore::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    switch (d.kind) {
+      case ckpt::CoreThink:
+        return [this] { thinkDone(); };
+      case ckpt::CoreL1Hit: {
+        const MemOp op = opOf(d);
+        return [this, op] { complete(op); };
+      }
+      case ckpt::CoreMemDone: {
+        const MemOp op = opOf(d);
+        return [this, op] { memDone(op); };
+      }
+      default:
+        return {};
     }
 }
 

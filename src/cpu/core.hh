@@ -72,6 +72,15 @@ class TimingCore
     /** Begin executing @p source; @p on_done fires at completion. */
     void run(TrafficSource &source, std::function<void()> on_done);
 
+    /**
+     * Re-attach @p source and @p on_done to a core whose execution
+     * state was just restored from a snapshot, WITHOUT resetting or
+     * pumping: a quiescent unfinished core always has a pending
+     * event or a parked continuation driving it, which the restore
+     * re-enters separately.
+     */
+    void resume(TrafficSource &source, std::function<void()> on_done);
+
     /** True when the current stream has fully completed. */
     bool done() const { return finished; }
 
@@ -80,9 +89,25 @@ class TimingCore
     /** Outstanding below-L1 accesses right now. */
     int outstanding() const { return inFlight; }
 
+    /** @name Checkpoint/restore: issue-stage state and the L1.
+     *
+     * The attached TrafficSource is serialized by its owner (the
+     * bench keeps the sources; Machine::save snapshots them in the
+     * workload section). rehydrateEvent rebuilds think-timer, L1-hit
+     * and memory-completion callbacks (Core* descriptor kinds, op
+     * operands encoded in the desc).
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
+    std::function<void()> rehydrateEvent(const ckpt::EventDesc &d);
+    /// @}
+
   private:
     void pump();
     void issue(const MemOp &op);
+    void thinkDone();
+    void memDone(const MemOp &op);
     void complete(const MemOp &op);
     void maybeFinish();
 

@@ -15,6 +15,8 @@
 #include <optional>
 
 #include "mem/address.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
 
 namespace gs::cpu
 {
@@ -48,6 +50,30 @@ class TrafficSource
 
     /** Next operation, or nullopt when the stream is exhausted. */
     virtual std::optional<MemOp> next() = 0;
+
+    /** @name Checkpoint/restore of the stream position.
+     *
+     * Stateful sources (every workload) override both so that a
+     * restored run replays the exact remaining operation sequence.
+     * The defaults abort loudly: a source that has not opted in
+     * cannot silently produce a diverging stream after restore.
+     */
+    /// @{
+    virtual void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        (void)s;
+        gs_fatal("cannot checkpoint: this traffic source does not "
+                 "implement saveCkpt/restoreCkpt");
+    }
+
+    virtual void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        d.fail("snapshot restore: this traffic source does not "
+               "implement saveCkpt/restoreCkpt");
+    }
+    /// @}
 };
 
 } // namespace gs::cpu

@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "topology/topology.hh"
 
 namespace gs::fault
@@ -93,6 +94,50 @@ class DegradedTopology : public topo::Topology
     bool reachable(NodeId at, NodeId dst) const;
 
     const topo::Topology &base() const { return base_; }
+    /// @}
+
+    /** @name Checkpoint/restore: fault masks (escape state is
+     *  recomputed from them, never serialized). */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put32(static_cast<std::uint32_t>(cut.size()));
+        for (const auto &ports : cut) {
+            s.put32(static_cast<std::uint32_t>(ports.size()));
+            for (char c : ports)
+                s.put8(static_cast<std::uint8_t>(c));
+        }
+        for (char c : dead)
+            s.put8(static_cast<std::uint8_t>(c));
+        s.putI32(nFailedLinks);
+        s.putI32(nFailedNodes);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        if (d.get32() != cut.size() && d.ok()) {
+            d.fail("snapshot topology node count differs from this "
+                   "machine");
+            return;
+        }
+        for (auto &ports : cut) {
+            if (d.get32() != ports.size() && d.ok()) {
+                d.fail("snapshot topology port count differs from "
+                       "this machine");
+                return;
+            }
+            for (char &c : ports)
+                c = static_cast<char>(d.get8());
+        }
+        for (char &c : dead)
+            c = static_cast<char>(d.get8());
+        nFailedLinks = d.getI32();
+        nFailedNodes = d.getI32();
+        if (d.ok() && degraded())
+            rebuild();
+    }
     /// @}
 
   private:

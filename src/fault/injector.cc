@@ -28,12 +28,43 @@ FaultInjector::FaultInjector(SimContext &context, net::Network &net,
         net_.onTopologyChange();
 }
 
+namespace
+{
+
+ckpt::EventDesc
+faultDesc(const FaultEvent &event)
+{
+    ckpt::EventDesc d;
+    d.kind = ckpt::FaultApply;
+    d.a = static_cast<std::int32_t>(event.kind);
+    d.b = event.node;
+    d.c = event.port;
+    d.u = static_cast<std::uint64_t>(event.when);
+    return d;
+}
+
+FaultEvent
+faultOf(const ckpt::EventDesc &d)
+{
+    FaultEvent event;
+    event.when = static_cast<Tick>(d.u);
+    event.kind = static_cast<FaultKind>(d.a);
+    event.node = d.b;
+    event.port = d.c;
+    return event;
+}
+
+} // namespace
+
 void
 FaultInjector::schedule(const FaultPlan &plan)
 {
     for (const FaultEvent &event : plan.events()) {
-        ctx.queue().scheduleAt(event.when,
-                               [this, event] { apply(event); });
+        ctx.queue().scheduleAt(event.when, faultDesc(event),
+                               [this, event] {
+                                   if (!suppress_)
+                                       apply(event);
+                               });
     }
 }
 
@@ -74,6 +105,46 @@ FaultInjector::apply(const FaultEvent &event)
         break;
     }
     net_.onTopologyChange();
+}
+
+void
+FaultInjector::saveCkpt(ckpt::Serializer &s) const
+{
+    s.putI32(st.linkFailures);
+    s.putI32(st.nodeFailures);
+    s.putI32(st.repairs);
+    s.put64(st.packetsDropped);
+    s.put64(st.dropsUnroutable);
+    s.put64(st.dropsDeadNode);
+    s.putBool(suppress_);
+}
+
+void
+FaultInjector::restoreCkpt(ckpt::Deserializer &d)
+{
+    st.linkFailures = d.getI32();
+    st.nodeFailures = d.getI32();
+    st.repairs = d.getI32();
+    st.packetsDropped = d.get64();
+    st.dropsUnroutable = d.get64();
+    st.dropsDeadNode = d.get64();
+    // Suppression is sticky across rollback: the restored snapshot
+    // predates the fault, but re-injecting it would wedge the run
+    // again, so the live flag wins over the serialized one.
+    bool was = d.getBool();
+    suppress_ = suppress_ || was;
+}
+
+std::function<void()>
+FaultInjector::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    if (d.kind != ckpt::FaultApply)
+        return {};
+    const FaultEvent event = faultOf(d);
+    return [this, event] {
+        if (!suppress_)
+            apply(event);
+    };
 }
 
 void

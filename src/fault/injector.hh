@@ -26,6 +26,7 @@
 
 #include "fault/degraded.hh"
 #include "net/network.hh"
+#include "sim/checkpoint.hh"
 
 namespace gs::fault
 {
@@ -141,11 +142,33 @@ class FaultInjector
     void registerTelemetry(telem::Registry &reg,
                            const std::string &prefix);
 
+    /**
+     * Stop applying scheduled fault events (pending FaultApply
+     * events become no-ops). The watchdog's heal-faults rollback
+     * policy uses this so a restored run does not immediately
+     * re-inject the fault that wedged it.
+     */
+    void suppressFaults() { suppress_ = true; }
+    bool faultsSuppressed() const { return suppress_; }
+
+    /** @name Checkpoint/restore: statistics + suppression flag.
+     *
+     * Pending FaultApply events live in the event queue; the whole
+     * FaultEvent is encoded in the descriptor operands, so
+     * rehydrateEvent rebuilds them without a plan replay.
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
+    std::function<void()> rehydrateEvent(const ckpt::EventDesc &d);
+    /// @}
+
   private:
     SimContext &ctx;
     net::Network &net_;
     DegradedTopology &topo_;
     FaultStats st;
+    bool suppress_ = false;
 };
 
 } // namespace gs::fault

@@ -42,6 +42,7 @@ Watchdog::arm()
     token = std::make_shared<char>(0);
     lastProgress =
         net_.stats().deliveredPackets + net_.stats().droppedPackets;
+    lastProgressTick = ctx.now();
     stalledCycles = 0;
     scheduleNext();
 }
@@ -58,8 +59,10 @@ void
 Watchdog::scheduleNext()
 {
     Tick delay = static_cast<Tick>(cfg.checkCycles) * net_.period();
+    ckpt::EventDesc desc;
+    desc.kind = ckpt::WatchdogPoll;
     std::weak_ptr<char> alive = token;
-    ctx.queue().scheduleAt(ctx.now() + delay, [this, alive] {
+    ctx.queue().scheduleAt(ctx.now() + delay, desc, [this, alive] {
         if (alive.expired())
             return;
         poll();
@@ -85,6 +88,7 @@ Watchdog::poll()
     } else {
         stalledCycles = 0;
         lastProgress = progress;
+        lastProgressTick = ctx.now();
     }
 
     if (cfg.maxPacketAgeNs > 0) {
@@ -127,18 +131,90 @@ Watchdog::registerTelemetry(telem::Registry &reg,
                  [this] { return armed() ? 1.0 : 0.0; });
 }
 
+NodeId
+Watchdog::trippingNode() const
+{
+    const auto &topo = net_.topology();
+    net::Packet oldest;
+    NodeId at = invalidNode;
+    for (NodeId n = 0; n < NodeId(topo.numNodes()); ++n) {
+        net::Packet pkt;
+        if (net_.router(n).oldestBuffered(pkt) &&
+            (at == invalidNode || pkt.injected < oldest.injected)) {
+            oldest = pkt;
+            at = n;
+        }
+    }
+    return at;
+}
+
 void
 Watchdog::trip(const std::string &why)
 {
     tripped_ = true;
     trips_ += 1;
     token.reset();
+
+    // Every trip reason carries the context an operator needs to
+    // correlate with traces: simulated time, the node holding the
+    // oldest stuck packet, and when forward progress last advanced.
+    std::ostringstream os;
+    os << why << " [t=" << ticksToNs(ctx.now()) << " ns (tick "
+       << ctx.now() << "), tripping node ";
+    NodeId at = trippingNode();
+    if (at == invalidNode)
+        os << "none-buffered";
+    else
+        os << at;
+    os << ", last progress at tick " << lastProgressTick << " ("
+       << ticksToNs(lastProgressTick) << " ns)]";
+    std::string full = os.str();
+
     if (tripFn) {
-        tripFn(why);
+        tripFn(full);
         return;
     }
-    gs_warn("watchdog tripped: ", why, "\n", diagnose());
-    gs_panic("watchdog: fabric lost forward progress (", why, ")");
+    gs_warn("watchdog tripped: ", full, "\n", diagnose());
+    gs_panic("watchdog: fabric lost forward progress (", full, ")");
+}
+
+void
+Watchdog::saveCkpt(ckpt::Serializer &s) const
+{
+    s.putBool(token != nullptr);
+    s.put64(lastProgress);
+    s.put64(static_cast<std::uint64_t>(lastProgressTick));
+    s.put64(static_cast<std::uint64_t>(stalledCycles));
+    s.putBool(tripped_);
+    s.put64(trips_);
+}
+
+void
+Watchdog::restoreCkpt(ckpt::Deserializer &d)
+{
+    bool wasArmed = d.getBool();
+    lastProgress = d.get64();
+    lastProgressTick = static_cast<Tick>(d.get64());
+    stalledCycles = static_cast<long>(d.get64());
+    tripped_ = d.getBool();
+    trips_ = d.get64();
+    if (!d.ok())
+        return;
+    token = wasArmed ? std::make_shared<char>(0) : nullptr;
+}
+
+std::function<void()>
+Watchdog::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    if (d.kind != ckpt::WatchdogPoll)
+        return {};
+    // Rehydrated polls key liveness off the token itself: pending
+    // events from before the snapshot died with the old token, and
+    // disarm() after restore still cancels these.
+    return [this] {
+        if (token)
+            poll();
+    };
 }
 
 std::string

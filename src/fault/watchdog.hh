@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "sim/checkpoint.hh"
 
 namespace gs::fault
 {
@@ -96,10 +97,27 @@ class Watchdog
     /** Structured snapshot of fabric state (multi-line). */
     std::string diagnose() const;
 
+    /** @name Checkpoint/restore of monitor state.
+     *
+     * Pending poll events are serialized by the event queue
+     * (WatchdogPoll descriptor); rehydrateEvent rebuilds their
+     * callbacks. An armed watchdog restores armed, driven by the
+     * snapshot's own pending poll event — restore does not schedule
+     * a fresh one.
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
+    std::function<void()> rehydrateEvent(const ckpt::EventDesc &d);
+    /// @}
+
   private:
     void scheduleNext();
     void poll();
     void trip(const std::string &why);
+
+    /** Node holding the oldest buffered packet, or invalidNode. */
+    NodeId trippingNode() const;
 
     SimContext &ctx;
     net::Network &net_;
@@ -112,6 +130,7 @@ class Watchdog
     std::vector<std::function<std::string()>> probes;
 
     std::uint64_t lastProgress = 0; ///< deliveries + drops last seen
+    Tick lastProgressTick = 0;      ///< when progress last advanced
     long stalledCycles = 0;
     bool tripped_ = false;
     std::uint64_t trips_ = 0;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mem/address.hh"
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace gs::mem
@@ -150,6 +151,40 @@ class Cache
 
     /** Drop every line (between experiment phases). */
     void reset();
+
+    /** @name Checkpoint/restore: tag array, LRU clock, hit stats. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put64(useClock);
+        s.put64(nHits);
+        s.put64(nMisses);
+        s.put32(static_cast<std::uint32_t>(tags.size()));
+        for (const Line &l : tags) {
+            s.put64(l.tag);
+            s.put8(static_cast<std::uint8_t>(l.state));
+            s.put64(l.lastUse);
+        }
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        useClock = d.get64();
+        nHits = d.get64();
+        nMisses = d.get64();
+        if (d.get32() != tags.size() && d.ok()) {
+            d.fail("cache geometry mismatch");
+            return;
+        }
+        for (Line &l : tags) {
+            l.tag = d.get64();
+            l.state = static_cast<LineState>(d.get8());
+            l.lastUse = d.get64();
+        }
+    }
+    /// @}
 
   private:
     struct Line

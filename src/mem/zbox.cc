@@ -67,19 +67,19 @@ Zbox::access(Addr a, bool is_write)
 }
 
 void
-Zbox::read(Addr a, std::function<void()> done)
+Zbox::read(Addr a, ckpt::Cont done)
 {
     Tick when = access(a, false);
-    gs_assert(done != nullptr);
-    ctx.queue().scheduleAt(when, std::move(done));
+    gs_assert(static_cast<bool>(done));
+    ctx.queue().scheduleAt(when, done.desc, std::move(done.fn));
 }
 
 void
-Zbox::write(Addr a, std::function<void()> done)
+Zbox::write(Addr a, ckpt::Cont done)
 {
     Tick when = access(a, true);
     if (done)
-        ctx.queue().scheduleAt(when, std::move(done));
+        ctx.queue().scheduleAt(when, done.desc, std::move(done.fn));
 }
 
 int
@@ -113,6 +113,50 @@ Zbox::registerTelemetry(telem::Registry &reg, const std::string &prefix)
                        static_cast<double>(n)
                  : 0.0;
     });
+}
+
+void
+Zbox::saveCkpt(ckpt::Serializer &s) const
+{
+    s.put64(st.reads);
+    s.put64(st.writes);
+    s.put64(st.rowHits);
+    s.put64(st.rowEmpties);
+    s.put64(st.rowConflicts);
+    s.put64(st.busyTicks);
+    s.put32(static_cast<std::uint32_t>(channelFree.size()));
+    for (Tick t : channelFree)
+        s.put64(t);
+    s.put32(static_cast<std::uint32_t>(banks.size()));
+    for (const Bank &b : banks) {
+        s.putBool(b.open);
+        s.put64(b.page);
+    }
+}
+
+void
+Zbox::restoreCkpt(ckpt::Deserializer &d)
+{
+    st.reads = d.get64();
+    st.writes = d.get64();
+    st.rowHits = d.get64();
+    st.rowEmpties = d.get64();
+    st.rowConflicts = d.get64();
+    st.busyTicks = d.get64();
+    if (d.get32() != channelFree.size() && d.ok()) {
+        d.fail("zbox channel count mismatch");
+        return;
+    }
+    for (Tick &t : channelFree)
+        t = d.get64();
+    if (d.get32() != banks.size() && d.ok()) {
+        d.fail("zbox bank count mismatch");
+        return;
+    }
+    for (Bank &b : banks) {
+        b.open = d.getBool();
+        b.page = d.get64();
+    }
 }
 
 double

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mem/address.hh"
+#include "sim/checkpoint.hh"
 #include "sim/context.hh"
 #include "sim/stats.hh"
 #include "sim/telemetry.hh"
@@ -93,12 +94,15 @@ class Zbox
 
     /**
      * Issue a 64 B read. @p done fires when the line (and its
-     * directory word) is available.
+     * directory word) is available. The continuation's desc rides
+     * into the scheduled completion event so snapshots can rebuild
+     * it (ckpt::Cont is implicitly constructible from a callable,
+     * which yields a non-checkpointable Opaque continuation).
      */
-    void read(Addr a, std::function<void()> done);
+    void read(Addr a, ckpt::Cont done);
 
     /** Issue a 64 B write (victim/dirty data). @p done optional. */
-    void write(Addr a, std::function<void()> done = nullptr);
+    void write(Addr a, ckpt::Cont done = {});
 
     const ZboxParams &params() const { return prm; }
     const ZboxStats &stats() const { return st; }
@@ -128,6 +132,12 @@ class Zbox
         return static_cast<double>(prm.channels) * lineBytes /
                prm.burstNs;
     }
+
+    /** @name Checkpoint/restore: channel clocks, bank pages, stats. */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
+    /// @}
 
   private:
     /** Schedule one access; returns its completion tick. */

@@ -7,6 +7,26 @@
 namespace gs::net
 {
 
+namespace
+{
+
+/** Build the checkpoint descriptor for a fabric-owned event. */
+ckpt::EventDesc
+netDesc(ckpt::EvKind kind, int owner, int a = 0, int b = 0, int c = 0,
+        std::uint64_t u = 0)
+{
+    ckpt::EventDesc d;
+    d.kind = kind;
+    d.owner = static_cast<std::uint16_t>(owner);
+    d.a = a;
+    d.b = b;
+    d.c = c;
+    d.u = u;
+    return d;
+}
+
+} // namespace
+
 Network::Network(SimContext &context, const topo::Topology &topo,
                  NetworkParams params)
     : ctx(context), topo_(topo), prm(params),
@@ -155,15 +175,17 @@ Network::mergeFor(int d, Tick window_start)
         Router *rt = routers[std::size_t(e.node)].get();
         if (e.credit) {
             const int port = e.port, vc = e.vc, flits = e.flits;
-            q.scheduleMergedAt(e.due, [rt, port, vc, flits] {
-                rt->creditReturn(port, vc, flits);
-            });
+            q.scheduleMergedAt(
+                e.due, netDesc(ckpt::NetCredit, e.node, port, vc, flits),
+                [rt, port, vc, flits] {
+                    rt->creditReturn(port, vc, flits);
+                });
         } else {
             PacketHandle h = sh.pool.acquire(e.pkt);
             const int port = e.port, vc = e.vc;
-            q.scheduleMergedAt(e.due, [rt, port, vc, h] {
-                rt->receive(port, vc, h);
-            });
+            q.scheduleMergedAt(
+                e.due, netDesc(ckpt::NetReceive, e.node, port, vc, 0, h),
+                [rt, port, vc, h] { rt->receive(port, vc, h); });
         }
     }
     for (int s = 0; s < nDomains; ++s) {
@@ -321,9 +343,9 @@ Network::inject(Packet pkt)
         Tick delay = static_cast<Tick>(prm.injectionCycles +
                                        prm.ejectionCycles) * tickPeriod;
         NodeId node = pkt.dst;
-        c.queue().schedule(delay, [this, node, h] {
-            deliverNow(node, h);
-        });
+        c.queue().schedule(delay,
+                           netDesc(ckpt::NetDeliverLocal, node, 0, 0, 0, h),
+                           [this, node, h] { deliverNow(node, h); });
         return;
     }
 
@@ -335,10 +357,13 @@ Network::inject(Packet pkt)
         // not aligned to the router clock).
         sh.injDues.push_back(c.now() + delay);
     }
-    c.queue().schedule(delay, [this, node, h] {
-        consumeInj(node);
-        routers[static_cast<std::size_t>(node)]->inject(h);
-    });
+    c.queue().schedule(delay,
+                       netDesc(ckpt::NetInjStart, node, 0, 0, 0, h),
+                       [this, node, h] {
+                           consumeInj(node);
+                           routers[static_cast<std::size_t>(node)]
+                               ->inject(h);
+                       });
 }
 
 void
@@ -364,16 +389,19 @@ Network::scheduleArrival(NodeId from, NodeId to, int in_port, int vc,
     const Tick delay = static_cast<Tick>(delay_cycles) * tickPeriod;
 
     if (sd == dd) {
-        c.queue().schedule(delay, [this, to, in_port, vc, h] {
-            // The packet was on the wire when the downstream router
-            // died: its flits arrive at a dead receiver and are lost.
-            if (degraded_ && deadNode[std::size_t(to)]) {
-                dropPacket(to, h, "dead-receiver");
-                return;
-            }
-            routers[static_cast<std::size_t>(to)]->receive(in_port, vc,
-                                                           h);
-        });
+        c.queue().schedule(
+            delay, netDesc(ckpt::NetReceive, to, in_port, vc, 0, h),
+            [this, to, in_port, vc, h] {
+                // The packet was on the wire when the downstream
+                // router died: its flits arrive at a dead receiver
+                // and are lost.
+                if (degraded_ && deadNode[std::size_t(to)]) {
+                    dropPacket(to, h, "dead-receiver");
+                    return;
+                }
+                routers[static_cast<std::size_t>(to)]->receive(in_port,
+                                                               vc, h);
+            });
         return;
     }
 
@@ -417,10 +445,12 @@ Network::scheduleCredit(NodeId at_node, int in_port, int vc, int flits)
         static_cast<Tick>(prm.creditCycles) * tickPeriod;
 
     if (sd == dd) {
-        c.queue().schedule(delay, [this, peer, peerPort, vc, flits] {
-            routers[static_cast<std::size_t>(peer)]->creditReturn(
-                peerPort, vc, flits);
-        });
+        c.queue().schedule(
+            delay, netDesc(ckpt::NetCredit, peer, peerPort, vc, flits),
+            [this, peer, peerPort, vc, flits] {
+                routers[static_cast<std::size_t>(peer)]->creditReturn(
+                    peerPort, vc, flits);
+            });
         return;
     }
 
@@ -447,8 +477,9 @@ Network::deliverLocal(NodeId node, PacketHandle h)
                    : 0;
     Tick delay =
         static_cast<Tick>(prm.ejectionCycles + tail) * tickPeriod;
-    ctxOf(node).queue().schedule(delay,
-                                 [this, node, h] { deliverNow(node, h); });
+    ctxOf(node).queue().schedule(
+        delay, netDesc(ckpt::NetDeliverLocal, node, 0, 0, 0, h),
+        [this, node, h] { deliverNow(node, h); });
 }
 
 void
@@ -589,7 +620,8 @@ Network::activate(NodeId at)
         // truly dead fabric restarts.
         edge = sh.windowEdge;
     }
-    c.queue().scheduleAt(edge, [this, d] { tickDomain(d); });
+    c.queue().scheduleAt(edge, netDesc(ckpt::NetTick, d),
+                         [this, d] { tickDomain(d); });
 }
 
 void
@@ -604,9 +636,180 @@ Network::tickDomain(int d)
         any = any || !router.idle();
     }
     if (any) {
-        c.queue().schedule(tickPeriod, [this, d] { tickDomain(d); });
+        c.queue().schedule(tickPeriod, netDesc(ckpt::NetTick, d),
+                           [this, d] { tickDomain(d); });
     } else {
         shards[std::size_t(d)]->ticking = false;
+    }
+}
+
+void
+Network::saveCkpt(ckpt::Serializer &s) const
+{
+    s.putI32(nDomains);
+    s.put32(static_cast<std::uint32_t>(routers.size()));
+    for (const auto &shp : shards) {
+        const Shard &sh = *shp;
+        sh.pool.saveCkpt(s);
+        s.put64(sh.st.injectedPackets);
+        s.put64(sh.st.deliveredPackets);
+        s.put64(sh.st.deliveredFlits);
+        s.put64(sh.st.droppedPackets);
+        sh.st.latencyNs.saveCkpt(s);
+        sh.st.hopsPerPacket.saveCkpt(s);
+        s.putI32(sh.flying);
+        s.putBool(sh.ticking);
+        s.put64(sh.epoch);
+        for (bool t : sh.tickingPub)
+            s.putBool(t);
+        for (Tick t : sh.revivalPub)
+            s.put64(t);
+        s.put64(sh.windowEdge);
+        s.putBool(sh.aliveAtEdge);
+        // Only the unconsumed inject dues matter after restore.
+        s.put32(static_cast<std::uint32_t>(sh.injDues.size() -
+                                           sh.injHead));
+        for (std::size_t i = sh.injHead; i < sh.injDues.size(); ++i)
+            s.put64(sh.injDues[i]);
+        s.put64(sh.xArrivals);
+        s.put64(sh.xCredits);
+        s.put64(sh.xFlits);
+    }
+    for (const Mailbox &mb : mail) {
+        for (int par = 0; par < 2; ++par) {
+            s.put32(static_cast<std::uint32_t>(mb.buf[par].size()));
+            for (const XEntry &e : mb.buf[par]) {
+                s.put64(e.due);
+                s.putI32(e.node);
+                s.putI32(e.port);
+                s.putI32(e.vc);
+                s.putI32(e.flits);
+                s.putI32(e.credit);
+                savePacket(s, e.pkt);
+            }
+            s.put64(mb.minDue[par]);
+        }
+    }
+    for (const auto &ports : linkFlits)
+        for (std::uint64_t flits : ports)
+            s.put64(flits);
+    s.putBool(degraded_);
+    for (char dead : deadNode)
+        s.put8(static_cast<std::uint8_t>(dead));
+    for (const auto &router : routers)
+        router->saveCkpt(s);
+}
+
+void
+Network::restoreCkpt(ckpt::Deserializer &d)
+{
+    if (d.getI32() != nDomains && d.ok()) {
+        d.fail("snapshot domain count differs from this machine's "
+               "partition (restore with the same engine layout)");
+        return;
+    }
+    if (d.get32() != routers.size() && d.ok()) {
+        d.fail("snapshot node count differs from this machine");
+        return;
+    }
+    for (auto &shp : shards) {
+        Shard &sh = *shp;
+        sh.pool.restoreCkpt(d);
+        sh.st.injectedPackets = d.get64();
+        sh.st.deliveredPackets = d.get64();
+        sh.st.deliveredFlits = d.get64();
+        sh.st.droppedPackets = d.get64();
+        sh.st.latencyNs.restoreCkpt(d);
+        sh.st.hopsPerPacket.restoreCkpt(d);
+        sh.flying = d.getI32();
+        sh.ticking = d.getBool();
+        sh.epoch = d.get64();
+        for (bool &t : sh.tickingPub)
+            t = d.getBool();
+        for (Tick &t : sh.revivalPub)
+            t = d.get64();
+        sh.windowEdge = d.get64();
+        sh.aliveAtEdge = d.getBool();
+        std::uint32_t nInj = d.get32();
+        sh.injDues.clear();
+        sh.injHead = 0;
+        for (std::uint32_t i = 0; i < nInj && d.ok(); ++i)
+            sh.injDues.push_back(d.get64());
+        sh.xArrivals = d.get64();
+        sh.xCredits = d.get64();
+        sh.xFlits = d.get64();
+    }
+    for (Mailbox &mb : mail) {
+        for (int par = 0; par < 2; ++par) {
+            std::uint32_t n = d.get32();
+            mb.buf[par].clear();
+            for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+                XEntry e;
+                e.due = d.get64();
+                e.node = d.getI32();
+                e.port = d.getI32();
+                e.vc = d.getI32();
+                e.flits = d.getI32();
+                e.credit = d.getI32();
+                restorePacket(d, e.pkt);
+                mb.buf[par].push_back(e);
+            }
+            mb.minDue[par] = d.get64();
+        }
+    }
+    for (auto &ports : linkFlits)
+        for (std::uint64_t &flits : ports)
+            flits = d.get64();
+    degraded_ = d.getBool();
+    for (char &dead : deadNode)
+        dead = static_cast<char>(d.get8());
+    for (auto &router : routers)
+        router->restoreCkpt(d);
+}
+
+std::function<void()>
+Network::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    switch (d.kind) {
+      case ckpt::NetInjStart: {
+        const NodeId node = d.owner;
+        const auto h = static_cast<PacketHandle>(d.u);
+        return [this, node, h] {
+            consumeInj(node);
+            routers[static_cast<std::size_t>(node)]->inject(h);
+        };
+      }
+      case ckpt::NetDeliverLocal: {
+        const NodeId node = d.owner;
+        const auto h = static_cast<PacketHandle>(d.u);
+        return [this, node, h] { deliverNow(node, h); };
+      }
+      case ckpt::NetReceive: {
+        const NodeId to = d.owner;
+        const int port = d.a, vc = d.b;
+        const auto h = static_cast<PacketHandle>(d.u);
+        return [this, to, port, vc, h] {
+            if (degraded_ && deadNode[std::size_t(to)]) {
+                dropPacket(to, h, "dead-receiver");
+                return;
+            }
+            routers[static_cast<std::size_t>(to)]->receive(port, vc, h);
+        };
+      }
+      case ckpt::NetCredit: {
+        const NodeId peer = d.owner;
+        const int port = d.a, vc = d.b, flits = d.c;
+        return [this, peer, port, vc, flits] {
+            routers[static_cast<std::size_t>(peer)]->creditReturn(
+                port, vc, flits);
+        };
+      }
+      case ckpt::NetTick: {
+        const int dom = d.owner;
+        return [this, dom] { tickDomain(dom); };
+      }
+      default:
+        return {};
     }
 }
 

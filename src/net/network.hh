@@ -252,6 +252,23 @@ class Network
     void dropPacket(NodeId at, PacketHandle h, const char *why);
     /// @}
 
+    /** @name Checkpoint/restore
+     *
+     * Serializes the fabric wholesale: every shard (pool, stats,
+     * tick-chain state, inject dues, cross-traffic counters), both
+     * parities of every mailbox, per-link flit counters, fault
+     * flags and every router. Restore requires the same partition
+     * layout the snapshot was taken with (domain count is checked).
+     * Pending events are re-entered separately by the Machine via
+     * rehydrateEvent, which rebuilds the callback a NET-owned
+     * EventDesc describes.
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
+    std::function<void()> rehydrateEvent(const ckpt::EventDesc &d);
+    /// @}
+
     /** @name Router-internal plumbing (used by Router) */
     /// @{
     void scheduleArrival(NodeId from, NodeId to, int in_port, int vc,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace gs::net
@@ -30,6 +31,37 @@ using PacketHandle = std::uint32_t;
 
 /** Sentinel for "no packet". */
 constexpr PacketHandle invalidHandle = 0xffffffffu;
+
+/** @name Field-wise Packet serialization (layout-stable format). */
+/// @{
+inline void
+savePacket(ckpt::Serializer &s, const Packet &p)
+{
+    s.put64(p.id);
+    s.put8(static_cast<std::uint8_t>(p.cls));
+    s.putI32(p.src);
+    s.putI32(p.dst);
+    s.putI32(p.flits);
+    s.put64(p.injected);
+    s.putI32(p.hops);
+    for (std::uint64_t w : p.user)
+        s.put64(w);
+}
+
+inline void
+restorePacket(ckpt::Deserializer &d, Packet &p)
+{
+    p.id = d.get64();
+    p.cls = static_cast<MsgClass>(d.get8());
+    p.src = d.getI32();
+    p.dst = d.getI32();
+    p.flits = d.getI32();
+    p.injected = d.get64();
+    p.hops = d.getI32();
+    for (std::uint64_t &w : p.user)
+        w = d.get64();
+}
+/// @}
 
 /**
  * The per-network packet slab. Slots live in a deque so references
@@ -97,6 +129,55 @@ class PacketPool
 
     const Stats &stats() const { return st; }
 
+    /** @name Checkpoint/restore.
+     *
+     * The pool is restored *verbatim* — slot contents, freelist order
+     * and live flags — so every PacketHandle serialized elsewhere in
+     * the snapshot (router queues, event descriptors) indexes the
+     * same packet after restore.
+     */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put32(static_cast<std::uint32_t>(slots.size()));
+        for (const Packet &p : slots)
+            savePacket(s, p);
+        s.put32(static_cast<std::uint32_t>(freeList.size()));
+        for (PacketHandle h : freeList)
+            s.put32(h);
+        for (char f : live)
+            s.put8(static_cast<std::uint8_t>(f));
+        s.put64(inUse_);
+        s.put64(st.allocated);
+        s.put64(st.reused);
+        s.put64(st.peakInUse);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        std::uint32_t n = d.get32();
+        slots.clear();
+        live.clear();
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+            slots.emplace_back();
+            restorePacket(d, slots.back());
+        }
+        std::uint32_t nf = d.get32();
+        freeList.clear();
+        for (std::uint32_t i = 0; i < nf && d.ok(); ++i)
+            freeList.push_back(d.get32());
+        live.resize(n, 0);
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i)
+            live[i] = static_cast<char>(d.get8());
+        inUse_ = d.get64();
+        st.allocated = d.get64();
+        st.reused = d.get64();
+        st.peakInUse = d.get64();
+    }
+    /// @}
+
   private:
     std::deque<Packet> slots;
     std::vector<PacketHandle> freeList;
@@ -149,6 +230,26 @@ class HandleQueue
         return q.begin() + static_cast<std::ptrdiff_t>(head_);
     }
     auto end() const { return q.end(); }
+    /// @}
+
+    /** @name Checkpoint/restore: the unconsumed handle sequence. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put32(static_cast<std::uint32_t>(size()));
+        for (PacketHandle h : *this)
+            s.put32(h);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        clear();
+        std::uint32_t n = d.get32();
+        for (std::uint32_t i = 0; i < n && d.ok(); ++i)
+            push(d.get32());
+    }
     /// @}
 
   private:

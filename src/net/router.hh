@@ -130,6 +130,93 @@ class Router
     bool oldestBuffered(Packet &out) const;
     /// @}
 
+    /** @name Checkpoint/restore.
+     *
+     * Serializes every queue of handles plus all per-VC/per-output
+     * scalars. Handles stay valid because the owning PacketPool is
+     * restored verbatim first.
+     */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put32(static_cast<std::uint32_t>(vcQ.size()));
+        for (const HandleQueue &q : vcQ)
+            q.saveCkpt(s);
+        for (const VcState &v : vcState) {
+            s.putI32(v.flitsUsed);
+            s.put64(v.recvFlits);
+            s.put64(v.creditStalls);
+        }
+        s.put32(static_cast<std::uint32_t>(rrVc.size()));
+        for (int r : rrVc)
+            s.putI32(r);
+        s.put32(static_cast<std::uint32_t>(outputs.size()));
+        for (const Output &o : outputs) {
+            s.putBool(o.connected);
+            for (int c : o.credits)
+                s.putI32(c);
+            s.put64(o.busyUntil);
+            s.putI32(o.wireCycles);
+            s.putI32(o.rrSrc);
+            s.put64(o.sentFlits);
+            s.put64(o.sentPackets);
+        }
+        for (const HandleQueue &q : injQs)
+            q.saveCkpt(s);
+        for (std::uint64_t v : injStalls)
+            s.put64(v);
+        s.putI32(injRrClass);
+        s.put64(statsWindowStart);
+        s.putI32(buffered);
+        s.putI32(injWaiting);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        if (d.get32() != vcQ.size() && d.ok()) {
+            d.fail("router VC queue count mismatch");
+            return;
+        }
+        for (HandleQueue &q : vcQ)
+            q.restoreCkpt(d);
+        for (VcState &v : vcState) {
+            v.flitsUsed = d.getI32();
+            v.recvFlits = d.get64();
+            v.creditStalls = d.get64();
+        }
+        if (d.get32() != rrVc.size() && d.ok()) {
+            d.fail("router port count mismatch");
+            return;
+        }
+        for (int &r : rrVc)
+            r = d.getI32();
+        if (d.get32() != outputs.size() && d.ok()) {
+            d.fail("router output count mismatch");
+            return;
+        }
+        for (Output &o : outputs) {
+            o.connected = d.getBool();
+            for (int &c : o.credits)
+                c = d.getI32();
+            o.busyUntil = d.get64();
+            o.wireCycles = d.getI32();
+            o.rrSrc = d.getI32();
+            o.sentFlits = d.get64();
+            o.sentPackets = d.get64();
+        }
+        for (HandleQueue &q : injQs)
+            q.restoreCkpt(d);
+        for (std::uint64_t &v : injStalls)
+            v = d.get64();
+        injRrClass = d.getI32();
+        statsWindowStart = d.get64();
+        buffered = d.getI32();
+        injWaiting = d.getI32();
+    }
+    /// @}
+
   private:
     /** Chosen output for a head packet. */
     struct Route

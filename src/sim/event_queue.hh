@@ -26,9 +26,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/inline_fn.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -118,9 +118,22 @@ class EventQueue
     void
     scheduleAt(Tick when, F &&fn)
     {
+        scheduleAt(when, ckpt::EventDesc{}, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule @p fn at @p when, tagged with @p desc so the event
+     * can be serialized into a machine snapshot and rebuilt at
+     * restore. The untagged overload marks the event Opaque —
+     * legal to run, fatal to checkpoint while pending.
+     */
+    template <typename F>
+    void
+    scheduleAt(Tick when, const ckpt::EventDesc &desc, F &&fn)
+    {
         gs_assert(when >= curTick,
                   "event scheduled in the past: ", when, " < ", curTick);
-        insert(when, nextSeq++, std::forward<F>(fn));
+        insert(when, nextSeq++, desc, std::forward<F>(fn));
         pendingCnt += 1;
         if (pendingCnt > peak)
             peak = pendingCnt;
@@ -131,7 +144,16 @@ class EventQueue
     void
     schedule(Tick delay, F &&fn)
     {
-        scheduleAt(curTick + delay, std::forward<F>(fn));
+        scheduleAt(curTick + delay, ckpt::EventDesc{},
+                   std::forward<F>(fn));
+    }
+
+    /** Schedule @p fn @p delay ticks from now, snapshot-tagged. */
+    template <typename F>
+    void
+    schedule(Tick delay, const ckpt::EventDesc &desc, F &&fn)
+    {
+        scheduleAt(curTick + delay, desc, std::forward<F>(fn));
     }
 
     /**
@@ -147,10 +169,18 @@ class EventQueue
     void
     scheduleMergedAt(Tick when, F &&fn)
     {
+        scheduleMergedAt(when, ckpt::EventDesc{}, std::forward<F>(fn));
+    }
+
+    /** Merged-band scheduling, snapshot-tagged (see scheduleAt). */
+    template <typename F>
+    void
+    scheduleMergedAt(Tick when, const ckpt::EventDesc &desc, F &&fn)
+    {
         gs_assert(when >= curTick,
                   "merged event scheduled in the past: ", when, " < ",
                   curTick);
-        insert(when, nextMergedSeq++, std::forward<F>(fn));
+        insert(when, nextMergedSeq++, desc, std::forward<F>(fn));
         pendingCnt += 1;
         if (pendingCnt > peak)
             peak = pendingCnt;
@@ -247,8 +277,7 @@ class EventQueue
             b.head = 0;
             b.sorted = false;
         }
-        while (!heap.empty())
-            heap.pop();
+        heap.clear();
         ringCount = 0;
         pendingCnt = 0;
         // Re-anchor the ring at zero: leaving base/cur at the old
@@ -281,28 +310,107 @@ class EventQueue
             b.entries.reserve(perBucket);
     }
 
+    /** @name Checkpoint/restore (docs/CHECKPOINT.md)
+     *
+     * A snapshot of the queue is its clock, its counters, and every
+     * pending (when, seq, desc) triple; callbacks are rebuilt from
+     * the descs at restore. Restoring re-inserts entries with their
+     * original sequence numbers, so the continuation fires in
+     * exactly the order the uninterrupted run would have used.
+     */
+    /// @{
+
+    /** Clock and counters restored alongside the pending entries. */
+    struct CkptState
+    {
+        Tick now = 0;
+        std::uint64_t nextSeq = localSeqBase;
+        std::uint64_t nextMergedSeq = 0;
+        std::uint64_t fired = 0;
+        std::uint64_t peak = 0;
+        std::uint64_t migrated = 0;
+    };
+
+    CkptState
+    ckptState() const
+    {
+        return {curTick, nextSeq, nextMergedSeq, fired, peak, migrated};
+    }
+
+    /**
+     * Invoke @p visit(when, seq, desc) for every pending event, in
+     * unspecified order (checkpoint writers sort by (when, seq)).
+     */
+    template <typename V>
+    void
+    visitPending(V &&visit) const
+    {
+        for (const auto &b : buckets) {
+            for (std::size_t i = b.head; i < b.entries.size(); ++i) {
+                const Entry &e = b.entries[i];
+                visit(e.when, e.seq, e.desc);
+            }
+        }
+        for (const auto &e : heap)
+            visit(e.when, e.seq, e.desc);
+    }
+
+    /**
+     * Drop all pending events and reset clock and counters to
+     * @p st — the restore entry point. Unlike syncTime, the clock
+     * may move backward (watchdog rollback rewinds time).
+     */
+    void
+    restoreBegin(const CkptState &st)
+    {
+        clear();
+        curTick = st.now;
+        nextSeq = st.nextSeq;
+        nextMergedSeq = st.nextMergedSeq;
+        fired = st.fired;
+        peak = static_cast<std::size_t>(st.peak);
+        migrated = st.migrated;
+    }
+
+    /**
+     * Re-insert one snapshotted event with its original sequence
+     * number (either band). Counters are untouched: peak and the
+     * band cursors came back via restoreBegin.
+     */
+    void
+    insertRestored(Tick when, std::uint64_t seq,
+                   const ckpt::EventDesc &desc, EventFn fn)
+    {
+        gs_assert(when >= curTick,
+                  "restored event in the past: ", when, " < ", curTick);
+        insert(when, seq, desc, std::move(fn));
+        pendingCnt += 1;
+    }
+    /// @}
+
   private:
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
         EventFn fn;
-        // Pads sizeof(Entry) to a power of two so every
+        // Fills sizeof(Entry) to a power of two so every
         // vector<Entry>::size() on the hot path is a shift instead
-        // of a multiply by a magic reciprocal.
-        unsigned char pad[128 - 2 * sizeof(std::uint64_t) -
-                          sizeof(EventFn)];
+        // of a multiply by a magic reciprocal. The filler is the
+        // event's checkpoint descriptor — describing every event for
+        // snapshots costs the hot path no extra stride.
+        ckpt::EventDesc desc;
 
         template <typename F,
                   typename = std::enable_if_t<
                       !std::is_same_v<std::decay_t<F>, Entry>>>
-        Entry(Tick w, std::uint64_t s, F &&f)
-            : when(w), seq(s), fn(std::forward<F>(f))
+        Entry(Tick w, std::uint64_t s, const ckpt::EventDesc &d, F &&f)
+            : when(w), seq(s), fn(std::forward<F>(f)), desc(d)
         {}
 
-        // Hand-written moves skip the padding bytes.
         Entry(Entry &&o) noexcept
-            : when(o.when), seq(o.seq), fn(std::move(o.fn))
+            : when(o.when), seq(o.seq), fn(std::move(o.fn)),
+              desc(o.desc)
         {}
 
         Entry &
@@ -311,6 +419,7 @@ class EventQueue
             when = o.when;
             seq = o.seq;
             fn = std::move(o.fn);
+            desc = o.desc;
             return *this;
         }
 
@@ -357,6 +466,7 @@ class EventQueue
         std::size_t size() const { return size_; }
         bool empty() const { return size_ == 0; }
         Entry &operator[](std::size_t i) { return data_[i]; }
+        const Entry &operator[](std::size_t i) const { return data_[i]; }
         Entry &back() { return data_[size_ - 1]; }
         Entry *begin() { return data_; }
         Entry *end() { return data_ + size_; }
@@ -463,7 +573,8 @@ class EventQueue
 
     template <typename F>
     void
-    insert(Tick when, std::uint64_t seq, F &&fn)
+    insert(Tick when, std::uint64_t seq, const ckpt::EventDesc &desc,
+           F &&fn)
     {
         if (pendingCnt == 0) {
             // Empty queue: re-anchor the window at the new event so
@@ -481,7 +592,8 @@ class EventQueue
                 curb = &buckets[cur];
                 curb->sorted = true; // empty: trivially sorted
             }
-            curb->entries.emplace_back(when, seq, std::forward<F>(fn));
+            curb->entries.emplace_back(when, seq, desc,
+                                       std::forward<F>(fn));
             ringCount += 1;
             return;
         }
@@ -517,13 +629,16 @@ class EventQueue
                         return k.first != e.when ? k.first < e.when
                                                  : k.second < e.seq;
                     });
-                b.entries.emplace(it, when, seq, std::forward<F>(fn));
+                b.entries.emplace(it, when, seq, desc,
+                                  std::forward<F>(fn));
             } else {
-                b.entries.emplace_back(when, seq, std::forward<F>(fn));
+                b.entries.emplace_back(when, seq, desc,
+                                       std::forward<F>(fn));
             }
             ringCount += 1;
         } else {
-            heap.emplace(when, seq, std::forward<F>(fn));
+            heap.emplace_back(when, seq, desc, std::forward<F>(fn));
+            std::push_heap(heap.begin(), heap.end(), std::greater<>{});
         }
     }
 
@@ -555,7 +670,7 @@ class EventQueue
                 // Ring dry: jump the window to the heap's earliest
                 // event instead of sliding bucket by bucket.
                 b.sorted = false;
-                Tick w = heap.top().when;
+                Tick w = heap.front().when;
                 base = bucketBase(w);
                 cur = bucketIndex(w);
                 curb = &buckets[cur];
@@ -577,13 +692,14 @@ class EventQueue
     migrateOverflow()
     {
         const Tick limit = base + horizon;
-        while (!heap.empty() && heap.top().when < limit) {
-            Entry &top = const_cast<Entry &>(heap.top());
+        while (!heap.empty() && heap.front().when < limit) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+            Entry &top = heap.back();
             Bucket &b = buckets[bucketIndex(top.when)];
-            b.entries.emplace_back(top.when, top.seq,
+            b.entries.emplace_back(top.when, top.seq, top.desc,
                                    std::move(top.fn));
             b.sorted = false;
-            heap.pop();
+            heap.pop_back();
             ringCount += 1;
             migrated += 1;
         }
@@ -594,8 +710,11 @@ class EventQueue
     rewindTo(Tick when)
     {
         for (auto &b : buckets) {
-            for (std::size_t i = b.head; i < b.entries.size(); ++i)
-                heap.push(std::move(b.entries[i]));
+            for (std::size_t i = b.head; i < b.entries.size(); ++i) {
+                heap.push_back(std::move(b.entries[i]));
+                std::push_heap(heap.begin(), heap.end(),
+                               std::greater<>{});
+            }
             b.entries.destroyAll();
             b.head = 0;
             b.sorted = false;
@@ -654,7 +773,10 @@ class EventQueue
     }
 
     std::array<Bucket, bucketCount> buckets;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    // Overflow min-heap, kept as a raw vector + std::push_heap /
+    // std::pop_heap (same complexity as std::priority_queue) so that
+    // checkpointing can iterate the parked entries.
+    std::vector<Entry> heap;
     Tick base = 0;        ///< window start (current bucket's range)
     std::size_t cur = 0;  ///< physical index of the current bucket
     Bucket *curb = &buckets[0]; ///< cached &buckets[cur] (hot paths)

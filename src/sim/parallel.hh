@@ -128,6 +128,14 @@ class ParallelEngine
     /** Epochs (barrier intervals) executed so far. */
     std::uint64_t epochs() const { return epochs_; }
 
+    /**
+     * Reset the epoch counter to a snapshotted value (restore path).
+     * Epoch boundaries are a pure function of simulation state, so a
+     * restored run's subsequent epochs replay the saved run's and
+     * the par.epochs gauge converges to the uninterrupted value.
+     */
+    void restoreEpochs(std::uint64_t e) { epochs_ = e; }
+
     /** Events fired across all domains. */
     std::uint64_t firedTotal() const;
 

@@ -102,6 +102,29 @@ class Rng
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** @name Checkpoint/restore: the four raw state words.
+     *
+     * The generator's position in its stream is exactly s[0..3], so
+     * a snapshot restores the continuation bit-exactly. Words come
+     * back verbatim; an all-zero state (never produced by seeding)
+     * is rejected by restore callers, not here.
+     */
+    /// @{
+    void
+    stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s[i];
+    }
+
+    void
+    setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = in[i];
+    }
+    /// @}
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

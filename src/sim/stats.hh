@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -78,6 +79,27 @@ class Average
     double min() const { return n ? lo : 0.0; }
     double max() const { return n ? hi : 0.0; }
 
+    /** @name Checkpoint/restore: the four accumulator fields. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.putF64(sum);
+        s.put64(n);
+        s.putF64(lo);
+        s.putF64(hi);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        sum = d.getF64();
+        n = d.get64();
+        lo = d.getF64();
+        hi = d.getF64();
+    }
+    /// @}
+
   private:
     double sum = 0;
     std::uint64_t n = 0;
@@ -134,6 +156,30 @@ class Histogram
         return upper;
     }
 
+    /** @name Checkpoint/restore (geometry is construction-time). */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put32(static_cast<std::uint32_t>(counts.size()));
+        for (std::uint64_t c : counts)
+            s.put64(c);
+        stat.saveCkpt(s);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        if (d.get32() != counts.size() && d.ok()) {
+            d.fail("histogram bucket count mismatch");
+            return;
+        }
+        for (std::uint64_t &c : counts)
+            c = d.get64();
+        stat.restoreCkpt(d);
+    }
+    /// @}
+
   private:
     double lower, upper;
     std::vector<std::uint64_t> counts;
@@ -172,6 +218,23 @@ class Utilization
     }
 
     Tick busyTicks() const { return busy; }
+
+    /** @name Checkpoint/restore. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const
+    {
+        s.put64(busy);
+        s.put64(windowStart);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d)
+    {
+        busy = d.get64();
+        windowStart = d.get64();
+    }
+    /// @}
 
   private:
     Tick busy = 0;

@@ -210,7 +210,7 @@ Sampler::start()
     token = std::make_shared<char>(0);
     lastSample_ = ctx.now();
     std::weak_ptr<char> alive = token;
-    ctx.queue().schedule(interval_, [this, alive] {
+    ctx.queue().schedule(interval_, clientDesc(), [this, alive] {
         if (!alive.expired())
             tick();
     });
@@ -234,10 +234,83 @@ Sampler::tick()
 {
     sampleNow();
     std::weak_ptr<char> alive = token;
-    ctx.queue().schedule(interval_, [this, alive] {
+    ctx.queue().schedule(interval_, clientDesc(), [this, alive] {
         if (!alive.expired())
             tick();
     });
+}
+
+void
+Sampler::saveCkpt(ckpt::Serializer &s) const
+{
+    gs_assert(trace == nullptr,
+              "cannot checkpoint: telemetry trace mirroring is active "
+              "(--trace is incompatible with checkpointing)");
+    s.putBool(token != nullptr);
+    s.put64(static_cast<std::uint64_t>(interval_));
+    s.put64(static_cast<std::uint64_t>(lastSample_));
+    s.put32(static_cast<std::uint32_t>(times_.size()));
+    for (Tick t : times_)
+        s.put64(static_cast<std::uint64_t>(t));
+    s.put32(static_cast<std::uint32_t>(series_.size()));
+    for (const auto &sr : series_) {
+        s.putStr(sr.path);
+        s.putF64(sr.prev);
+        s.put32(static_cast<std::uint32_t>(sr.values.size()));
+        for (double v : sr.values)
+            s.putF64(v);
+    }
+}
+
+void
+Sampler::restoreCkpt(ckpt::Deserializer &d)
+{
+    bool wasRunning = d.getBool();
+    if (d.get64() != static_cast<std::uint64_t>(interval_) &&
+        d.ok()) {
+        d.fail("snapshot sampler interval differs from this run's");
+        return;
+    }
+    lastSample_ = static_cast<Tick>(d.get64());
+    std::uint32_t nt = d.get32();
+    if (!d.ok())
+        return;
+    times_.assign(nt, 0);
+    for (Tick &t : times_)
+        t = static_cast<Tick>(d.get64());
+    if (d.get32() != series_.size() && d.ok()) {
+        d.fail("snapshot sampler watches a different series set "
+               "(watch the same paths, in order, before restoring)");
+        return;
+    }
+    for (auto &sr : series_) {
+        if (d.getStr() != sr.path && d.ok()) {
+            d.fail("snapshot sampler series path differs (watch the "
+                   "same paths, in order, before restoring)");
+            return;
+        }
+        sr.prev = d.getF64();
+        std::uint32_t nv = d.get32();
+        if (!d.ok())
+            return;
+        sr.values.assign(nv, 0.0);
+        for (double &v : sr.values)
+            v = d.getF64();
+    }
+    if (!d.ok())
+        return;
+    token = wasRunning ? std::make_shared<char>(0) : nullptr;
+}
+
+std::function<void()>
+Sampler::rehydrateEvent(const ckpt::EventDesc &d)
+{
+    if (d.kind != ckpt::ClientEvent)
+        return {};
+    return [this] {
+        if (token)
+            tick();
+    };
 }
 
 // ---------------------------------------------------------------------

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/context.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -156,7 +157,7 @@ class TraceWriter;
  *    scale = ticks per flit; for a Zbox busy-tick counter,
  *    scale = 1 / channels).
  */
-class Sampler
+class Sampler : public ckpt::Client
 {
   public:
     /** One watched path's recorded values. */
@@ -200,6 +201,20 @@ class Sampler
     Tick interval() const { return interval_; }
     const std::vector<Tick> &times() const { return times_; }
     const std::vector<Series> &series() const { return series_; }
+
+    /** @name Checkpoint/restore (ckpt::Client).
+     *
+     * Register with Machine::registerCkptClient before save/restore
+     * and watch the same paths in the same order before restoring.
+     * Trace mirroring is wall-clock-shaped output and cannot be
+     * checkpointed; saving with a mirror attached is fatal.
+     */
+    /// @{
+    void saveCkpt(ckpt::Serializer &s) const override;
+    void restoreCkpt(ckpt::Deserializer &d) override;
+    std::function<void()>
+    rehydrateEvent(const ckpt::EventDesc &d) override;
+    /// @}
 
   private:
     void tick();

@@ -71,6 +71,11 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     m->kind_ = SystemKind::GS1280;
     m->nCpus = cpus;
     m->context = std::make_unique<SimContext>(opt.seed);
+    m->seed_ = opt.seed;
+    m->mlp_ = opt.mlp;
+    m->striped_ = opt.striped;
+    m->shuffle_ = opt.shuffle;
+    m->shufflePolicy_ = static_cast<int>(opt.shufflePolicy);
 
     auto [w, h] = opt.width > 0 ? std::pair{opt.width, opt.height}
                                 : torusShape(cpus);
@@ -167,6 +172,8 @@ Machine::buildGS320(int cpus, std::uint64_t seed, int mlp)
     m->kind_ = SystemKind::GS320;
     m->nCpus = cpus;
     m->context = std::make_unique<SimContext>(seed);
+    m->seed_ = seed;
+    m->mlp_ = mlp;
 
     int perQbb = std::min(cpus, 4);
     auto tree = std::make_unique<topo::QbbTree>(cpus, perQbb);
@@ -229,6 +236,8 @@ Machine::buildES45(int cpus, std::uint64_t seed, int mlp)
     m->kind_ = SystemKind::ES45;
     m->nCpus = cpus;
     m->context = std::make_unique<SimContext>(seed);
+    m->seed_ = seed;
+    m->mlp_ = mlp;
 
     auto tree = std::make_unique<topo::QbbTree>(cpus, cpus);
     const topo::QbbTree *treeRaw = tree.get();
@@ -294,6 +303,18 @@ Machine::registerTelemetry()
 {
     net->registerTelemetry(telemetry_, "net");
     injector_->registerTelemetry(telemetry_, "fault");
+
+    // Checkpoint accounting. saves/bytes/rollbacks are simulation
+    // state (serialized in snapshots, so a restored run's exports
+    // converge to the uninterrupted run's); restores counts how many
+    // times THIS process loaded a snapshot — inherently wall-clock
+    // shaped, so it is visible live but excluded from exports.
+    telemetry_.addCounter("ckpt.saves", ckptSaves_);
+    telemetry_.addCounter("ckpt.bytes", ckptBytes_);
+    telemetry_.addCounter("ckpt.rollbacks", ckptRollbacks_);
+    telemetry_.addWallClockGauge("ckpt.restores", [this] {
+        return static_cast<double>(ckptRestores_);
+    });
 
     // Event-kernel self-metrics: how hard the calendar queue is
     // working (see docs/EVENT_KERNEL.md). `buckets` counts events
@@ -477,18 +498,37 @@ Machine::run(const std::vector<cpu::TrafficSource *> &sources,
 {
     gs_assert(static_cast<int>(sources.size()) <= nCpus,
               "more sources than CPUs");
+    sources_ = sources;
 
-    // Shared counter: completion callbacks may fire after an early
-    // (limit-hit) return, so they must not reference the stack; on
-    // the parallel engine they also fire on worker threads, so the
-    // counter is atomic.
-    auto running = std::make_shared<std::atomic<int>>(0);
-    for (std::size_t c = 0; c < sources.size(); ++c) {
-        if (!sources[c])
-            continue;
-        running->fetch_add(1, std::memory_order_relaxed);
-        cores[c]->run(*sources[c], [running] {
-            running->fetch_sub(1, std::memory_order_release);
+    if (restored_) {
+        // restore() already re-attached the cores to these sources
+        // and rebuilt running_; starting them again would reset the
+        // execution state the snapshot just rebuilt.
+        restored_ = false;
+    } else {
+        // Shared counter: completion callbacks may fire after an
+        // early (limit-hit) return, so they must not reference the
+        // stack; on the parallel engine they also fire on worker
+        // threads, so the counter is atomic.
+        running_ = std::make_shared<std::atomic<int>>(0);
+        auto running = running_;
+        for (std::size_t c = 0; c < sources.size(); ++c) {
+            if (!sources[c])
+                continue;
+            running->fetch_add(1, std::memory_order_relaxed);
+            cores[c]->run(*sources[c], [running] {
+                running->fetch_sub(1, std::memory_order_release);
+            });
+        }
+    }
+
+    // With a rollback policy, a watchdog trip queues a rollback the
+    // loop below consumes between events, instead of panicking from
+    // inside the tripping poll event.
+    if (watchdog_ && rollback_) {
+        watchdog_->onTrip([this](const std::string &why) {
+            tripPending_ = true;
+            pendingTrip_ = why;
         });
     }
 
@@ -498,26 +538,49 @@ Machine::run(const std::vector<cpu::TrafficSource *> &sources,
         // Completion is checked only at epoch barriers (every domain
         // quiescent there), so the final time may trail the serial
         // engine's by less than one lookahead window; every fired
-        // event and every statistic is still identical.
+        // event and every statistic is still identical. Periodic
+        // checkpoints piggyback on the same barriers: the engine
+        // runs in segments clamped at the next checkpoint edge, and
+        // saves happen with every worker parked.
         Tick deadline = ctx().now() + limit;
         Machine *self = this;
-        par_->run(deadline, [self, running] {
+        auto running = running_;
+        auto complete = [self, running] {
             return running->load(std::memory_order_acquire) == 0 &&
                    self->drained();
-        });
-        net->refreshMergedStats();
-        return running->load(std::memory_order_relaxed) == 0 &&
+        };
+        for (;;) {
+            Tick target = deadline;
+            if (ckptEvery_ > 0 && nextCkptAt_ < target)
+                target = nextCkptAt_;
+            par_->run(target, complete);
+            net->refreshMergedStats();
+            if (running_->load(std::memory_order_relaxed) == 0 &&
+                drained())
+                break;
+            if (target >= deadline)
+                break;
+            checkpointNow();
+        }
+        return running_->load(std::memory_order_relaxed) == 0 &&
                drained();
     }
 
     Tick deadline = context->now() + limit;
     while (context->now() < deadline) {
-        if (running->load(std::memory_order_relaxed) == 0 && drained())
+        if (running_->load(std::memory_order_relaxed) == 0 &&
+            drained())
             return true;
         if (!context->queue().step())
             break;
+        if (tripPending_) {
+            handleRollback();
+            continue;
+        }
+        if (ckptEvery_ > 0 && context->now() >= nextCkptAt_)
+            checkpointNow();
     }
-    return running->load(std::memory_order_relaxed) == 0 && drained();
+    return running_->load(std::memory_order_relaxed) == 0 && drained();
 }
 
 void

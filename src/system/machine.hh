@@ -17,7 +17,10 @@
 #ifndef GS_SYSTEM_MACHINE_HH
 #define GS_SYSTEM_MACHINE_HH
 
+#include <atomic>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "coherence/node.hh"
@@ -29,6 +32,7 @@
 #include "fault/watchdog.hh"
 #include "mem/address.hh"
 #include "net/network.hh"
+#include "sim/checkpoint.hh"
 #include "sim/context.hh"
 #include "sim/parallel.hh"
 #include "sim/telemetry.hh"
@@ -204,6 +208,72 @@ class Machine
     /** Per-CPU analytic timing view (for the SPEC IPC model). */
     cpu::MachineTiming analyticTiming() const;
 
+    /** @name Checkpoint / restore / crash recovery
+     *
+     * save() writes the whole machine — clocks, RNGs, every pending
+     * event, network, coherence, cores, workloads, fault state,
+     * registered clients — as an atomic, CRC-checked snapshot
+     * (docs/CHECKPOINT.md). restore() loads one into an identically
+     * built machine (same system, CPU count, seed, options, and
+     * engine layout: serial snapshots restore at --threads 1,
+     * parallel ones at any --threads > 1 of the same machine) and
+     * re-attaches the given traffic sources; the continued run
+     * produces exports byte-identical to the uninterrupted one.
+     */
+    /// @{
+
+    /** Watchdog-triggered crash recovery (serial engine only). */
+    struct RollbackPolicy
+    {
+        /** Snapshot to rewind to when the watchdog trips. */
+        std::string snapshotPath;
+
+        /** Rollbacks allowed before hard-failing with diagnostics. */
+        int maxRetries = 3;
+
+        /** Suppress still-scheduled fault events after rollback, so
+         *  the restored run does not re-wedge on the same fault. */
+        bool healFaults = true;
+    };
+
+    /** Snapshot the machine to @p path (atomic: tmp + rename). */
+    bool save(const std::string &path, std::string *err = nullptr);
+
+    /**
+     * Restore from @p path. @p sources must be the same workload
+     * set (same count, order and construction) the saved run used;
+     * their stream positions are restored from the snapshot and the
+     * cores re-attach without perturbation. The next run() call
+     * continues the restored execution.
+     */
+    bool restore(const std::string &path,
+                 const std::vector<cpu::TrafficSource *> &sources,
+                 std::string *err = nullptr);
+
+    /**
+     * Register a bench-owned snapshot participant (e.g. a telemetry
+     * Sampler). Registration order must match between the saving and
+     * restoring run. @return the client id (EventDesc owner).
+     */
+    int registerCkptClient(ckpt::Client &client);
+
+    /**
+     * Checkpoint every @p everyTicks of simulated time during run(),
+     * writing "<pathPrefix>.<n>.gsckpt" (n = 1, 2, ...). 0 disables.
+     */
+    void setCheckpointPolicy(Tick everyTicks, std::string pathPrefix);
+
+    /** Enable watchdog-triggered rollback (arm a watchdog first). */
+    void setRollbackPolicy(RollbackPolicy policy);
+
+    /** Rebuild a pending event's callback from its descriptor. */
+    std::function<void()> rehydrate(const ckpt::EventDesc &d);
+
+    std::uint64_t checkpointSaves() const { return ckptSaves_; }
+    std::uint64_t checkpointRollbacks() const { return ckptRollbacks_; }
+    std::uint64_t checkpointRestores() const { return ckptRestores_; }
+    /// @}
+
   private:
     Machine() = default;
 
@@ -215,6 +285,18 @@ class Machine
 
     /** Register every built component (end of each builder). */
     void registerTelemetry();
+
+    /** @name Checkpoint internals (system/machine_ckpt.cc) */
+    /// @{
+    /** The event queues a snapshot covers, in section order. */
+    std::vector<EventQueue *> ckptQueues();
+
+    /** Bump nextCkptAt_ past now, save, die loudly on failure. */
+    void checkpointNow();
+
+    /** Consume a queued watchdog trip: roll back or hard-fail. */
+    void handleRollback();
+    /// @}
 
     std::unique_ptr<SimContext> context;
     std::unique_ptr<ParallelEngine> par_; ///< set by parallel builds
@@ -229,6 +311,45 @@ class Machine
     telem::Registry telemetry_;
 
     int torusW = 0, torusH = 0; ///< GS1280 geometry
+
+    /** @name Build fingerprint (checked at snapshot restore) */
+    /// @{
+    std::uint64_t seed_ = 1;
+    int mlp_ = 0;
+    bool striped_ = false;
+    bool shuffle_ = false;
+    int shufflePolicy_ = 0;
+    /// @}
+
+    /** @name Run/restore state */
+    /// @{
+    std::vector<cpu::TrafficSource *> sources_; ///< attached by run()
+    std::shared_ptr<std::atomic<int>> running_; ///< unfinished cores
+    bool restored_ = false; ///< next run() continues a restore
+    /// @}
+
+    /** @name Checkpoint policy + crash recovery */
+    /// @{
+    Tick ckptEvery_ = 0;
+    std::string ckptPrefix_;
+    Tick nextCkptAt_ = 0;
+    std::optional<RollbackPolicy> rollback_;
+    int retriesUsed_ = 0;
+    bool tripPending_ = false;
+    std::string pendingTrip_;
+    /// @}
+
+    std::vector<ckpt::Client *> clients_;
+
+    /** @name ckpt.* telemetry (restores is wall-clock-shaped: a
+     *  restored process cannot distinguish itself in exports, so it
+     *  is registered as a wall-clock gauge and skipped there). */
+    /// @{
+    std::uint64_t ckptSaves_ = 0;
+    std::uint64_t ckptBytes_ = 0;
+    std::uint64_t ckptRollbacks_ = 0;
+    std::uint64_t ckptRestores_ = 0;
+    /// @}
 };
 
 } // namespace gs::sys

@@ -39,6 +39,32 @@ class Gups : public cpu::TrafficSource
 
     std::uint64_t updatesIssued() const { return count; }
 
+    /** @name Checkpoint/restore: remaining updates + RNG position. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const override
+    {
+        s.put64(remaining);
+        s.put64(count);
+        std::uint64_t words[4];
+        rng.stateWords(words);
+        for (std::uint64_t w : words)
+            s.put64(w);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d) override
+    {
+        remaining = d.get64();
+        count = d.get64();
+        std::uint64_t words[4];
+        for (std::uint64_t &w : words)
+            w = d.get64();
+        if (d.ok())
+            rng.setStateWords(words);
+    }
+    /// @}
+
   private:
     int nodes;
     std::uint64_t bytesPerNode;

@@ -40,6 +40,30 @@ class RandomRemoteReads : public cpu::TrafficSource
 
     std::optional<cpu::MemOp> next() override;
 
+    /** @name Checkpoint/restore: remaining reads + RNG position. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const override
+    {
+        s.put64(remaining);
+        std::uint64_t words[4];
+        rng.stateWords(words);
+        for (std::uint64_t w : words)
+            s.put64(w);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d) override
+    {
+        remaining = d.get64();
+        std::uint64_t words[4];
+        for (std::uint64_t &w : words)
+            w = d.get64();
+        if (d.ok())
+            rng.setStateWords(words);
+    }
+    /// @}
+
   private:
     NodeId self;
     int nodes;
@@ -62,6 +86,30 @@ class HotSpotReads : public cpu::TrafficSource
                  std::uint64_t reads, std::uint64_t seed);
 
     std::optional<cpu::MemOp> next() override;
+
+    /** @name Checkpoint/restore: remaining reads + RNG position. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const override
+    {
+        s.put64(remaining);
+        std::uint64_t words[4];
+        rng.stateWords(words);
+        for (std::uint64_t w : words)
+            s.put64(w);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d) override
+    {
+        remaining = d.get64();
+        std::uint64_t words[4];
+        for (std::uint64_t &w : words)
+            w = d.get64();
+        if (d.ok())
+            rng.setStateWords(words);
+    }
+    /// @}
 
   private:
     NodeId victim;

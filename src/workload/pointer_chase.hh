@@ -36,6 +36,25 @@ class PointerChase : public cpu::TrafficSource
     /** Loads issued so far. */
     std::uint64_t issued() const { return count; }
 
+    /** @name Checkpoint/restore: chase position. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const override
+    {
+        s.put64(remaining);
+        s.put64(count);
+        s.put64(offset);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d) override
+    {
+        remaining = d.get64();
+        count = d.get64();
+        offset = d.get64();
+    }
+    /// @}
+
   private:
     mem::Addr base;
     std::uint64_t dataset;

@@ -72,6 +72,27 @@ class StreamKernel : public cpu::TrafficSource
     /** Bytes of kernel progress per processed line. */
     double bytesPerLine() const { return streamBytesPerLine(kind); }
 
+    /** @name Checkpoint/restore: sweep position. */
+    /// @{
+    void
+    saveCkpt(ckpt::Serializer &s) const override
+    {
+        s.putI32(sweepsLeft);
+        s.put64(offset);
+        s.putI32(phase);
+        s.put64(lines);
+    }
+
+    void
+    restoreCkpt(ckpt::Deserializer &d) override
+    {
+        sweepsLeft = d.getI32();
+        offset = d.get64();
+        phase = d.getI32();
+        lines = d.get64();
+    }
+    /// @}
+
   private:
     int readsPerLine() const
     {

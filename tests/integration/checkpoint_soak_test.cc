@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Checkpoint soak (the fig23 GUPS scenario): a 32-CPU GUPS run that
+ * checkpoints periodically must be continuable from EVERY snapshot
+ * it wrote with byte-identical final exports, on the serial engine
+ * and on the parallel engine at the acceptance thread count (8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/telemetry.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+
+namespace
+{
+
+using namespace gs;
+
+struct Rig
+{
+    std::unique_ptr<sys::Machine> m;
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+};
+
+Rig
+makeGupsRig(int cpus, int threads, std::uint64_t seed,
+            std::uint64_t updates)
+{
+    Rig r;
+    sys::Gs1280Options opt;
+    opt.seed = seed;
+    opt.threads = threads;
+    r.m = sys::Machine::buildGS1280(cpus, opt);
+    for (int c = 0; c < cpus; ++c) {
+        r.gens.push_back(std::make_unique<wl::Gups>(
+            cpus, 8ULL << 20, updates,
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
+        r.sources.push_back(r.gens.back().get());
+    }
+    return r;
+}
+
+std::string
+exportOf(const sys::Machine &m)
+{
+    std::ostringstream os;
+    telem::exportJson(os, m.telemetry());
+    return os.str();
+}
+
+void
+soak(int threads, const std::string &tag)
+{
+    const int cpus = 32;
+    const std::uint64_t seed = 1;
+    const std::uint64_t updates = 400;
+
+    Rig probe = makeGupsRig(cpus, threads, seed, updates);
+    ASSERT_TRUE(probe.m->run(probe.sources));
+    const Tick every = probe.m->ctx().now() / 4;
+    ASSERT_GT(every, 0u);
+
+    const std::string prefixA =
+        testing::TempDir() + "ckpt_soak_a_" + tag;
+    Rig a = makeGupsRig(cpus, threads, seed, updates);
+    a.m->setCheckpointPolicy(every, prefixA);
+    ASSERT_TRUE(a.m->run(a.sources));
+    const std::string want = exportOf(*a.m);
+    const std::uint64_t snaps = a.m->checkpointSaves();
+    ASSERT_GE(snaps, 3u);
+
+    for (std::uint64_t k = 1; k <= snaps; ++k) {
+        SCOPED_TRACE(tag + " snapshot " + std::to_string(k));
+        const std::string prefixB = testing::TempDir() +
+                                    "ckpt_soak_b_" + tag + "_" +
+                                    std::to_string(k);
+        Rig b = makeGupsRig(cpus, threads, seed, updates);
+        b.m->setCheckpointPolicy(every, prefixB);
+        std::string err;
+        ASSERT_TRUE(b.m->restore(
+            prefixA + "." + std::to_string(k) + ".gsckpt", b.sources,
+            &err))
+            << err;
+        ASSERT_TRUE(b.m->run(b.sources));
+        EXPECT_EQ(exportOf(*b.m), want)
+            << "restore from snapshot " << k << " diverged";
+        for (std::uint64_t n = 1; n <= b.m->checkpointSaves(); ++n)
+            std::remove((prefixB + "." + std::to_string(n) + ".gsckpt")
+                            .c_str());
+    }
+    for (std::uint64_t n = 1; n <= snaps; ++n)
+        std::remove(
+            (prefixA + "." + std::to_string(n) + ".gsckpt").c_str());
+}
+
+TEST(CheckpointSoak, GupsSerial)
+{
+    soak(1, "serial");
+}
+
+TEST(CheckpointSoak, GupsEightThreads)
+{
+    soak(8, "t8");
+}
+
+} // namespace
