@@ -50,8 +50,14 @@ withSweepArgs(std::map<std::string, std::string> known = {})
                           "(default 1)");
     known.emplace("threads", "worker threads per simulated machine "
                              "(default 1 = serial engine; results "
-                             "are bit-identical at any value, see "
+                             "are bit-identical at any value for a "
+                             "fixed tile shape, see "
                              "docs/PARALLEL.md)");
+    known.emplace("tile-shape",
+                  "pin the parallel engine's tile decomposition to "
+                  "RxC (e.g. 2x4; default: chosen from --threads). "
+                  "Runs compared across thread counts must pin the "
+                  "same shape");
     return known;
 }
 
@@ -60,6 +66,31 @@ inline int
 machineThreads(const Args &args)
 {
     return static_cast<int>(args.getInt("threads", 1));
+}
+
+/** Apply --tile-shape=RxC (if given) to @p opt; die on malformed. */
+inline void
+applyTileShape(const Args &args, sys::Gs1280Options &opt)
+{
+    const std::string shape = args.getString("tile-shape", "");
+    if (shape.empty())
+        return;
+    std::size_t x = shape.find('x');
+    int r = 0, c = 0;
+    if (x != std::string::npos && x > 0 && x + 1 < shape.size()) {
+        try {
+            r = std::stoi(shape.substr(0, x));
+            c = std::stoi(shape.substr(x + 1));
+        } catch (...) {
+            r = c = 0;
+        }
+    }
+    if (r < 1 || c < 1) {
+        gs_fatal("--tile-shape=", shape,
+                 ": expected RxC with positive integers (e.g. 2x4)");
+    }
+    opt.tileRows = r;
+    opt.tileCols = c;
 }
 
 /** Build the runner a bench's --jobs/--seed options ask for. */
@@ -249,6 +280,12 @@ class TelemetrySession
                           << " arrivals / "
                           << count("par.mailbox.credits")
                           << " credits\n";
+                std::cerr << "# self: tiles "
+                          << count("par.tile_rows") << "x"
+                          << count("par.tile_cols") << ", "
+                          << count("par.lookahead_widened")
+                          << " widened epochs, "
+                          << count("par.steal_count") << " steals\n";
             }
         }
     }

@@ -67,7 +67,9 @@ main(int argc, char **argv)
         probes, [&](const Probe &p, SweepPoint) -> double {
             if (p.kind == sys::SystemKind::GS1280) {
                 sys::Gs1280Options opt;
-                opt.threads = threads; // bit-identical at any value
+                // bit-identical at any value for a fixed tile shape
+                opt.threads = threads;
+                bench::applyTileShape(args, opt);
                 auto m = sys::Machine::buildGS1280(p.cpus, opt);
                 return bench::dependentLoadNs(*m, 0, p.dst, 16 << 20,
                                               64, p.loads);
@@ -127,6 +129,7 @@ main(int argc, char **argv)
         sys::Gs1280Options opt;
         opt.seed = master;
         opt.threads = threads;
+        bench::applyTileShape(args, opt);
         auto m = sys::Machine::buildGS1280(16, opt);
         bench::TelemetrySession session(args, *m);
         bench::CheckpointSession ckpt(args, *m, session.sampler());

@@ -71,7 +71,9 @@ main(int argc, char **argv)
         points, [&](int cpus, SweepPoint sp) -> bench::Row {
             sys::Gs1280Options opt;
             opt.mlp = 16; // GUPS overlaps updates aggressively
-            opt.threads = threads; // bit-identical at any value
+            // bit-identical at any value for a fixed tile shape
+            opt.threads = threads;
+            bench::applyTileShape(args, opt);
             auto gs1280 = sys::Machine::buildGS1280(cpus, opt);
             double a = mups(*gs1280, cpus, updates,
                             Rng::deriveSeed(sp.seed, 0));
@@ -114,6 +116,7 @@ main(int argc, char **argv)
         opt.mlp = 16;
         opt.seed = master;
         opt.threads = threads;
+        bench::applyTileShape(args, opt);
         auto m = sys::Machine::buildGS1280(32, opt);
         bench::TelemetrySession session(args, *m);
         bench::CheckpointSession ckpt(args, *m, session.sampler());

@@ -288,6 +288,44 @@ BM_ParallelEpoch(benchmark::State &state)
 BENCHMARK(BM_ParallelEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void
+BM_ParallelEpochTile(benchmark::State &state)
+{
+    // Same 64P GUPS workload with the tile decomposition pinned to
+    // Arg(1) x Arg(2), swept over worker-thread counts (Arg(0)).
+    // Pinning the shape keeps the decomposition — and therefore the
+    // simulated results — identical across the thread sweep, so this
+    // family measures pure engine scaling at a fixed tiling.
+    const int threads = static_cast<int>(state.range(0));
+    constexpr int cpus = 64;
+    constexpr std::uint64_t updates = 200;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sys::Gs1280Options opt;
+        opt.mlp = 16;
+        opt.threads = threads;
+        opt.tileRows = static_cast<int>(state.range(1));
+        opt.tileCols = static_cast<int>(state.range(2));
+        auto m = sys::Machine::buildGS1280(cpus, opt);
+        std::vector<std::unique_ptr<wl::Gups>> gens;
+        std::vector<cpu::TrafficSource *> sources;
+        for (int c = 0; c < cpus; ++c) {
+            gens.push_back(std::make_unique<wl::Gups>(
+                cpus, 256ULL << 20, updates,
+                Rng::deriveSeed(7, static_cast<std::uint64_t>(c))));
+            sources.push_back(gens.back().get());
+        }
+        state.ResumeTiming();
+        bool ok = m->run(sources, 30000 * tickMs);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * cpus * static_cast<std::int64_t>(updates)));
+}
+BENCHMARK(BM_ParallelEpochTile)
+    ->Args({1, 4, 2})->Args({2, 4, 2})->Args({4, 4, 2})->Args({8, 4, 2})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

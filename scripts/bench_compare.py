@@ -94,13 +94,20 @@ def parse_speedup(spec):
 
 
 def thread_families(rates):
-    """Group `NAME/ARG` benchmarks into {NAME: {arg: rate}}; only
-    families that include an ARG=1 variant scale meaningfully."""
+    """Group thread-swept benchmarks into {family: {threads: rate}}.
+
+    The thread count is the FIRST google-benchmark arg; any further
+    args (e.g. the pinned tile shape of BM_ParallelEpochTile/T/R/C)
+    are part of the family key, so 'BM_ParallelEpochTile/2/4/2' files
+    under family 'BM_ParallelEpochTile/4/2' with threads=2. Only
+    families that include a threads=1 variant scale meaningfully."""
     fams = {}
     for name, rate in rates.items():
-        m = re.fullmatch(r"(.+)/(\d+)(?:/real_time)?", name)
+        m = re.fullmatch(r"([^/]+)/(\d+)((?:/\d+)*)(?:/real_time)?",
+                         name)
         if m:
-            fams.setdefault(m.group(1), {})[int(m.group(2))] = rate
+            family = m.group(1) + m.group(3)
+            fams.setdefault(family, {})[int(m.group(2))] = rate
     return {n: a for n, a in fams.items() if 1 in a and len(a) > 1}
 
 
@@ -108,12 +115,12 @@ def scaling_report(rates):
     fams = thread_families(rates)
     if not fams:
         return
-    print("\nscaling (candidate, vs the /1 variant):")
+    print("\nscaling (candidate, vs the 1-thread variant):")
     for name, by_arg in sorted(fams.items()):
         for arg in sorted(by_arg):
             speedup = by_arg[arg] / by_arg[1]
             eff = speedup / arg
-            print(f"  {name}/{arg}: {speedup:5.2f}x "
+            print(f"  {name} @{arg}t: {speedup:5.2f}x "
                   f"(efficiency {eff:.0%})")
 
 
@@ -180,6 +187,7 @@ def main():
 
     scaling_report(cand)
     fams = thread_families(cand)
+    base_fams = thread_families(base)
     for spec in args.require_scaling:
         name, factor = parse_speedup(spec)
         if name not in fams:
@@ -187,12 +195,25 @@ def main():
                 f"{name}: required {factor}x scaling but no "
                 "/1-anchored thread family in candidate")
             continue
+        if name not in base_fams:
+            # A family the baseline has never seen would otherwise
+            # sail through on candidate-only numbers — refresh the
+            # baseline so the scaling requirement has teeth.
+            failures.append(
+                f"{name}: required {factor}x scaling but the family "
+                f"is missing from baseline {args.baseline} — "
+                "regenerate it (perf_microbench "
+                f"--benchmark_out={args.baseline} "
+                "--benchmark_out_format=json, see docs/PARALLEL.md) "
+                "and commit the result")
+            continue
         by_arg = fams[name]
         widest = max(by_arg)
         ratio = by_arg[widest] / by_arg[1]
         ok = ratio >= factor
-        print(f"  {'ok' if ok else 'TOO SLOW':9s}{name}/{widest}: "
-              f"required >= {factor}x of /1, got {ratio:.2f}x")
+        print(f"  {'ok' if ok else 'TOO SLOW':9s}{name} @{widest}t: "
+              f"required >= {factor}x of the 1-thread variant, "
+              f"got {ratio:.2f}x")
         if not ok:
             failures.append(
                 f"{name}: required >= {factor}x scaling at "

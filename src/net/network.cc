@@ -85,6 +85,12 @@ Network::setPartition(std::vector<int> node_domain,
     }
     mail.assign(static_cast<std::size_t>(d) * static_cast<std::size_t>(d),
                 Mailbox{});
+
+    adapt_.base = conservativeLookahead();
+    adapt_.bound = idleLookahead();
+    adapt_.factor = 1;
+    widened_ = false;
+    widenedEpochs_ = 0;
 }
 
 Tick
@@ -99,6 +105,50 @@ Network::conservativeLookahead() const
                           prm.pipelineCycles + 1 + 1);
     gs_assert(cycles >= 1, "zero-latency cross-domain link");
     return static_cast<Tick>(cycles) * tickPeriod;
+}
+
+Tick
+Network::idleLookahead() const
+{
+    // From quiescence the only way traffic can appear is inject():
+    // its first router event (NetInjStart) lands injectionCycles
+    // later, and from that event the conservative lookahead bounds
+    // every cross-domain effect. An injection at u >= windowStart
+    // therefore cannot affect a peer before
+    // windowStart + idleLookahead(), so a quiet domain may drain
+    // that far ahead without waiting for a barrier.
+    return static_cast<Tick>(prm.injectionCycles) * tickPeriod +
+           conservativeLookahead();
+}
+
+bool
+Network::fabricQuiet() const
+{
+    if (inFlight() != 0)
+        return false;
+    for (const auto &shp : shards) {
+        if (shp->ticking || shp->injHead < shp->injDues.size())
+            return false;
+    }
+    // Cross entries posted late in a window sit unmerged in the
+    // posting parity even after every packet has delivered; widening
+    // over them would let a peer drain past their due times.
+    for (int d = 0; d < nDomains; ++d) {
+        if (pendingMinOf(d) != maxTick)
+            return false;
+    }
+    return true;
+}
+
+Tick
+Network::adaptiveWindow(Tick window_start, Tick base_end)
+{
+    const Tick len = adapt_.step(fabricQuiet());
+    widened_ = adapt_.widened();
+    if (!widened_)
+        return base_end;
+    widenedEpochs_ += 1;
+    return window_start + len;
 }
 
 void
@@ -321,6 +371,17 @@ Network::inject(Packet pkt)
     // pkt.src's context (agents live with their node).
     SimContext &c = ctxOf(pkt.src);
     Shard &sh = shard(pkt.src);
+
+    // Inject is the only quiescence-breaking entry point, so inside
+    // a widened (adaptive-lookahead) window it must not let this
+    // domain run ahead into router activity the barrier has not
+    // cleared: cut the drain at now()+1 — same-tick events still
+    // fire, NetInjStart (and anything after it) waits for the next
+    // epoch's conservative window. Peers that drain to the widened
+    // end stay safe because the window is capped at idleLookahead().
+    if (nDomains > 1 && widened_)
+        c.queue().truncateDrain(c.now() + 1);
+
     pkt.injected = c.now();
     sh.st.injectedPackets += 1;
     sh.flying += 1;
@@ -698,6 +759,11 @@ Network::saveCkpt(ckpt::Serializer &s) const
         s.put8(static_cast<std::uint8_t>(dead));
     for (const auto &router : routers)
         router->saveCkpt(s);
+    // Adaptive-lookahead state: the widening factor is part of the
+    // deterministic window sequence, so a restored run replays the
+    // saved run's epochs exactly.
+    s.putI32(adapt_.factor);
+    s.put64(widenedEpochs_);
 }
 
 void
@@ -765,6 +831,12 @@ Network::restoreCkpt(ckpt::Deserializer &d)
         dead = static_cast<char>(d.get8());
     for (auto &router : routers)
         router->restoreCkpt(d);
+    adapt_.factor = d.getI32();
+    widenedEpochs_ = d.get64();
+    if (d.ok() &&
+        (adapt_.factor < 1 || adapt_.factor > adapt_.maxFactor))
+        d.fail("snapshot adaptive-lookahead factor out of range");
+    widened_ = false; // recomputed by the next window's hook
 }
 
 std::function<void()>

@@ -26,6 +26,7 @@
 #include "net/params.hh"
 #include "net/router.hh"
 #include "sim/context.hh"
+#include "sim/parallel.hh"
 #include "sim/stats.hh"
 #include "sim/telemetry.hh"
 #include "topology/topology.hh"
@@ -112,6 +113,43 @@ class Network
      * (creditCycles); the credit dominates on every modeled machine.
      */
     Tick conservativeLookahead() const;
+
+    /**
+     * Widest epoch window provably safe from fabric quiescence: an
+     * injection at tick u produces its first router event
+     * (NetInjStart) at u + injectionCycles * period, and from there
+     * the conservative lookahead bounds any cross-domain effect —
+     * so every quiet domain may drain up to
+     * windowStart + idleLookahead() before the effect's due time.
+     */
+    Tick idleLookahead() const;
+
+    /**
+     * Whether no cross-domain effect can arise without a fresh
+     * injection: nothing in flight, every tick chain dead, no
+     * injection queued, and no posted-but-unmerged mailbox entry
+     * (cross credits posted late in a window sit there even after
+     * the last packet delivers). A pure function of simulation
+     * state. Pending *local* credits are allowed: with an idle
+     * fabric they only adjust upstream counts inside their own
+     * domain (and any chain wake they trigger is the same no-op
+     * tick the serial engine executes).
+     */
+    bool fabricQuiet() const;
+
+    /**
+     * ParallelEngine window hook: one adaptive-lookahead step per
+     * epoch. Widens the window while fabricQuiet() holds (geometric,
+     * capped at idleLookahead()) and snaps back to @p base_end on
+     * traffic. Runs at the barrier with all workers parked; the
+     * `widened` flag it leaves behind tells inject() to truncate the
+     * injecting domain's drain so no router event fires inside a
+     * widened window (see docs/PARALLEL.md).
+     */
+    Tick adaptiveWindow(Tick window_start, Tick base_end);
+
+    /** Epochs whose window was widened past the conservative base. */
+    std::uint64_t widenedEpochs() const { return widenedEpochs_; }
 
     /**
      * Merge every mailbox entry addressed to domain @p d into its
@@ -404,6 +442,15 @@ class Network
     std::vector<std::unique_ptr<Shard>> shards; ///< [nDomains]
     std::vector<Mailbox> mail;           ///< [src * nDomains + dst]
     mutable MergedStats agg;             ///< stats() view, nDomains > 1
+
+    // Adaptive lookahead (nDomains > 1 only; see adaptiveWindow).
+    // `widened_` is written at the barrier by the window hook and
+    // read by workers during the following window — the barrier
+    // release orders it. adapt_.factor and widenedEpochs_ are
+    // deterministic engine state and ride in the checkpoint.
+    AdaptiveLookahead adapt_;
+    bool widened_ = false;
+    std::uint64_t widenedEpochs_ = 0;
 
     bool degraded_ = false;        ///< any fault ever applied
     std::vector<char> deadNode;    ///< failed routers (degraded mode)

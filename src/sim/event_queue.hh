@@ -230,15 +230,32 @@ class EventQueue
     std::size_t
     drainWindow(Tick limit)
     {
+        drainLimit_ = limit;
         std::size_t n = 0;
         while (ensureCurrent()) {
             Bucket &b = *curb;
-            if (b.entries[b.head].when >= limit)
+            if (b.entries[b.head].when >= drainLimit_)
                 break;
             fireHead();
             n += 1;
         }
         return n;
+    }
+
+    /**
+     * Shrink the limit of the drainWindow() call currently executing
+     * on this queue to @p t (no-op if the window already ends at or
+     * before @p t). Callable from inside a firing event: the parallel
+     * engine's adaptive-lookahead protocol cuts a widened window
+     * short at now()+1 when an injection breaks fabric quiescence, so
+     * same-tick events still fire but nothing later does until the
+     * barrier re-derives a safe window (see docs/PARALLEL.md).
+     */
+    void
+    truncateDrain(Tick t)
+    {
+        if (t < drainLimit_)
+            drainLimit_ = t;
     }
 
     /**
@@ -784,6 +801,7 @@ class EventQueue
     std::size_t pendingCnt = 0; ///< ringCount + heap.size(), cached
 
     Tick curTick = 0;
+    Tick drainLimit_ = 0; ///< live only inside drainWindow()
     std::uint64_t nextSeq = localSeqBase; ///< local scheduling band
     std::uint64_t nextMergedSeq = 0;      ///< barrier-merge band
     std::uint64_t fired = 0;

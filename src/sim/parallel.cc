@@ -1,6 +1,8 @@
 #include "sim/parallel.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "sim/logging.hh"
@@ -23,6 +25,42 @@ nowNs()
 
 } // namespace
 
+TileShape
+chooseTileShape(int width, int height, int threads)
+{
+    gs_assert(width >= 1 && height >= 1, "degenerate torus");
+    const int nodes = width * height;
+    const int target = std::min(std::max(threads, 1), nodes);
+
+    // Among tilings with at least `target` tiles prefer: fewest
+    // tiles, then fewest torus links cut by tile boundaries, then
+    // squarest, then wider-than-tall (rows <= cols keeps the
+    // decomposition aligned with the wider torus axis). Cutting
+    // along a full row of tiles severs `width` links per seam and
+    // the torus wraps, so R > 1 rows cut width*R links (R == 1 cuts
+    // none — the wrap seam is interior to the single tile).
+    TileShape best;
+    long bestKey[4] = {0, 0, 0, 0};
+    bool have = false;
+    for (int r = 1; r <= height; ++r) {
+        for (int c = 1; c <= width; ++c) {
+            const int n = r * c;
+            if (n < target)
+                continue;
+            const long cut = (r > 1 ? long(width) * r : 0) +
+                             (c > 1 ? long(height) * c : 0);
+            long key[4] = {n, cut, std::labs(long(r) - c), -c};
+            if (!have || std::lexicographical_compare(
+                             key, key + 4, bestKey, bestKey + 4)) {
+                best = {r, c};
+                std::copy(key, key + 4, bestKey);
+                have = true;
+            }
+        }
+    }
+    return best;
+}
+
 ParallelEngine::ParallelEngine(Config cfg)
     : nDomains(cfg.domains),
       nThreads(std::min(std::max(cfg.threads, 1), cfg.domains)),
@@ -31,14 +69,23 @@ ParallelEngine::ParallelEngine(Config cfg)
     gs_assert(nDomains >= 1, "need at least one domain");
     gs_assert(lookahead_ > 0, "lookahead must be positive");
     ctxs.reserve(static_cast<std::size_t>(nDomains));
+    // Workers must not allocate in steady state; first-touch bucket
+    // growth can strike arbitrarily late without prewarming. The
+    // per-queue footprint scales down as the tile count grows so a
+    // finely tiled machine does not multiply it.
+    const std::size_t perBucket =
+        nDomains <= 8 ? 8
+                      : std::max<std::size_t>(
+                            2, 64 / static_cast<std::size_t>(nDomains));
     for (int d = 0; d < nDomains; ++d) {
         ctxs.push_back(std::make_unique<SimContext>(
             Rng::deriveSeed(cfg.seed, static_cast<std::uint64_t>(d))));
-        // Workers must not allocate in steady state; first-touch
-        // bucket growth can strike arbitrarily late without this.
-        ctxs.back()->queue().prewarm();
+        ctxs.back()->queue().prewarm(perBucket);
     }
     per.resize(static_cast<std::size_t>(nThreads));
+    dom_.reserve(static_cast<std::size_t>(nDomains));
+    for (int d = 0; d < nDomains; ++d)
+        dom_.push_back(std::make_unique<PerDomain>());
 }
 
 ParallelEngine::~ParallelEngine() = default;
@@ -46,9 +93,10 @@ ParallelEngine::~ParallelEngine() = default;
 std::pair<int, int>
 ParallelEngine::ownedRange(int t) const
 {
-    // Contiguous blocks: worker t owns [t*D/T, (t+1)*D/T). Adjacent
-    // torus stripes land on the same worker, which keeps a worker's
-    // epoch body walking neighbouring state.
+    // Contiguous blocks: worker t starts at [t*D/T, (t+1)*D/T).
+    // Adjacent tiles land on the same worker, which keeps a worker's
+    // epoch body walking neighbouring state; stealing relaxes the
+    // assignment only when the block is imbalanced.
     int lo = t * nDomains / nThreads;
     int hi = (t + 1) * nDomains / nThreads;
     return {lo, hi};
@@ -77,11 +125,49 @@ ParallelEngine::barrierWaitFrac() const
                  : 0.0;
 }
 
+std::uint64_t
+ParallelEngine::steals() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : per)
+        n += p.steals;
+    return n;
+}
+
+double
+ParallelEngine::tileWaitFrac(int d) const
+{
+    std::uint64_t wait = 0, active = 0;
+    for (const auto &p : per) {
+        wait += p.waitNs;
+        active += p.activeNs;
+    }
+    const double wall = static_cast<double>(wait + active) /
+                        static_cast<double>(nThreads);
+    if (wall <= 0.0)
+        return 0.0;
+    const double mine =
+        static_cast<double>(dom_[std::size_t(d)]->activeNs);
+    const double frac = 1.0 - mine / wall;
+    return frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac);
+}
+
 void
 ParallelEngine::syncAll(Tick t)
 {
     for (auto &c : ctxs)
         c->queue().syncTime(t);
+}
+
+Tick
+ParallelEngine::clampWindowEnd(Tick we) const
+{
+    // Clamped at the deadline so that, like the serial runUntil,
+    // events due exactly at the deadline fire and nothing past it
+    // does.
+    if (deadline_ != maxTick && we > deadline_)
+        return deadline_ + 1;
+    return we;
 }
 
 void
@@ -90,8 +176,8 @@ ParallelEngine::computeNextWindow()
     // Runs with every other worker parked at the barrier: all domain
     // state is coherent here.
     Tick globalMin = maxTick;
-    for (const auto &p : per)
-        globalMin = std::min(globalMin, p.localMin);
+    for (const auto &pd : dom_)
+        globalMin = std::min(globalMin, pd->localMin);
 
     epochs_ += 1;
 
@@ -105,14 +191,15 @@ ParallelEngine::computeNextWindow()
     }
     // Skip-ahead: the next window starts at the globally earliest
     // pending work, not at the previous window's end — idle gaps
-    // cost one barrier, not one barrier per lookahead interval.
-    // Windows are clamped at the deadline so that, like the serial
-    // runUntil, events due exactly at the deadline fire and nothing
-    // past it does.
+    // cost one barrier, not one barrier per lookahead interval. The
+    // window hook (adaptive lookahead) may then widen the
+    // conservative end; both are pure functions of simulation state,
+    // so the epoch sequence stays thread-count invariant.
     windowStart = globalMin;
     windowEnd = windowStart + lookahead_;
-    if (deadline_ != maxTick && windowEnd > deadline_)
-        windowEnd = deadline_ + 1;
+    if (windowFn)
+        windowEnd = windowFn(windowStart, windowEnd);
+    windowEnd = clampWindowEnd(windowEnd);
 }
 
 void
@@ -123,18 +210,54 @@ ParallelEngine::barrier(int t)
         nThreads - 1) {
         computeNextWindow();
         arrived.store(0, std::memory_order_relaxed);
-        gen.store(g + 1, std::memory_order_release);
+        gen.store(g + 1, std::memory_order_seq_cst);
+        if (parked.load(std::memory_order_seq_cst) > 0)
+            gen.notify_all();
         return;
     }
     std::uint64_t t0 = nowNs();
     int spins = 0;
     while (gen.load(std::memory_order_acquire) == g) {
-        if (++spins >= 256) {
+        spins += 1;
+        if (spins < 128)
+            continue;
+        if (spins < 144) {
             std::this_thread::yield();
-            spins = 0;
+            continue;
         }
+        // Park: on an oversubscribed host a spinner would otherwise
+        // burn its whole scheduler quantum while the worker that
+        // must release it waits for a core.
+        parked.fetch_add(1, std::memory_order_seq_cst);
+        if (gen.load(std::memory_order_seq_cst) == g)
+            gen.wait(g);
+        parked.fetch_sub(1, std::memory_order_relaxed);
+        spins = 0;
     }
     per[std::size_t(t)].waitNs += nowNs() - t0;
+}
+
+void
+ParallelEngine::processDomain(int d, Tick ws, Tick we)
+{
+    std::uint64_t a0 = nowNs();
+    EventQueue &q = ctxs[std::size_t(d)]->queue();
+    // windowStart never precedes a domain's pending work (it is the
+    // global min), so the sync below is always legal; it keeps idle
+    // domains' clocks moving with the machine.
+    if (q.now() < ws)
+        q.syncTime(ws);
+    if (merge)
+        merge(d, ws);
+    q.drainWindow(we);
+    if (publish)
+        publish(d);
+    Tick lm = q.peekNext();
+    if (pendingMin)
+        lm = std::min(lm, pendingMin(d));
+    PerDomain &pd = *dom_[std::size_t(d)];
+    pd.localMin = lm;
+    pd.activeNs += nowNs() - a0;
 }
 
 void
@@ -144,30 +267,34 @@ ParallelEngine::workerLoop(int t)
     std::uint64_t epoch = epochs_; // same value on every worker
     for (;;) {
         std::uint64_t t0 = nowNs();
-        // windowStart never precedes a domain's pending work (it is
-        // the global min), so the sync below is always legal; it
-        // keeps idle domains' clocks moving with the machine.
         const Tick ws = windowStart, we = windowEnd;
+        // One claim stamp per epoch: the first exchange() wins the
+        // tile for this epoch, everyone else sees its own stamp and
+        // moves on. The winning worker's writes are ordered before
+        // the next epoch's readers by the barrier.
+        const std::uint64_t stamp = epoch + 1;
         for (int d = lo; d < hi; ++d) {
-            EventQueue &q = ctxs[std::size_t(d)]->queue();
-            if (q.now() < ws)
-                q.syncTime(ws);
-            if (merge)
-                merge(d, ws);
+            if (dom_[std::size_t(d)]->claimed.exchange(
+                    stamp, std::memory_order_acq_rel) != stamp)
+                processDomain(d, ws, we);
         }
-        for (int d = lo; d < hi; ++d)
-            ctxs[std::size_t(d)]->queue().drainWindow(we);
-        if (publish) {
-            for (int d = lo; d < hi; ++d)
-                publish(d);
+        if (nThreads > 1) {
+            // Steal scan: sweep the other workers' tiles (wrapping
+            // from our block's end) and drain any not yet claimed
+            // this epoch. Placement moves; the event order does not.
+            for (int i = 0, n = nDomains; i < n; ++i) {
+                int d = hi + i;
+                if (d >= nDomains)
+                    d -= nDomains;
+                if (d >= lo && d < hi)
+                    continue;
+                if (dom_[std::size_t(d)]->claimed.exchange(
+                        stamp, std::memory_order_acq_rel) != stamp) {
+                    processDomain(d, ws, we);
+                    per[std::size_t(t)].steals += 1;
+                }
+            }
         }
-        Tick lm = maxTick;
-        for (int d = lo; d < hi; ++d) {
-            lm = std::min(lm, ctxs[std::size_t(d)]->queue().peekNext());
-            if (pendingMin)
-                lm = std::min(lm, pendingMin(d));
-        }
-        per[std::size_t(t)].localMin = lm;
         per[std::size_t(t)].activeNs += nowNs() - t0;
         if (epochHook)
             epochHook(t, epoch);
@@ -199,8 +326,9 @@ ParallelEngine::run(Tick deadline, const StopFn &stop)
     if (!stopNow && globalMin <= deadline_ && globalMin != maxTick) {
         windowStart = globalMin;
         windowEnd = windowStart + lookahead_;
-        if (deadline_ != maxTick && windowEnd > deadline_)
-            windowEnd = deadline_ + 1;
+        if (windowFn)
+            windowEnd = windowFn(windowStart, windowEnd);
+        windowEnd = clampWindowEnd(windowEnd);
 
         std::vector<std::thread> workers;
         workers.reserve(static_cast<std::size_t>(nThreads - 1));

@@ -2,29 +2,42 @@
  * @file
  * Conservative parallel discrete-event engine.
  *
- * A machine's components are partitioned into spatial domains, each
+ * A machine's components are partitioned into spatial domains — on
+ * the torus, rectangular R x C *tiles* chosen by chooseTileShape()
+ * from the worker-thread count (or pinned via --tile-shape) — each
  * with its own SimContext (event queue), and all domains advance in
  * barrier-synchronized epochs. An epoch's window length equals the
  * conservative lookahead: the minimum delay any event executing in
  * one domain can impose on another domain (on the torus, the
  * one-cycle credit return across a cross-domain link — see
- * docs/PARALLEL.md for the derivation). Within a window every domain
- * fires its events independently; anything aimed at another domain
- * is buffered in a mailbox by the client layer (the Network) and
- * merged at the next barrier in canonical (when, src-domain,
- * src-seq) order via EventQueue::scheduleMergedAt.
+ * docs/PARALLEL.md for the derivation). A client-supplied window
+ * hook may *widen* a window when the fabric is provably quiescent
+ * (adaptive lookahead; the AdaptiveLookahead state machine below).
+ * Within a window every domain fires its events independently;
+ * anything aimed at another domain is buffered in a mailbox by the
+ * client layer (the Network) and merged at the next barrier in
+ * canonical (when, src-domain, src-seq) order via
+ * EventQueue::scheduleMergedAt.
+ *
+ * Workers claim domains through a per-epoch atomic stamp, home block
+ * first and then stealing unclaimed tiles from other workers, so one
+ * hot tile does not leave the rest of the pool spinning at the
+ * barrier. Stealing moves only *which thread* drains a tile, never
+ * what fires when.
  *
  * Determinism contract: epoch boundaries are a pure function of
  * simulation state (each next window starts at the globally earliest
- * pending event), and domain count is fixed by the machine build —
- * never by the worker-thread count. Results are therefore
- * bit-identical at any --threads value, the same contract the sweep
- * engine (sim/sweep.hh) established across --jobs.
+ * pending event; widening depends only on fabric state), and domain
+ * count is fixed by the machine build — never by the worker-thread
+ * count. Results are therefore bit-identical at any --threads value,
+ * the same contract the sweep engine (sim/sweep.hh) established
+ * across --jobs.
  */
 
 #ifndef GS_SIM_PARALLEL_HH
 #define GS_SIM_PARALLEL_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -36,6 +49,84 @@
 
 namespace gs
 {
+
+/** A rectangular tiling of a W x H torus into rows x cols domains. */
+struct TileShape
+{
+    int rows = 1;
+    int cols = 1;
+
+    int count() const { return rows * cols; }
+    bool operator==(const TileShape &o) const
+    {
+        return rows == o.rows && cols == o.cols;
+    }
+};
+
+/**
+ * Pick the R x C tiling of a @p width x @p height torus for
+ * @p threads workers. Deterministic, and a pure function of its
+ * arguments: the decomposition (and therefore every simulated
+ * result) depends on the *shape*, so runs that must be compared at
+ * different thread counts pin an explicit shape instead.
+ *
+ * Preference order among tilings with rows*cols >= min(threads, W*H):
+ * fewest tiles, then fewest torus links cut, then squarest, then
+ * wider-than-tall — so 8 threads on an 8x8 torus get 2x4 tiles
+ * (48 cut links) rather than the old 8 columns (64).
+ */
+TileShape chooseTileShape(int width, int height, int threads);
+
+/**
+ * Domain index of torus node (@p x, @p y) under @p shape tiles on a
+ * @p width x @p height torus: tiles are contiguous blocks of whole
+ * rows/columns (balanced split), numbered row-major.
+ */
+inline int
+tileDomainOf(int x, int y, int width, int height, TileShape shape)
+{
+    int tr = y * shape.rows / height;
+    int tc = x * shape.cols / width;
+    return tr * shape.cols + tc;
+}
+
+/**
+ * The adaptive-lookahead state machine (docs/PARALLEL.md). One
+ * instance per machine, stepped once per epoch barrier by the window
+ * hook: while the fabric is quiescent the window doubles each epoch
+ * up to min(base * maxFactor, bound); any traffic snaps it back to
+ * the conservative base. Pure state machine — unit-tested directly
+ * in tests/sim/parallel_tile_test.cc — and checkpointed (the factor
+ * is part of deterministic engine state).
+ */
+struct AdaptiveLookahead
+{
+    Tick base = 1;     ///< conservative lookahead (floor)
+    Tick bound = 1;    ///< provable idle-window cap (ceiling)
+    int maxFactor = 16;
+    int factor = 1;    ///< current widening multiple
+
+    /**
+     * One barrier step: @p quiet is "no cross-domain effect can
+     * arise without a fresh injection". @return the next window
+     * length.
+     */
+    Tick
+    step(bool quiet)
+    {
+        factor = quiet ? std::min(factor * 2, maxFactor) : 1;
+        Tick len = base * static_cast<Tick>(factor);
+        Tick cap = bound > base ? bound : base;
+        return len < cap ? len : cap;
+    }
+
+    /** Whether the last step() returned a window wider than base. */
+    bool
+    widened() const
+    {
+        return factor > 1 && bound > base;
+    }
+};
 
 /** Barrier-synchronized multi-domain event-loop driver. */
 class ParallelEngine
@@ -51,7 +142,7 @@ class ParallelEngine
 
     /**
      * Merge hook: called for every domain at the start of every
-     * epoch by the worker that owns the domain, after the barrier —
+     * epoch by the worker that claimed the domain, after the barrier —
      * every mailbox written during the previous epoch is quiescent.
      * The client schedules the buffered cross-domain work into
      * domainCtx(domain) with scheduleMergedAt, in canonical order.
@@ -75,13 +166,24 @@ class ParallelEngine
     using StopFn = std::function<bool()>;
 
     /**
-     * Publish hook: called for every domain by its owning worker
+     * Publish hook: called for every domain by its claiming worker
      * after the domain drains each window, before the barrier. The
      * client snapshots per-domain state (double-buffered on its
      * side) that every domain's next merge may read — the Network
      * uses it to reduce global tick-chain liveness.
      */
     using PublishFn = std::function<void(int domain)>;
+
+    /**
+     * Window hook: called once per epoch (by the last thread to
+     * arrive at the barrier, all others parked) with the window
+     * start and the conservative end (start + lookahead). Returns
+     * the window end to use — the Network's adaptive-lookahead step
+     * widens it when the fabric is quiescent. Must be a pure
+     * function of simulation state; the result is clamped at the
+     * run deadline afterwards.
+     */
+    using WindowFn = std::function<Tick(Tick windowStart, Tick baseEnd)>;
 
     /** Epoch observer for tests: (worker thread, epoch index). */
     using EpochFn = std::function<void(int thread, std::uint64_t epoch)>;
@@ -105,6 +207,7 @@ class ParallelEngine
     void setMergeHook(MergeFn fn) { merge = std::move(fn); }
     void setPendingMinHook(PendingMinFn fn) { pendingMin = std::move(fn); }
     void setPublishHook(PublishFn fn) { publish = std::move(fn); }
+    void setWindowHook(WindowFn fn) { windowFn = std::move(fn); }
     void setEpochHook(EpochFn fn) { epochHook = std::move(fn); }
 
     /**
@@ -113,9 +216,9 @@ class ParallelEngine
      * due exactly at the deadline still fire, matching the serial
      * runUntil contract; windows are clamped so nothing later
      * does), or @p stop returns true at a barrier. On return every
-     * domain
-     * clock is synced to the same final time — the maximum across
-     * domains, i.e. the time of the globally last fired event.
+     * domain clock is synced to the same final time — the maximum
+     * across domains, i.e. the time of the globally last fired
+     * event.
      * @return that final time.
      */
     Tick run(Tick deadline, const StopFn &stop = {});
@@ -141,25 +244,53 @@ class ParallelEngine
 
     /**
      * Fraction of total worker wall-time spent waiting at barriers.
-     * Wall-clock derived — the one par.* value that is NOT
-     * deterministic across runs or thread counts.
+     * Wall-clock derived — like every metric in this group below, it
+     * is NOT deterministic across runs or thread counts.
      */
     double barrierWaitFrac() const;
+
+    /** Tiles drained by a worker outside its home block. */
+    std::uint64_t steals() const;
+
+    /**
+     * Fraction of the average worker's wall-time during which tile
+     * @p d was NOT being drained — per-tile barrier/idle share. A
+     * hot tile shows a low value; its peers' high values are the
+     * wait the work-stealing loop converts into steals.
+     */
+    double tileWaitFrac(int d) const;
     /// @}
 
   private:
     struct alignas(64) PerThread
     {
-        Tick localMin = maxTick;      ///< published before each barrier
-        std::uint64_t waitNs = 0;     ///< wall time parked at barriers
-        std::uint64_t activeNs = 0;   ///< wall time in the epoch body
+        std::uint64_t waitNs = 0;   ///< wall time parked at barriers
+        std::uint64_t activeNs = 0; ///< wall time in the epoch body
+        std::uint64_t steals = 0;   ///< non-home tiles drained
+    };
+
+    /**
+     * Per-domain epoch state. `claimed` carries the stamp of the
+     * last epoch in which some worker drained this domain; a worker
+     * owns the domain for epoch stamp s iff its exchange(s) returns
+     * an older stamp. The non-atomic fields are written only by that
+     * owner and read either by the next epoch's owner or by the
+     * barrier's window computation — both ordered by the barrier.
+     */
+    struct alignas(64) PerDomain
+    {
+        std::atomic<std::uint64_t> claimed{0};
+        Tick localMin = maxTick; ///< earliest pending after drain
+        std::uint64_t activeNs = 0;
     };
 
     void workerLoop(int t);
+    void processDomain(int d, Tick ws, Tick we);
     void barrier(int t);
     void computeNextWindow();
+    Tick clampWindowEnd(Tick we) const;
 
-    /** Domains owned by worker @p t: a contiguous block. */
+    /** Home domains of worker @p t: a contiguous block. */
     std::pair<int, int> ownedRange(int t) const;
 
     int nDomains;
@@ -171,13 +302,19 @@ class ParallelEngine
     MergeFn merge;
     PendingMinFn pendingMin;
     PublishFn publish;
+    WindowFn windowFn;
     EpochFn epochHook;
     const StopFn *stop_ = nullptr; ///< valid during run() only
 
     // Epoch/barrier state. `gen` is the barrier generation counter;
     // the last arriver computes the next window (or sets `done`)
-    // and bumps it, releasing the spinners.
+    // and bumps it, releasing the spinners. Spinners that exhaust
+    // their spin budget park on `gen` (futex wait) — `parked` tells
+    // the releaser whether a notify is needed, which keeps
+    // oversubscribed hosts from burning whole scheduler quanta in
+    // the spin loop.
     std::atomic<int> arrived{0};
+    std::atomic<int> parked{0};
     std::atomic<std::uint64_t> gen{0};
     Tick windowStart = 0;
     Tick windowEnd = 0;
@@ -185,6 +322,7 @@ class ParallelEngine
     bool done = false;
 
     std::vector<PerThread> per;
+    std::vector<std::unique_ptr<PerDomain>> dom_;
     std::uint64_t epochs_ = 0;
 };
 

@@ -101,14 +101,35 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
 
     m->buildFabric(net::NetworkParams::gs1280());
 
-    // Parallel decomposition: one domain per torus column, fixed by
-    // geometry. opt.threads only picks how many workers drive the
-    // domains (the engine clamps it), so the event schedule — and
-    // every statistic — is identical at any thread count. A 1-wide
-    // torus has nothing to decompose and stays serial.
-    if (opt.threads > 1 && w > 1) {
+    // Parallel decomposition: the torus is cut into R x C
+    // rectangular tiles, one domain per tile. The shape comes from
+    // --tile-shape when given, otherwise chooseTileShape derives it
+    // from the thread count — so the *shape* fixes the event
+    // schedule and every statistic, and opt.threads only picks how
+    // many workers drive the tiles (the engine clamps it). Runs
+    // compared across different thread counts must pin an explicit
+    // shape. A 1x1 tiling (or a 1-CPU machine) stays serial.
+    TileShape tiles = {1, 1};
+    if (opt.threads > 1) {
+        if (opt.tileRows > 0 || opt.tileCols > 0) {
+            // The shape is user input (--tile-shape), so an
+            // ill-fitting one is a usage error, not a simulator bug.
+            if (opt.tileRows < 1 || opt.tileRows > h ||
+                opt.tileCols < 1 || opt.tileCols > w)
+                gs_fatal("tile shape ", opt.tileRows, "x",
+                         opt.tileCols, " does not fit the ", w, "x",
+                         h, " torus (need rows <= ", h,
+                         " and cols <= ", w, ")");
+            tiles = {opt.tileRows, opt.tileCols};
+        } else {
+            tiles = chooseTileShape(w, h, opt.threads);
+        }
+    }
+    if (opt.threads > 1 && tiles.count() > 1) {
+        m->tileR_ = tiles.rows;
+        m->tileC_ = tiles.cols;
         ParallelEngine::Config pcfg;
-        pcfg.domains = w;
+        pcfg.domains = tiles.count();
         pcfg.threads = opt.threads;
         pcfg.lookahead = m->net->conservativeLookahead();
         pcfg.seed = opt.seed;
@@ -118,10 +139,12 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
             static_cast<const topo::Torus2D *>(m->topo_.get());
         std::vector<int> dom(static_cast<std::size_t>(cpus));
         for (NodeId n = 0; n < cpus; ++n)
-            dom[std::size_t(n)] = torus->xOf(n);
+            dom[std::size_t(n)] = tileDomainOf(torus->xOf(n),
+                                               torus->yOf(n), w, h,
+                                               tiles);
         std::vector<SimContext *> dctx;
-        dctx.reserve(static_cast<std::size_t>(w));
-        for (int d = 0; d < w; ++d)
+        dctx.reserve(static_cast<std::size_t>(tiles.count()));
+        for (int d = 0; d < tiles.count(); ++d)
             dctx.push_back(&m->par_->domainCtx(d));
         m->net->setPartition(std::move(dom), std::move(dctx));
 
@@ -132,6 +155,9 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
             [netp](int d) { return netp->pendingMinOf(d); });
         m->par_->setPublishHook(
             [netp](int d) { netp->publishFor(d); });
+        m->par_->setWindowHook([netp](Tick ws, Tick base_end) {
+            return netp->adaptiveWindow(ws, base_end);
+        });
     }
 
     coher::NodeConfig ncfg;
@@ -369,9 +395,26 @@ Machine::registerTelemetry()
         telemetry_.addGauge("par.lookahead_ticks", [pe] {
             return static_cast<double>(pe->lookahead());
         });
+        telemetry_.addGauge("par.tile_rows", [this] {
+            return static_cast<double>(tileR_);
+        });
+        telemetry_.addGauge("par.tile_cols", [this] {
+            return static_cast<double>(tileC_);
+        });
+        telemetry_.addGauge("par.lookahead_widened", [netp] {
+            return static_cast<double>(netp->widenedEpochs());
+        });
         telemetry_.addWallClockGauge("par.barrier_wait_frac", [pe] {
             return pe->barrierWaitFrac();
         });
+        telemetry_.addWallClockGauge("par.steal_count", [pe] {
+            return static_cast<double>(pe->steals());
+        });
+        for (int d = 0; d < pe->domains(); ++d) {
+            telemetry_.addWallClockGauge(
+                telem::path("par.tile", d) + ".barrier_wait_frac",
+                [pe, d] { return pe->tileWaitFrac(d); });
+        }
         telemetry_.addGauge("par.mailbox.arrivals", [netp] {
             return static_cast<double>(netp->crossArrivalsPosted());
         });

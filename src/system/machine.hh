@@ -63,12 +63,22 @@ struct Gs1280Options
     /**
      * Worker threads for the conservative parallel engine
      * (docs/PARALLEL.md). 1 = the classic serial event loop. More
-     * than 1 partitions the torus into one domain per column and
-     * runs them in barrier-synchronized epochs; results are
-     * bit-identical at any thread count. Ignored (serial) on a
-     * single-column torus.
+     * than 1 partitions the torus into rectangular tiles (one
+     * domain per tile) and runs them in barrier-synchronized
+     * epochs; results are bit-identical at any thread count *for a
+     * fixed tile shape*. Ignored (serial) on a 1x1 torus.
      */
     int threads = 1;
+    /**
+     * Tile decomposition. 0 = choose from `threads` via
+     * gs::chooseTileShape (the default decomposition therefore
+     * follows the thread count). Runs that must be byte-comparable
+     * or snapshot-compatible across *different* thread counts pin an
+     * explicit RxC here (--tile-shape in the benches); the shape is
+     * recorded in snapshots and checked at restore.
+     */
+    int tileRows = 0;
+    int tileCols = 0;
 };
 
 /** The standard torus shape for @p cpus (2x1, 2x2, 4x2, ... 8x8). */
@@ -319,6 +329,7 @@ class Machine
     bool striped_ = false;
     bool shuffle_ = false;
     int shufflePolicy_ = 0;
+    int tileR_ = 1, tileC_ = 1; ///< engine decomposition (1x1 = serial)
     /// @}
 
     /** @name Run/restore state */

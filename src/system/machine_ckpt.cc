@@ -175,6 +175,8 @@ Machine::save(const std::string &path, std::string *err)
     s.putI32(shufflePolicy_);
     s.putI32(par_ ? par_->domains() : 1);
     s.putI32(topo_->numNodes());
+    s.putI32(tileR_);
+    s.putI32(tileC_);
     s.endSection();
 
     // RNGS ------------------------------------------------------------
@@ -359,10 +361,12 @@ Machine::restore(const std::string &path,
                    std::to_string(have) +
                    " (serial snapshots restore at --threads 1, "
                    "parallel ones at any --threads > 1 of the same "
-                   "machine)");
+                   "machine and tile shape)");
         }
     }
     check(d.getI32(), topo_->numNodes(), "the node count");
+    check(d.getI32(), tileR_, "the tile rows");
+    check(d.getI32(), tileC_, "the tile cols");
     if (!d.ok())
         return fail(d.error());
     d.leaveSection("META");

@@ -17,6 +17,7 @@
  */
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -268,16 +269,29 @@ TEST(AllocCount, ParallelSteadyStateAllocatesNothingPerWorker)
     // Warm past multiple full calendar-ring laps (horizon ticks
     // each) so every ring bucket, mailbox parity buffer and pool
     // freelist owns steady-state capacity, then measure over a
-    // multi-lap window.
+    // multi-lap window. The allocation counter is thread-local and
+    // work-stealing moves domains between workers, so sampling runs
+    // per WORKER through the epoch hook (which every worker executes
+    // every epoch, on its own thread): a simulation event flags the
+    // end of warmup, each worker then takes its own baseline once
+    // and refreshes its own end sample every epoch after.
     const Tick warmTick = 3 * EventQueue::horizon;
     const Tick endTick = 6 * EventQueue::horizon;
+    std::atomic<bool> warm{false};
+    eng.domainCtx(0).queue().scheduleAt(
+        warmTick, [&warm] { warm.store(true, std::memory_order_release); });
     std::array<std::uint64_t, w> base{}, end{};
-    for (int d = 0; d < w; ++d) {
-        eng.domainCtx(d).queue().scheduleAt(
-            warmTick, [&base, d] { base[std::size_t(d)] = g_allocs; });
-        eng.domainCtx(d).queue().scheduleAt(
-            endTick, [&end, d] { end[std::size_t(d)] = g_allocs; });
-    }
+    std::array<bool, w> sampled{};
+    eng.setEpochHook([&](int t, std::uint64_t) {
+        if (!warm.load(std::memory_order_acquire))
+            return;
+        if (!sampled[std::size_t(t)]) {
+            base[std::size_t(t)] = g_allocs;
+            sampled[std::size_t(t)] = true;
+            return;
+        }
+        end[std::size_t(t)] = g_allocs;
+    });
 
     eng.run(endTick);
 
@@ -289,10 +303,12 @@ TEST(AllocCount, ParallelSteadyStateAllocatesNothingPerWorker)
 #ifdef GS_SANITIZE
     GTEST_SKIP() << "sanitizer runtime owns the allocator";
 #else
-    for (int d = 0; d < w; ++d)
-        EXPECT_EQ(end[std::size_t(d)] - base[std::size_t(d)], 0u)
-            << "worker for domain " << d
-            << " allocated in steady state";
+    for (int t = 0; t < w; ++t) {
+        ASSERT_TRUE(sampled[std::size_t(t)])
+            << "worker " << t << " never reached a warm epoch";
+        EXPECT_EQ(end[std::size_t(t)] - base[std::size_t(t)], 0u)
+            << "worker " << t << " allocated in steady state";
+    }
 #endif
 }
 

@@ -45,12 +45,15 @@ struct Rig
 };
 
 Rig
-makeRig(int cpus, int threads, std::uint64_t seed, std::uint64_t reads)
+makeRig(int cpus, int threads, std::uint64_t seed, std::uint64_t reads,
+        TileShape tiles = {0, 0})
 {
     Rig r;
     sys::Gs1280Options opt;
     opt.seed = seed;
     opt.threads = threads;
+    opt.tileRows = tiles.rows;
+    opt.tileCols = tiles.cols;
     r.m = sys::Machine::buildGS1280(cpus, opt);
     for (int c = 0; c < cpus; ++c) {
         r.gens.push_back(std::make_unique<wl::RandomRemoteReads>(
@@ -77,10 +80,10 @@ exportOf(const sys::Machine &m)
 void
 checkContract(int cpus, int saveThreads, int restoreThreads,
               std::uint64_t seed, std::uint64_t reads,
-              const std::string &tag)
+              const std::string &tag, TileShape tiles = {0, 0})
 {
     // Probe run: learn the workload's natural length.
-    Rig probe = makeRig(cpus, saveThreads, seed, reads);
+    Rig probe = makeRig(cpus, saveThreads, seed, reads, tiles);
     ASSERT_TRUE(probe.m->run(probe.sources));
     const Tick endTick = probe.m->ctx().now();
     ASSERT_GT(endTick, 0u);
@@ -90,7 +93,7 @@ checkContract(int cpus, int saveThreads, int restoreThreads,
     // ckpt.* counters are part of the export, so the continued run
     // must checkpoint on the same schedule to converge).
     const std::string prefixA = tmpPrefix("ckpt_ab_a_" + tag);
-    Rig a = makeRig(cpus, saveThreads, seed, reads);
+    Rig a = makeRig(cpus, saveThreads, seed, reads, tiles);
     a.m->setCheckpointPolicy(every, prefixA);
     ASSERT_TRUE(a.m->run(a.sources));
     const std::string wantExport = exportOf(*a.m);
@@ -103,7 +106,7 @@ checkContract(int cpus, int saveThreads, int restoreThreads,
             prefixA + "." + std::to_string(k) + ".gsckpt";
         const std::string prefixB =
             tmpPrefix("ckpt_ab_b_" + tag + "_" + std::to_string(k));
-        Rig b = makeRig(cpus, restoreThreads, seed, reads);
+        Rig b = makeRig(cpus, restoreThreads, seed, reads, tiles);
         b.m->setCheckpointPolicy(every, prefixB);
         std::string err;
         ASSERT_TRUE(b.m->restore(snap, b.sources, &err)) << err;
@@ -140,9 +143,38 @@ TEST(CheckpointMachine, ContractParallelAcrossSeeds)
 
 TEST(CheckpointMachine, ParallelSnapshotRestoresAtAnyThreadCount)
 {
-    // Domains are fixed by the torus, not the worker count: a
-    // snapshot saved at --threads 2 continues at --threads 8.
-    checkContract(16, 2, 8, 5, 60, "par_threads");
+    // Domains are fixed by the tile shape, not the worker count: a
+    // snapshot saved at --threads 2 continues at --threads 8 when
+    // both runs pin the same decomposition (the auto shape tracks
+    // --threads, so cross-thread-count restores must pin one).
+    checkContract(16, 2, 8, 5, 60, "par_threads", {2, 2});
+}
+
+TEST(CheckpointMachine, TileShapeSnapshotContractAtEightThreads)
+{
+    // The tile engine at full thread count with a non-default shape
+    // (auto would pick 2x4 for 8 threads on the 4x4 torus): every
+    // mid-run snapshot must continue byte-identically, adaptive
+    // lookahead state and all.
+    checkContract(16, 8, 8, 11, 60, "tile_4x2", {4, 2});
+}
+
+TEST(CheckpointMachine, RestoreRejectsTileShapeMismatch)
+{
+    // Same domain COUNT on both sides (so the layout check passes)
+    // but a transposed decomposition: the tile-shape fields must
+    // reject it — a 2x2-tiled event stream replayed onto 4x1 tiles
+    // would be silently wrong.
+    Rig a = makeRig(16, 4, 3, 40, {2, 2});
+    ASSERT_TRUE(a.m->run(a.sources));
+    const std::string snap = tmpPrefix("ckpt_tileshape.gsckpt");
+    std::string err;
+    ASSERT_TRUE(a.m->save(snap, &err)) << err;
+
+    Rig b = makeRig(16, 4, 3, 40, {4, 1});
+    EXPECT_FALSE(b.m->restore(snap, b.sources, &err));
+    EXPECT_NE(err.find("tile"), std::string::npos) << err;
+    std::remove(snap.c_str());
 }
 
 TEST(CheckpointMachine, SaveWritesRestorableFileOutsideRun)
@@ -183,18 +215,27 @@ TEST(CheckpointMachine, RestoreRejectsBitFlippedSnapshot)
     {
         std::fstream f(snap,
                        std::ios::binary | std::ios::in | std::ios::out);
-        f.seekp(200); // deep inside a section payload
+        f.seekg(0, std::ios::end);
+        // Mid-file: deep inside some section, wherever the layout
+        // puts it — a tag byte and a payload byte must both reject.
+        const std::streamoff at =
+            static_cast<std::streamoff>(f.tellg()) / 2;
+        f.seekg(at);
         char b = 0;
-        f.seekg(200);
         f.read(&b, 1);
         b = static_cast<char>(b ^ 0x40);
-        f.seekp(200);
+        f.seekp(at);
         f.write(&b, 1);
     }
 
     Rig b = makeRig(4, 1, 2, 40);
     EXPECT_FALSE(b.m->restore(snap, b.sources, &err));
-    EXPECT_NE(err.find("CRC mismatch"), std::string::npos) << err;
+    // A payload flip fails the section CRC; a flip that happens to
+    // land on a section tag fails the layout walk. Either way the
+    // snapshot must be rejected with a diagnosis, never half-loaded.
+    EXPECT_TRUE(err.find("CRC mismatch") != std::string::npos ||
+                err.find("layout error") != std::string::npos)
+        << err;
     std::remove(snap.c_str());
 }
 
