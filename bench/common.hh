@@ -149,7 +149,36 @@ withTelemetryArgs(std::map<std::string, std::string> known = {})
                                      "simulated ns (default 1000)");
     known.emplace("verbose", "print simulator self-metrics (events "
                              "fired, events/s, peak queue) to stderr");
+    known.emplace("trace-sample",
+                  "latency x-ray: sample this fraction of coherence "
+                  "misses for per-stage span tracing (0..1, default 0 "
+                  "= off; deterministic for a fixed --seed at any "
+                  "--threads, see docs/TRACING.md)");
+    known.emplace("span-trace",
+                  "write the sampled spans as a Chrome trace_event "
+                  "file to FILE (works with --threads > 1 and with "
+                  "checkpointing, unlike --trace)");
     return known;
+}
+
+/**
+ * Apply --trace-sample to @p opt before buildGS1280. Spans are wired
+ * at machine construction (the collector is a checkpoint client, so
+ * it must exist before any snapshot is cut), which is why this is a
+ * builder-option helper rather than a TelemetrySession duty.
+ */
+inline void
+applySpanSampling(const Args &args, sys::Gs1280Options &opt)
+{
+    const double rate = args.getDouble("trace-sample", 0.0);
+    if (rate < 0.0 || rate > 1.0)
+        gs_fatal("--trace-sample=", rate, ": expected a fraction in "
+                 "[0, 1]");
+    if (rate == 0.0 && !args.getString("span-trace", "").empty()) {
+        gs_fatal("--span-trace needs --trace-sample > 0: no spans "
+                 "are collected at the default rate of 0");
+    }
+    opt.spanSampleRate = rate;
 }
 
 /**
@@ -168,6 +197,7 @@ class TelemetrySession
         : machine(m),
           statsPath(args.getString("stats-out", "")),
           tracePath(args.getString("trace", "")),
+          spanTracePath(args.getString("span-trace", "")),
           verbose(args.getBool("verbose", false)),
           wallStart(std::chrono::steady_clock::now())
     {
@@ -175,6 +205,12 @@ class TelemetrySession
         // not after the simulation time is already spent.
         checkWritable(statsPath);
         checkWritable(tracePath);
+        checkWritable(spanTracePath);
+        if (!spanTracePath.empty() && !machine.spans()) {
+            gs_fatal("--span-trace needs span sampling enabled: pass "
+                     "--trace-sample and apply it with "
+                     "applySpanSampling() before buildGS1280");
+        }
         if (machine.isParallel() && !tracePath.empty()) {
             gs_fatal("--trace requires --threads 1: event tracing "
                      "hooks the serial engine");
@@ -216,6 +252,24 @@ class TelemetrySession
     {
         if (sampler_)
             sampler_->stop();
+        // Canonical single-threaded merge of completed spans; must
+        // run before the stats export so the xray.* histograms and
+        // counters reflect this run (idempotent, cheap when off).
+        if (machine.spans())
+            machine.spans()->finalize();
+        if (!spanTracePath.empty()) {
+            telem::TraceWriter spanTrace;
+            machine.spans()->exportTrace(spanTrace);
+            std::ofstream os(spanTracePath);
+            if (!os.good())
+                gs_fatal("cannot write ", spanTracePath);
+            spanTrace.write(os);
+            if (spanTrace.dropped() > 0) {
+                std::cerr << "# span-trace: capacity cap hit, "
+                          << spanTrace.dropped()
+                          << " event(s) not recorded\n";
+            }
+        }
         if (!statsPath.empty()) {
             std::ofstream os(statsPath);
             if (!os.good())
@@ -348,6 +402,7 @@ class TelemetrySession
     sys::Machine &machine;
     std::string statsPath;
     std::string tracePath;
+    std::string spanTracePath;
     bool verbose;
     std::chrono::steady_clock::time_point wallStart;
     std::unique_ptr<telem::TraceWriter> trace_;

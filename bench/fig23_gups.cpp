@@ -109,7 +109,8 @@ main(int argc, char **argv)
     // reproduces the uninterrupted run's stats export byte-for-byte.
     if (args.has("stats-out") || args.has("trace") ||
         args.getBool("verbose", false) ||
-        args.has("checkpoint-every") || args.has("restore-from")) {
+        args.has("checkpoint-every") || args.has("restore-from") ||
+        args.has("trace-sample") || args.has("span-trace")) {
         auto master =
             static_cast<std::uint64_t>(args.getInt("seed", 1));
         sys::Gs1280Options opt;
@@ -117,6 +118,7 @@ main(int argc, char **argv)
         opt.seed = master;
         opt.threads = threads;
         bench::applyTileShape(args, opt);
+        bench::applySpanSampling(args, opt);
         auto m = sys::Machine::buildGS1280(32, opt);
         bench::TelemetrySession session(args, *m);
         bench::CheckpointSession ckpt(args, *m, session.sampler());
@@ -147,6 +149,9 @@ main(int argc, char **argv)
                       << args.getString("stats-out", "");
         if (args.has("trace"))
             std::cout << ", trace -> " << args.getString("trace", "");
+        if (args.has("span-trace"))
+            std::cout << ", spans -> "
+                      << args.getString("span-trace", "");
         std::cout << "\n";
     }
     return 0;

@@ -99,8 +99,11 @@ def thread_families(rates):
     The thread count is the FIRST google-benchmark arg; any further
     args (e.g. the pinned tile shape of BM_ParallelEpochTile/T/R/C)
     are part of the family key, so 'BM_ParallelEpochTile/2/4/2' files
-    under family 'BM_ParallelEpochTile/4/2' with threads=2. Only
-    families that include a threads=1 variant scale meaningfully."""
+    under family 'BM_ParallelEpochTile/4/2' with threads=2. Every
+    multi-variant family is returned, including ones missing the
+    threads=1 anchor (a partial rerun, say): callers that need the
+    anchor check for it and warn instead of this function silently
+    dropping the family."""
     fams = {}
     for name, rate in rates.items():
         m = re.fullmatch(r"([^/]+)/(\d+)((?:/\d+)*)(?:/real_time)?",
@@ -108,7 +111,7 @@ def thread_families(rates):
         if m:
             family = m.group(1) + m.group(3)
             fams.setdefault(family, {})[int(m.group(2))] = rate
-    return {n: a for n, a in fams.items() if 1 in a and len(a) > 1}
+    return {n: a for n, a in fams.items() if len(a) > 1}
 
 
 def scaling_report(rates):
@@ -117,6 +120,11 @@ def scaling_report(rates):
         return
     print("\nscaling (candidate, vs the 1-thread variant):")
     for name, by_arg in sorted(fams.items()):
+        if 1 not in by_arg:
+            print(f"  warning: thread family {name} has no /1 "
+                  f"variant (have {sorted(by_arg)}); skipping its "
+                  "scaling rows")
+            continue
         for arg in sorted(by_arg):
             speedup = by_arg[arg] / by_arg[1]
             eff = speedup / arg
@@ -190,12 +198,12 @@ def main():
     base_fams = thread_families(base)
     for spec in args.require_scaling:
         name, factor = parse_speedup(spec)
-        if name not in fams:
+        if name not in fams or 1 not in fams[name]:
             failures.append(
                 f"{name}: required {factor}x scaling but no "
                 "/1-anchored thread family in candidate")
             continue
-        if name not in base_fams:
+        if name not in base_fams or 1 not in base_fams[name]:
             # A family the baseline has never seen would otherwise
             # sail through on candidate-only numbers — refresh the
             # baseline so the scaling requirement has teeth.

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file's structural invariants.
+
+Usage:
+    trace_check.py TRACE.json [TRACE2.json ...]
+
+Checks, per file:
+  - the file parses as JSON and carries a traceEvents array;
+  - duration events balance: every 'E' closes the most recent open
+    'B' on the same (pid, tid) stack, and nothing is left open;
+  - timestamps never go backwards within one (pid, tid) track
+    (Perfetto tolerates this but it always indicates a writer bug
+    here, where each track is emitted in order);
+  - flow events bind: every flow id opened with 's' is closed by
+    exactly one 'f' at a timestamp >= the 's', and no 'f' appears
+    without its 's'.
+
+The span exporter (docs/TRACING.md) lays each sampled transaction on
+its own synthetic tid, so these invariants hold for any valid export
+regardless of sampling rate or thread count. Counter ('C') and
+instant ('i') events only participate in the monotonicity check.
+
+Exit codes: 0 ok, 1 invariant violated, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"trace_check: {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_check: {path}: cannot parse: {e}",
+              file=sys.stderr)
+        return 2
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return fail(path, "no traceEvents array")
+
+    open_stacks = {}   # (pid, tid) -> [name, ...] of open 'B' events
+    last_ts = {}       # (pid, tid) -> last timestamp seen
+    flows = {}         # flow id -> {'s': ts or None, 'f': ts or None}
+    rc = 0
+
+    for i, e in enumerate(events):
+        if not isinstance(e, dict) or "ph" not in e:
+            rc = fail(path, f"event {i} is not a trace event object")
+            continue
+        ph = e["ph"]
+        ts = e.get("ts")
+        track = (e.get("pid", 0), e.get("tid", 0))
+
+        if not isinstance(ts, (int, float)):
+            rc = fail(path, f"event {i} ({ph}) has no numeric ts")
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            rc = fail(
+                path,
+                f"event {i} ({ph} '{e.get('name', '')}') goes "
+                f"backwards on pid/tid {track}: ts {ts} after "
+                f"{last_ts[track]}")
+        last_ts[track] = ts
+
+        if ph == "B":
+            open_stacks.setdefault(track, []).append(
+                e.get("name", ""))
+        elif ph == "E":
+            stack = open_stacks.get(track, [])
+            if not stack:
+                rc = fail(
+                    path,
+                    f"event {i} ('E' '{e.get('name', '')}') closes "
+                    f"nothing on pid/tid {track}")
+            else:
+                stack.pop()
+        elif ph in ("s", "f"):
+            fid = e.get("id")
+            if fid is None:
+                rc = fail(path, f"event {i} ('{ph}') has no flow id")
+                continue
+            slot = flows.setdefault(fid, {"s": None, "f": None})
+            if slot[ph] is not None:
+                rc = fail(path,
+                          f"flow id {fid} has a duplicate '{ph}'")
+            slot[ph] = ts
+
+    for track, stack in open_stacks.items():
+        if stack:
+            rc = fail(
+                path,
+                f"pid/tid {track} ends with {len(stack)} unclosed "
+                f"'B' event(s): {stack[-1]!r} never closed")
+
+    for fid, slot in flows.items():
+        if slot["s"] is None:
+            rc = fail(path, f"flow id {fid} has 'f' but no 's'")
+        elif slot["f"] is None:
+            rc = fail(path, f"flow id {fid} has 's' but no 'f'")
+        elif slot["f"] < slot["s"]:
+            rc = fail(
+                path,
+                f"flow id {fid} finishes at {slot['f']} before it "
+                f"starts at {slot['s']}")
+
+    if rc == 0:
+        n_flows = len(flows)
+        print(f"trace_check: {path}: ok "
+              f"({len(events)} events, {n_flows} flows)")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    worst = 0
+    for path in argv[1:]:
+        worst = max(worst, check(path))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -169,9 +169,100 @@ CoherentNode::send(MsgType type, NodeId dst, mem::Addr line,
     m.aux = aux;
     st.msgSent[static_cast<std::size_t>(type)] += 1;
     net::Packet pkt = encode(m, self, dst);
+    if (spans_)
+        spanAttach(pkt, m);
     if (observer)
         observer(pkt, /*incoming=*/false);
     net_.inject(pkt);
+}
+
+// ---------------------------------------------------------------------
+// Latency x-ray hooks (docs/TRACING.md)
+// ---------------------------------------------------------------------
+
+void
+CoherentNode::spanAttach(net::Packet &pkt, const Msg &m)
+{
+    // Carrier messages are the ones that move a transaction between
+    // nodes: the request to the home, a forward to the owner, and
+    // the data response back. Everything else (invalidates, acks,
+    // victim traffic) belongs to other transactions or is overlap
+    // the requester never waits on alone.
+    bool reply = false;
+    switch (m.type) {
+      case MsgType::RdReq:
+      case MsgType::RdModReq:
+        if (m.requester != self)
+            return;
+        break;
+      case MsgType::FwdRd:
+      case MsgType::FwdRdMod:
+        break;
+      case MsgType::BlkShared:
+      case MsgType::BlkExclusive:
+      case MsgType::BlkDirty:
+        reply = true;
+        break;
+      default:
+        return;
+    }
+    auto it = parked_.find({m.line, m.requester});
+    if (it == parked_.end())
+        return;
+    trace::SpanState ss = it->second;
+    parked_.erase(it);
+    if (reply) {
+        // The whole return trip (network, ack waits, fill overhead)
+        // is attributed to Reply, so the routers stop splitting.
+        ss.advance(ctx.now(), trace::Reply);
+        ss.phase = 1;
+    }
+    pkt.span = ss;
+}
+
+void
+CoherentNode::spanOnRecv(const net::Packet &pkt, const Msg &m)
+{
+    if (pkt.span.phase == 1) {
+        // Response at the requester: keep accumulating Reply until
+        // the fill completes; the span waits on the MAF entry.
+        auto it = maf.find(m.line);
+        if (it != maf.end())
+            it->second.span = pkt.span;
+        return;
+    }
+    // Request or forward arriving at the node that will service it:
+    // close the network stage and park under directory occupancy
+    // (queueing behind a busy line and owner service both count).
+    trace::SpanState ss = pkt.span;
+    ss.advance(ctx.now(), trace::Directory);
+    parked_[{m.line, m.requester}] = ss;
+}
+
+void
+CoherentNode::zboxReadSpan(mem::Addr line, NodeId req, ckpt::Cont done)
+{
+    if (spans_) {
+        auto it = parked_.find({line, req});
+        if (it != parked_.end()) {
+            it->second.advance(ctx.now(), trace::Dram);
+            mem::AccessBreakdown bd;
+            zboxFor(line).read(line, std::move(done), bd);
+            it->second.dramQueue += bd.queueWait;
+            return;
+        }
+    }
+    zboxFor(line).read(line, std::move(done));
+}
+
+void
+CoherentNode::spanDramDone(mem::Addr line, NodeId req)
+{
+    if (!spans_)
+        return;
+    auto it = parked_.find({line, req});
+    if (it != parked_.end() && it->second.stage == trace::Dram)
+        it->second.advance(ctx.now(), trace::Directory);
 }
 
 void
@@ -203,6 +294,8 @@ CoherentNode::onPacket(const net::Packet &pkt)
 
     Msg m = decode(pkt);
     st.msgRecv[static_cast<std::size_t>(m.type)] += 1;
+    if (pkt.span.id != 0)
+        spanOnRecv(pkt, m);
     switch (m.type) {
       case MsgType::RdReq:
       case MsgType::RdModReq:
@@ -296,6 +389,17 @@ CoherentNode::startMiss(mem::Addr line, bool write, ckpt::Cont done)
         entry.waiters.push_back(std::move(done));
     maf.emplace(line, std::move(entry));
 
+    if (spans_) {
+        if (std::uint64_t sid = spans_->sampleMiss(self)) {
+            trace::SpanState ss;
+            ss.id = sid;
+            ss.begin = ctx.now();
+            ss.mark = ctx.now();
+            ss.stage = trace::Inject;
+            parked_[{line, self}] = ss;
+        }
+    }
+
     NodeId home = map.home(line).node;
     // The miss is detected after the L2 tag lookup.
     sendAfter(cfg.l2.loadToUseNs,
@@ -363,6 +467,14 @@ CoherentNode::finishFill(mem::Addr line)
     maf.erase(it);
 
     st.missLatencyNs.sample(ticksToNs(ctx.now() - entry.issued));
+
+    if (spans_ && entry.span.id != 0) {
+        // Close the Reply stage at the same instant missLatencyNs
+        // samples, so a span's stage sum equals the measured
+        // end-to-end miss latency exactly.
+        entry.span.advance(ctx.now(), trace::Reply);
+        spans_->complete(self, entry.span, ctx.now());
+    }
 
     if (entry.invalWhilePending && !entry.write) {
         // The line was invalidated under us (response/forward class
@@ -600,8 +712,8 @@ CoherentNode::homeProcess(const Msg &m)
       case MsgType::RdModReq:
         if (entry.state == DirState::Invalid) {
             entry.state = DirState::Busy;
-            zboxFor(line).read(
-                line,
+            zboxReadSpan(
+                line, req,
                 ckpt::Cont(cohDesc(ckpt::CohHomeReadExcl, self, req, 0,
                                    0, line),
                            [this, line, req] {
@@ -610,8 +722,8 @@ CoherentNode::homeProcess(const Msg &m)
         } else if (entry.state == DirState::Shared) {
             entry.state = DirState::Busy;
             bool mod = m.type == MsgType::RdModReq;
-            zboxFor(line).read(
-                line,
+            zboxReadSpan(
+                line, req,
                 ckpt::Cont(cohDesc(ckpt::CohHomeReadShared, self, req,
                                    mod ? 1 : 0, 0, line),
                            [this, line, req, mod] {
@@ -659,6 +771,7 @@ CoherentNode::homeProcess(const Msg &m)
 void
 CoherentNode::scheduleHomeExcl(mem::Addr line, NodeId req)
 {
+    spanDramDone(line, req);
     ctx.queue().schedule(
         nsToTicks(cfg.homeOverheadNs),
         cohDesc(ckpt::CohHomeApplyExcl, self, req, 0, 0, line),
@@ -679,6 +792,7 @@ CoherentNode::applyHomeExcl(mem::Addr line, NodeId req)
 void
 CoherentNode::scheduleHomeShared(mem::Addr line, NodeId req, bool mod)
 {
+    spanDramDone(line, req);
     ctx.queue().schedule(
         nsToTicks(cfg.homeOverheadNs),
         cohDesc(ckpt::CohHomeApplyShared, self, req, mod ? 1 : 0, 0,
@@ -887,6 +1001,7 @@ CoherentNode::saveCkpt(ckpt::Serializer &s) const
         s.putI32(e.acksNeeded);
         s.putI32(e.acksGot);
         s.put64(e.issued);
+        trace::saveSpan(s, e.span);
         s.put32(static_cast<std::uint32_t>(e.waiters.size()));
         for (const ckpt::Cont &w : e.waiters)
             ckpt::saveCont(s, w, "a MAF waiter");
@@ -936,6 +1051,13 @@ CoherentNode::saveCkpt(ckpt::Serializer &s) const
     }
     s.put64(nextFillBatch);
     s.put64(ioReceived);
+
+    s.put32(static_cast<std::uint32_t>(parked_.size()));
+    for (const auto &[key, ss] : parked_) {
+        s.put64(key.first);
+        s.putI32(key.second);
+        trace::saveSpan(s, ss);
+    }
 }
 
 void
@@ -984,6 +1106,7 @@ CoherentNode::restoreCkpt(ckpt::Deserializer &d,
         e.acksNeeded = d.getI32();
         e.acksGot = d.getI32();
         e.issued = d.get64();
+        trace::restoreSpan(d, e.span);
         std::uint32_t nw = d.get32();
         for (std::uint32_t w = 0; w < nw && d.ok(); ++w)
             e.waiters.push_back(
@@ -1049,6 +1172,16 @@ CoherentNode::restoreCkpt(ckpt::Deserializer &d,
     }
     nextFillBatch = d.get64();
     ioReceived = d.get64();
+
+    parked_.clear();
+    std::uint32_t nParked = d.get32();
+    for (std::uint32_t i = 0; i < nParked && d.ok(); ++i) {
+        mem::Addr line = d.get64();
+        NodeId req = d.getI32();
+        trace::SpanState ss;
+        trace::restoreSpan(d, ss);
+        parked_.emplace(std::make_pair(line, req), ss);
+    }
 }
 
 std::function<void()>

@@ -41,6 +41,7 @@
 #include "mem/zbox.hh"
 #include "net/network.hh"
 #include "sim/checkpoint.hh"
+#include "sim/trace_span.hh"
 
 namespace gs::coher
 {
@@ -195,6 +196,15 @@ class CoherentNode
         std::function<void(const net::Packet &, bool incoming)>;
     void setMsgObserver(MsgObserver fn) { observer = std::move(fn); }
 
+    /**
+     * Latency x-ray collector (docs/TRACING.md). When set, every
+     * miss this node issues consults the collector's deterministic
+     * sampler; sampled transactions carry a trace::SpanState through
+     * the protocol and complete back into the collector at fill.
+     * Null (the default) keeps every hook to a single branch.
+     */
+    void setSpanCollector(trace::SpanCollector *c) { spans_ = c; }
+
     /** @name Checkpoint/restore
      *
      * Serializes the protocol engine wholesale: stats, L2 tags,
@@ -224,6 +234,7 @@ class CoherentNode
         int acksNeeded = -1; ///< unknown until the data response
         int acksGot = 0;
         Tick issued = 0;
+        trace::SpanState span; ///< x-ray span (reply path; id 0 = off)
         std::vector<ckpt::Cont> waiters;
         std::deque<net::Packet> deferredFwds;
         std::vector<std::pair<bool, ckpt::Cont>> retries;
@@ -255,6 +266,16 @@ class CoherentNode
     void sendAfter(double delay_ns, MsgType type, NodeId dst,
                    mem::Addr line, NodeId requester,
                    std::uint32_t aux = 0);
+
+    // -- latency x-ray (no-ops unless spans_ is set; see TRACING.md)
+    /** Move a parked span onto an outgoing carrier message. */
+    void spanAttach(net::Packet &pkt, const Msg &m);
+    /** Park an incoming request-path span / stash a reply-path one. */
+    void spanOnRecv(const net::Packet &pkt, const Msg &m);
+    /** Zbox read that advances a parked span through its Dram stage. */
+    void zboxReadSpan(mem::Addr line, NodeId req, ckpt::Cont done);
+    /** Close a parked span's Dram stage (zbox read completed). */
+    void spanDramDone(mem::Addr line, NodeId req);
 
     // -- cache side -------------------------------------------------
     void startMiss(mem::Addr line, bool write, ckpt::Cont done);
@@ -301,6 +322,16 @@ class CoherentNode
     std::unordered_map<mem::Addr, MafEntry> maf;
     std::unordered_map<mem::Addr, VictimEntry> vb;
     std::unordered_map<mem::Addr, DirEntry> dir;
+
+    /**
+     * X-ray spans parked while this node holds their transaction
+     * (requester: issue to RdReq send; home: request arrival to
+     * forward/response send; owner: forward arrival to response
+     * send), keyed by (line, requester). std::map for deterministic
+     * checkpoint iteration. Always empty when spans_ is null.
+     */
+    std::map<std::pair<mem::Addr, NodeId>, trace::SpanState> parked_;
+    trace::SpanCollector *spans_ = nullptr;
 
     /** Core accesses waiting for a free MAF slot. */
     std::deque<std::tuple<mem::Addr, bool, ckpt::Cont>> pendingCore;

@@ -18,7 +18,7 @@ Zbox::Zbox(SimContext &context, ZboxParams params)
 }
 
 Tick
-Zbox::access(Addr a, bool is_write)
+Zbox::access(Addr a, bool is_write, AccessBreakdown *bd)
 {
     // Drop the controller-interleave bits, then interleave lines
     // across channels (bandwidth) and pages across banks (RDRAM
@@ -63,6 +63,10 @@ Zbox::access(Addr a, bool is_write)
     st.busyTicks += burst;
     (is_write ? st.writes : st.reads) += 1;
 
+    if (bd) {
+        bd->queueWait = start - ctx.now();
+        bd->service = nsToTicks(accessNs);
+    }
     return start + nsToTicks(accessNs);
 }
 
@@ -70,6 +74,14 @@ void
 Zbox::read(Addr a, ckpt::Cont done)
 {
     Tick when = access(a, false);
+    gs_assert(static_cast<bool>(done));
+    ctx.queue().scheduleAt(when, done.desc, std::move(done.fn));
+}
+
+void
+Zbox::read(Addr a, ckpt::Cont done, AccessBreakdown &bd)
+{
+    Tick when = access(a, false, &bd);
     gs_assert(static_cast<bool>(done));
     ctx.queue().scheduleAt(when, done.desc, std::move(done.fn));
 }

@@ -86,6 +86,17 @@ struct ZboxStats
     Tick busyTicks = 0; ///< summed channel occupancy
 };
 
+/**
+ * Timing decomposition of one access, for callers that attribute
+ * latency (the span tracer's Dram stage splits into queue wait vs.
+ * array/burst service).
+ */
+struct AccessBreakdown
+{
+    Tick queueWait = 0; ///< time the request sat behind its channel
+    Tick service = 0;   ///< row access time once the channel was free
+};
+
 /** One memory controller instance. */
 class Zbox
 {
@@ -98,8 +109,10 @@ class Zbox
      * into the scheduled completion event so snapshots can rebuild
      * it (ckpt::Cont is implicitly constructible from a callable,
      * which yields a non-checkpointable Opaque continuation).
+     * The overload fills @p bd with the access's timing split.
      */
     void read(Addr a, ckpt::Cont done);
+    void read(Addr a, ckpt::Cont done, AccessBreakdown &bd);
 
     /** Issue a 64 B write (victim/dirty data). @p done optional. */
     void write(Addr a, ckpt::Cont done = {});
@@ -141,7 +154,8 @@ class Zbox
 
   private:
     /** Schedule one access; returns its completion tick. */
-    Tick access(Addr a, bool is_write);
+    Tick access(Addr a, bool is_write,
+                AccessBreakdown *bd = nullptr);
 
     struct Bank
     {

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/trace_span.hh"
 #include "sim/types.hh"
 
 namespace gs::net
@@ -107,6 +108,14 @@ struct Packet
      * interprets it.
      */
     std::array<std::uint64_t, 3> user{};
+
+    /**
+     * Latency x-ray span state (docs/TRACING.md). Inert (id == 0)
+     * unless the transaction was sampled; rides packet copies across
+     * parallel-domain boundaries and checkpoints by value, which is
+     * what keeps span exports byte-identical at any --threads.
+     */
+    trace::SpanState span;
 };
 
 /** Header-only packet length in flits (4 B flits: 8 B header). */

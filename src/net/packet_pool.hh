@@ -46,6 +46,7 @@ savePacket(ckpt::Serializer &s, const Packet &p)
     s.putI32(p.hops);
     for (std::uint64_t w : p.user)
         s.put64(w);
+    trace::saveSpan(s, p.span);
 }
 
 inline void
@@ -60,6 +61,7 @@ restorePacket(ckpt::Deserializer &d, Packet &p)
     p.hops = d.getI32();
     for (std::uint64_t &w : p.user)
         w = d.get64();
+    trace::restoreSpan(d, p.span);
 }
 /// @}
 

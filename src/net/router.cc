@@ -44,6 +44,13 @@ Router::receive(int in_port, int vc, PacketHandle h)
     Packet &pkt = net.poolOf(id).get(h);
     auto &st = vcState[slot(in_port, vc)];
     pkt.hops += 1;
+    // Latency x-ray: link transit ends here; buffered time counts as
+    // VC-arbitration wait. At the destination the packet keeps
+    // accumulating Link until the node takes delivery (ejection and
+    // the local hop fold into Link). Reply-path spans (phase 1)
+    // attribute their whole return to Reply, so only phase 0 hooks.
+    if (pkt.span.id != 0 && pkt.span.phase == 0 && pkt.dst != id)
+        pkt.span.advance(net.ctxOf(id).now(), trace::VcWait);
     st.flitsUsed += pkt.flits;
     st.recvFlits += static_cast<std::uint64_t>(pkt.flits);
     vcQ[slot(in_port, vc)].push(h);
@@ -399,7 +406,13 @@ Router::grant(Tick now)
         } else {
             h = popHead(winner->inPort, winner->vc);
         }
-        const Packet &pkt = pool.get(h);
+        Packet &pkt = pool.get(h);
+
+        // Latency x-ray: the grant closes the injection wait (source
+        // router) or the VC wait (intermediate hop); the packet is on
+        // the link from here.
+        if (pkt.span.id != 0 && pkt.span.phase == 0)
+            pkt.span.advance(now, trace::Link);
 
         int vc = winner->route.outVc;
         out.credits[static_cast<std::size_t>(vc)] -= pkt.flits;

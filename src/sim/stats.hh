@@ -139,10 +139,16 @@ class Histogram
     const Average &summary() const { return stat; }
     const std::vector<std::uint64_t> &buckets() const { return counts; }
 
-    /** Approximate quantile (q in [0,1]) from bucket midpoints. */
+    /**
+     * Approximate quantile (q in [0,1]) from bucket midpoints.
+     * An empty histogram has no quantiles: NaN, never a made-up 0
+     * (or edge) that would read like a real measurement.
+     */
     double
     quantile(double q) const
     {
+        if (stat.count() == 0)
+            return std::numeric_limits<double>::quiet_NaN();
         const std::uint64_t target =
             static_cast<std::uint64_t>(q * static_cast<double>(stat.count()));
         std::uint64_t seen = 0;
@@ -154,6 +160,59 @@ class Histogram
                 return lower + (static_cast<double>(i) + 0.5) * width;
         }
         return upper;
+    }
+
+    /**
+     * Percentile estimate (q in [0,1]) by linear interpolation
+     * within the containing bucket — the method percentile readers
+     * (p50/p95/p99 telemetry queries) use.
+     *
+     * Method: with n samples, the rank is r = q*n counted over the
+     * cumulative bucket counts; the containing bucket is the first
+     * whose cumulative count reaches r (inclusive upper edge, so
+     * q = 1 resolves inside the last occupied bucket, matching
+     * sample()'s inclusive treatment of the range's upper edge). The
+     * estimate interpolates linearly across that bucket's nominal
+     * [lower, upper) span by the rank's fractional position in the
+     * bucket. Underflow samples count at the first bucket's nominal
+     * span; the overflow bucket spans [range upper, observed max].
+     * An empty histogram reports NaN.
+     */
+    double
+    percentile(double q) const
+    {
+        if (stat.count() == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        q = std::clamp(q, 0.0, 1.0);
+        const double target = q * static_cast<double>(stat.count());
+        const double width =
+            (upper - lower) / static_cast<double>(counts.size() - 1);
+        double seen = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0)
+                continue;
+            const auto n = static_cast<double>(counts[i]);
+            if (seen + n >= target) {
+                const bool overflow = (i == counts.size() - 1);
+                const double bLo =
+                    overflow ? upper
+                             : lower + static_cast<double>(i) * width;
+                const double bHi = overflow ? stat.max() : bLo + width;
+                const double frac =
+                    std::max(target - seen, 0.0) / n;
+                return bLo + frac * (bHi - bLo);
+            }
+            seen += n;
+        }
+        return upper; // unreachable: the loop covers every sample
+    }
+
+    /** Drop every sample (geometry is construction-time). */
+    void
+    reset()
+    {
+        std::fill(counts.begin(), counts.end(), 0);
+        stat.reset();
     }
 
     /** @name Checkpoint/restore (geometry is construction-time). */

@@ -1,5 +1,6 @@
 #include "sim/telemetry.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -122,13 +123,71 @@ scalarOf(const Registry::Entry &e)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Parse a percentile suffix segment ("p50", "p99_9"): returns the
+ * quantile in [0, 1], or a negative value when the segment is not a
+ * percentile query at all. NN outside [0, 100] is a caller error and
+ * fatal — silently treating "p200" as an unknown path would bury the
+ * typo under a misleading "unknown path" diagnostic.
+ */
+double
+parsePercentileSuffix(const std::string &seg, const std::string &full)
+{
+    if (seg.size() < 2 || seg[0] != 'p')
+        return -1.0;
+    double v = 0.0;
+    std::size_t i = 1;
+    if (!std::isdigit(static_cast<unsigned char>(seg[i])))
+        return -1.0;
+    for (; i < seg.size() &&
+           std::isdigit(static_cast<unsigned char>(seg[i]));
+         ++i)
+        v = v * 10.0 + (seg[i] - '0');
+    if (i < seg.size()) {
+        // Fractional percentile: '_' stands in for the decimal point
+        // a path segment cannot carry (p99_9 = 99.9).
+        if (seg[i] != '_' || i + 1 >= seg.size())
+            return -1.0;
+        double scale = 0.1;
+        for (i += 1; i < seg.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(seg[i])))
+                return -1.0;
+            v += (seg[i] - '0') * scale;
+            scale *= 0.1;
+        }
+    }
+    if (v > 100.0)
+        gs_fatal("percentile out of range in telemetry query: ", full);
+    return v / 100.0;
+}
+
+} // namespace
+
 double
 Registry::value(const std::string &p) const
 {
     auto it = entries_.find(p);
-    if (it == entries_.end())
-        gs_fatal("unknown telemetry path: ", p);
-    return scalarOf(it->second);
+    if (it != entries_.end())
+        return scalarOf(it->second);
+
+    // Histogram percentile query: "<hist-path>.pNN" (or pNN_M).
+    auto dot = p.rfind('.');
+    if (dot != std::string::npos && dot + 1 < p.size()) {
+        double q = parsePercentileSuffix(p.substr(dot + 1), p);
+        if (q >= 0.0) {
+            auto stem = entries_.find(p.substr(0, dot));
+            if (stem != entries_.end()) {
+                if (stem->second.kind != Kind::Histogram)
+                    gs_fatal("percentile query on non-histogram "
+                             "telemetry path: ", p);
+                return stem->second.hist->percentile(q);
+            }
+        }
+    }
+    gs_fatal("unknown telemetry path: ", p);
 }
 
 // ---------------------------------------------------------------------
@@ -370,6 +429,68 @@ TraceWriter::complete(Tick when, Tick dur, const std::string &name,
     events.push_back(std::move(e));
 }
 
+void
+TraceWriter::begin(Tick when, const std::string &name, int tid,
+                   const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'B';
+    e.ts = when;
+    e.tid = tid;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::end(Tick when, const std::string &name, int tid,
+                 const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'E';
+    e.ts = when;
+    e.tid = tid;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::flowStart(Tick when, const std::string &name, int tid,
+                       std::uint64_t id, const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 's';
+    e.ts = when;
+    e.tid = tid;
+    e.id = id;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::flowFinish(Tick when, const std::string &name, int tid,
+                        std::uint64_t id, const char *category)
+{
+    if (!room())
+        return;
+    Ev e;
+    e.ph = 'f';
+    e.ts = when;
+    e.tid = tid;
+    e.id = id;
+    e.name = name;
+    e.cat = category;
+    events.push_back(std::move(e));
+}
+
 // ---------------------------------------------------------------------
 // Export helpers
 // ---------------------------------------------------------------------
@@ -505,6 +626,13 @@ TraceWriter::write(std::ostream &os) const
             }
             if (e.ph == 'i')
                 os << ",\"s\":\"t\"";
+            if (e.ph == 's' || e.ph == 'f') {
+                os << ",\"id\":" << e.id;
+                // Bind the finish to the *end* of its enclosing
+                // slice, so Perfetto draws the arrow span-to-span.
+                if (e.ph == 'f')
+                    os << ",\"bp\":\"e\"";
+            }
             os << ",\"args\":{}";
         }
         os << "}";

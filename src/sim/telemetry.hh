@@ -127,7 +127,13 @@ class Registry
 
     /**
      * Scalar view of the entry at @p p: counter value, gauge value,
-     * or summary mean. Fatal when the path is unknown.
+     * or summary mean. A registered Histogram additionally answers
+     * percentile queries through a `pNN` (or `pNN_M` for a decimal,
+     * e.g. `p99_9`) suffix on its path: `value("xray.total_ns.p95")`
+     * returns `Histogram::percentile(0.95)` — NaN while the
+     * histogram is empty. Fatal when the path is unknown, when a
+     * percentile suffix hangs off a non-histogram entry, or when NN
+     * is outside [0, 100].
      */
     double value(const std::string &p) const;
 
@@ -262,6 +268,26 @@ class TraceWriter
     void complete(Tick when, Tick dur, const std::string &name, int tid,
                   const char *category = "span");
 
+    /** @name Nested spans and flow binding ("B"/"E", "s"/"f")
+     *
+     * begin/end form a per-tid stack (emit them balanced and with
+     * non-decreasing timestamps per tid — scripts/trace_check.py
+     * enforces both); flowStart/flowFinish bind two points of the
+     * same logical transaction by @p id, drawn as an arrow in
+     * Perfetto. The latency x-ray span exporter
+     * (trace::SpanCollector::exportTrace) is the worked example.
+     */
+    /// @{
+    void begin(Tick when, const std::string &name, int tid,
+               const char *category = "span");
+    void end(Tick when, const std::string &name, int tid,
+             const char *category = "span");
+    void flowStart(Tick when, const std::string &name, int tid,
+                   std::uint64_t id, const char *category = "flow");
+    void flowFinish(Tick when, const std::string &name, int tid,
+                    std::uint64_t id, const char *category = "flow");
+    /// @}
+
     std::size_t size() const { return events.size(); }
     std::uint64_t dropped() const { return dropped_; }
 
@@ -275,6 +301,7 @@ class TraceWriter
         Tick dur = 0;
         int tid = 0;
         double value = 0.0;
+        std::uint64_t id = 0; ///< flow-binding id ("s"/"f" phases)
         std::string name;
         const char *cat = "";
     };

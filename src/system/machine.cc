@@ -183,6 +183,16 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
         m->cores.push_back(std::make_unique<cpu::TimingCore>(
             nctx, *m->nodes.back(), ccfg));
     }
+    if (opt.spanSampleRate > 0.0) {
+        // Latency x-ray collector: one per machine, registered as a
+        // checkpoint client right here so the saving and restoring
+        // builds agree on client order by construction.
+        m->spans_ = std::make_unique<trace::SpanCollector>(
+            opt.seed, opt.spanSampleRate, cpus);
+        for (auto &node : m->nodes)
+            node->setSpanCollector(m->spans_.get());
+        m->registerCkptClient(*m->spans_);
+    }
     m->registerTelemetry();
     return m;
 }
@@ -329,6 +339,8 @@ Machine::registerTelemetry()
 {
     net->registerTelemetry(telemetry_, "net");
     injector_->registerTelemetry(telemetry_, "fault");
+    if (spans_)
+        spans_->registerTelemetry(telemetry_, "xray");
 
     // Checkpoint accounting. saves/bytes/rollbacks are simulation
     // state (serialized in snapshots, so a restored run's exports
@@ -659,6 +671,8 @@ Machine::clearStats()
     for (auto &node : nodes)
         if (node)
             node->clearStats();
+    if (spans_)
+        spans_->clearStats();
 }
 
 cpu::MachineTiming

@@ -79,6 +79,14 @@ struct Gs1280Options
      */
     int tileRows = 0;
     int tileCols = 0;
+    /**
+     * Latency x-ray sampling rate (docs/TRACING.md): the fraction of
+     * coherence misses that carry a per-stage span, chosen by a
+     * seed-derived hash of each miss's stable id (bit-identical at
+     * any --threads). 0 (default) builds no collector at all; 1
+     * traces every miss.
+     */
+    double spanSampleRate = 0.0;
 };
 
 /** The standard torus shape for @p cpus (2x1, 2x2, 4x2, ... 8x8). */
@@ -179,6 +187,14 @@ class Machine
      * previously attached message observers.
      */
     void attachTrace(telem::TraceWriter &trace);
+
+    /**
+     * The latency x-ray span collector, or nullptr when the machine
+     * was built with spanSampleRate == 0. Call finalize() on it
+     * after a run before reading xray.* telemetry or exporting the
+     * span trace.
+     */
+    trace::SpanCollector *spans() { return spans_.get(); }
     /// @}
 
     /** @name Addressing helpers */
@@ -318,6 +334,7 @@ class Machine
     std::unique_ptr<fault::Watchdog> watchdog_;
     std::vector<std::unique_ptr<coher::CoherentNode>> nodes;
     std::vector<std::unique_ptr<cpu::TimingCore>> cores;
+    std::unique_ptr<trace::SpanCollector> spans_;
     telem::Registry telemetry_;
 
     int torusW = 0, torusH = 0; ///< GS1280 geometry

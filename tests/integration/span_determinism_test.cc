@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Latency x-ray determinism (docs/TRACING.md): the span sample set,
+ * the per-stage attribution, and every span export must be
+ * byte-identical between the serial engine and the parallel engine
+ * at any worker count, and across a checkpoint save/restore
+ * boundary. The sampled-observation layer must also leave the
+ * simulation itself untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/telemetry.hh"
+#include "sim/trace_span.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+
+namespace
+{
+
+using namespace gs;
+
+struct Rig
+{
+    std::unique_ptr<sys::Machine> m;
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+};
+
+Rig
+makeRig(int cpus, int threads, std::uint64_t seed, double rate,
+        std::uint64_t updates = 300)
+{
+    Rig r;
+    sys::Gs1280Options opt;
+    opt.mlp = 16;
+    opt.seed = seed;
+    opt.threads = threads;
+    // Pin the decomposition so serial and every parallel worker
+    // count simulate the identical tile schedule (docs/PARALLEL.md).
+    opt.tileRows = 1;
+    opt.tileCols = 2;
+    opt.spanSampleRate = rate;
+    r.m = sys::Machine::buildGS1280(cpus, opt);
+    for (int c = 0; c < cpus; ++c) {
+        r.gens.push_back(std::make_unique<wl::Gups>(
+            cpus, 16ULL << 20, updates,
+            Rng::deriveSeed(seed, static_cast<std::uint64_t>(c))));
+        r.sources.push_back(r.gens.back().get());
+    }
+    return r;
+}
+
+/**
+ * Every span export surface in one string: the Chrome span trace
+ * plus the xray.* registry rows (values printed at full precision).
+ */
+std::string
+spanExportOf(sys::Machine &m)
+{
+    m.spans()->finalize();
+    std::ostringstream os;
+    telem::TraceWriter tw;
+    m.spans()->exportTrace(tw);
+    tw.write(os);
+    const auto &reg = m.telemetry();
+    os.precision(17);
+    for (const auto &p : reg.paths("xray.")) {
+        os << p << "=" << reg.value(p) << "\n";
+        // Percentile views exist only on the histogram paths (the
+        // sampled/completed counters have no pNN).
+        if (p.size() > 3 &&
+            p.compare(p.size() - 3, 3, "_ns") == 0) {
+            os << p << ".p50=" << reg.value(p + ".p50") << "\n";
+        }
+    }
+    return os.str();
+}
+
+TEST(SpanDeterminism, ThreadCountDoesNotPerturbSpanExports)
+{
+    Rig serial = makeRig(8, 1, 11, 0.2);
+    ASSERT_TRUE(serial.m->run(serial.sources));
+    const std::string want = spanExportOf(*serial.m);
+    ASSERT_GT(serial.m->spans()->completedCount(), 0u)
+        << "run completed no sampled spans; the test is vacuous";
+
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        Rig par = makeRig(8, threads, 11, 0.2);
+        ASSERT_TRUE(par.m->run(par.sources));
+        EXPECT_EQ(spanExportOf(*par.m), want)
+            << "span export changed under --threads "
+            << threads;
+    }
+}
+
+TEST(SpanDeterminism, SamplingDoesNotPerturbTheSimulation)
+{
+    // The x-ray is an observer: a traced run and an untraced run
+    // must execute the identical simulation. Compare a non-span
+    // export surface across rates 0 / 0.5 / 1.
+    auto coreNs = [](double rate) {
+        Rig r = makeRig(8, 1, 5, rate);
+        EXPECT_TRUE(r.m->run(r.sources));
+        std::ostringstream os;
+        os.precision(17);
+        for (int c = 0; c < 8; ++c)
+            os << r.m->core(c).stats().elapsedNs() << "\n";
+        os << r.m->ctx().now();
+        return os.str();
+    };
+    const std::string off = coreNs(0.0);
+    EXPECT_EQ(coreNs(0.5), off);
+    EXPECT_EQ(coreNs(1.0), off);
+}
+
+TEST(SpanDeterminism, DifferentSeedsSampleDifferentSpans)
+{
+    Rig a = makeRig(8, 1, 21, 0.2);
+    Rig b = makeRig(8, 1, 22, 0.2);
+    ASSERT_TRUE(a.m->run(a.sources));
+    ASSERT_TRUE(b.m->run(b.sources));
+    EXPECT_NE(spanExportOf(*a.m), spanExportOf(*b.m))
+        << "independent seeds produced identical span exports "
+           "(sampling is ignoring the seed)";
+}
+
+TEST(SpanDeterminism, SurvivesCheckpointRestore)
+{
+    const std::uint64_t seed = 9;
+    const double rate = 0.3;
+
+    // Unbroken reference run.
+    Rig probe = makeRig(8, 1, seed, rate);
+    ASSERT_TRUE(probe.m->run(probe.sources));
+    const Tick every = probe.m->ctx().now() / 3;
+    ASSERT_GT(every, 0u);
+
+    const std::string prefix = testing::TempDir() + "span_ckpt";
+    Rig a = makeRig(8, 1, seed, rate);
+    a.m->setCheckpointPolicy(every, prefix);
+    ASSERT_TRUE(a.m->run(a.sources));
+    const std::string want = spanExportOf(*a.m);
+    const std::uint64_t snaps = a.m->checkpointSaves();
+    ASSERT_GE(snaps, 2u);
+
+    // Resume from a mid-run snapshot: in-flight spans ride the
+    // packet/MAF serialization, the collector lanes ride its client
+    // section, so the final export must not notice the break.
+    const std::uint64_t k = snaps / 2 + 1;
+    Rig b = makeRig(8, 1, seed, rate);
+    std::string err;
+    ASSERT_TRUE(b.m->restore(prefix + "." + std::to_string(k) +
+                                 ".gsckpt",
+                             b.sources, &err))
+        << err;
+    ASSERT_TRUE(b.m->run(b.sources));
+    EXPECT_EQ(spanExportOf(*b.m), want)
+        << "span export diverged across the restore boundary";
+
+    for (std::uint64_t n = 1; n <= snaps; ++n)
+        std::remove(
+            (prefix + "." + std::to_string(n) + ".gsckpt").c_str());
+}
+
+} // namespace

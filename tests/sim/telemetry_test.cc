@@ -88,6 +88,62 @@ TEST(RegistryDeath, UnknownPathIsFatal)
                 "unknown telemetry path: no.such");
 }
 
+TEST(Registry, PercentileSuffixQueriesHistogram)
+{
+    stats::Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.sample(static_cast<double>(i) + 0.5);
+
+    Registry reg;
+    reg.addHistogram("lat.ns", hist);
+
+    EXPECT_NEAR(reg.value("lat.ns.p50"), 50.0, 1.0);
+    EXPECT_NEAR(reg.value("lat.ns.p95"), 95.0, 1.0);
+    EXPECT_NEAR(reg.value("lat.ns.p99"), 99.0, 1.0);
+    // Fractional percentiles spell the decimal point as '_'.
+    EXPECT_NEAR(reg.value("lat.ns.p99_5"), 99.5, 1.0);
+    // The pNN view never shadows a real entry: the plain path still
+    // answers with the histogram's scalar summary (its mean).
+    EXPECT_NEAR(reg.value("lat.ns"), 50.0, 1.0);
+}
+
+TEST(Registry, PercentileOfEmptyHistogramIsNaN)
+{
+    stats::Histogram hist(0.0, 100.0, 100);
+    Registry reg;
+    reg.addHistogram("lat.ns", hist);
+    EXPECT_TRUE(std::isnan(reg.value("lat.ns.p99")));
+}
+
+TEST(RegistryDeath, PercentileOnNonHistogramIsFatal)
+{
+    stats::Counter c;
+    Registry reg;
+    reg.addCounter("hits", c);
+    EXPECT_EXIT(reg.value("hits.p50"), ::testing::ExitedWithCode(1),
+                "percentile query on non-histogram telemetry path: "
+                "hits.p50");
+}
+
+TEST(RegistryDeath, PercentileOutOfRangeIsFatal)
+{
+    stats::Histogram hist(0.0, 100.0, 100);
+    hist.sample(1.0);
+    Registry reg;
+    reg.addHistogram("lat.ns", hist);
+    EXPECT_EXIT(reg.value("lat.ns.p200"),
+                ::testing::ExitedWithCode(1),
+                "percentile out of range in telemetry query");
+}
+
+TEST(RegistryDeath, PercentileOnUnknownStemIsFatal)
+{
+    Registry reg;
+    EXPECT_EXIT(reg.value("no.such.p50"),
+                ::testing::ExitedWithCode(1),
+                "unknown telemetry path: no.such.p50");
+}
+
 TEST(Sampler, SamplesOnCadence)
 {
     SimContext ctx;
