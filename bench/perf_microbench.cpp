@@ -21,6 +21,11 @@
 #include "topology/torus.hh"
 #include "workload/gups.hh"
 
+// The frozen pre-SoA router, kept verbatim as the A/B reference
+// (tests/net/router_ab_test.cc proves bit-identity; BM_RouterStorm*
+// below measures what the layout change buys).
+#include "../tests/net/legacy_router.hh"
+
 namespace
 {
 
@@ -225,6 +230,74 @@ BM_NetworkPacketDeliveryRegistered(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_NetworkPacketDeliveryRegistered);
+
+/**
+ * The router hot-path microbenchmark: a seeded uniform-random packet
+ * storm on an 8x8 torus, injected in bursts deep enough to keep every
+ * VC arbitration, credit round-trip and link serialization busy, then
+ * drained. Templated over the fabric so the SoA Network, the frozen
+ * legacy AoS router and the bufferless deflection backend all run the
+ * exact same traffic; items/sec is packets delivered per wall second.
+ */
+template <typename Net, typename... Extra>
+void
+routerStorm(benchmark::State &state, Extra &&...extra)
+{
+    constexpr int w = 8, h = 8;
+    constexpr int nodes = w * h;
+    constexpr int burst = 512;
+    SimContext ctx;
+    topo::Torus2D torus(w, h);
+    Net network(ctx, torus, std::forward<Extra>(extra)...);
+    std::uint64_t delivered = 0;
+    for (NodeId n = 0; n < nodes; ++n)
+        network.setHandler(n, [&](const net::Packet &) {
+            delivered += 1;
+        });
+    Rng rng(99);
+    for (auto _ : state) {
+        for (int k = 0; k < burst; ++k) {
+            net::Packet pkt;
+            pkt.src = static_cast<NodeId>(rng.below(nodes));
+            do {
+                pkt.dst = static_cast<NodeId>(rng.below(nodes));
+            } while (pkt.dst == pkt.src);
+            pkt.cls = (k % 3 == 0) ? net::MsgClass::BlockResponse
+                                   : net::MsgClass::Request;
+            pkt.flits = pkt.cls == net::MsgClass::BlockResponse
+                            ? net::dataFlits
+                            : net::headerFlits;
+            network.inject(pkt);
+        }
+        ctx.queue().runUntil();
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+
+void
+BM_RouterStormSoA(benchmark::State &state)
+{
+    routerStorm<net::Network>(state, net::NetworkParams::gs1280());
+}
+BENCHMARK(BM_RouterStormSoA);
+
+void
+BM_RouterStormLegacy(benchmark::State &state)
+{
+    routerStorm<net::legacy::LegacyNet>(state,
+                                        net::NetworkParams::gs1280());
+}
+BENCHMARK(BM_RouterStormLegacy);
+
+void
+BM_RouterStormBufferless(benchmark::State &state)
+{
+    net::NetworkParams prm = net::NetworkParams::gs1280();
+    prm.routerKind = net::RouterKind::Bufferless;
+    routerStorm<net::Network>(state, prm);
+}
+BENCHMARK(BM_RouterStormBufferless);
 
 void
 BM_CoherentLocalMiss(benchmark::State &state)

@@ -25,6 +25,7 @@
 #include "net/packet_pool.hh"
 #include "net/params.hh"
 #include "net/router.hh"
+#include "net/router_core.hh"
 #include "sim/context.hh"
 #include "sim/parallel.hh"
 #include "sim/stats.hh"
@@ -41,6 +42,12 @@ struct NetworkStats
     std::uint64_t deliveredPackets = 0;
     std::uint64_t deliveredFlits = 0;
     std::uint64_t droppedPackets = 0; ///< lost to faults (degraded mode)
+    /**
+     * Highest per-packet deflection count seen at delivery
+     * (bufferless backend only; stays 0 under buffered routing).
+     * The observable behind the golden livelock bound.
+     */
+    std::uint64_t maxDeflections = 0;
     stats::Average latencyNs;      ///< inject-to-deliver, all classes
     stats::Average hopsPerPacket;
 };
@@ -208,6 +215,10 @@ class Network
     {
         return *routers[std::size_t(node)];
     }
+
+    /** The flat per-port/per-VC state every Router indexes into. */
+    RouterCore &routerCore() { return core_; }
+    const RouterCore &routerCore() const { return core_; }
 
     /**
      * Domain 0's packet slab — with the default single-domain
@@ -431,6 +442,7 @@ class Network
     NetworkParams prm;
     Tick tickPeriod;
 
+    RouterCore core_; ///< built before the routers, which index it
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<Handler> handlers;
     std::vector<std::vector<std::uint64_t>> linkFlits;

@@ -8,41 +8,41 @@
 namespace gs::net
 {
 
-Router::Router(Network &network, NodeId node) : net(network), id(node)
+Router::Router(Network &network, NodeId node)
+    : net(network), id(node), core(&network.routerCore())
 {
     const auto &topo = net.topology();
     const auto &prm = net.params();
-    const int ports = topo.numPorts(id);
+    const RouterCore::NodeRef &ref = core->ref(id);
+    pb = ref.portBase;
+    sb = ref.slotBase;
+    nPorts = static_cast<int>(ref.ports);
+    kind_ = prm.routerKind;
 
-    vcQ.resize(static_cast<std::size_t>(ports) * numVcs);
-    vcState.resize(static_cast<std::size_t>(ports) * numVcs);
-    rrVc.assign(static_cast<std::size_t>(ports), 0);
-    outputs.resize(static_cast<std::size_t>(ports));
+    vcQ.resize(static_cast<std::size_t>(nPorts) * numVcs);
 
-    for (int p = 0; p < ports; ++p) {
-        auto &out = outputs[static_cast<std::size_t>(p)];
+    for (int p = 0; p < nPorts; ++p) {
         topo::Port link = topo.port(id, p);
-        out.connected = link.connected();
-        if (!out.connected)
+        core->connected[pidx(p)] = link.connected() ? 1 : 0;
+        if (!link.connected())
             continue;
-        out.wireCycles = prm.wireCycles(link.kind);
-        for (int vc = 0; vc < numVcs; ++vc) {
-            out.credits[static_cast<std::size_t>(vc)] =
-                vc % vcSubCount == vcAdaptive ? prm.adaptiveVcFlits
-                                              : prm.escapeVcFlits;
-        }
+        core->wireCycles[pidx(p)] = prm.wireCycles(link.kind);
+        for (int vc = 0; vc < numVcs; ++vc)
+            core->credits[sidx(p, vc)] = vcCapacity(vc);
     }
 
-    gs_assert(prm.escapeVcFlits >= dataFlits &&
-                  prm.adaptiveVcFlits >= dataFlits,
-              "VC buffers must hold a whole data packet (cut-through)");
+    if (kind_ == RouterKind::Buffered) {
+        gs_assert(prm.escapeVcFlits >= dataFlits &&
+                      prm.adaptiveVcFlits >= dataFlits,
+                  "VC buffers must hold a whole data packet "
+                  "(cut-through)");
+    }
 }
 
 void
 Router::receive(int in_port, int vc, PacketHandle h)
 {
     Packet &pkt = net.poolOf(id).get(h);
-    auto &st = vcState[slot(in_port, vc)];
     pkt.hops += 1;
     // Latency x-ray: link transit ends here; buffered time counts as
     // VC-arbitration wait. At the destination the packet keeps
@@ -51,8 +51,16 @@ Router::receive(int in_port, int vc, PacketHandle h)
     // attribute their whole return to Reply, so only phase 0 hooks.
     if (pkt.span.id != 0 && pkt.span.phase == 0 && pkt.dst != id)
         pkt.span.advance(net.ctxOf(id).now(), trace::VcWait);
-    st.flitsUsed += pkt.flits;
-    st.recvFlits += static_cast<std::uint64_t>(pkt.flits);
+    if (kind_ == RouterKind::Bufferless) {
+        // Credit flow control guarantees the latch was free: the
+        // upstream only grants with a latch credit in hand.
+        gs_assert(vc == 0 && vcQ[slot(in_port, vc)].empty(),
+                  "bufferless latch overrun at node ", id, " port ",
+                  in_port);
+    }
+    core->flitsUsed[sidx(in_port, vc)] += pkt.flits;
+    core->recvFlits[sidx(in_port, vc)] +=
+        static_cast<std::uint64_t>(pkt.flits);
     vcQ[slot(in_port, vc)].push(h);
     buffered += 1;
     net.activate(id);
@@ -61,8 +69,7 @@ Router::receive(int in_port, int vc, PacketHandle h)
 void
 Router::creditReturn(int out_port, int vc, int flits)
 {
-    auto &out = outputs[static_cast<std::size_t>(out_port)];
-    auto &credits = out.credits[static_cast<std::size_t>(vc)];
+    auto &credits = core->credits[sidx(out_port, vc)];
     credits += flits;
     // A credit that was on the wire across a link repair arrives on
     // top of the resynced count; clamp rather than overflow the
@@ -75,6 +82,8 @@ Router::creditReturn(int out_port, int vc, int flits)
 int
 Router::vcCapacity(int vc) const
 {
+    if (kind_ == RouterKind::Bufferless)
+        return vc == 0 ? 1 : 0;
     const auto &prm = net.params();
     return vc % vcSubCount == vcAdaptive ? prm.adaptiveVcFlits
                                          : prm.escapeVcFlits;
@@ -83,25 +92,27 @@ Router::vcCapacity(int vc) const
 void
 Router::syncPorts()
 {
+    gs_assert(kind_ == RouterKind::Buffered,
+              "fault injection requires the buffered router backend");
     const auto &topo = net.topology();
     const auto &prm = net.params();
-    for (std::size_t p = 0; p < outputs.size(); ++p) {
-        auto &out = outputs[p];
-        topo::Port link = topo.port(id, static_cast<int>(p));
-        if (out.connected == link.connected())
+    for (int p = 0; p < nPorts; ++p) {
+        topo::Port link = topo.port(id, p);
+        const bool wasConnected = core->connected[pidx(p)] != 0;
+        if (wasConnected == link.connected())
             continue;
-        out.connected = link.connected();
-        if (!out.connected)
+        core->connected[pidx(p)] = link.connected() ? 1 : 0;
+        if (!link.connected())
             continue;
         // Reconnected (repair, or the peer router came back): the
         // peer's input buffers kept their contents, so our credit
         // view restarts at capacity minus what is still buffered
         // there. busyUntil is stale by at most one transfer.
-        out.wireCycles = prm.wireCycles(link.kind);
-        out.busyUntil = 0;
+        core->wireCycles[pidx(p)] = prm.wireCycles(link.kind);
+        core->busyUntil[pidx(p)] = 0;
         const Router &peer = net.router(link.peer);
         for (int vc = 0; vc < numVcs; ++vc) {
-            out.credits[static_cast<std::size_t>(vc)] =
+            core->credits[sidx(p, vc)] =
                 vcCapacity(vc) - peer.vcOccupancy(link.peerPort, vc);
         }
     }
@@ -110,8 +121,7 @@ Router::syncPorts()
 void
 Router::flushAll()
 {
-    const int ports = static_cast<int>(outputs.size());
-    for (int p = 0; p < ports; ++p) {
+    for (int p = 0; p < nPorts; ++p) {
         for (int vc = 0; vc < numVcs; ++vc) {
             auto &q = vcQ[slot(p, vc)];
             while (!q.empty()) {
@@ -120,6 +130,11 @@ Router::flushAll()
             }
         }
     }
+    for (PacketHandle h : sideQ_) {
+        net.dropPacket(id, h, "node-failure");
+        buffered -= 1;
+    }
+    sideQ_.clear();
     for (auto &q : injQs) {
         while (!q.empty()) {
             net.dropPacket(id, q.front(), "node-failure");
@@ -135,18 +150,18 @@ Router::registerTelemetry(telem::Registry &reg,
                           const std::function<std::string(int)>
                               &port_name)
 {
-    for (std::size_t p = 0; p < outputs.size(); ++p) {
-        if (!outputs[p].connected)
+    for (int p = 0; p < nPorts; ++p) {
+        if (!core->connected[pidx(p)])
             continue;
         const std::string pp =
-            telem::path(prefix, "port", port_name(static_cast<int>(p)));
-        reg.addCounter(pp + ".flits", outputs[p].sentFlits);
-        reg.addCounter(pp + ".packets", outputs[p].sentPackets);
+            telem::path(prefix, "port", port_name(p));
+        reg.addCounter(pp + ".flits", core->sentFlits[pidx(p)]);
+        reg.addCounter(pp + ".packets", core->sentPackets[pidx(p)]);
         reg.addGauge(pp + ".busy_frac", [this, p] {
             Tick now = net.ctxOf(id).now();
             if (now <= statsWindowStart)
                 return 0.0;
-            double f = static_cast<double>(outputs[p].sentFlits) *
+            double f = static_cast<double>(core->sentFlits[pidx(p)]) *
                        static_cast<double>(net.period()) /
                        static_cast<double>(now - statsWindowStart);
             return std::min(f, 1.0);
@@ -154,10 +169,10 @@ Router::registerTelemetry(telem::Registry &reg,
         // Input-side VC stats of the same port (the buffers facing
         // the neighbour this port points at).
         for (int vc = 0; vc < numVcs; ++vc) {
-            const auto &st = vcState[slot(static_cast<int>(p), vc)];
             const std::string vp = telem::path(pp, "vc", vc);
-            reg.addCounter(vp + ".flits", st.recvFlits);
-            reg.addCounter(vp + ".stalls", st.creditStalls);
+            reg.addCounter(vp + ".flits", core->recvFlits[sidx(p, vc)]);
+            reg.addCounter(vp + ".stalls",
+                           core->creditStalls[sidx(p, vc)]);
         }
     }
     for (int cls = 0; cls < numClasses; ++cls) {
@@ -175,15 +190,18 @@ Router::registerTelemetry(telem::Registry &reg,
 void
 Router::clearStats(Tick now)
 {
-    for (auto &st : vcState) {
-        st.recvFlits = 0;
-        st.creditStalls = 0;
-    }
-    for (auto &out : outputs) {
-        out.sentFlits = 0;
-        out.sentPackets = 0;
+    for (int p = 0; p < nPorts; ++p) {
+        core->sentFlits[pidx(p)] = 0;
+        core->sentPackets[pidx(p)] = 0;
+        for (int vc = 0; vc < numVcs; ++vc) {
+            core->recvFlits[sidx(p, vc)] = 0;
+            core->creditStalls[sidx(p, vc)] = 0;
+        }
     }
     injStalls.fill(0);
+    deflections_ = 0;
+    latchStalls_ = 0;
+    retreats_ = 0;
     statsWindowStart = now;
 }
 
@@ -202,6 +220,8 @@ Router::oldestBuffered(Packet &out) const
     for (const auto &q : vcQ)
         for (PacketHandle h : q)
             consider(h);
+    for (PacketHandle h : sideQ_)
+        consider(h);
     for (const auto &q : injQs)
         for (PacketHandle h : q)
             consider(h);
@@ -230,8 +250,7 @@ Router::chooseRoute(const Packet &pkt, Route &route,
         int vc = vcIndex(pkt.cls, vcAdaptive);
         int bestPort = -1, bestCredits = -1;
         for (int p : topo.adaptivePorts(id, pkt.dst, pkt.hops)) {
-            const auto &out = outputs[static_cast<std::size_t>(p)];
-            int credits = out.credits[static_cast<std::size_t>(vc)];
+            int credits = core->credits[sidx(p, vc)];
             if (credits >= pkt.flits && credits > bestCredits) {
                 bestCredits = credits;
                 bestPort = p;
@@ -255,8 +274,7 @@ Router::chooseRoute(const Packet &pkt, Route &route,
         return false;
     }
     int vc = vcIndex(pkt.cls, esc.vc == 0 ? vcEscape0 : vcEscape1);
-    const auto &out = outputs[static_cast<std::size_t>(esc.port)];
-    if (out.credits[static_cast<std::size_t>(vc)] >= pkt.flits) {
+    if (core->credits[sidx(esc.port, vc)] >= pkt.flits) {
         route = Route{esc.port, vc};
         return true;
     }
@@ -271,10 +289,13 @@ Router::popHead(int in_port, int vc)
     PacketHandle h = q.front();
     q.pop();
     int flits = net.poolOf(id).get(h).flits;
-    vcState[slot(in_port, vc)].flitsUsed -= flits;
+    core->flitsUsed[sidx(in_port, vc)] -= flits;
     buffered -= 1;
-    // Freed buffer space becomes a credit at our upstream neighbour.
-    net.scheduleCredit(id, in_port, vc, flits);
+    // Freed buffer space becomes a credit at our upstream neighbour:
+    // flits under buffered flow control, one latch slot under
+    // bufferless.
+    net.scheduleCredit(id, in_port, vc,
+                       kind_ == RouterKind::Bufferless ? 1 : flits);
     return h;
 }
 
@@ -283,8 +304,7 @@ Router::ejectPass(Tick now)
 {
     (void)now;
     const PacketPool &pool = net.poolOf(id);
-    const int ports = static_cast<int>(outputs.size());
-    for (int p = 0; p < ports; ++p) {
+    for (int p = 0; p < nPorts; ++p) {
         for (int vc = 0; vc < numVcs; ++vc) {
             auto &q = vcQ[slot(p, vc)];
             while (!q.empty() && pool.get(q.front()).dst == id) {
@@ -304,10 +324,9 @@ Router::nominate(Tick now)
     // Network input ports: one nominee each, round-robin over VCs.
     // Heads whose destination lost every route (degraded fabric) are
     // dropped on the spot: waiting cannot bring the route back.
-    const int ports = static_cast<int>(outputs.size());
-    for (int p = 0; p < ports; ++p) {
+    for (int p = 0; p < nPorts; ++p) {
         for (int k = 0; k < numVcs; ++k) {
-            int vc = (rrVc[static_cast<std::size_t>(p)] + k) % numVcs;
+            int vc = (core->rrVc[pidx(p)] + k) % numVcs;
             auto &q = vcQ[slot(p, vc)];
             Route route;
             bool nominated = false;
@@ -319,7 +338,7 @@ Router::nominate(Tick now)
                     break;
                 }
                 if (!unroutable) {
-                    vcState[slot(p, vc)].creditStalls += 1;
+                    core->creditStalls[sidx(p, vc)] += 1;
                     break;
                 }
                 PacketHandle h = popHead(p, vc);
@@ -327,11 +346,10 @@ Router::nominate(Tick now)
             }
             if (!nominated)
                 continue;
-            if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
-                > now)
+            if (core->busyUntil[pidx(route.outPort)] > now)
                 continue;
             noms.push_back(Nominee{p, vc, route});
-            rrVc[static_cast<std::size_t>(p)] = (vc + 1) % numVcs;
+            core->rrVc[pidx(p)] = (vc + 1) % numVcs;
             break;
         }
     }
@@ -358,8 +376,7 @@ Router::nominate(Tick now)
         }
         if (!nominated)
             continue;
-        if (outputs[static_cast<std::size_t>(route.outPort)].busyUntil
-            > now)
+        if (core->busyUntil[pidx(route.outPort)] > now)
             continue;
         noms.push_back(Nominee{-1, cls, route});
         injRrClass = (cls + 1) % numClasses;
@@ -373,11 +390,10 @@ Router::grant(Tick now)
     const auto &topo = net.topology();
     const auto &prm = net.params();
     PacketPool &pool = net.poolOf(id);
-    const int srcSlots = static_cast<int>(outputs.size()) + 1;
+    const int srcSlots = nPorts + 1;
 
-    for (std::size_t o = 0; o < outputs.size(); ++o) {
-        auto &out = outputs[o];
-        if (!out.connected || out.busyUntil > now)
+    for (int o = 0; o < nPorts; ++o) {
+        if (!core->connected[pidx(o)] || core->busyUntil[pidx(o)] > now)
             continue;
 
         // Global arbiter: round-robin over nominating sources
@@ -385,10 +401,11 @@ Router::grant(Tick now)
         const Nominee *winner = nullptr;
         int bestRank = srcSlots;
         for (const auto &nom : noms) {
-            if (nom.route.outPort != static_cast<int>(o))
+            if (nom.route.outPort != o)
                 continue;
             int src = nom.inPort < 0 ? srcSlots - 1 : nom.inPort;
-            int rank = (src - out.rrSrc + srcSlots) % srcSlots;
+            int rank =
+                (src - core->rrSrc[pidx(o)] + srcSlots) % srcSlots;
             if (rank < bestRank) {
                 bestRank = rank;
                 winner = &nom;
@@ -415,27 +432,232 @@ Router::grant(Tick now)
             pkt.span.advance(now, trace::Link);
 
         int vc = winner->route.outVc;
-        out.credits[static_cast<std::size_t>(vc)] -= pkt.flits;
-        gs_assert(out.credits[static_cast<std::size_t>(vc)] >= 0,
+        core->credits[sidx(o, vc)] -= pkt.flits;
+        gs_assert(core->credits[sidx(o, vc)] >= 0,
                   "credit underflow at node ", id, " port ", o);
-        out.busyUntil = now + static_cast<Tick>(pkt.flits) * net.period();
-        out.sentFlits += static_cast<std::uint64_t>(pkt.flits);
-        out.sentPackets += 1;
-        out.rrSrc = ((winner->inPort < 0 ? srcSlots - 1 : winner->inPort)
-                     + 1) % srcSlots;
+        core->busyUntil[pidx(o)] =
+            now + static_cast<Tick>(pkt.flits) * net.period();
+        core->sentFlits[pidx(o)] +=
+            static_cast<std::uint64_t>(pkt.flits);
+        core->sentPackets[pidx(o)] += 1;
+        core->rrSrc[pidx(o)] =
+            ((winner->inPort < 0 ? srcSlots - 1 : winner->inPort) + 1) %
+            srcSlots;
 
-        net.countLinkFlits(id, static_cast<int>(o), pkt.flits);
+        net.countLinkFlits(id, o, pkt.flits);
 
-        topo::Port link = topo.port(id, static_cast<int>(o));
+        topo::Port link = topo.port(id, o);
         // Cut-through: the header is routable downstream after the
         // pipeline + wire + header cycles; the body streams behind
         // it at link rate (the link stays busy for the full length,
         // and ejection waits for the tail). Store-and-forward (the
         // ablation) waits for the whole packet at every hop.
-        int delay = prm.pipelineCycles + out.wireCycles +
+        int delay = prm.pipelineCycles + core->wireCycles[pidx(o)] +
                     (prm.cutThrough ? std::min(pkt.flits, headerFlits)
                                     : pkt.flits);
         net.scheduleArrival(id, link.peer, link.peerPort, vc, h, delay);
+    }
+}
+
+bool
+Router::portFree(int port, Tick now) const
+{
+    return core->connected[pidx(port)] != 0 &&
+           core->busyUntil[pidx(port)] <= now &&
+           core->credits[sidx(port, 0)] >= 1;
+}
+
+bool
+Router::creditBlocked(Tick now) const
+{
+    for (int p = 0; p < nPorts; ++p) {
+        if (core->connected[pidx(p)] != 0 &&
+            core->busyUntil[pidx(p)] <= now &&
+            core->credits[sidx(p, 0)] == 0)
+            return true;
+    }
+    return false;
+}
+
+int
+Router::pickBufferlessPort(const Packet &pkt, bool allow_deflect,
+                           Tick now, bool &deflected) const
+{
+    deflected = false;
+    const auto &topo = net.topology();
+    // Productive first: the lowest-indexed free minimal port. No
+    // credit-count tiebreak — latch credits are 0/1, so "free" is
+    // binary and the fixed index order keeps arbitration cheap and
+    // deterministic.
+    topo::PortSet minimal = topo.adaptivePorts(id, pkt.dst, pkt.hops);
+    for (int p : minimal)
+        if (portFree(p, now))
+            return p;
+    if (!allow_deflect)
+        return -1;
+    // Deflect: any free port will do; the packet pays the extra hops
+    // instead of waiting for a buffer it does not have.
+    for (int p = 0; p < nPorts; ++p) {
+        bool isMinimal = false;
+        for (int m : minimal)
+            isMinimal = isMinimal || m == p;
+        if (!isMinimal && portFree(p, now)) {
+            deflected = true;
+            return p;
+        }
+    }
+    return -1;
+}
+
+void
+Router::sendBufferless(PacketHandle h, int out_port, Tick now)
+{
+    const auto &topo = net.topology();
+    const auto &prm = net.params();
+    Packet &pkt = net.poolOf(id).get(h);
+
+    // Latency x-ray: same attribution as a buffered grant — the
+    // packet leaves arbitration and goes on the link here.
+    if (pkt.span.id != 0 && pkt.span.phase == 0)
+        pkt.span.advance(now, trace::Link);
+
+    auto &credit = core->credits[sidx(out_port, 0)];
+    credit -= 1;
+    gs_assert(credit >= 0, "latch credit underflow at node ", id,
+              " port ", out_port);
+    core->busyUntil[pidx(out_port)] =
+        now + static_cast<Tick>(pkt.flits) * net.period();
+    core->sentFlits[pidx(out_port)] +=
+        static_cast<std::uint64_t>(pkt.flits);
+    core->sentPackets[pidx(out_port)] += 1;
+
+    net.countLinkFlits(id, out_port, pkt.flits);
+
+    topo::Port link = topo.port(id, out_port);
+    int delay = prm.pipelineCycles + core->wireCycles[pidx(out_port)] +
+                (prm.cutThrough ? std::min(pkt.flits, headerFlits)
+                                : pkt.flits);
+    net.scheduleArrival(id, link.peer, link.peerPort, 0, h, delay);
+}
+
+void
+Router::tickBufferless(Tick now)
+{
+    PacketPool &pool = net.poolOf(id);
+
+    // Rank every resident packet — latch heads and side-buffered
+    // retreats together — oldest-first: (injection tick, packet id)
+    // plus a structural tie-break is a total order, identical no
+    // matter which engine or thread count runs this tick. Age
+    // priority is the livelock argument — the globally oldest packet
+    // outranks every rival at any router it shares a tick with, so
+    // it claims a minimal port whenever one is free and is never
+    // displaced by younger traffic.
+    ranks_.clear();
+    for (int p = 0; p < nPorts; ++p) {
+        auto &q = vcQ[slot(p, 0)];
+        if (q.empty())
+            continue;
+        const Packet &pkt = pool.get(q.front());
+        ranks_.push_back(LatchRank{pkt.injected, pkt.id, p, false, 0});
+    }
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(sideQ_.size()); ++i) {
+        const Packet &pkt = pool.get(sideQ_[i]);
+        ranks_.push_back(LatchRank{pkt.injected, pkt.id, -1, true, i});
+    }
+    std::sort(ranks_.begin(), ranks_.end(),
+              [](const LatchRank &a, const LatchRank &b) {
+                  if (a.injected != b.injected)
+                      return a.injected < b.injected;
+                  if (a.pktId != b.pktId)
+                      return a.pktId < b.pktId;
+                  // Packet ids are caller-assigned and may tie (raw
+                  // Network tests leave them 0); latches before side
+                  // slots, then the unique port / slot index, keeps
+                  // the order total.
+                  if (a.side != b.side)
+                      return !a.side;
+                  return a.side ? a.sideIdx < b.sideIdx
+                                : a.port < b.port;
+              });
+
+    bool sideSent = false;
+    for (const LatchRank &lr : ranks_) {
+        PacketHandle h = lr.side ? sideQ_[lr.sideIdx]
+                                 : vcQ[slot(lr.port, 0)].front();
+        Packet &pkt = pool.get(h);
+        bool deflected = false;
+        // Escalated packets (misroute budget spent) wait for a
+        // productive port instead of deflecting again; this caps
+        // per-packet deflections and breaks deterministic
+        // deflection orbits (file header).
+        int out = pickBufferlessPort(
+            pkt, pkt.deflections < kDeflectionEscalation, now,
+            deflected);
+        if (out < 0) {
+            if (lr.side)
+                continue; // already out of the way; wait in place
+            if (creditBlocked(now)) {
+                // An idle output with a full downstream latch can be
+                // one edge of a cycle of latches all waiting on each
+                // other — the one deadlock this design can reach.
+                // Vacate: the packet parks in the side buffer and
+                // the freed latch credit goes upstream, so the cycle
+                // cannot close. popHead hands back the credit;
+                // residency here is unchanged.
+                popHead(lr.port, 0);
+                buffered += 1;
+                sideQ_.push_back(h);
+                retreats_ += 1;
+            } else {
+                // Every output mid-transfer: resolves by itself
+                // within one packet length; hold the latch.
+                latchStalls_ += 1;
+            }
+            continue;
+        }
+        if (deflected) {
+            deflections_ += 1;
+            pkt.deflections += 1;
+        }
+        if (lr.side) {
+            sideQ_[lr.sideIdx] = invalidHandle;
+            sideSent = true;
+            buffered -= 1;
+        } else {
+            popHead(lr.port, 0);
+        }
+        sendBufferless(h, out, now);
+    }
+    if (sideSent)
+        sideQ_.erase(std::remove(sideQ_.begin(), sideQ_.end(),
+                                 invalidHandle),
+                     sideQ_.end());
+
+    // Injection joins last and never deflects: a new packet enters
+    // the mesh only through a productive port, which bounds the work
+    // in flight and keeps sources from flooding a congested
+    // neighbourhood with guaranteed-misrouted traffic.
+    for (int k = 0; k < numClasses; ++k) {
+        int cls = (injRrClass + k) % numClasses;
+        auto &q = injQs[static_cast<std::size_t>(cls)];
+        if (q.empty())
+            continue;
+        PacketHandle h = q.front();
+        const Packet &pkt = pool.get(h);
+        bool deflected = false;
+        int out = pickBufferlessPort(pkt, /*allow_deflect=*/false, now,
+                                     deflected);
+        if (out < 0) {
+            injStalls[static_cast<std::size_t>(cls)] += 1;
+            continue;
+        }
+        q.pop();
+        injWaiting -= 1;
+        sendBufferless(h, out, now);
+        injRrClass = (cls + 1) % numClasses;
+        break;
     }
 }
 
@@ -447,9 +669,109 @@ Router::tick(Tick now)
     ejectPass(now);
     if (buffered == 0 && injWaiting == 0)
         return;
+    if (kind_ == RouterKind::Bufferless) {
+        tickBufferless(now);
+        return;
+    }
     nominate(now);
     if (!noms.empty())
         grant(now);
+}
+
+void
+Router::saveCkpt(ckpt::Serializer &s) const
+{
+    s.put32(static_cast<std::uint32_t>(vcQ.size()));
+    for (const HandleQueue &q : vcQ)
+        q.saveCkpt(s);
+    for (int p = 0; p < nPorts; ++p) {
+        for (int vc = 0; vc < numVcs; ++vc) {
+            s.putI32(core->flitsUsed[sidx(p, vc)]);
+            s.put64(core->recvFlits[sidx(p, vc)]);
+            s.put64(core->creditStalls[sidx(p, vc)]);
+        }
+    }
+    s.put32(static_cast<std::uint32_t>(nPorts));
+    for (int p = 0; p < nPorts; ++p)
+        s.putI32(core->rrVc[pidx(p)]);
+    s.put32(static_cast<std::uint32_t>(nPorts));
+    for (int p = 0; p < nPorts; ++p) {
+        s.putBool(core->connected[pidx(p)] != 0);
+        for (int vc = 0; vc < numVcs; ++vc)
+            s.putI32(core->credits[sidx(p, vc)]);
+        s.put64(core->busyUntil[pidx(p)]);
+        s.putI32(core->wireCycles[pidx(p)]);
+        s.putI32(core->rrSrc[pidx(p)]);
+        s.put64(core->sentFlits[pidx(p)]);
+        s.put64(core->sentPackets[pidx(p)]);
+    }
+    for (const HandleQueue &q : injQs)
+        q.saveCkpt(s);
+    for (std::uint64_t v : injStalls)
+        s.put64(v);
+    s.putI32(injRrClass);
+    s.put64(statsWindowStart);
+    s.putI32(buffered);
+    s.putI32(injWaiting);
+    s.put64(deflections_);
+    s.put64(latchStalls_);
+    s.put64(retreats_);
+    s.put32(static_cast<std::uint32_t>(sideQ_.size()));
+    for (PacketHandle h : sideQ_)
+        s.put32(h);
+}
+
+void
+Router::restoreCkpt(ckpt::Deserializer &d)
+{
+    if (d.get32() != vcQ.size() && d.ok()) {
+        d.fail("router VC queue count mismatch");
+        return;
+    }
+    for (HandleQueue &q : vcQ)
+        q.restoreCkpt(d);
+    for (int p = 0; p < nPorts; ++p) {
+        for (int vc = 0; vc < numVcs; ++vc) {
+            core->flitsUsed[sidx(p, vc)] = d.getI32();
+            core->recvFlits[sidx(p, vc)] = d.get64();
+            core->creditStalls[sidx(p, vc)] = d.get64();
+        }
+    }
+    if (d.get32() != static_cast<std::uint32_t>(nPorts) && d.ok()) {
+        d.fail("router port count mismatch");
+        return;
+    }
+    for (int p = 0; p < nPorts; ++p)
+        core->rrVc[pidx(p)] = d.getI32();
+    if (d.get32() != static_cast<std::uint32_t>(nPorts) && d.ok()) {
+        d.fail("router output count mismatch");
+        return;
+    }
+    for (int p = 0; p < nPorts; ++p) {
+        core->connected[pidx(p)] = d.getBool() ? 1 : 0;
+        for (int vc = 0; vc < numVcs; ++vc)
+            core->credits[sidx(p, vc)] = d.getI32();
+        core->busyUntil[pidx(p)] = d.get64();
+        core->wireCycles[pidx(p)] = d.getI32();
+        core->rrSrc[pidx(p)] = d.getI32();
+        core->sentFlits[pidx(p)] = d.get64();
+        core->sentPackets[pidx(p)] = d.get64();
+    }
+    for (HandleQueue &q : injQs)
+        q.restoreCkpt(d);
+    for (std::uint64_t &v : injStalls)
+        v = d.get64();
+    injRrClass = d.getI32();
+    statsWindowStart = d.get64();
+    buffered = d.getI32();
+    injWaiting = d.getI32();
+    deflections_ = d.get64();
+    latchStalls_ = d.get64();
+    retreats_ = d.get64();
+    sideQ_.clear();
+    const std::uint32_t nSide = d.get32();
+    for (std::uint32_t i = 0; i < nSide && d.ok(); ++i)
+        sideQ_.push_back(d.get32());
 }
 
 } // namespace gs::net

@@ -1,6 +1,7 @@
 /**
  * @file
- * The 21364-style router model.
+ * The 21364-style router model, plus a bufferless deflection
+ * (hot-potato) ablation backend.
  *
  * Each router serves one node of the topology. Per network input
  * port it keeps one buffer per virtual channel (per message class:
@@ -22,11 +23,51 @@
  * topology). Ejection always sinks, so responses drain and the
  * class separation keeps the coherence protocol deadlock-free.
  *
+ * The bufferless backend (NetworkParams::routerKind ==
+ * RouterKind::Bufferless) replaces the VC buffers with a one-packet
+ * latch per input port: every tick, latched packets are ranked
+ * oldest-first by (injection tick, packet id) and each claims a free
+ * minimal output; losers are *deflected* onto any free non-minimal
+ * port instead of waiting. Age-based priority makes the scheme
+ * livelock-free — the globally oldest packet never loses a claim to
+ * a younger one, so it makes monotonic progress and every packet
+ * eventually becomes oldest. Credits still flow, but count latches
+ * (packets), not flits.
+ *
+ * Single-cycle BLESS never blocks because every packet is reassigned
+ * to some output every cycle. Multi-flit links break that guarantee
+ * — an output stays busy for a packet's whole length — so latches
+ * can form a cycle of full-waits-on-full. The escape hatch is a
+ * *side-buffer retreat* (in the spirit of minimally-buffered
+ * deflection routing): a latched head that finds an idle output with
+ * no latch credit — the deadlock signature, as opposed to the
+ * transient all-outputs-mid-transfer case — vacates its latch into a
+ * local side buffer, returning the upstream credit and dissolving
+ * the cycle. Side-buffered packets keep their age and re-enter the
+ * port ranking on every tick ahead of fresh injections. See
+ * docs/ROUTER.md.
+ *
+ * Age priority alone is also not enough for livelock freedom here:
+ * in BLESS the oldest packet always finds every output assignable,
+ * but with multi-flit occupancy and credit round-trips a pair of
+ * packets can chase each other through a deterministic orbit, each
+ * finding its productive port mid-transfer at exactly the tick it
+ * arbitrates, deflecting forever. The bound is restored by
+ * *escalation*: once a packet has been deflected
+ * kDeflectionEscalation times it refuses further misroutes and waits
+ * (in its latch or the side buffer) for a productive port. The wait
+ * is finite — the only holder of that port's latch credit is a
+ * packet this router itself sent, which the peer either forwards or
+ * retreats within bounded ticks — so every packet's deflection count
+ * is capped at the escalation threshold.
+ *
  * Data layout: packets live in the Network's PacketPool for their
- * whole flight; the router buffers 4-byte handles, and all per-VC
- * scalar state (occupancy, telemetry counters) sits in one
- * contiguous array indexed [port * numVcs + vc] so the arbitration
- * sweep walks flat memory.
+ * whole flight; the router buffers 4-byte handles, and every
+ * per-port / per-VC scalar (credits, occupancy, busy horizons, RR
+ * pointers, telemetry counters) lives in the Network-wide RouterCore
+ * structure-of-arrays (router_core.hh) — this object holds only its
+ * base offsets into those flat arrays, its handle queues, and the
+ * arbitration logic.
  */
 
 #ifndef GS_NET_ROUTER_HH
@@ -39,6 +80,8 @@
 
 #include "net/packet.hh"
 #include "net/packet_pool.hh"
+#include "net/params.hh"
+#include "net/router_core.hh"
 #include "sim/telemetry.hh"
 #include "sim/types.hh"
 
@@ -78,7 +121,7 @@ class Router
     /** Occupancy (flits) of input VC @p vc on port @p in_port. */
     int vcOccupancy(int in_port, int vc) const
     {
-        return vcState[slot(in_port, vc)].flitsUsed;
+        return core->flitsUsed[sidx(in_port, vc)];
     }
 
     /** Pending packets in the injection queue of class @p cls. */
@@ -87,12 +130,37 @@ class Router
         return injQs[static_cast<std::size_t>(cls)].size();
     }
 
-    /** Credits currently held for (out_port, vc). */
+    /**
+     * Credits currently held for (out_port, vc): flits under the
+     * buffered backend, latch slots (0 or 1) under bufferless.
+     */
     int creditsAvailable(int out_port, int vc) const
     {
-        return outputs[static_cast<std::size_t>(out_port)]
-            .credits[static_cast<std::size_t>(vc)];
+        return core->credits[sidx(out_port, vc)];
     }
+
+    /** @name Bufferless deflection accounting (RouterKind::Bufferless) */
+    /// @{
+
+    /**
+     * Misroute budget per packet: at this many deflections a packet
+     * escalates to minimal-only routing (see the file header). The
+     * cap on Packet::deflections every delivery obeys.
+     */
+    static constexpr std::uint32_t kDeflectionEscalation = 64;
+
+    /** Packets this router sent off a minimal path. */
+    std::uint64_t deflectionsSent() const { return deflections_; }
+
+    /** Ticks a latched packet found no free output at all. */
+    std::uint64_t latchStalls() const { return latchStalls_; }
+
+    /** Latched packets that vacated into the side buffer. */
+    std::uint64_t retreats() const { return retreats_; }
+
+    /** Packets currently parked in the side buffer. */
+    std::size_t sideBufferDepth() const { return sideQ_.size(); }
+    /// @}
 
     /**
      * Register this router's per-port / per-VC stats under
@@ -117,6 +185,7 @@ class Router
      * Re-read link liveness from the topology. A newly reconnected
      * output gets fresh credits computed from the peer's current
      * buffer occupancy (credits in flight across a failure are lost).
+     * Buffered backend only.
      */
     void syncPorts();
 
@@ -133,88 +202,13 @@ class Router
     /** @name Checkpoint/restore.
      *
      * Serializes every queue of handles plus all per-VC/per-output
-     * scalars. Handles stay valid because the owning PacketPool is
+     * scalars (read from / written into this router's RouterCore
+     * slice). Handles stay valid because the owning PacketPool is
      * restored verbatim first.
      */
     /// @{
-    void
-    saveCkpt(ckpt::Serializer &s) const
-    {
-        s.put32(static_cast<std::uint32_t>(vcQ.size()));
-        for (const HandleQueue &q : vcQ)
-            q.saveCkpt(s);
-        for (const VcState &v : vcState) {
-            s.putI32(v.flitsUsed);
-            s.put64(v.recvFlits);
-            s.put64(v.creditStalls);
-        }
-        s.put32(static_cast<std::uint32_t>(rrVc.size()));
-        for (int r : rrVc)
-            s.putI32(r);
-        s.put32(static_cast<std::uint32_t>(outputs.size()));
-        for (const Output &o : outputs) {
-            s.putBool(o.connected);
-            for (int c : o.credits)
-                s.putI32(c);
-            s.put64(o.busyUntil);
-            s.putI32(o.wireCycles);
-            s.putI32(o.rrSrc);
-            s.put64(o.sentFlits);
-            s.put64(o.sentPackets);
-        }
-        for (const HandleQueue &q : injQs)
-            q.saveCkpt(s);
-        for (std::uint64_t v : injStalls)
-            s.put64(v);
-        s.putI32(injRrClass);
-        s.put64(statsWindowStart);
-        s.putI32(buffered);
-        s.putI32(injWaiting);
-    }
-
-    void
-    restoreCkpt(ckpt::Deserializer &d)
-    {
-        if (d.get32() != vcQ.size() && d.ok()) {
-            d.fail("router VC queue count mismatch");
-            return;
-        }
-        for (HandleQueue &q : vcQ)
-            q.restoreCkpt(d);
-        for (VcState &v : vcState) {
-            v.flitsUsed = d.getI32();
-            v.recvFlits = d.get64();
-            v.creditStalls = d.get64();
-        }
-        if (d.get32() != rrVc.size() && d.ok()) {
-            d.fail("router port count mismatch");
-            return;
-        }
-        for (int &r : rrVc)
-            r = d.getI32();
-        if (d.get32() != outputs.size() && d.ok()) {
-            d.fail("router output count mismatch");
-            return;
-        }
-        for (Output &o : outputs) {
-            o.connected = d.getBool();
-            for (int &c : o.credits)
-                c = d.getI32();
-            o.busyUntil = d.get64();
-            o.wireCycles = d.getI32();
-            o.rrSrc = d.getI32();
-            o.sentFlits = d.get64();
-            o.sentPackets = d.get64();
-        }
-        for (HandleQueue &q : injQs)
-            q.restoreCkpt(d);
-        for (std::uint64_t &v : injStalls)
-            v = d.get64();
-        injRrClass = d.getI32();
-        statsWindowStart = d.get64();
-        buffered = d.getI32();
-        injWaiting = d.getI32();
-    }
+    void saveCkpt(ckpt::Serializer &s) const;
+    void restoreCkpt(ckpt::Deserializer &d);
     /// @}
 
   private:
@@ -233,36 +227,44 @@ class Router
         Route route; ///< chosen output
     };
 
-    /** Per-(input port, VC) scalar state, flat-indexed by slot(). */
-    struct VcState
+    /**
+     * One port-ranking contender under bufferless: an occupied latch
+     * (side == false, port = latch port) or a side-buffered packet
+     * (side == true, sideIdx = its slot). The (injected, pktId,
+     * side, port-or-slot) tuple is a total order even when packet
+     * ids tie at 0.
+     */
+    struct LatchRank
     {
-        int flitsUsed = 0;
-
-        // Telemetry counters (plain adds on the hot path; the
-        // registry reads them pull-based, so they cost nothing more
-        // even with every sink attached).
-        std::uint64_t recvFlits = 0;
-        std::uint64_t creditStalls = 0; ///< head blocked, no credits
+        Tick injected;
+        std::uint64_t pktId;
+        int port;
+        bool side;
+        std::uint32_t sideIdx;
     };
 
-    struct Output
-    {
-        bool connected = false;
-        std::array<int, numVcs> credits{};
-        Tick busyUntil = 0;
-        int wireCycles = 0;
-        int rrSrc = 0; ///< global-arbiter round-robin pointer
-
-        std::uint64_t sentFlits = 0;   ///< telemetry
-        std::uint64_t sentPackets = 0; ///< telemetry
-    };
-
+    /** Local queue index of (in_port, vc). */
     std::size_t
     slot(int in_port, int vc) const
     {
         return static_cast<std::size_t>(in_port) *
                    static_cast<std::size_t>(numVcs) +
                static_cast<std::size_t>(vc);
+    }
+
+    /** RouterCore per-port index of @p port. */
+    std::size_t
+    pidx(int port) const
+    {
+        return static_cast<std::size_t>(pb) +
+               static_cast<std::size_t>(port);
+    }
+
+    /** RouterCore per-(port, VC) index of (port, vc). */
+    std::size_t
+    sidx(int port, int vc) const
+    {
+        return static_cast<std::size_t>(sb) + slot(port, vc);
     }
 
     /**
@@ -276,7 +278,10 @@ class Router
     bool chooseRoute(const Packet &pkt, Route &out,
                      bool &unroutable) const;
 
-    /** Buffer capacity of output VC @p vc in flits. */
+    /**
+     * Buffer capacity of output VC @p vc: flits (buffered) or latch
+     * slots (bufferless, 1 for VC 0 and 0 otherwise).
+     */
     int vcCapacity(int vc) const;
 
     /** Eject every deliverable head packet on every input VC. */
@@ -288,25 +293,61 @@ class Router
     /** Run the global arbiters and perform the granted transfers. */
     void grant(Tick now);
 
+    /** One bufferless cycle: age-rank, claim/deflect, inject. */
+    void tickBufferless(Tick now);
+
+    /**
+     * Free output for @p pkt under deflection routing: the
+     * lowest-indexed free minimal port, else (when @p allow_deflect)
+     * the lowest-indexed free port in any direction, setting
+     * @p deflected. -1 when every output is claimed or busy.
+     */
+    int pickBufferlessPort(const Packet &pkt, bool allow_deflect,
+                           Tick now, bool &deflected) const;
+
+    /** Output @p port can accept one packet right now. */
+    bool portFree(int port, Tick now) const;
+
+    /**
+     * Some connected output is idle yet holds no latch credit — the
+     * downstream latch is full while the link sits silent. This is
+     * the deadlock-cycle signature a blocked latch head retreats on;
+     * all-outputs-mid-transfer resolves by itself and is not it.
+     */
+    bool creditBlocked(Tick now) const;
+
+    /** Put @p h on output @p out_port (bufferless transfer tail). */
+    void sendBufferless(PacketHandle h, int out_port, Tick now);
+
     /** Pop the head of an input VC, returning upstream credits. */
     PacketHandle popHead(int in_port, int vc);
 
     Network &net;
     NodeId id;
+    RouterCore *core;  ///< the owning Network's flat state
+    std::uint32_t pb = 0; ///< per-port base (core->ref(id).portBase)
+    std::uint32_t sb = 0; ///< per-slot base (core->ref(id).slotBase)
+    int nPorts = 0;
+    RouterKind kind_ = RouterKind::Buffered;
 
     std::vector<HandleQueue> vcQ; ///< buffered packets, slot()-indexed
-    std::vector<VcState> vcState; ///< per-VC scalars, slot()-indexed
-    std::vector<int> rrVc;        ///< per-port local-arbiter pointer
-    std::vector<Output> outputs;
     std::array<HandleQueue, numClasses> injQs;
     std::array<std::uint64_t, numClasses> injStalls{}; ///< telemetry
     int injRrClass = 0;
     Tick statsWindowStart = 0; ///< busy-fraction window origin
 
-    int buffered = 0;   ///< packets held in input VC buffers
+    int buffered = 0;   ///< packets resident here (latches + side)
     int injWaiting = 0; ///< packets waiting in injection queues
 
-    std::vector<Nominee> noms; ///< per-tick scratch
+    std::uint64_t deflections_ = 0; ///< bufferless: misroutes sent
+    std::uint64_t latchStalls_ = 0; ///< bufferless: all-ports-busy ticks
+    std::uint64_t retreats_ = 0;    ///< bufferless: latch -> side moves
+
+    /** Bufferless side buffer: retreated packets awaiting a port. */
+    std::vector<PacketHandle> sideQ_;
+
+    std::vector<Nominee> noms;     ///< per-tick scratch (buffered)
+    std::vector<LatchRank> ranks_; ///< per-tick scratch (bufferless)
 };
 
 } // namespace gs::net

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Structure-of-arrays state for every router in a fabric.
+ *
+ * The routers used to keep their per-port and per-VC scalars in
+ * per-object arrays of structs (Output{credits[15], busyUntil, ...},
+ * VcState{flitsUsed, ...}), so a domain tick walked N objects and,
+ * inside each, hopped across 100+-byte structs to read one int. The
+ * RouterCore flattens that state into network-wide parallel arrays:
+ *
+ *   per (node, port):      busyUntil, wireCycles, connected, rrSrc,
+ *                          rrVc, sentFlits, sentPackets
+ *   per (node, port, VC):  credits, flitsUsed, recvFlits,
+ *                          creditStalls
+ *
+ * A router addresses its slice through two base offsets handed out
+ * at build() time; the arbitration sweeps then walk contiguous
+ * memory (all credits of one node's ports sit in one run), and one
+ * epoch advancing a whole domain streams the arrays front to back.
+ *
+ * Each node's slices are padded to a 16-entry (one cache line of
+ * 4-byte scalars) boundary so routers ticked from different parallel
+ * domains never share a line (the tile engine tick-sweeps node
+ * ranges concurrently). The arrays are sized once at build() and
+ * never reallocate, so telemetry may hold references to elements.
+ *
+ * Queue *contents* (the HandleQueues of buffered packets) stay in
+ * the Router: they are pointer-chased FIFOs either way, and keeping
+ * them per-object preserves the checkpoint layout.
+ */
+
+#ifndef GS_NET_ROUTER_CORE_HH
+#define GS_NET_ROUTER_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+#include "topology/topology.hh"
+
+namespace gs::net
+{
+
+/** Flat per-port / per-VC router state for one Network. */
+class RouterCore
+{
+  public:
+    /** One node's slice: base offsets into the flat arrays. */
+    struct NodeRef
+    {
+        std::uint32_t portBase = 0; ///< into the per-port arrays
+        std::uint32_t slotBase = 0; ///< into the per-(port,VC) arrays
+        std::uint32_t ports = 0;
+    };
+
+    /** Size and zero every array for @p topo's nodes. */
+    void
+    build(const topo::Topology &topo)
+    {
+        const int n = topo.numNodes();
+        nodes.resize(static_cast<std::size_t>(n));
+        std::uint32_t pb = 0, sb = 0;
+        for (NodeId node = 0; node < n; ++node) {
+            auto ports =
+                static_cast<std::uint32_t>(topo.numPorts(node));
+            nodes[static_cast<std::size_t>(node)] =
+                NodeRef{pb, sb, ports};
+            pb += pad(ports);
+            sb += pad(ports * static_cast<std::uint32_t>(numVcs));
+        }
+        busyUntil.assign(pb, 0);
+        wireCycles.assign(pb, 0);
+        connected.assign(pb, 0);
+        rrSrc.assign(pb, 0);
+        rrVc.assign(pb, 0);
+        sentFlits.assign(pb, 0);
+        sentPackets.assign(pb, 0);
+        credits.assign(sb, 0);
+        flitsUsed.assign(sb, 0);
+        recvFlits.assign(sb, 0);
+        creditStalls.assign(sb, 0);
+    }
+
+    const NodeRef &ref(NodeId node) const
+    {
+        return nodes[static_cast<std::size_t>(node)];
+    }
+
+    /** @name Per-(node, port) state, indexed ref().portBase + port */
+    /// @{
+    std::vector<Tick> busyUntil;         ///< output link busy horizon
+    std::vector<std::int32_t> wireCycles;
+    std::vector<std::uint8_t> connected;
+    std::vector<std::int32_t> rrSrc; ///< global-arbiter RR pointer
+    std::vector<std::int32_t> rrVc;  ///< local-arbiter RR pointer
+    std::vector<std::uint64_t> sentFlits;   ///< telemetry
+    std::vector<std::uint64_t> sentPackets; ///< telemetry
+    /// @}
+
+    /** @name Per-(node, port, VC) state,
+     *  indexed ref().slotBase + port * numVcs + vc */
+    /// @{
+    std::vector<std::int32_t> credits;   ///< for the output direction
+    std::vector<std::int32_t> flitsUsed; ///< input-buffer occupancy
+    std::vector<std::uint64_t> recvFlits;    ///< telemetry
+    std::vector<std::uint64_t> creditStalls; ///< telemetry
+    /// @}
+
+  private:
+    /** Round a slice length up to a 16-entry line boundary. */
+    static std::uint32_t pad(std::uint32_t len)
+    {
+        return (len + 15u) & ~15u;
+    }
+
+    std::vector<NodeRef> nodes;
+};
+
+} // namespace gs::net
+
+#endif // GS_NET_ROUTER_CORE_HH

@@ -76,6 +76,7 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     m->striped_ = opt.striped;
     m->shuffle_ = opt.shuffle;
     m->shufflePolicy_ = static_cast<int>(opt.shufflePolicy);
+    m->routerKind_ = static_cast<int>(opt.routerKind);
 
     auto [w, h] = opt.width > 0 ? std::pair{opt.width, opt.height}
                                 : torusShape(cpus);
@@ -99,7 +100,9 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
         m->map = std::make_unique<mem::NodeOwnedMap>();
     }
 
-    m->buildFabric(net::NetworkParams::gs1280());
+    net::NetworkParams np = net::NetworkParams::gs1280();
+    np.routerKind = opt.routerKind;
+    m->buildFabric(np);
 
     // Parallel decomposition: the torus is cut into R x C
     // rectangular tiles, one domain per tile. The shape comes from

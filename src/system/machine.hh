@@ -87,6 +87,14 @@ struct Gs1280Options
      * traces every miss.
      */
     double spanSampleRate = 0.0;
+    /**
+     * Router backend (docs/ROUTER.md): the EV7 buffered adaptive-VC
+     * design (default) or the bufferless deflection ablation
+     * (--router=bufferless in the benches). Part of the machine's
+     * deterministic identity; recorded in snapshots and checked at
+     * restore.
+     */
+    net::RouterKind routerKind = net::RouterKind::Buffered;
 };
 
 /** The standard torus shape for @p cpus (2x1, 2x2, 4x2, ... 8x8). */
@@ -347,6 +355,7 @@ class Machine
     bool shuffle_ = false;
     int shufflePolicy_ = 0;
     int tileR_ = 1, tileC_ = 1; ///< engine decomposition (1x1 = serial)
+    int routerKind_ = 0; ///< net::RouterKind as built
     /// @}
 
     /** @name Run/restore state */

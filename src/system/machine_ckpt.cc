@@ -177,6 +177,7 @@ Machine::save(const std::string &path, std::string *err)
     s.putI32(topo_->numNodes());
     s.putI32(tileR_);
     s.putI32(tileC_);
+    s.putI32(routerKind_);
     s.endSection();
 
     // RNGS ------------------------------------------------------------
@@ -367,6 +368,7 @@ Machine::restore(const std::string &path,
     check(d.getI32(), topo_->numNodes(), "the node count");
     check(d.getI32(), tileR_, "the tile rows");
     check(d.getI32(), tileC_, "the tile cols");
+    check(d.getI32(), routerKind_, "the router backend");
     if (!d.ok())
         return fail(d.error());
     d.leaveSection("META");
