@@ -55,9 +55,10 @@ withSweepArgs(std::map<std::string, std::string> known = {})
                              "docs/PARALLEL.md)");
     known.emplace("tile-shape",
                   "pin the parallel engine's tile decomposition to "
-                  "RxC (e.g. 2x4; default: chosen from --threads). "
-                  "Runs compared across thread counts must pin the "
-                  "same shape");
+                  "RxC, or RxCxS on 3-D machines (e.g. 2x4 or "
+                  "2x2x2; default: chosen from --threads). Runs "
+                  "compared across thread counts must pin the same "
+                  "shape");
     return known;
 }
 
@@ -98,7 +99,7 @@ applyRouterKind(const Args &args, sys::Gs1280Options &opt)
     opt.routerKind = routerKindArg(args);
 }
 
-/** Apply --tile-shape=RxC (if given) to @p opt; die on malformed. */
+/** Apply --tile-shape=RxC or RxCxS (if given); die on malformed. */
 inline void
 applyTileShape(const Args &args, sys::Gs1280Options &opt)
 {
@@ -106,21 +107,30 @@ applyTileShape(const Args &args, sys::Gs1280Options &opt)
     if (shape.empty())
         return;
     std::size_t x = shape.find('x');
-    int r = 0, c = 0;
+    int r = 0, c = 0, s = 0;
     if (x != std::string::npos && x > 0 && x + 1 < shape.size()) {
+        std::size_t x2 = shape.find('x', x + 1);
         try {
             r = std::stoi(shape.substr(0, x));
-            c = std::stoi(shape.substr(x + 1));
+            if (x2 == std::string::npos) {
+                c = std::stoi(shape.substr(x + 1));
+                s = 1;
+            } else {
+                c = std::stoi(shape.substr(x + 1, x2 - x - 1));
+                s = std::stoi(shape.substr(x2 + 1));
+            }
         } catch (...) {
-            r = c = 0;
+            r = c = s = 0;
         }
     }
-    if (r < 1 || c < 1) {
+    if (r < 1 || c < 1 || s < 1) {
         gs_fatal("--tile-shape=", shape,
-                 ": expected RxC with positive integers (e.g. 2x4)");
+                 ": expected RxC or RxCxS with positive integers "
+                 "(e.g. 2x4 or 2x4x2)");
     }
     opt.tileRows = r;
     opt.tileCols = c;
+    opt.tileSlabs = s;
 }
 
 /** Build the runner a bench's --jobs/--seed options ask for. */

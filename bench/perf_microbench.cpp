@@ -324,6 +324,73 @@ BM_CoherentLocalMiss(benchmark::State &state)
 }
 BENCHMARK(BM_CoherentLocalMiss);
 
+/**
+ * The mem.* gauge family (docs/SCALING.md): bytes of host memory per
+ * simulated node, reported through the items/sec channel so the same
+ * JSON machinery that gates throughput can gate footprint. Each
+ * iteration takes a fixed manual "time" of 1 s and claims
+ * bytes-per-node "items", so items_per_second IS the gauge — a pure
+ * function of the build, not of host speed. scripts/bench_compare.py
+ * treats every benchmark named mem.* as lower-is-better; the CI
+ * scale-smoke lane diffs these rows against
+ * bench/baselines/BENCH_scale.json with --max-regress.
+ */
+void
+memBytesPerNode(benchmark::State &state, int x, int y, int z,
+                bool dense, std::uint64_t gupsUpdates)
+{
+    double bytesPerNode = 0;
+    for (auto _ : state) {
+        sys::Gs1280Options opt;
+        std::unique_ptr<sys::Machine> m =
+            z > 1 ? sys::Machine::buildGS1280_3D(x, y, z, opt)
+                  : sys::Machine::buildGS1280(x * y, opt);
+        if (gupsUpdates > 0) {
+            std::vector<std::unique_ptr<wl::Gups>> gens;
+            std::vector<cpu::TrafficSource *> sources;
+            for (int c = 0; c < 16; ++c) {
+                gens.push_back(std::make_unique<wl::Gups>(
+                    m->cpuCount(), 64ULL << 10, gupsUpdates,
+                    Rng::deriveSeed(5,
+                                    static_cast<std::uint64_t>(c))));
+                sources.push_back(gens.back().get());
+            }
+            bool ok = m->run(sources);
+            benchmark::DoNotOptimize(ok);
+        }
+        const auto nodes = static_cast<double>(m->nodeCount());
+        bytesPerNode =
+            static_cast<double>(dense ? m->denseMemFootprintBytes()
+                                      : m->memFootprintBytes()) /
+            nodes;
+        state.SetIterationTime(1.0);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        static_cast<double>(state.iterations()) * bytesPerNode));
+}
+
+// One iteration each: the gauge is deterministic, repetition buys
+// nothing. Registered by name (not the BENCHMARK macro) so the family
+// shares one body across shapes.
+const int memBenchesRegistered = [] {
+    auto reg = [](const char *name, int x, int y, int z, bool dense,
+                  std::uint64_t updates) {
+        benchmark::RegisterBenchmark(
+            name,
+            [x, y, z, dense, updates](benchmark::State &st) {
+                memBytesPerNode(st, x, y, z, dense, updates);
+            })
+            ->UseManualTime()
+            ->Iterations(1);
+    };
+    reg("mem.bytes_per_node_2d64", 8, 8, 1, false, 0);
+    reg("mem.bytes_per_node_3d512", 8, 8, 8, false, 0);
+    reg("mem.bytes_per_node_3d2048", 16, 16, 8, false, 0);
+    reg("mem.bytes_per_node_3d2048_gups", 16, 16, 8, false, 25);
+    reg("mem.dense_bytes_per_node_3d2048", 16, 16, 8, true, 0);
+    return 1;
+}();
+
 void
 BM_ParallelEpoch(benchmark::State &state)
 {

@@ -23,6 +23,13 @@ runs at least FACTOR times faster than its /1 variant — the knob the
 perf-parallel CI lane uses to keep the parallel engine's speedup
 honest (warn-only on shared runners, like everything else here).
 
+Benchmarks named mem.* are footprint gauges (bytes per simulated
+node, reported through items_per_second; see perf_microbench.cpp):
+for them LOWER is better, so the regression test inverts — a
+candidate more than --max-regress ABOVE baseline fails. Everything
+else about the comparison (strict/warn-only, NEW/MISSING handling)
+is unchanged.
+
 Benchmarks present in only one file are reported but never fail the
 run: baselines are updated deliberately, not implicitly.
 
@@ -80,6 +87,13 @@ def load_rates(path):
     if not rates:
         die(f"{path} contains no usable benchmark entries; {regen}")
     return rates
+
+
+def lower_is_better(name):
+    """mem.* rows are gauges (bytes/node) riding the items/sec
+    channel: a bigger number is a fatter simulation, not a faster
+    one."""
+    return name.startswith("mem.")
 
 
 def parse_speedup(spec):
@@ -167,7 +181,17 @@ def main():
             continue
         ratio = cand[name] / base[name]
         status = "ok"
-        if ratio < 1.0 - args.max_regress:
+        if lower_is_better(name):
+            # Gauge row: growth is the regression, shrinkage the win.
+            if ratio > 1.0 + args.max_regress:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}: {ratio:.2f}x of baseline, but lower is "
+                    f"better ({base[name]:,.0f} -> {cand[name]:,.0f} "
+                    "bytes/node)")
+            elif ratio < 1.0 - args.max_regress:
+                status = "improved"
+        elif ratio < 1.0 - args.max_regress:
             status = "REGRESSED"
             failures.append(
                 f"{name}: {ratio:.2f}x of baseline "

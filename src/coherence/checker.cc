@@ -73,8 +73,7 @@ verifyCoherence(const std::vector<CoherentNode *> &nodes)
                         fail(describe(line,
                                       "owned copy of a Shared line"));
                     if (ls == mem::LineState::Shared &&
-                        !(sharers &
-                          (1ULL << static_cast<unsigned>(peer->id()))))
+                        !(sharers & home->sharerBitOf(peer->id())))
                         fail(describe(line,
                                       "sharer missing from the "
                                       "directory vector"));

@@ -11,13 +11,6 @@ namespace gs::coher
 namespace
 {
 
-/** Sharer bitmask helpers (up to 64 nodes, the GS1280 maximum). */
-constexpr std::uint64_t
-bitOf(NodeId n)
-{
-    return 1ULL << static_cast<unsigned>(n);
-}
-
 /** Build the checkpoint descriptor for a node-owned event. */
 ckpt::EventDesc
 cohDesc(ckpt::EvKind kind, NodeId owner, int a = 0, int b = 0,
@@ -42,6 +35,11 @@ CoherentNode::CoherentNode(SimContext &context, net::Network &network,
     : ctx(context), net_(network), self(node), map(addr_map),
       cfg(config)
 {
+    gs_assert(cfg.sharerGroupSize >= 1 &&
+                  (net_.topology().numNodes() + cfg.sharerGroupSize -
+                   1) / cfg.sharerGroupSize <=
+                      64,
+              "sharer groups overflow the 64-bit vector");
     if (cfg.hasCache)
         cache = std::make_unique<mem::Cache>(cfg.l2);
     if (cfg.hasMemory) {
@@ -117,7 +115,11 @@ CoherentNode::quiesced() const
     if (!maf.empty() || !vb.empty() || !pendingCore.empty())
         return false;
     for (const auto &[line, entry] : dir) {
-        if (entry.state == DirState::Busy || !entry.pending.empty())
+        if (entry.state == DirState::Busy)
+            return false;
+    }
+    for (const auto &[line, txn] : dirTxns) {
+        if (!txn.pending.empty())
             return false;
     }
     return true;
@@ -152,6 +154,65 @@ CoherentNode::dirLines() const
         if (entry.state != DirState::Invalid)
             lines.push_back(line);
     return lines;
+}
+
+namespace
+{
+
+/**
+ * Heap estimate for a node-based unordered_map: one bucket pointer
+ * per bucket plus, per element, the value and the node's link +
+ * cached hash.
+ */
+template <typename M>
+std::size_t
+mapBytes(const M &m)
+{
+    return m.bucket_count() * sizeof(void *) +
+           m.size() *
+               (sizeof(typename M::value_type) + 2 * sizeof(void *));
+}
+
+} // namespace
+
+std::size_t
+CoherentNode::footprintBytes() const
+{
+    std::size_t b = sizeof(*this);
+    if (cache)
+        b += cache->footprintBytes();
+    for (const auto &z : zboxes)
+        b += z->footprintBytes();
+    b += mapBytes(maf) + mapBytes(vb) + mapBytes(dir) +
+         mapBytes(dirTxns);
+    for (const auto &[line, txn] : dirTxns)
+        b += txn.pending.size() * sizeof(Msg);
+    b += pendingCore.size() *
+         sizeof(std::tuple<mem::Addr, bool, ckpt::Cont>);
+    return b;
+}
+
+std::size_t
+CoherentNode::denseFootprintBytes() const
+{
+    std::size_t b = sizeof(*this);
+    if (cache)
+        b += cache->denseFootprintBytes();
+    for (const auto &z : zboxes)
+        b += z->denseFootprintBytes();
+    b += mapBytes(maf) + mapBytes(vb);
+    // The pre-split directory entry carried the transaction
+    // bookkeeping inline: hot fields padded to 32 bytes plus a
+    // std::deque<Msg> whose libstdc++ constructor eagerly allocates
+    // its pointer map (64 B) and one 512 B element chunk.
+    constexpr std::size_t fatDirEntryBytes =
+        32 + sizeof(std::deque<Msg>) + 64 + 512;
+    b += dir.bucket_count() * sizeof(void *) +
+         dir.size() *
+             (sizeof(mem::Addr) + fatDirEntryBytes + 2 * sizeof(void *));
+    b += pendingCore.size() *
+         sizeof(std::tuple<mem::Addr, bool, ckpt::Cont>);
+    return b;
 }
 
 // ---------------------------------------------------------------------
@@ -686,7 +747,7 @@ CoherentNode::homeDispatch(const Msg &m)
     DirEntry &entry = dir[m.line];
 
     if (entry.state == DirState::Busy) {
-        entry.pending.push_back(m);
+        dirTxns[m.line].pending.push_back(m);
         return;
     }
     // An owner re-requesting its own line means its victim message
@@ -694,7 +755,7 @@ CoherentNode::homeDispatch(const Msg &m)
     if ((m.type == MsgType::RdReq || m.type == MsgType::RdModReq) &&
         entry.state == DirState::Exclusive &&
         entry.owner == m.requester) {
-        entry.pending.push_back(m);
+        dirTxns[m.line].pending.push_back(m);
         return;
     }
     homeProcess(m);
@@ -732,8 +793,9 @@ CoherentNode::homeProcess(const Msg &m)
         } else { // Exclusive at a third party: forward.
             gs_assert(entry.owner != req, "owner re-request reached "
                                           "homeProcess");
-            entry.txnRequester = req;
-            entry.txnType = m.type;
+            DirTxn &txn = dirTxns[line];
+            txn.requester = req;
+            txn.type = m.type;
             NodeId owner = entry.owner;
             entry.state = DirState::Busy;
             sendAfter(cfg.homeOverheadNs,
@@ -800,23 +862,52 @@ CoherentNode::scheduleHomeShared(mem::Addr line, NodeId req, bool mod)
         [this, line, req, mod] { applyHomeShared(line, req, mod); });
 }
 
-void
-CoherentNode::applyHomeShared(mem::Addr line, NodeId req, bool mod)
+int
+CoherentNode::sendInvals(std::uint64_t sharers, mem::Addr line,
+                         NodeId req)
 {
-    DirEntry &e = dir[line];
-    if (!mod) {
-        e.sharers |= bitOf(req);
-        e.state = DirState::Shared;
-        send(MsgType::BlkShared, req, line, req, 0);
-    } else {
-        std::uint64_t others = e.sharers & ~bitOf(req);
-        int count = 0;
+    int count = 0;
+    if (cfg.sharerGroupSize == 1) {
+        std::uint64_t others = sharers & ~sharerBit(req);
         for (NodeId n = 0; others; ++n, others >>= 1) {
             if (others & 1) {
                 send(MsgType::Inval, n, line, req);
                 count += 1;
             }
         }
+        return count;
+    }
+    // Coarse mode: the requester's presence cannot be masked out of
+    // its group bit, so it is skipped at emission instead. Spurious
+    // Invals to group members that never held the line are safe —
+    // every node acks an Inval — and the ack count handed to the
+    // requester matches the sends exactly.
+    const int group = cfg.sharerGroupSize;
+    const int nodes = net_.topology().numNodes();
+    for (int g = 0; sharers; ++g, sharers >>= 1) {
+        if (!(sharers & 1))
+            continue;
+        const int hi = std::min((g + 1) * group, nodes);
+        for (int n = g * group; n < hi; ++n) {
+            if (n == req)
+                continue;
+            send(MsgType::Inval, static_cast<NodeId>(n), line, req);
+            count += 1;
+        }
+    }
+    return count;
+}
+
+void
+CoherentNode::applyHomeShared(mem::Addr line, NodeId req, bool mod)
+{
+    DirEntry &e = dir[line];
+    if (!mod) {
+        e.sharers |= sharerBit(req);
+        e.state = DirState::Shared;
+        send(MsgType::BlkShared, req, line, req, 0);
+    } else {
+        int count = sendInvals(e.sharers, line, req);
         e.sharers = 0;
         e.owner = req;
         e.state = DirState::Exclusive;
@@ -863,21 +954,23 @@ CoherentNode::homeOwnerReply(const Msg &m, NodeId from)
     auto it = dir.find(m.line);
     gs_assert(it != dir.end() && it->second.state == DirState::Busy,
               "owner reply without busy transaction");
-    DirEntry &entry = it->second;
+    auto tit = dirTxns.find(m.line);
+    gs_assert(tit != dirTxns.end(),
+              "owner reply without transaction record");
     const mem::Addr line = m.line;
-    const NodeId req = entry.txnRequester;
+    const NodeId req = tit->second.requester;
 
     switch (m.type) {
       case MsgType::WBShared:
       case MsgType::FwdAckClean: {
-        gs_assert(entry.txnType == MsgType::RdReq,
+        gs_assert(tit->second.type == MsgType::RdReq,
                   "downgrade reply for a non-read transaction");
         if (m.type == MsgType::WBShared)
             zboxFor(line).write(line);
         bool retains = m.aux != 0;
-        std::uint64_t sharers = bitOf(req);
+        std::uint64_t sharers = sharerBit(req);
         if (retains)
-            sharers |= bitOf(from);
+            sharers |= sharerBit(from);
         ctx.queue().schedule(
             nsToTicks(cfg.homeOverheadNs),
             cohDesc(ckpt::CohHomeApplyDowngrade, self, 0, 0, 0, line,
@@ -886,7 +979,7 @@ CoherentNode::homeOwnerReply(const Msg &m, NodeId from)
         break;
       }
       case MsgType::FwdAckTransfer:
-        gs_assert(entry.txnType == MsgType::RdModReq,
+        gs_assert(tit->second.type == MsgType::RdModReq,
                   "transfer reply for a non-write transaction");
         ctx.queue().schedule(
             nsToTicks(cfg.homeOverheadNs),
@@ -908,8 +1001,9 @@ CoherentNode::finishTxn(mem::Addr line)
     // defer itself again (owner re-request waiting for its victim),
     // in which case it lands back in the entry's pending queue and
     // must not spin here.
-    std::deque<Msg> work = std::move(dir[line].pending);
-    dir[line].pending.clear();
+    std::deque<Msg> work;
+    if (auto tit = dirTxns.find(line); tit != dirTxns.end())
+        work = std::move(tit->second.pending);
     while (!work.empty()) {
         Msg m = work.front();
         work.pop_front();
@@ -918,9 +1012,24 @@ CoherentNode::finishTxn(mem::Addr line)
             break;
     }
     // Anything not processed keeps its order ahead of new deferrals.
-    DirEntry &entry = dir[line];
-    for (auto it = work.rbegin(); it != work.rend(); ++it)
-        entry.pending.push_front(*it);
+    if (!work.empty()) {
+        auto &pending = dirTxns[line].pending;
+        for (auto it = work.rbegin(); it != work.rend(); ++it)
+            pending.push_front(*it);
+    }
+
+    // Reclaim the side-table record once the line has no in-flight
+    // transaction and nothing queued, and drop Invalid entries from
+    // the hot table entirely — the directory's footprint tracks the
+    // lines a home *currently* tracks, not every line it ever saw.
+    if (auto tit = dirTxns.find(line);
+        tit != dirTxns.end() && tit->second.pending.empty() &&
+        dir[line].state != DirState::Busy)
+        dirTxns.erase(tit);
+    if (auto dit = dir.find(line);
+        dit != dir.end() && dit->second.state == DirState::Invalid &&
+        dirTxns.find(line) == dirTxns.end())
+        dir.erase(dit);
 }
 
 // ---------------------------------------------------------------------
@@ -1028,11 +1137,23 @@ CoherentNode::saveCkpt(ckpt::Serializer &s) const
         s.put8(static_cast<std::uint8_t>(e.state));
         s.put64(e.sharers);
         s.putI32(e.owner);
-        s.putI32(e.txnRequester);
-        s.put8(static_cast<std::uint8_t>(e.txnType));
-        s.put32(static_cast<std::uint32_t>(e.pending.size()));
-        for (const Msg &m : e.pending)
-            saveMsg(s, m);
+        // Transaction bookkeeping lives in the side table; entries
+        // without a record serialise the idle placeholder values.
+        auto tit = dirTxns.find(line);
+        const NodeId txnReq =
+            tit == dirTxns.end() ? invalidNode : tit->second.requester;
+        const MsgType txnType =
+            tit == dirTxns.end() ? MsgType::RdReq : tit->second.type;
+        s.putI32(txnReq);
+        s.put8(static_cast<std::uint8_t>(txnType));
+        if (tit == dirTxns.end()) {
+            s.put32(0);
+        } else {
+            s.put32(static_cast<std::uint32_t>(
+                tit->second.pending.size()));
+            for (const Msg &m : tit->second.pending)
+                saveMsg(s, m);
+        }
     }
 
     s.put32(static_cast<std::uint32_t>(pendingCore.size()));
@@ -1134,6 +1255,7 @@ CoherentNode::restoreCkpt(ckpt::Deserializer &d,
     }
 
     dir.clear();
+    dirTxns.clear();
     std::uint32_t nDir = d.get32();
     for (std::uint32_t i = 0; i < nDir && d.ok(); ++i) {
         mem::Addr line = d.get64();
@@ -1141,12 +1263,18 @@ CoherentNode::restoreCkpt(ckpt::Deserializer &d,
         e.state = static_cast<DirState>(d.get8());
         e.sharers = d.get64();
         e.owner = d.getI32();
-        e.txnRequester = d.getI32();
-        e.txnType = static_cast<MsgType>(d.get8());
+        const NodeId txnReq = d.getI32();
+        const auto txnType = static_cast<MsgType>(d.get8());
         std::uint32_t np = d.get32();
-        for (std::uint32_t p = 0; p < np && d.ok(); ++p)
-            e.pending.push_back(restoreMsg(d));
-        dir.emplace(line, std::move(e));
+        if (txnReq != invalidNode || np > 0) {
+            DirTxn txn;
+            txn.requester = txnReq;
+            txn.type = txnType;
+            for (std::uint32_t p = 0; p < np && d.ok(); ++p)
+                txn.pending.push_back(restoreMsg(d));
+            dirTxns.emplace(line, std::move(txn));
+        }
+        dir.emplace(line, e);
     }
 
     pendingCore.clear();

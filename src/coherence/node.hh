@@ -68,6 +68,18 @@ struct NodeConfig
     int mafEntries = 16;
 
     /**
+     * Nodes per sharer-set bit. 1 (machines up to 64 nodes) keeps
+     * the exact per-node bit vector; larger machines set
+     * ceil(nodes/64) so the 64-bit word holds one bit per *group* of
+     * consecutive nodes (coarse-vector encoding). A coarse Inval
+     * broadcasts to every member of a marked group except the
+     * requester; non-holders ack an Inval anyway, so the protocol is
+     * unchanged — only Inval traffic grows. Must satisfy
+     * ceil(nodes / sharerGroupSize) <= 64.
+     */
+    int sharerGroupSize = 1;
+
+    /**
      * Victim buffers on the real 21364 (16). The model's buffer is
      * unbounded for deadlock-structural reasons (see node.cc); the
      * high-water stat reports how many a run actually needed.
@@ -166,8 +178,29 @@ class CoherentNode
     std::uint64_t dirSharers(mem::Addr line) const;
     NodeId dirOwner(mem::Addr line) const;
 
+    /** Sharer-vector bit this home uses for node @p n (group bit in
+     *  coarse mode); lets the checker test membership correctly. */
+    std::uint64_t sharerBitOf(NodeId n) const { return sharerBit(n); }
+
     /** Lines with a non-Invalid directory entry at this home. */
     std::vector<mem::Addr> dirLines() const;
+
+    /**
+     * Bytes of protocol + memory-model state this node holds right
+     * now (MAF, victim buffers, directory incl. side tables, cache
+     * tags, Zbox banks). Heap sizes of the hash tables are estimated
+     * from bucket and element counts.
+     */
+    std::size_t footprintBytes() const;
+
+    /**
+     * Bytes the pre-PR-10 layout would hold for the same state:
+     * eager cache tags and Zbox banks, and the fat directory entry
+     * (inline transaction bookkeeping with its eagerly-allocated
+     * deque chunk) for every entry. The mem.* telemetry reports
+     * footprintBytes()/denseFootprintBytes() as the scaling win.
+     */
+    std::size_t denseFootprintBytes() const;
     /// @}
 
     /** Hook invoked when a line must leave the core's L1 too. */
@@ -246,16 +279,26 @@ class CoherentNode
         bool dirty = false;
     };
 
-    /** Home-side directory entry. */
+    /**
+     * Home-side directory entry: the hot state only. The dominant
+     * machine-wide footprint at 1024P+ is this table, so the entry
+     * is packed to 16 bytes; the transaction bookkeeping a line only
+     * carries while a forward/inval is in flight (requester, type,
+     * queued requests) lives in the dirTxns side table and is erased
+     * when the transaction drains.
+     */
     struct DirEntry
     {
-        DirState state = DirState::Invalid;
         std::uint64_t sharers = 0;
         NodeId owner = invalidNode;
+        DirState state = DirState::Invalid;
+    };
 
-        // Busy-transaction bookkeeping.
-        NodeId txnRequester = invalidNode;
-        MsgType txnType = MsgType::RdReq;
+    /** Busy-transaction bookkeeping, present only while needed. */
+    struct DirTxn
+    {
+        NodeId requester = invalidNode;
+        MsgType type = MsgType::RdReq;
         std::deque<Msg> pending;
     };
 
@@ -290,6 +333,21 @@ class CoherentNode
     void pumpPendingCore();
 
     // -- home side ---------------------------------------------------
+    /**
+     * Sharer-set bit for @p n: one bit per node in exact mode
+     * (cfg.sharerGroupSize == 1), one per node group otherwise.
+     */
+    std::uint64_t
+    sharerBit(NodeId n) const
+    {
+        return 1ULL << (static_cast<unsigned>(n) /
+                        static_cast<unsigned>(cfg.sharerGroupSize));
+    }
+
+    /** Send Inval for @p line to every sharer in @p sharers except
+     *  @p req; returns the number sent (the requester's ack count). */
+    int sendInvals(std::uint64_t sharers, mem::Addr line, NodeId req);
+
     void homeDispatch(const Msg &m);
     void homeProcess(const Msg &m);
     void homeOwnerReply(const Msg &m, NodeId from);
@@ -322,6 +380,7 @@ class CoherentNode
     std::unordered_map<mem::Addr, MafEntry> maf;
     std::unordered_map<mem::Addr, VictimEntry> vb;
     std::unordered_map<mem::Addr, DirEntry> dir;
+    std::unordered_map<mem::Addr, DirTxn> dirTxns;
 
     /**
      * X-ray spans parked while this node holds their transaction

@@ -14,15 +14,27 @@ Cache::Cache(CacheParams params) : prm(params)
     nSets = static_cast<int>(prm.sizeBytes /
                              (lineBytes * static_cast<Addr>(prm.ways)));
     gs_assert(nSets >= 1);
-    tags.resize(static_cast<std::size_t>(nSets) *
-                static_cast<std::size_t>(prm.ways));
+    sets_.resize(static_cast<std::size_t>(nSets));
+}
+
+Cache::Line *
+Cache::ensureSet(std::size_t i)
+{
+    if (!sets_[i]) {
+        sets_[i] = std::make_unique<Line[]>(
+            static_cast<std::size_t>(prm.ways));
+        allocatedSets_ += 1;
+    }
+    return sets_[i].get();
 }
 
 Cache::Line *
 Cache::find(Addr a)
 {
     Addr line = lineOf(a);
-    auto *set = &tags[setOf(a) * static_cast<std::size_t>(prm.ways)];
+    Line *set = sets_[setOf(a)].get();
+    if (!set)
+        return nullptr;
     for (int w = 0; w < prm.ways; ++w) {
         if (set[w].state != LineState::Invalid && set[w].tag == line)
             return &set[w];
@@ -71,7 +83,7 @@ Cache::fill(Addr a, LineState s)
     gs_assert(s != LineState::Invalid, "filling an Invalid line");
     gs_assert(!find(a), "fill of already-resident line");
 
-    auto *set = &tags[setOf(a) * static_cast<std::size_t>(prm.ways)];
+    Line *set = ensureSet(setOf(a));
     Line *slot = &set[0];
     for (int w = 0; w < prm.ways; ++w) {
         if (set[w].state == LineState::Invalid) {
@@ -105,8 +117,9 @@ Cache::invalidate(Addr a)
 void
 Cache::reset()
 {
-    for (auto &line : tags)
-        line = Line{};
+    for (auto &set : sets_)
+        set.reset();
+    allocatedSets_ = 0;
     useClock = 0;
 }
 

@@ -15,6 +15,7 @@
 #define GS_MEM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -152,6 +153,33 @@ class Cache
     /** Drop every line (between experiment phases). */
     void reset();
 
+    /** @name Memory accounting (docs/SCALING.md) */
+    /// @{
+
+    /**
+     * Bytes of heap + object this cache actually holds right now.
+     * Tag storage is allocated per set on first fill, so an idle or
+     * lightly-touched cache costs a pointer per set, not the full
+     * nSets x ways tag array.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return sizeof(*this) +
+               sets_.capacity() * sizeof(std::unique_ptr<Line[]>) +
+               allocatedSets_ * static_cast<std::size_t>(prm.ways) *
+                   sizeof(Line);
+    }
+
+    /** Bytes the pre-lazy layout would hold: the full tag array. */
+    std::size_t
+    denseFootprintBytes() const
+    {
+        return sizeof(*this) +
+               static_cast<std::size_t>(lines()) * sizeof(Line);
+    }
+    /// @}
+
     /** @name Checkpoint/restore: tag array, LRU clock, hit stats. */
     /// @{
     void
@@ -160,11 +188,18 @@ class Cache
         s.put64(useClock);
         s.put64(nHits);
         s.put64(nMisses);
-        s.put32(static_cast<std::uint32_t>(tags.size()));
-        for (const Line &l : tags) {
-            s.put64(l.tag);
-            s.put8(static_cast<std::uint8_t>(l.state));
-            s.put64(l.lastUse);
+        s.put32(static_cast<std::uint32_t>(lines()));
+        // Sets are lazily allocated; an unallocated set serialises as
+        // a single absent flag instead of `ways` invalid lines.
+        for (const auto &set : sets_) {
+            s.put8(set ? 1 : 0);
+            if (!set)
+                continue;
+            for (int w = 0; w < prm.ways; ++w) {
+                s.put64(set[w].tag);
+                s.put8(static_cast<std::uint8_t>(set[w].state));
+                s.put64(set[w].lastUse);
+            }
         }
     }
 
@@ -174,14 +209,24 @@ class Cache
         useClock = d.get64();
         nHits = d.get64();
         nMisses = d.get64();
-        if (d.get32() != tags.size() && d.ok()) {
+        if (d.get32() != lines() && d.ok()) {
             d.fail("cache geometry mismatch");
             return;
         }
-        for (Line &l : tags) {
-            l.tag = d.get64();
-            l.state = static_cast<LineState>(d.get8());
-            l.lastUse = d.get64();
+        for (std::size_t i = 0; i < sets_.size(); ++i) {
+            if (d.get8() == 0) {
+                if (sets_[i]) {
+                    sets_[i].reset();
+                    allocatedSets_ -= 1;
+                }
+                continue;
+            }
+            Line *set = ensureSet(i);
+            for (int w = 0; w < prm.ways; ++w) {
+                set[w].tag = d.get64();
+                set[w].state = static_cast<LineState>(d.get8());
+                set[w].lastUse = d.get64();
+            }
         }
     }
     /// @}
@@ -197,6 +242,9 @@ class Cache
     Line *find(Addr a);
     const Line *find(Addr a) const;
 
+    /** Tag storage for set @p i, allocating it on first use. */
+    Line *ensureSet(std::size_t i);
+
     std::size_t setOf(Addr a) const
     {
         return static_cast<std::size_t>(lineIndex(a) %
@@ -205,7 +253,9 @@ class Cache
 
     CacheParams prm;
     int nSets;
-    std::vector<Line> tags; ///< nSets x ways
+    /** Per-set tag storage (`ways` lines), allocated on first fill. */
+    std::vector<std::unique_ptr<Line[]>> sets_;
+    std::size_t allocatedSets_ = 0;
     std::uint64_t useClock = 0;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;

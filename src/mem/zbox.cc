@@ -12,9 +12,16 @@ Zbox::Zbox(SimContext &context, ZboxParams params)
 {
     gs_assert(prm.channels >= 1 && prm.banksPerChannel >= 1);
     channelFree.assign(static_cast<std::size_t>(prm.channels), 0);
-    banks.assign(static_cast<std::size_t>(prm.channels) *
-                     static_cast<std::size_t>(prm.banksPerChannel),
-                 Bank{});
+}
+
+Zbox::Bank &
+Zbox::bankAt(std::size_t idx)
+{
+    if (banks.empty())
+        banks.assign(static_cast<std::size_t>(prm.channels) *
+                         static_cast<std::size_t>(prm.banksPerChannel),
+                     Bank{});
+    return banks[idx];
 }
 
 Tick
@@ -42,7 +49,7 @@ Zbox::access(Addr a, bool is_write, AccessBreakdown *bd)
     const Addr page = static_cast<Addr>(
         localPage / static_cast<std::uint64_t>(prm.banksPerChannel));
 
-    Bank &bank = banks[bankIdx];
+    Bank &bank = bankAt(bankIdx);
     double accessNs;
     if (bank.open && bank.page == page) {
         accessNs = prm.rowHitNs;
@@ -139,6 +146,8 @@ Zbox::saveCkpt(ckpt::Serializer &s) const
     s.put32(static_cast<std::uint32_t>(channelFree.size()));
     for (Tick t : channelFree)
         s.put64(t);
+    // The bank table is lazily sized; an untouched controller
+    // serialises as zero banks and restores back to the lazy state.
     s.put32(static_cast<std::uint32_t>(banks.size()));
     for (const Bank &b : banks) {
         s.putBool(b.open);
@@ -161,10 +170,20 @@ Zbox::restoreCkpt(ckpt::Deserializer &d)
     }
     for (Tick &t : channelFree)
         t = d.get64();
-    if (d.get32() != banks.size() && d.ok()) {
+    const std::uint32_t nBanks = d.get32();
+    const auto fullBanks =
+        static_cast<std::size_t>(prm.channels) *
+        static_cast<std::size_t>(prm.banksPerChannel);
+    if (nBanks == 0) {
+        banks.clear();
+        banks.shrink_to_fit();
+        return;
+    }
+    if (nBanks != fullBanks && d.ok()) {
         d.fail("zbox bank count mismatch");
         return;
     }
+    banks.assign(fullBanks, Bank{});
     for (Bank &b : banks) {
         b.open = d.getBool();
         b.page = d.get64();

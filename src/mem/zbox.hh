@@ -146,6 +146,34 @@ class Zbox
                prm.burstNs;
     }
 
+    /** @name Memory accounting (docs/SCALING.md) */
+    /// @{
+
+    /**
+     * Bytes this controller holds right now. The bank table is
+     * allocated on the first access, so a node whose memory is never
+     * touched (common in sparse workloads on big machines) costs a
+     * few channel clocks, not channels x banks of page state.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return sizeof(*this) + channelFree.capacity() * sizeof(Tick) +
+               banks.capacity() * sizeof(Bank);
+    }
+
+    /** Bytes the pre-lazy layout would hold (eager bank table). */
+    std::size_t
+    denseFootprintBytes() const
+    {
+        return sizeof(*this) +
+               static_cast<std::size_t>(prm.channels) * sizeof(Tick) +
+               static_cast<std::size_t>(prm.channels) *
+                   static_cast<std::size_t>(prm.banksPerChannel) *
+                   sizeof(Bank);
+    }
+    /// @}
+
     /** @name Checkpoint/restore: channel clocks, bank pages, stats. */
     /// @{
     void saveCkpt(ckpt::Serializer &s) const;
@@ -163,12 +191,16 @@ class Zbox
         Addr page = 0;
     };
 
+    /** Bank table, sized channels x banksPerChannel on first use. */
+    Bank &bankAt(std::size_t idx);
+
     SimContext &ctx;
     ZboxParams prm;
     ZboxStats st;
 
     std::vector<Tick> channelFree;
-    std::vector<Bank> banks; ///< channels x banksPerChannel
+    /** channels x banksPerChannel once touched; empty until then. */
+    std::vector<Bank> banks;
 };
 
 } // namespace gs::mem

@@ -51,7 +51,7 @@ namespace gs::ckpt
 constexpr char magic[8] = {'G', 'S', '1', '2', 'C', 'K', 'P', 'T'};
 
 /** Snapshot format version; bump on any layout change. */
-constexpr std::uint32_t formatVersion = 4;
+constexpr std::uint32_t formatVersion = 5;
 
 /** CRC32 (IEEE 802.3, reflected) of @p len bytes at @p data. */
 std::uint32_t crc32(const void *data, std::size_t len);

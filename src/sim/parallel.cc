@@ -61,6 +61,50 @@ chooseTileShape(int width, int height, int threads)
     return best;
 }
 
+TileShape
+chooseTileShape3(int width, int height, int depth, int threads)
+{
+    gs_assert(width >= 1 && height >= 1 && depth >= 1,
+              "degenerate torus");
+    const int nodes = width * height * depth;
+    const int target = std::min(std::max(threads, 1), nodes);
+
+    // Same selection as chooseTileShape with the seam-cut and
+    // squareness terms generalised per dimension. The imbalance term
+    // |r-c| + |c-s| + |r-s| orders factorisations of a fixed tile
+    // count identically to |r-c| when s == 1 (both are monotone in
+    // the spread of a fixed product), so depth == 1 reproduces the
+    // 2-D chooser's picks exactly.
+    TileShape best;
+    long bestKey[5] = {0, 0, 0, 0, 0};
+    bool have = false;
+    for (int r = 1; r <= height; ++r) {
+        for (int c = 1; c <= width; ++c) {
+            for (int s = 1; s <= depth; ++s) {
+                const int n = r * c * s;
+                if (n < target)
+                    continue;
+                const long cut =
+                    (r > 1 ? long(width) * depth * r : 0) +
+                    (c > 1 ? long(height) * depth * c : 0) +
+                    (s > 1 ? long(width) * height * s : 0);
+                const long imbalance = std::labs(long(r) - c) +
+                                       std::labs(long(c) - s) +
+                                       std::labs(long(r) - s);
+                long key[5] = {n, cut, imbalance, -c, -s};
+                if (!have ||
+                    std::lexicographical_compare(key, key + 5, bestKey,
+                                                 bestKey + 5)) {
+                    best = {r, c, s};
+                    std::copy(key, key + 5, bestKey);
+                    have = true;
+                }
+            }
+        }
+    }
+    return best;
+}
+
 ParallelEngine::ParallelEngine(Config cfg)
     : nDomains(cfg.domains),
       nThreads(std::min(std::max(cfg.threads, 1), cfg.domains)),

@@ -50,16 +50,22 @@
 namespace gs
 {
 
-/** A rectangular tiling of a W x H torus into rows x cols domains. */
+/**
+ * A box tiling of a torus into rows x cols (x slabs) domains. The
+ * 2-D machines tile W x H into rows x cols; 3-D machines add slabs
+ * along Z. slabs defaults to 1 so 2-D call sites (and `{r, c}`
+ * aggregate initialisers) are unchanged.
+ */
 struct TileShape
 {
     int rows = 1;
     int cols = 1;
+    int slabs = 1;
 
-    int count() const { return rows * cols; }
+    int count() const { return rows * cols * slabs; }
     bool operator==(const TileShape &o) const
     {
-        return rows == o.rows && cols == o.cols;
+        return rows == o.rows && cols == o.cols && slabs == o.slabs;
     }
 };
 
@@ -78,6 +84,19 @@ struct TileShape
 TileShape chooseTileShape(int width, int height, int threads);
 
 /**
+ * 3-D generalisation of chooseTileShape(): pick the R x C x S box
+ * tiling of a @p width x @p height x @p depth torus for @p threads
+ * workers. Same preference order — fewest tiles, fewest torus links
+ * cut by tile seams (a seam between Z slabs cuts width*height links,
+ * between Y bands width*depth, between X bands height*depth), most
+ * cubical, then wider-than-tall/deep. At depth == 1 it picks exactly
+ * chooseTileShape(width, height, threads) with slabs == 1 (unit
+ * tested), so the 2-D decompositions are a strict special case.
+ */
+TileShape
+chooseTileShape3(int width, int height, int depth, int threads);
+
+/**
  * Domain index of torus node (@p x, @p y) under @p shape tiles on a
  * @p width x @p height torus: tiles are contiguous blocks of whole
  * rows/columns (balanced split), numbered row-major.
@@ -88,6 +107,20 @@ tileDomainOf(int x, int y, int width, int height, TileShape shape)
     int tr = y * shape.rows / height;
     int tc = x * shape.cols / width;
     return tr * shape.cols + tc;
+}
+
+/**
+ * 3-D counterpart of tileDomainOf(): slabs-major over Z, then
+ * row-major within the slab, so depth == 1 (slabs == 1) reduces to
+ * the 2-D mapping unchanged.
+ */
+inline int
+tileDomainOf3(int x, int y, int z, int width, int height, int depth,
+              TileShape shape)
+{
+    int ts = z * shape.slabs / depth;
+    return (ts * shape.rows + y * shape.rows / height) * shape.cols +
+           x * shape.cols / width;
 }
 
 /**

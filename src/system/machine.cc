@@ -7,6 +7,7 @@
 #include "coherence/tracer.hh"
 #include "sim/logging.hh"
 #include "topology/torus.hh"
+#include "topology/torus3d.hh"
 #include "topology/tree.hh"
 
 namespace gs::sys
@@ -51,6 +52,20 @@ Machine::moduleBuddy(NodeId n) const
 {
     gs_assert(kind_ == SystemKind::GS1280,
               "module buddies exist only on the GS1280");
+    if (torusD > 1) {
+        // 3-D machines pair adjacent slabs: the buddy is the same
+        // (x, y) position one plane over, so striping still spreads a
+        // hot region across exactly one link, now a Z hop.
+        const auto *t3 =
+            static_cast<const topo::Torus3D *>(topo_.get());
+        int z = t3->zOf(n);
+        int buddyZ = (z % 2 == 0)
+                         ? (z + 1 < t3->depth() ? z + 1 : z - 1)
+                         : z - 1;
+        if (buddyZ < 0)
+            buddyZ = z; // degenerate single-plane case
+        return t3->nodeAt(t3->xOf(n), t3->yOf(n), buddyZ);
+    }
     const auto *torus = static_cast<const topo::Torus2D *>(topo_.get());
     int x = torus->xOf(n), y = torus->yOf(n);
     if (torus->height() == 1)
@@ -65,7 +80,13 @@ Machine::moduleBuddy(NodeId n) const
 std::unique_ptr<Machine>
 Machine::buildGS1280(int cpus, Gs1280Options opt)
 {
-    gs_assert(cpus >= 1 && cpus <= 64, "GS1280 supports 1-64 CPUs");
+    gs_assert(opt.depth >= 1, "torus depth must be positive");
+    if (opt.depth == 1)
+        gs_assert(cpus >= 1 && cpus <= 64,
+                  "GS1280 supports 1-64 CPUs");
+    else
+        gs_assert(cpus >= 1 && cpus <= 2048,
+                  "3-D scale-out models up to 2048 nodes");
 
     auto m = std::unique_ptr<Machine>(new Machine);
     m->kind_ = SystemKind::GS1280;
@@ -78,14 +99,23 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     m->shufflePolicy_ = static_cast<int>(opt.shufflePolicy);
     m->routerKind_ = static_cast<int>(opt.routerKind);
 
+    const int d = opt.depth;
+    gs_assert(d == 1 || opt.width > 0,
+              "3-D builds need an explicit shape (buildGS1280_3D)");
     auto [w, h] = opt.width > 0 ? std::pair{opt.width, opt.height}
                                 : torusShape(cpus);
-    gs_assert(w * h == cpus, "torus ", w, "x", h, " != ", cpus,
-              " CPUs");
+    gs_assert(w * h * d == cpus, "torus ", w, "x", h, "x", d,
+              " != ", cpus, " CPUs");
     m->torusW = w;
     m->torusH = h;
+    m->torusD = d;
 
-    if (opt.shuffle) {
+    if (d > 1) {
+        gs_assert(!opt.shuffle,
+                  "shuffle rewiring is a 2-D torus feature");
+        m->topo_ = std::make_unique<topo::Torus3D>(w, h, d);
+        m->topoKind_ = 1;
+    } else if (opt.shuffle) {
         m->topo_ = std::make_unique<topo::ShuffleTorus>(
             w, h, opt.shufflePolicy);
     } else {
@@ -114,16 +144,21 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     // shape. A 1x1 tiling (or a 1-CPU machine) stays serial.
     TileShape tiles = {1, 1};
     if (opt.threads > 1) {
-        if (opt.tileRows > 0 || opt.tileCols > 0) {
+        if (opt.tileRows > 0 || opt.tileCols > 0 ||
+            opt.tileSlabs > 0) {
             // The shape is user input (--tile-shape), so an
             // ill-fitting one is a usage error, not a simulator bug.
+            int slabs = opt.tileSlabs > 0 ? opt.tileSlabs : 1;
             if (opt.tileRows < 1 || opt.tileRows > h ||
-                opt.tileCols < 1 || opt.tileCols > w)
+                opt.tileCols < 1 || opt.tileCols > w || slabs > d)
                 gs_fatal("tile shape ", opt.tileRows, "x",
-                         opt.tileCols, " does not fit the ", w, "x",
-                         h, " torus (need rows <= ", h,
-                         " and cols <= ", w, ")");
-            tiles = {opt.tileRows, opt.tileCols};
+                         opt.tileCols, "x", slabs,
+                         " does not fit the ", w, "x", h, "x", d,
+                         " torus (need rows <= ", h, ", cols <= ", w,
+                         " and slabs <= ", d, ")");
+            tiles = {opt.tileRows, opt.tileCols, slabs};
+        } else if (d > 1) {
+            tiles = chooseTileShape3(w, h, d, opt.threads);
         } else {
             tiles = chooseTileShape(w, h, opt.threads);
         }
@@ -131,6 +166,7 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     if (opt.threads > 1 && tiles.count() > 1) {
         m->tileR_ = tiles.rows;
         m->tileC_ = tiles.cols;
+        m->tileS_ = tiles.slabs;
         ParallelEngine::Config pcfg;
         pcfg.domains = tiles.count();
         pcfg.threads = opt.threads;
@@ -138,13 +174,22 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
         pcfg.seed = opt.seed;
         m->par_ = std::make_unique<ParallelEngine>(pcfg);
 
-        const auto *torus =
-            static_cast<const topo::Torus2D *>(m->topo_.get());
         std::vector<int> dom(static_cast<std::size_t>(cpus));
-        for (NodeId n = 0; n < cpus; ++n)
-            dom[std::size_t(n)] = tileDomainOf(torus->xOf(n),
-                                               torus->yOf(n), w, h,
-                                               tiles);
+        if (d > 1) {
+            const auto *t3 =
+                static_cast<const topo::Torus3D *>(m->topo_.get());
+            for (NodeId n = 0; n < cpus; ++n)
+                dom[std::size_t(n)] =
+                    tileDomainOf3(t3->xOf(n), t3->yOf(n), t3->zOf(n),
+                                  w, h, d, tiles);
+        } else {
+            const auto *torus =
+                static_cast<const topo::Torus2D *>(m->topo_.get());
+            for (NodeId n = 0; n < cpus; ++n)
+                dom[std::size_t(n)] = tileDomainOf(torus->xOf(n),
+                                                   torus->yOf(n), w,
+                                                   h, tiles);
+        }
         std::vector<SimContext *> dctx;
         dctx.reserve(static_cast<std::size_t>(tiles.count()));
         for (int d = 0; d < tiles.count(); ++d)
@@ -170,6 +215,12 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     ncfg.zbox = mem::ZboxParams::ev7();
     ncfg.zboxCount = 2;
     ncfg.mafEntries = std::max(16, opt.mlp);
+    // Directory sharer vectors are one 64-bit word; past 64 nodes
+    // each bit covers a group of ceil(N/64) nodes (coarse-vector
+    // encoding, docs/SCALING.md). At <= 64 nodes the group is 1 and
+    // the encoding is exact — bit-for-bit the shipped behaviour.
+    ncfg.sharerGroupSize = (cpus + 63) / 64;
+    m->sharerGroup_ = ncfg.sharerGroupSize;
 
     cpu::CoreParams ccfg;
     ccfg.mlp = opt.mlp;
@@ -198,6 +249,37 @@ Machine::buildGS1280(int cpus, Gs1280Options opt)
     }
     m->registerTelemetry();
     return m;
+}
+
+std::unique_ptr<Machine>
+Machine::buildGS1280_3D(int x, int y, int z, Gs1280Options opt)
+{
+    gs_assert(x >= 1 && y >= 1 && z >= 1, "bad 3-D torus shape ", x,
+              "x", y, "x", z);
+    opt.width = x;
+    opt.height = y;
+    opt.depth = z;
+    return buildGS1280(x * y * z, opt);
+}
+
+std::size_t
+Machine::memFootprintBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &node : nodes)
+        if (node)
+            total += node->footprintBytes();
+    return total;
+}
+
+std::size_t
+Machine::denseMemFootprintBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &node : nodes)
+        if (node)
+            total += node->denseFootprintBytes();
+    return total;
 }
 
 std::unique_ptr<Machine>
@@ -357,6 +439,34 @@ Machine::registerTelemetry()
         return static_cast<double>(ckptRestores_);
     });
 
+    // Model-memory accounting (docs/SCALING.md). Footprints track
+    // live allocations — wall-clock shaped, so visible in the
+    // registry and the mem.* benches but excluded from exports.
+    telemetry_.addWallClockGauge("mem.model_bytes", [this] {
+        return static_cast<double>(memFootprintBytes());
+    });
+    telemetry_.addWallClockGauge("mem.dense_model_bytes", [this] {
+        return static_cast<double>(denseMemFootprintBytes());
+    });
+    telemetry_.addWallClockGauge("mem.bytes_per_node", [this] {
+        return static_cast<double>(memFootprintBytes()) /
+               static_cast<double>(topo_->numNodes());
+    });
+    telemetry_.addWallClockGauge("mem.dense_bytes_per_node", [this] {
+        return static_cast<double>(denseMemFootprintBytes()) /
+               static_cast<double>(topo_->numNodes());
+    });
+    telemetry_.addWallClockGauge("mem.reduction", [this] {
+        auto used = static_cast<double>(memFootprintBytes());
+        return used > 0.0
+                   ? static_cast<double>(denseMemFootprintBytes()) /
+                         used
+                   : 0.0;
+    });
+    telemetry_.addWallClockGauge("mem.sharer_group", [this] {
+        return static_cast<double>(sharerGroup_);
+    });
+
     // Event-kernel self-metrics: how hard the calendar queue is
     // working (see docs/EVENT_KERNEL.md). `buckets` counts events
     // resident in the near-future ring, `overflow` those parked in
@@ -468,6 +578,8 @@ Machine::registerTelemetry()
               case topo::portWest: return "W";
               case topo::portNorth: return "N";
               case topo::portSouth: return "S";
+              case topo::portUp: return "U";
+              case topo::portDown: return "D";
               default: return "p" + std::to_string(p);
             }
         };
@@ -475,6 +587,13 @@ Machine::registerTelemetry()
         portName = [](int p) { return "p" + std::to_string(p); };
     }
 
+    // Per-node subtrees cost ~250 registry paths each; past 64
+    // nodes (the scale-out machines) only the machine-wide
+    // aggregates register, keeping registry size and export cost
+    // flat in node count. Every shipped 2-D configuration is <= 64
+    // nodes, so their exports are untouched.
+    if (topo_->numNodes() > 64)
+        return;
     for (NodeId n = 0; n < NodeId(topo_->numNodes()); ++n) {
         std::string base = telem::path("node", n);
         net->router(n).registerTelemetry(

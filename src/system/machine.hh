@@ -55,6 +55,16 @@ struct Gs1280Options
 {
     int width = 0;  ///< torus columns; 0 = derive from CPU count
     int height = 0; ///< torus rows; 0 = derive
+    /**
+     * Torus planes. 1 (default) keeps the shipped 2-D fabric; > 1
+     * stacks `depth` W x H slabs into a 3-D torus (topology/
+     * torus3d.hh) for the 256P-2048P scale-out studies in
+     * docs/SCALING.md. 3-D machines need an explicit width/height
+     * (use buildGS1280_3D) and support neither shuffle rewiring nor
+     * the Section 6 striping's 2-D module pairing semantics changing
+     * — striping pairs along Z instead (see moduleBuddy).
+     */
+    int depth = 1;
     bool striped = false; ///< Section 6 memory striping
     bool shuffle = false; ///< Section 4.1 cable swap (needs W>=4 even)
     topo::ShufflePolicy shufflePolicy = topo::ShufflePolicy::OneHop;
@@ -79,6 +89,7 @@ struct Gs1280Options
      */
     int tileRows = 0;
     int tileCols = 0;
+    int tileSlabs = 0; ///< Z cut of the 3-D tiling (--tile-shape RxCxS)
     /**
      * Latency x-ray sampling rate (docs/TRACING.md): the fraction of
      * coherence misses that carry a per-stage span, chosen by a
@@ -106,6 +117,18 @@ class Machine
   public:
     static std::unique_ptr<Machine> buildGS1280(int cpus,
                                                 Gs1280Options opt = {});
+
+    /**
+     * A 3-D-torus GS1280 of @p x * @p y * @p z nodes (the scale-out
+     * configurations of docs/SCALING.md: 8x8x4 = 256P up to 16x16x8
+     * = 2048P). Fills opt.width/height/depth and delegates to
+     * buildGS1280; directory sharer vectors coarsen automatically
+     * (coher::NodeConfig::sharerGroupSize) past 64 nodes, and the
+     * per-node telemetry subtrees switch to the lite layout so
+     * registry size stays flat in machine size.
+     */
+    static std::unique_ptr<Machine> buildGS1280_3D(int x, int y, int z,
+                                                   Gs1280Options opt = {});
     static std::unique_ptr<Machine> buildGS320(int cpus,
                                                std::uint64_t seed = 1,
                                                int mlp = 8);
@@ -242,6 +265,27 @@ class Machine
     /** Per-CPU analytic timing view (for the SPEC IPC model). */
     cpu::MachineTiming analyticTiming() const;
 
+    /** @name Memory accounting (docs/SCALING.md)
+     *
+     * Model-memory telemetry for the scale-out configurations: how
+     * many bytes the per-node simulation state (L2 tags, Zbox bank
+     * tables, directory + transaction maps, MAF/VB) occupies right
+     * now, versus what the pre-PR-10 dense layout (eager tag arrays,
+     * eager bank tables, fat directory entries) would occupy. The
+     * ratio is the bytes/node reduction the mem.* bench family and
+     * BENCH_scale.json gate on. Exposed in the registry as
+     * wall-clock gauges (`mem.*`) — allocation footprints depend on
+     * access history and STL growth policy, so they are visible live
+     * but excluded from deterministic exports.
+     */
+    /// @{
+    /** Current bytes across every coherent node's simulation state. */
+    std::size_t memFootprintBytes() const;
+
+    /** Bytes the dense (pre-lazy, fat-directory) layout would need. */
+    std::size_t denseMemFootprintBytes() const;
+    /// @}
+
     /** @name Checkpoint / restore / crash recovery
      *
      * save() writes the whole machine — clocks, RNGs, every pending
@@ -346,6 +390,7 @@ class Machine
     telem::Registry telemetry_;
 
     int torusW = 0, torusH = 0; ///< GS1280 geometry
+    int torusD = 1;             ///< torus planes (1 = classic 2-D)
 
     /** @name Build fingerprint (checked at snapshot restore) */
     /// @{
@@ -355,8 +400,12 @@ class Machine
     bool shuffle_ = false;
     int shufflePolicy_ = 0;
     int tileR_ = 1, tileC_ = 1; ///< engine decomposition (1x1 = serial)
+    int tileS_ = 1;      ///< Z cut of the tiling (1 on 2-D machines)
     int routerKind_ = 0; ///< net::RouterKind as built
+    int topoKind_ = 0;   ///< 0 = 2-D torus/tree fabrics, 1 = 3-D torus
     /// @}
+
+    int sharerGroup_ = 1; ///< directory sharer-bit granularity
 
     /** @name Run/restore state */
     /// @{

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-dimension ring helpers shared by the torus topologies.
+ *
+ * A torus routes each dimension as an independent ring, and every
+ * ring-size special case lives here exactly once:
+ *
+ *  - size 1: the dimension contributes no links and no hops;
+ *  - size 2: forward and backward reach the same neighbour over two
+ *    physically distinct links, so minimal-path nomination offers
+ *    BOTH directions (2*off <= size and 2*off >= size both hold at
+ *    off == 1, size == 2);
+ *  - general: forward wins ties (2*off == size nominates both for the
+ *    adaptive VC but the escape route takes forward).
+ *
+ * The escape dateline rule is positional, per ring: a hop requests
+ * VC1 iff the remaining path in the current dimension crosses that
+ * ring's wraparound edge — travelling forward that means the
+ * destination coordinate is *behind* the current one; backward, that
+ * it is *ahead*. Torus2D and Torus3D both route through these
+ * helpers, so the rule (and its size-2/size-1 handling) cannot drift
+ * between them.
+ */
+
+#ifndef GS_TOPOLOGY_RING_HH
+#define GS_TOPOLOGY_RING_HH
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gs::topo::ring
+{
+
+/** True when a dimension of @p size contributes links at all. */
+constexpr bool
+hasLinks(int size)
+{
+    return size > 1;
+}
+
+/** Forward (positive-direction) offset from @p a to @p d on a ring. */
+constexpr int
+fwdOffset(int a, int d, int size)
+{
+    return (d - a + size) % size;
+}
+
+/**
+ * Should the positive direction be nominated as a minimal next hop?
+ * @p fwd is fwdOffset(a, d, size). Nominates both directions on a
+ * tie, which includes every non-self pair of a size-2 ring.
+ */
+constexpr bool
+nominateFwd(int fwd, int size)
+{
+    return fwd != 0 && 2 * fwd <= size;
+}
+
+/** Negative-direction counterpart of nominateFwd(). */
+constexpr bool
+nominateBwd(int fwd, int size)
+{
+    return fwd != 0 && 2 * fwd >= size;
+}
+
+/** Deterministic escape hop within one ring. */
+struct Hop
+{
+    bool forward; ///< take the positive-direction port
+    int vc;       ///< escape sub-channel (dateline rule)
+};
+
+/**
+ * Escape next hop from coordinate @p a toward @p d (a != d) on a
+ * ring of @p size. Forward wins distance ties; the VC encodes the
+ * positional dateline rule described in the file comment.
+ */
+constexpr Hop
+escapeHop(int a, int d, int size)
+{
+    const int fwd = fwdOffset(a, d, size);
+    const bool forward = 2 * fwd <= size;
+    const int vc = forward ? (d < a ? 1 : 0) : (d > a ? 1 : 0);
+    return Hop{forward, vc};
+}
+
+/** Minimal hop count between two coordinates on a ring. */
+inline int
+distance(int a, int d, int size)
+{
+    const int off = std::abs(a - d);
+    return std::min(off, size - off);
+}
+
+} // namespace gs::topo::ring
+
+#endif // GS_TOPOLOGY_RING_HH

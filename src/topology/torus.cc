@@ -1,8 +1,7 @@
 #include "topology/torus.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
+#include "topology/ring.hh"
 
 namespace gs::topo
 {
@@ -62,7 +61,8 @@ Port
 Torus2D::port(NodeId node, int p) const
 {
     gs_assert(node >= 0 && node < numNodes());
-    bool exists = (p == portEast || p == portWest) ? wid > 1 : hgt > 1;
+    bool exists = (p == portEast || p == portWest) ? ring::hasLinks(wid)
+                                                   : ring::hasLinks(hgt);
     if (!exists)
         return Port{};
 
@@ -85,21 +85,17 @@ PortSet
 Torus2D::adaptivePorts(NodeId at, NodeId dst, int) const
 {
     PortSet out;
-    int dx = (xOf(dst) - xOf(at) + wid) % wid;
-    int dy = (yOf(dst) - yOf(at) + hgt) % hgt;
+    int dx = ring::fwdOffset(xOf(at), xOf(dst), wid);
+    int dy = ring::fwdOffset(yOf(at), yOf(dst), hgt);
 
-    if (dx != 0) {
-        if (2 * dx <= wid)
-            out.push_back(portEast);
-        if (2 * dx >= wid)
-            out.push_back(portWest);
-    }
-    if (dy != 0) {
-        if (2 * dy <= hgt)
-            out.push_back(portNorth);
-        if (2 * dy >= hgt)
-            out.push_back(portSouth);
-    }
+    if (ring::nominateFwd(dx, wid))
+        out.push_back(portEast);
+    if (ring::nominateBwd(dx, wid))
+        out.push_back(portWest);
+    if (ring::nominateFwd(dy, hgt))
+        out.push_back(portNorth);
+    if (ring::nominateBwd(dy, hgt))
+        out.push_back(portSouth);
     return out;
 }
 
@@ -110,19 +106,15 @@ Torus2D::escapeRoute(NodeId at, NodeId dst, int) const
     int dx_ = xOf(dst), dy_ = yOf(dst);
 
     if (ax != dx_) {
-        // X phase. Position-based dateline: a +X hop requests VC1
-        // iff the remaining path crosses the wrap edge (W-1 -> 0),
-        // i.e. iff the destination column is behind us.
-        int fwd = (dx_ - ax + wid) % wid;
-        bool east = 2 * fwd <= wid;
-        int vc = east ? (dx_ < ax ? 1 : 0) : (dx_ > ax ? 1 : 0);
-        return EscapeHop{east ? portEast : portWest, vc};
+        // X phase; the positional dateline rule lives in
+        // ring::escapeHop (a +X hop requests VC1 iff the remaining
+        // path crosses the wrap edge W-1 -> 0).
+        auto h = ring::escapeHop(ax, dx_, wid);
+        return EscapeHop{h.forward ? portEast : portWest, h.vc};
     }
     if (ay != dy_) {
-        int fwd = (dy_ - ay + hgt) % hgt;
-        bool north = 2 * fwd <= hgt;
-        int vc = north ? (dy_ < ay ? 1 : 0) : (dy_ > ay ? 1 : 0);
-        return EscapeHop{north ? portNorth : portSouth, vc};
+        auto h = ring::escapeHop(ay, dy_, hgt);
+        return EscapeHop{h.forward ? portNorth : portSouth, h.vc};
     }
     return EscapeHop{-1, 0};
 }
@@ -130,9 +122,8 @@ Torus2D::escapeRoute(NodeId at, NodeId dst, int) const
 int
 Torus2D::torusDistance(NodeId a, NodeId b) const
 {
-    int dx = std::abs(xOf(a) - xOf(b));
-    int dy = std::abs(yOf(a) - yOf(b));
-    return std::min(dx, wid - dx) + std::min(dy, hgt - dy);
+    return ring::distance(xOf(a), xOf(b), wid) +
+           ring::distance(yOf(a), yOf(b), hgt);
 }
 
 } // namespace gs::topo

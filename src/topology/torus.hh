@@ -6,7 +6,9 @@
  * North(+y)=2, South(-y)=3. When a dimension has size 2 the two
  * directions reach the same neighbour over two physically distinct
  * links (the "redundant" links Section 4.1 re-purposes for shuffle);
- * when it has size 1 its ports are unconnected.
+ * when it has size 1 its ports are unconnected. Both cases, and the
+ * dateline rule, are handled by the per-ring helpers in
+ * topology/ring.hh shared with the 3-D torus (topology/torus3d.hh).
  *
  * Routing follows the 21364 scheme described in Section 2:
  *  - Adaptive VC: any minimal direction (both, on a tie);

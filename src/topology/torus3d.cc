@@ -1,0 +1,157 @@
+#include "topology/torus3d.hh"
+
+#include "sim/logging.hh"
+#include "topology/ring.hh"
+#include "topology/torus.hh"
+
+namespace gs::topo
+{
+
+Torus3D::Torus3D(int w, int h, int d) : wid(w), hgt(h), dep(d)
+{
+    gs_assert(w >= 1 && h >= 1 && d >= 1, "bad torus dimensions ", w,
+              "x", h, "x", d);
+}
+
+NodeId
+Torus3D::neighbour(NodeId node, int port) const
+{
+    int x = xOf(node), y = yOf(node), z = zOf(node);
+    switch (port) {
+      case portEast:
+        return nodeAt((x + 1) % wid, y, z);
+      case portWest:
+        return nodeAt((x - 1 + wid) % wid, y, z);
+      case portNorth:
+        return nodeAt(x, (y + 1) % hgt, z);
+      case portSouth:
+        return nodeAt(x, (y - 1 + hgt) % hgt, z);
+      case portUp:
+        return nodeAt(x, y, (z + 1) % dep);
+      case portDown:
+        return nodeAt(x, y, (z - 1 + dep) % dep);
+      default:
+        gs_panic("bad torus port ", port);
+    }
+}
+
+LinkKind
+Torus3D::kindOf(NodeId node, int port) const
+{
+    // Packaging model extended from the GS1280's: each slab (fixed z)
+    // is packaged like a 2-D machine — on-module vertical pairs,
+    // backplane X hops, cabled wraparounds — and slabs are stacked
+    // with inter-drawer cables in Z.
+    int x = xOf(node), y = yOf(node);
+    switch (port) {
+      case portEast:
+        return x == wid - 1 && wid > 2 ? LinkKind::Cable
+                                       : LinkKind::Backplane;
+      case portWest:
+        return x == 0 && wid > 2 ? LinkKind::Cable : LinkKind::Backplane;
+      case portNorth:
+        if (y % 2 == 0 && y + 1 < hgt)
+            return LinkKind::OnModule;
+        return LinkKind::Cable;
+      case portSouth:
+        if (y % 2 == 1)
+            return LinkKind::OnModule;
+        return LinkKind::Cable;
+      case portUp:
+      case portDown:
+        return LinkKind::Cable;
+      default:
+        gs_panic("bad torus port ", port);
+    }
+}
+
+Port
+Torus3D::port(NodeId node, int p) const
+{
+    gs_assert(node >= 0 && node < numNodes());
+    int size;
+    switch (p) {
+      case portEast:
+      case portWest:
+        size = wid;
+        break;
+      case portNorth:
+      case portSouth:
+        size = hgt;
+        break;
+      default:
+        size = dep;
+        break;
+    }
+    if (!ring::hasLinks(size))
+        return Port{};
+
+    static constexpr int reverse[torus3dPorts] = {
+        portWest, portEast, portSouth, portNorth, portDown, portUp};
+    Port out;
+    out.peer = neighbour(node, p);
+    out.peerPort = reverse[p];
+    out.kind = kindOf(node, p);
+    return out;
+}
+
+std::string
+Torus3D::name() const
+{
+    return "torus " + std::to_string(wid) + "x" + std::to_string(hgt) +
+           "x" + std::to_string(dep);
+}
+
+PortSet
+Torus3D::adaptivePorts(NodeId at, NodeId dst, int) const
+{
+    PortSet out;
+    int dx = ring::fwdOffset(xOf(at), xOf(dst), wid);
+    int dy = ring::fwdOffset(yOf(at), yOf(dst), hgt);
+    int dz = ring::fwdOffset(zOf(at), zOf(dst), dep);
+
+    if (ring::nominateFwd(dx, wid))
+        out.push_back(portEast);
+    if (ring::nominateBwd(dx, wid))
+        out.push_back(portWest);
+    if (ring::nominateFwd(dy, hgt))
+        out.push_back(portNorth);
+    if (ring::nominateBwd(dy, hgt))
+        out.push_back(portSouth);
+    if (ring::nominateFwd(dz, dep))
+        out.push_back(portUp);
+    if (ring::nominateBwd(dz, dep))
+        out.push_back(portDown);
+    return out;
+}
+
+EscapeHop
+Torus3D::escapeRoute(NodeId at, NodeId dst, int) const
+{
+    int ax = xOf(at), ay = yOf(at), az = zOf(at);
+    int dx_ = xOf(dst), dy_ = yOf(dst), dz_ = zOf(dst);
+
+    if (ax != dx_) {
+        auto h = ring::escapeHop(ax, dx_, wid);
+        return EscapeHop{h.forward ? portEast : portWest, h.vc};
+    }
+    if (ay != dy_) {
+        auto h = ring::escapeHop(ay, dy_, hgt);
+        return EscapeHop{h.forward ? portNorth : portSouth, h.vc};
+    }
+    if (az != dz_) {
+        auto h = ring::escapeHop(az, dz_, dep);
+        return EscapeHop{h.forward ? portUp : portDown, h.vc};
+    }
+    return EscapeHop{-1, 0};
+}
+
+int
+Torus3D::torusDistance(NodeId a, NodeId b) const
+{
+    return ring::distance(xOf(a), xOf(b), wid) +
+           ring::distance(yOf(a), yOf(b), hgt) +
+           ring::distance(zOf(a), zOf(b), dep);
+}
+
+} // namespace gs::topo

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Three-dimensional torus: the scale-out extension of the GS1280
+ * interconnect beyond the paper's 128P projection.
+ *
+ * Node (x, y, z) maps to id (z*H + y)*W + x. Ports extend the 2-D
+ * numbering with the Z dimension: East(+x)=0, West(-x)=1,
+ * North(+y)=2, South(-y)=3, Up(+z)=4, Down(-z)=5. Size-2 and size-1
+ * dimensions behave exactly as in Torus2D because both tori route
+ * through the shared per-ring helpers (topology/ring.hh): a size-2
+ * dimension nominates both directions over two physically distinct
+ * links, a size-1 dimension contributes no links.
+ *
+ * Routing generalises the 21364 scheme dimension by dimension:
+ *  - Adaptive VC: any minimal direction across X/Y/Z (both on a tie);
+ *  - Escape VCs: dimension-order X-then-Y-then-Z with the per-ring
+ *    positional dateline rule (a hop requests VC1 iff its remaining
+ *    path in the current dimension crosses that ring's wraparound
+ *    edge). Dimension-order + a dateline per ring keeps the escape
+ *    network cycle-free for the same reason as in 2-D: the extended
+ *    channel dependence graph orders channels by (dimension, VC) and
+ *    every intra-ring dependence chain passes the dateline at most
+ *    once.
+ */
+
+#ifndef GS_TOPOLOGY_TORUS3D_HH
+#define GS_TOPOLOGY_TORUS3D_HH
+
+#include "topology/topology.hh"
+
+namespace gs::topo
+{
+
+/** Z-dimension port indices, extending TorusPort. */
+enum Torus3DPort : int
+{
+    portUp = 4,   ///< +z
+    portDown = 5, ///< -z
+    torus3dPorts = 6,
+};
+
+/** 3-D torus of W x H x D nodes. */
+class Torus3D : public Topology
+{
+  public:
+    /**
+     * @param w size of the X dimension, >= 1
+     * @param h size of the Y dimension, >= 1
+     * @param d size of the Z dimension, >= 1
+     */
+    Torus3D(int w, int h, int d);
+
+    int numNodes() const override { return wid * hgt * dep; }
+    int numPorts(NodeId) const override { return torus3dPorts; }
+    Port port(NodeId node, int port) const override;
+    std::string name() const override;
+
+    PortSet
+    adaptivePorts(NodeId at, NodeId dst, int hopsTaken) const override;
+
+    EscapeHop escapeRoute(NodeId at, NodeId dst, int curVc) const override;
+
+    /** @name Geometry helpers */
+    /// @{
+    int width() const { return wid; }
+    int height() const { return hgt; }
+    int depth() const { return dep; }
+    int xOf(NodeId n) const { return static_cast<int>(n) % wid; }
+    int yOf(NodeId n) const { return static_cast<int>(n) / wid % hgt; }
+    int zOf(NodeId n) const
+    {
+        return static_cast<int>(n) / (wid * hgt);
+    }
+    NodeId nodeAt(int x, int y, int z) const
+    {
+        return static_cast<NodeId>((z * hgt + y) * wid + x);
+    }
+    /// @}
+
+    /** Torus hop distance in closed form (cross-checks BFS). */
+    int torusDistance(NodeId a, NodeId b) const;
+
+  private:
+    /** Neighbour coordinates through @p port (wrapping). */
+    NodeId neighbour(NodeId node, int port) const;
+
+    /** Wire class of the link leaving @p node through @p port. */
+    LinkKind kindOf(NodeId node, int port) const;
+
+    int wid;
+    int hgt;
+    int dep;
+};
+
+} // namespace gs::topo
+
+#endif // GS_TOPOLOGY_TORUS3D_HH

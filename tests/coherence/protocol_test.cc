@@ -318,4 +318,48 @@ TEST(Protocol, StatsCountTheStory)
     EXPECT_GT(st.missLatencyNs.mean(), 0.0);
 }
 
+TEST(Protocol, CoarseSharerVectorInvalidatesWholeGroups)
+{
+    // Sharer groups of 2 on a 4x2 machine: nodes {2k, 2k+1} share a
+    // directory bit. A write must still invalidate every cached
+    // copy — over-invalidation of group members is allowed, stale
+    // copies are not.
+    NodeConfig cfg;
+    cfg.sharerGroupSize = 2;
+    CoherFixture f(4, 2, cfg);
+    mem::Addr a = lineAt(0, 14);
+    EXPECT_EQ(f.nodes[0]->sharerBitOf(2), f.nodes[0]->sharerBitOf(3));
+    EXPECT_NE(f.nodes[0]->sharerBitOf(2), f.nodes[0]->sharerBitOf(4));
+
+    for (NodeId n : {2, 3, 5})
+        f.access(n, a, false);
+    EXPECT_EQ(f.nodes[0]->dirState(a), DirState::Shared);
+    f.access(7, a, true);
+    f.drain();
+    EXPECT_EQ(f.nodes[0]->dirState(a), DirState::Exclusive);
+    EXPECT_EQ(f.nodes[0]->dirOwner(a), 7);
+    for (NodeId n : {2, 3, 5})
+        EXPECT_EQ(f.nodes[std::size_t(n)]->l2().state(a),
+                  LineState::Invalid);
+    EXPECT_TRUE(verifyCoherence(f.all()).ok);
+}
+
+TEST(Protocol, CoarseWriterGroupmateStillInvalidated)
+{
+    // The writer shares a group bit with a current sharer: skipping
+    // the writer at emission must not skip its groupmate.
+    NodeConfig cfg;
+    cfg.sharerGroupSize = 2;
+    CoherFixture f(4, 2, cfg);
+    mem::Addr a = lineAt(0, 15);
+    for (NodeId n : {2, 3})
+        f.access(n, a, false);
+    f.access(2, a, true); // node 2 upgrades; groupmate 3 must drop
+    f.drain();
+    EXPECT_EQ(f.nodes[0]->dirOwner(a), 2);
+    EXPECT_EQ(f.nodes[2]->l2().state(a), LineState::Modified);
+    EXPECT_EQ(f.nodes[3]->l2().state(a), LineState::Invalid);
+    EXPECT_TRUE(verifyCoherence(f.all()).ok);
+}
+
 } // namespace

@@ -28,6 +28,7 @@
 #include "sim/table.hh"
 #include "system/machine.hh"
 #include "topology/torus.hh"
+#include "topology/torus3d.hh"
 #include "workload/load_test.hh"
 
 namespace
@@ -129,6 +130,53 @@ TEST(Golden, LatencyModel)
                   Table::num(analytic::mm1LatencyNs(100.0, rho), 2)});
     q.print(os);
     checkGolden("latency_model.txt", os.str());
+}
+
+// ---------------------------------------------------------------
+// Scale-out analytic layer: the bench/ext_scaling3d.cpp model table
+// — 2-D vs 3-D torus at matched node counts (docs/SCALING.md). Pins
+// the 3-D escape/adaptive routing's distance metric and the latency
+// model on 6-port shapes up to 2048 nodes.
+// ---------------------------------------------------------------
+
+TEST(Golden, Scaling3DModel)
+{
+    std::ostringstream os;
+    Table t({"nodes", "2D shape", "2D hops", "2D model ns",
+             "3D shape", "3D hops", "3D model ns", "hop gain"});
+    struct Shape3
+    {
+        int x, y, z;
+    };
+    const std::vector<Shape3> shapes = {
+        {8, 8, 4}, {8, 8, 8}, {16, 8, 8}, {16, 16, 8}};
+    auto avgHops = [](const topo::Topology &topo) {
+        auto d = topo.distancesFrom(0);
+        double sum = 0;
+        for (int h : d)
+            sum += h;
+        return sum / static_cast<double>(d.size() - 1);
+    };
+    for (const auto &s : shapes) {
+        const int nodes = s.x * s.y * s.z;
+        auto [w, h] = sys::torusShape(nodes);
+        topo::Torus2D t2(w, h);
+        topo::Torus3D t3(s.x, s.y, s.z);
+        const double h2 = avgHops(t2), h3 = avgHops(t3);
+        t.addRow({Table::num(nodes),
+                  std::to_string(w) + "x" + std::to_string(h),
+                  Table::num(h2, 3),
+                  Table::num(
+                      analytic::avgIdleLatencyNs(t2, 83.0, 44.0), 2),
+                  std::to_string(s.x) + "x" + std::to_string(s.y) +
+                      "x" + std::to_string(s.z),
+                  Table::num(h3, 3),
+                  Table::num(
+                      analytic::avgIdleLatencyNs(t3, 83.0, 44.0), 2),
+                  Table::num(h2 / h3, 3)});
+    }
+    t.print(os);
+    checkGolden("scaling3d_model.txt", os.str());
 }
 
 // ---------------------------------------------------------------

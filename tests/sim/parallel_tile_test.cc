@@ -83,6 +83,58 @@ TEST(TileShape, AlwaysFitsAndCoversTheThreadTarget)
     }
 }
 
+// --- chooseTileShape3 ------------------------------------------------
+
+TEST(TileShape3, DepthOneReducesExactlyToTheTwoDimensionalPolicy)
+{
+    // The 3-D key must pick the 2-D shape bit-for-bit at depth 1 —
+    // that is what keeps every existing 2-D parallel run (and its
+    // goldens) untouched by the generalization.
+    for (int w : {1, 2, 3, 4, 5, 8, 16})
+        for (int h : {1, 2, 3, 4, 8})
+            for (int t : {1, 2, 3, 4, 6, 8, 16, 100}) {
+                SCOPED_TRACE(std::to_string(w) + "x" +
+                             std::to_string(h) + " t" +
+                             std::to_string(t));
+                EXPECT_EQ(chooseTileShape3(w, h, 1, t),
+                          chooseTileShape(w, h, t));
+            }
+}
+
+TEST(TileShape3, CutsTheCheapestPlanesFirst)
+{
+    // 8x8x8 torus, 8 threads: all three dimensions tie, and a
+    // balanced 2x2x2 cut beats any single-axis 8-way slice.
+    EXPECT_EQ(chooseTileShape3(8, 8, 8, 8), (TileShape{2, 2, 2}));
+    // 16x16x8, 4 threads: cutting a 16-wide axis severs 16*8 links
+    // per seam; a Z cut severs 16*16. Split the cheap axes.
+    TileShape s = chooseTileShape3(16, 16, 8, 4);
+    EXPECT_EQ(s.count(), 4);
+    EXPECT_EQ(s.slabs, 1);
+}
+
+TEST(TileShape3, AlwaysFitsAndCoversTheThreadTarget)
+{
+    for (int w : {1, 2, 4, 8})
+        for (int h : {1, 3, 4})
+            for (int d : {1, 2, 4})
+                for (int t : {1, 2, 4, 8, 64}) {
+                    TileShape s = chooseTileShape3(w, h, d, t);
+                    SCOPED_TRACE(std::to_string(w) + "x" +
+                                 std::to_string(h) + "x" +
+                                 std::to_string(d) + " t" +
+                                 std::to_string(t));
+                    EXPECT_GE(s.rows, 1);
+                    EXPECT_GE(s.cols, 1);
+                    EXPECT_GE(s.slabs, 1);
+                    EXPECT_LE(s.rows, h);
+                    EXPECT_LE(s.cols, w);
+                    EXPECT_LE(s.slabs, d);
+                    EXPECT_GE(s.count(),
+                              std::min(t < 1 ? 1 : t, w * h * d));
+                }
+}
+
 // --- tileDomainOf ----------------------------------------------------
 
 TEST(TileShape, DomainMapIsBalancedContiguousRowMajor)
@@ -122,6 +174,41 @@ TEST(TileShape, DomainMapBalancesIndivisibleSplits)
     }
     for (int d = 0; d < 3; ++d)
         EXPECT_GE(count[std::size_t(d)], 2);
+}
+
+// --- tileDomainOf3 ---------------------------------------------------
+
+TEST(TileShape3, DomainMapReducesTo2DAtDepthOne)
+{
+    const TileShape s{2, 2};
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(tileDomainOf3(x, y, 0, 4, 4, 1, s),
+                      tileDomainOf(x, y, 4, 4, s));
+}
+
+TEST(TileShape3, DomainMapIsBalancedContiguousSlabMajor)
+{
+    // 4x4x4 torus, 2x2x2 tiles: octants, slab-major numbering.
+    const TileShape s{2, 2, 2};
+    EXPECT_EQ(tileDomainOf3(0, 0, 0, 4, 4, 4, s), 0);
+    EXPECT_EQ(tileDomainOf3(3, 0, 0, 4, 4, 4, s), 1);
+    EXPECT_EQ(tileDomainOf3(0, 3, 0, 4, 4, 4, s), 2);
+    EXPECT_EQ(tileDomainOf3(3, 3, 0, 4, 4, 4, s), 3);
+    EXPECT_EQ(tileDomainOf3(0, 0, 3, 4, 4, 4, s), 4);
+    EXPECT_EQ(tileDomainOf3(3, 3, 3, 4, 4, 4, s), 7);
+
+    std::array<int, 8> count{};
+    for (int z = 0; z < 4; ++z)
+        for (int y = 0; y < 4; ++y)
+            for (int x = 0; x < 4; ++x) {
+                int d = tileDomainOf3(x, y, z, 4, 4, 4, s);
+                ASSERT_GE(d, 0);
+                ASSERT_LT(d, 8);
+                count[std::size_t(d)] += 1;
+            }
+    for (int d = 0; d < 8; ++d)
+        EXPECT_EQ(count[std::size_t(d)], 8);
 }
 
 // --- AdaptiveLookahead ----------------------------------------------

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Memory-lean scale-out tests (docs/SCALING.md): 3-D GS1280 builds
+ * up to 2048 nodes, the >= 4x bytes/node reduction of the lazy /
+ * packed layouts, coarse directory sharer vectors past 64 nodes,
+ * thread-count invariance of a 3-D GUPS run under the tile engine,
+ * telemetry's lite mode, and snapshot compatibility (3-D round-trip
+ * plus rejection of cross-topology restores).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "coherence/checker.hh"
+#include "sim/random.hh"
+#include "system/machine.hh"
+#include "workload/gups.hh"
+#include "workload/load_test.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::sys;
+
+TEST(Scale3D, BuildGeometryAndBuddies)
+{
+    auto m = Machine::buildGS1280_3D(4, 2, 2);
+    EXPECT_EQ(m->cpuCount(), 16);
+    EXPECT_EQ(m->nodeCount(), 16);
+    EXPECT_EQ(m->topology().name(), "torus 4x2x2");
+    for (NodeId n = 0; n < 16; ++n) {
+        ASSERT_TRUE(m->hasNode(n));
+        EXPECT_TRUE(m->node(n).hasCache());
+        EXPECT_TRUE(m->node(n).hasMemory());
+    }
+    // 3-D module buddies pair adjacent slabs and are involutive.
+    for (NodeId n = 0; n < 16; ++n) {
+        NodeId b = m->moduleBuddy(n);
+        EXPECT_NE(b, n);
+        EXPECT_EQ(m->moduleBuddy(b), n);
+    }
+    EXPECT_EQ(m->moduleBuddy(0), 8); // (0,0,0) <-> (0,0,1)
+}
+
+TEST(Scale3D, StripedMapUsesSlabBuddies)
+{
+    Gs1280Options opt;
+    opt.striped = true;
+    auto m = Machine::buildGS1280_3D(2, 2, 2, opt);
+    const auto &map = m->addressMap();
+    mem::Addr base = m->cpuAddr(0, 0);
+    EXPECT_EQ(map.home(base + 0 * 64).node, 0);
+    EXPECT_EQ(map.home(base + 2 * 64).node, m->moduleBuddy(0));
+}
+
+TEST(Scale3D, TelemetryGoesLitePastSixtyFourNodes)
+{
+    // 64 nodes: full per-node subtrees, exactly as shipped.
+    auto small = Machine::buildGS1280_3D(4, 4, 4);
+    EXPECT_FALSE(small->telemetry().paths("node.").empty());
+    EXPECT_EQ(small->telemetry().value("mem.sharer_group"), 1.0);
+
+    // 128 nodes: aggregates only; registry size stays flat.
+    auto big = Machine::buildGS1280_3D(8, 4, 4);
+    EXPECT_TRUE(big->telemetry().paths("node.").empty());
+    EXPECT_FALSE(big->telemetry().paths("net.").empty());
+    EXPECT_EQ(big->telemetry().value("mem.sharer_group"), 2.0);
+    EXPECT_LT(big->telemetry().size(), small->telemetry().size());
+}
+
+TEST(Scale3D, CoarseSharersKeepCoherence)
+{
+    // 128 nodes -> sharer groups of 2: spurious invalidations are
+    // allowed, protocol correctness is not negotiable.
+    auto m = Machine::buildGS1280_3D(8, 4, 4);
+    std::vector<std::unique_ptr<wl::RandomRemoteReads>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<wl::RandomRemoteReads>(
+            static_cast<NodeId>(c), m->cpuCount(), 8ULL << 20, 200,
+            Rng::deriveSeed(7, static_cast<std::uint64_t>(c))));
+        sources.push_back(gens.back().get());
+    }
+    ASSERT_TRUE(m->run(sources));
+    std::vector<coher::CoherentNode *> nodes;
+    for (NodeId n = 0; n < m->nodeCount(); ++n)
+        nodes.push_back(&m->node(n));
+    EXPECT_TRUE(coher::verifyCoherence(nodes).ok);
+}
+
+// ------------------------------------------------------------------
+// Thread-count invariance on the 3-D tile engine.
+// ------------------------------------------------------------------
+
+struct GupsResult
+{
+    bool completed = false;
+    std::vector<std::uint64_t> updates;
+    std::vector<double> coreElapsedNs;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    double latMin = 0, latMax = 0;
+};
+
+GupsResult
+runGups3D(int x, int y, int z, int threads, TileShape tiles,
+          std::uint64_t updates)
+{
+    Gs1280Options opt;
+    opt.seed = 3;
+    opt.threads = threads;
+    opt.tileRows = tiles.rows;
+    opt.tileCols = tiles.cols;
+    opt.tileSlabs = tiles.slabs;
+    auto m = Machine::buildGS1280_3D(x, y, z, opt);
+
+    const int cpus = m->cpuCount();
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < cpus; ++c) {
+        gens.push_back(std::make_unique<wl::Gups>(
+            cpus, 1ULL << 20, updates,
+            Rng::deriveSeed(3, static_cast<std::uint64_t>(c))));
+        sources.push_back(gens.back().get());
+    }
+
+    GupsResult r;
+    r.completed = m->run(sources);
+    for (int c = 0; c < cpus; ++c) {
+        r.updates.push_back(gens[std::size_t(c)]->updatesIssued());
+        r.coreElapsedNs.push_back(m->core(c).stats().elapsedNs());
+    }
+    const auto &st = m->network().stats();
+    r.injected = st.injectedPackets;
+    r.delivered = st.deliveredPackets;
+    r.latMin = st.latencyNs.min();
+    r.latMax = st.latencyNs.max();
+    return r;
+}
+
+TEST(Scale3D, GupsIsThreadCountInvariant)
+{
+    // 4x4x2 = 32 nodes, fixed 2x2x2 tiling: the schedule is pinned
+    // by the shape, so every statistic must be bitwise identical at
+    // any worker count, and match the serial engine.
+    const TileShape tiles{2, 2, 2};
+    GupsResult serial = runGups3D(4, 4, 2, 1, {0, 0, 0}, 40);
+    GupsResult par2 = runGups3D(4, 4, 2, 2, tiles, 40);
+    GupsResult par8 = runGups3D(4, 4, 2, 8, tiles, 40);
+
+    ASSERT_TRUE(serial.completed);
+    ASSERT_TRUE(par2.completed);
+    ASSERT_TRUE(par8.completed);
+
+    // Parallel vs parallel: identical engine decomposition.
+    EXPECT_EQ(par2.updates, par8.updates);
+    EXPECT_EQ(par2.coreElapsedNs, par8.coreElapsedNs);
+    EXPECT_EQ(par2.injected, par8.injected);
+    EXPECT_EQ(par2.delivered, par8.delivered);
+    EXPECT_EQ(par2.latMin, par8.latMin);
+    EXPECT_EQ(par2.latMax, par8.latMax);
+
+    // Serial vs parallel: same simulated execution.
+    EXPECT_EQ(serial.updates, par2.updates);
+    EXPECT_EQ(serial.coreElapsedNs, par2.coreElapsedNs);
+    EXPECT_EQ(serial.injected, par2.injected);
+    EXPECT_EQ(serial.delivered, par2.delivered);
+    EXPECT_EQ(serial.latMin, par2.latMin);
+    EXPECT_EQ(serial.latMax, par2.latMax);
+}
+
+TEST(Scale3D, TwoThousandNodeGupsIsThreadCountInvariant)
+{
+    // The acceptance machine itself: 16x16x8 GUPS under a pinned
+    // 2x2x2 tiling, byte-equal statistics at 1, 2 and 8 workers.
+    const TileShape tiles{2, 2, 2};
+    GupsResult t1 = runGups3D(16, 16, 8, 1, tiles, 4);
+    GupsResult t2 = runGups3D(16, 16, 8, 2, tiles, 4);
+    GupsResult t8 = runGups3D(16, 16, 8, 8, tiles, 4);
+
+    ASSERT_TRUE(t1.completed);
+    ASSERT_TRUE(t2.completed);
+    ASSERT_TRUE(t8.completed);
+    EXPECT_EQ(t1.updates, t2.updates);
+    EXPECT_EQ(t1.updates, t8.updates);
+    EXPECT_EQ(t1.coreElapsedNs, t2.coreElapsedNs);
+    EXPECT_EQ(t1.coreElapsedNs, t8.coreElapsedNs);
+    EXPECT_EQ(t1.injected, t2.injected);
+    EXPECT_EQ(t1.injected, t8.injected);
+    EXPECT_EQ(t1.delivered, t8.delivered);
+    EXPECT_EQ(t1.latMin, t8.latMin);
+    EXPECT_EQ(t1.latMax, t8.latMax);
+}
+
+// ------------------------------------------------------------------
+// Memory budget: the 2048-node acceptance machine.
+// ------------------------------------------------------------------
+
+TEST(Scale3D, TwoThousandNodeMachineStaysMemoryLean)
+{
+    auto m = Machine::buildGS1280_3D(16, 16, 8);
+    EXPECT_EQ(m->nodeCount(), 2048);
+    EXPECT_EQ(m->telemetry().value("mem.sharer_group"), 32.0);
+
+    // Untouched machine: everything lazy, nothing allocated.
+    const std::size_t before = m->memFootprintBytes();
+    const std::size_t dense = m->denseMemFootprintBytes();
+    ASSERT_GT(before, 0u);
+    EXPECT_GE(static_cast<double>(dense) /
+                  static_cast<double>(before),
+              4.0)
+        << "bytes/node: lazy " << before / 2048 << ", dense "
+        << dense / 2048;
+
+    // Drive traffic through a corner of the machine; the footprint
+    // grows with the touched set, not the machine size, so the
+    // reduction must survive a real run.
+    std::vector<std::unique_ptr<wl::Gups>> gens;
+    std::vector<cpu::TrafficSource *> sources;
+    for (int c = 0; c < 16; ++c) {
+        gens.push_back(std::make_unique<wl::Gups>(
+            m->cpuCount(), 64ULL << 10, 25,
+            Rng::deriveSeed(5, static_cast<std::uint64_t>(c))));
+        sources.push_back(gens.back().get());
+    }
+    ASSERT_TRUE(m->run(sources));
+    const std::size_t after = m->memFootprintBytes();
+    EXPECT_GT(after, before);
+    EXPECT_GE(static_cast<double>(m->denseMemFootprintBytes()) /
+                  static_cast<double>(after),
+              4.0)
+        << "bytes/node after GUPS: " << after / 2048;
+}
+
+// ------------------------------------------------------------------
+// Snapshot contract: 3-D round-trip, cross-topology rejection.
+// ------------------------------------------------------------------
+
+TEST(Scale3D, CheckpointRoundTripsOn3DMachines)
+{
+    auto makeRig = [](int threads) {
+        struct Rig
+        {
+            std::unique_ptr<Machine> m;
+            std::vector<std::unique_ptr<wl::Gups>> gens;
+            std::vector<cpu::TrafficSource *> sources;
+        };
+        Rig r;
+        Gs1280Options opt;
+        opt.seed = 11;
+        opt.threads = threads;
+        r.m = Machine::buildGS1280_3D(2, 2, 2, opt);
+        for (int c = 0; c < 8; ++c) {
+            r.gens.push_back(std::make_unique<wl::Gups>(
+                8, 1ULL << 20, 60,
+                Rng::deriveSeed(11, static_cast<std::uint64_t>(c))));
+            r.sources.push_back(r.gens.back().get());
+        }
+        return r;
+    };
+
+    // Reference run, snapshotting as it goes.
+    auto a = makeRig(1);
+    const std::string prefix = testing::TempDir() + "scale3d_ab";
+    auto probe = makeRig(1);
+    ASSERT_TRUE(probe.m->run(probe.sources));
+    const Tick endTick = probe.m->ctx().now();
+    a.m->setCheckpointPolicy(endTick / 2, prefix);
+    ASSERT_TRUE(a.m->run(a.sources));
+    ASSERT_GE(a.m->checkpointSaves(), 1u);
+    const std::string snap = prefix + ".1.gsckpt";
+
+    // Restore into an identical 3-D build and finish: workload
+    // totals converge with the uninterrupted run.
+    auto b = makeRig(1);
+    b.m->setCheckpointPolicy(endTick / 2,
+                             testing::TempDir() + "scale3d_b");
+    std::string err;
+    ASSERT_TRUE(b.m->restore(snap, b.sources, &err)) << err;
+    ASSERT_TRUE(b.m->run(b.sources));
+    EXPECT_EQ(b.m->ctx().now(), a.m->ctx().now());
+    for (int c = 0; c < 8; ++c)
+        EXPECT_EQ(b.gens[std::size_t(c)]->updatesIssued(),
+                  a.gens[std::size_t(c)]->updatesIssued());
+
+    // A 2-D machine of the same CPU count must refuse the snapshot
+    // with an actionable mismatch error, not corrupt itself.
+    auto c2d = makeRig(1);
+    c2d.m = Machine::buildGS1280(8, [] {
+        Gs1280Options o;
+        o.seed = 11;
+        return o;
+    }());
+    std::string rerr;
+    EXPECT_FALSE(c2d.m->restore(snap, c2d.sources, &rerr));
+    EXPECT_NE(rerr.find("mismatch"), std::string::npos) << rerr;
+
+    std::remove(snap.c_str());
+    for (std::uint64_t n = 1; n <= b.m->checkpointSaves(); ++n)
+        std::remove((testing::TempDir() + "scale3d_b." +
+                     std::to_string(n) + ".gsckpt")
+                        .c_str());
+}
+
+} // namespace

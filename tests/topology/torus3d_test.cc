@@ -1,0 +1,321 @@
+/** @file 3-D torus tests: geometry, exhaustive routing oracles over
+ *  small shapes, ring-helper regressions, and 2-D equivalence of a
+ *  single-slab machine. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "topology/ring.hh"
+#include "topology/torus.hh"
+#include "topology/torus3d.hh"
+
+namespace
+{
+
+using namespace gs;
+using namespace gs::topo;
+
+// ------------------------------------------------------------------
+// Ring helpers: the shared size-1/size-2/dateline semantics both
+// tori route through.
+// ------------------------------------------------------------------
+
+TEST(Ring, SizeOneContributesNothing)
+{
+    EXPECT_FALSE(ring::hasLinks(1));
+    EXPECT_EQ(ring::distance(0, 0, 1), 0);
+    EXPECT_EQ(ring::fwdOffset(0, 0, 1), 0);
+    EXPECT_FALSE(ring::nominateFwd(0, 1));
+    EXPECT_FALSE(ring::nominateBwd(0, 1));
+}
+
+TEST(Ring, SizeTwoNominatesBothDirections)
+{
+    // On a 2-ring the single non-self offset ties both ways: the
+    // two physically distinct links are both minimal.
+    int fwd = ring::fwdOffset(0, 1, 2);
+    EXPECT_EQ(fwd, 1);
+    EXPECT_TRUE(ring::nominateFwd(fwd, 2));
+    EXPECT_TRUE(ring::nominateBwd(fwd, 2));
+    EXPECT_EQ(ring::distance(0, 1, 2), 1);
+}
+
+TEST(Ring, EvenSizeTieNominatesBoth)
+{
+    // Opposite points of an even ring are equidistant both ways.
+    int fwd = ring::fwdOffset(1, 5, 8);
+    EXPECT_EQ(fwd, 4);
+    EXPECT_TRUE(ring::nominateFwd(fwd, 8));
+    EXPECT_TRUE(ring::nominateBwd(fwd, 8));
+    // But the escape route is deterministic: forward wins the tie.
+    EXPECT_TRUE(ring::escapeHop(1, 5, 8).forward);
+}
+
+TEST(Ring, DatelineVcIsPositional)
+{
+    // Forward with the destination behind = crossing the wrap: VC1.
+    auto hop = ring::escapeHop(6, 1, 8);
+    EXPECT_TRUE(hop.forward);
+    EXPECT_EQ(hop.vc, 1);
+    // Forward, destination ahead: VC0.
+    hop = ring::escapeHop(1, 3, 8);
+    EXPECT_TRUE(hop.forward);
+    EXPECT_EQ(hop.vc, 0);
+    // Backward, destination ahead = crossing the wrap: VC1.
+    hop = ring::escapeHop(1, 6, 8);
+    EXPECT_FALSE(hop.forward);
+    EXPECT_EQ(hop.vc, 1);
+    // Backward, destination behind: VC0.
+    hop = ring::escapeHop(3, 1, 8);
+    EXPECT_FALSE(hop.forward);
+    EXPECT_EQ(hop.vc, 0);
+}
+
+// The 2-D torus regressed onto the helpers must keep its shipped
+// size-2 semantics: both vertical ports of a 2-row machine reach
+// the same peer and both are nominated.
+TEST(Ring, TwoWideDimensionRegression2D)
+{
+    Torus2D t(4, 2);
+    NodeId n = t.nodeAt(1, 0);
+    NodeId up = t.nodeAt(1, 1);
+    EXPECT_EQ(t.port(n, portNorth).peer, up);
+    EXPECT_EQ(t.port(n, portSouth).peer, up);
+    auto ports = t.adaptivePorts(n, up, 0);
+    EXPECT_EQ(ports.size(), 2u);
+}
+
+TEST(Ring, TwoWideDimensionRegression3D)
+{
+    Torus3D t(4, 2, 2);
+    NodeId n = t.nodeAt(1, 0, 0);
+    // Both N/S and both U/D pairs are parallel minimal links.
+    EXPECT_EQ(t.port(n, portNorth).peer, t.nodeAt(1, 1, 0));
+    EXPECT_EQ(t.port(n, portSouth).peer, t.nodeAt(1, 1, 0));
+    EXPECT_EQ(t.port(n, portUp).peer, t.nodeAt(1, 0, 1));
+    EXPECT_EQ(t.port(n, portDown).peer, t.nodeAt(1, 0, 1));
+    auto ports = t.adaptivePorts(n, t.nodeAt(1, 1, 1), 0);
+    EXPECT_EQ(ports.size(), 4u); // N, S, U, D
+}
+
+// ------------------------------------------------------------------
+// Geometry.
+// ------------------------------------------------------------------
+
+TEST(Torus3D, GeometryMapping)
+{
+    Torus3D t(4, 3, 2);
+    EXPECT_EQ(t.numNodes(), 24);
+    NodeId n = t.nodeAt(1, 2, 1);
+    EXPECT_EQ(n, (1 * 3 + 2) * 4 + 1);
+    EXPECT_EQ(t.xOf(n), 1);
+    EXPECT_EQ(t.yOf(n), 2);
+    EXPECT_EQ(t.zOf(n), 1);
+}
+
+TEST(Torus3D, PortPairingIsConsistent)
+{
+    Torus3D t(3, 3, 2);
+    for (NodeId n = 0; n < t.numNodes(); ++n) {
+        for (int p = 0; p < t.numPorts(n); ++p) {
+            Port fwd = t.port(n, p);
+            if (!fwd.connected())
+                continue;
+            Port back = t.port(fwd.peer, fwd.peerPort);
+            EXPECT_EQ(back.peer, n) << "node " << n << " port " << p;
+            EXPECT_EQ(back.peerPort, p);
+        }
+    }
+}
+
+TEST(Torus3D, DegenerateDimensions)
+{
+    Torus3D line(4, 1, 1);
+    EXPECT_TRUE(line.port(0, portEast).connected());
+    EXPECT_FALSE(line.port(0, portNorth).connected());
+    EXPECT_FALSE(line.port(0, portSouth).connected());
+    EXPECT_FALSE(line.port(0, portUp).connected());
+    EXPECT_FALSE(line.port(0, portDown).connected());
+
+    Torus3D single(1, 1, 1);
+    for (int p = 0; p < torus3dPorts; ++p)
+        EXPECT_FALSE(single.port(0, p).connected());
+}
+
+TEST(Torus3D, ZLinksAreCables)
+{
+    Torus3D t(4, 4, 4);
+    EXPECT_EQ(t.port(0, portUp).kind, LinkKind::Cable);
+    EXPECT_EQ(t.port(0, portDown).kind, LinkKind::Cable);
+    // In-slab packaging matches the 2-D machine.
+    EXPECT_EQ(t.port(t.nodeAt(0, 0, 2), portNorth).kind,
+              LinkKind::OnModule);
+}
+
+// A single-slab 3-D torus is a 2-D torus with four dead ports: same
+// connectivity, same kinds, same routes on E/W/N/S.
+TEST(Torus3D, SingleSlabMatchesTorus2D)
+{
+    Torus2D t2(4, 3);
+    Torus3D t3(4, 3, 1);
+    ASSERT_EQ(t3.numNodes(), t2.numNodes());
+    for (NodeId a = 0; a < t2.numNodes(); ++a) {
+        for (int p = 0; p < torusPorts; ++p) {
+            Port p2 = t2.port(a, p), p3 = t3.port(a, p);
+            EXPECT_EQ(p2.peer, p3.peer);
+            EXPECT_EQ(p2.peerPort, p3.peerPort);
+            EXPECT_EQ(p2.kind, p3.kind);
+        }
+        EXPECT_FALSE(t3.port(a, portUp).connected());
+        EXPECT_FALSE(t3.port(a, portDown).connected());
+        for (NodeId b = 0; b < t2.numNodes(); ++b) {
+            EXPECT_EQ(t2.torusDistance(a, b), t3.torusDistance(a, b));
+            EXPECT_EQ(t2.adaptivePorts(a, b, 0),
+                      t3.adaptivePorts(a, b, 0));
+            auto e2 = t2.escapeRoute(a, b, 0);
+            auto e3 = t3.escapeRoute(a, b, 0);
+            EXPECT_EQ(e2.port, e3.port);
+            EXPECT_EQ(e2.vc, e3.vc);
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Exhaustive routing properties vs. the BFS oracle, over the small
+// shapes that exercise every size class (2, 3, 4, 1).
+// ------------------------------------------------------------------
+
+class Torus3DShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(Torus3DShapes, BfsMatchesClosedFormDistance)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        auto dist = t.distancesFrom(src);
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            EXPECT_EQ(dist[static_cast<std::size_t>(dst)],
+                      t.torusDistance(src, dst))
+                << w << "x" << h << "x" << d << " " << src << "->"
+                << dst;
+        }
+    }
+}
+
+TEST_P(Torus3DShapes, EscapeRouteTerminatesMinimally)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            NodeId at = src;
+            int hops = 0;
+            while (at != dst) {
+                auto hop = t.escapeRoute(at, dst, 0);
+                ASSERT_GE(hop.port, 0);
+                at = t.port(at, hop.port).peer;
+                hops += 1;
+                ASSERT_LE(hops, w + h + d) << "non-terminating route";
+            }
+            EXPECT_EQ(hops, t.torusDistance(src, dst));
+        }
+    }
+}
+
+// The positional dateline rule requests VC1 exactly while the leg
+// still has the wrap edge ahead of it and VC0 after crossing — so
+// within one dimension's leg the VC sequence never steps back up
+// from 0 to 1, the monotonicity that makes the escape network
+// deadlock-free (docs/ROUTER.md).
+TEST_P(Torus3DShapes, EscapeDatelineVcNeverStepsBackUp)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            NodeId at = src;
+            int lastDim = -1, lastVc = 1;
+            while (at != dst) {
+                auto hop = t.escapeRoute(at, dst, 0);
+                int dim = hop.port / 2;
+                if (dim == lastDim)
+                    EXPECT_LE(hop.vc, lastVc)
+                        << src << "->" << dst << " at " << at;
+                else
+                    EXPECT_GT(dim, lastDim) << "dimension order";
+                lastDim = dim;
+                lastVc = hop.vc;
+                at = t.port(at, hop.port).peer;
+            }
+        }
+    }
+}
+
+TEST_P(Torus3DShapes, AdaptivePortsAlwaysReduceDistance)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            auto ports = t.adaptivePorts(src, dst, 0);
+            ASSERT_FALSE(ports.empty());
+            for (int p : ports) {
+                NodeId next = t.port(src, p).peer;
+                EXPECT_EQ(t.torusDistance(next, dst),
+                          t.torusDistance(src, dst) - 1);
+            }
+        }
+    }
+}
+
+// Every minimal direction is nominated: a neighbour that reduces
+// distance is reachable through some nominated port.
+TEST_P(Torus3DShapes, AdaptivePortsAreComplete)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    for (NodeId src = 0; src < t.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < t.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            auto ports = t.adaptivePorts(src, dst, 0);
+            for (int p = 0; p < t.numPorts(src); ++p) {
+                Port link = t.port(src, p);
+                if (!link.connected())
+                    continue;
+                if (t.torusDistance(link.peer, dst) !=
+                    t.torusDistance(src, dst) - 1)
+                    continue;
+                bool nominated = false;
+                for (int q : ports)
+                    nominated |= t.port(src, q).peer == link.peer;
+                EXPECT_TRUE(nominated)
+                    << src << "->" << dst << " via port " << p;
+            }
+        }
+    }
+}
+
+TEST_P(Torus3DShapes, ConnectedAndSymmetric)
+{
+    auto [w, h, d] = GetParam();
+    Torus3D t(w, h, d);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.hopDistance(0, t.numNodes() - 1),
+              t.hopDistance(t.numNodes() - 1, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallShapes, Torus3DShapes,
+    ::testing::Values(std::tuple{2, 2, 2}, std::tuple{3, 3, 2},
+                      std::tuple{4, 1, 1}, std::tuple{1, 1, 1},
+                      std::tuple{2, 1, 2}, std::tuple{4, 3, 2},
+                      std::tuple{3, 4, 5}));
+
+} // namespace
